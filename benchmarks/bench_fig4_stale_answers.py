@@ -1,0 +1,35 @@
+"""Figure 4 — fraction of stale answers vs. domain size, for several α.
+
+Paper shape: the stale-answer fraction grows with α, stays bounded (≈11 % at
+α = 0.3 for a 500-peer domain) and is roughly flat in the domain size.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments.fig4_stale_answers import run_figure4
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_stale_answers(benchmark, domain_sizes, simulated_hours):
+    def run():
+        return run_figure4(
+            domain_sizes=domain_sizes,
+            alphas=[0.1, 0.3, 0.8],
+            duration_seconds=simulated_hours * 3600.0,
+            seed=0,
+        )
+
+    table = benchmark.pedantic(run, iterations=1, rounds=1)
+    attach_table(benchmark, table)
+
+    # Shape 1: staleness grows with alpha for every domain size.
+    for size in domain_sizes:
+        low = next(r for r in table.rows if r["domain_size"] == size and r["alpha"] == 0.1)
+        mid = next(r for r in table.rows if r["domain_size"] == size and r["alpha"] == 0.3)
+        high = next(r for r in table.rows if r["domain_size"] == size and r["alpha"] == 0.8)
+        assert low["stale_fraction"] <= mid["stale_fraction"] <= high["stale_fraction"]
+
+    # Shape 2: at alpha = 0.3 the fraction stays bounded (paper: ~11 %).
+    for row in table.filter(alpha=0.3):
+        assert row["stale_fraction"] <= 0.30

@@ -1,0 +1,31 @@
+"""Figure 5 — false negatives vs. domain size under precision-first routing.
+
+Paper shape: the false-negative fraction stays small (≈3 % below 2000 peers)
+and the real staleness estimate is several times (≈4.5×) below the worst case.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments.fig5_false_negatives import run_figure5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_false_negatives(benchmark, domain_sizes, simulated_hours):
+    def run():
+        return run_figure5(
+            domain_sizes=domain_sizes,
+            alpha=0.3,
+            duration_seconds=simulated_hours * 3600.0,
+            seed=0,
+        )
+
+    table = benchmark.pedantic(run, iterations=1, rounds=1)
+    attach_table(benchmark, table)
+
+    for row in table.rows:
+        # Shape 1: false negatives stay small.
+        assert row["false_negative_fraction"] <= 0.12
+        # Shape 2: the real estimate is well below the worst-case estimate.
+        assert row["false_negative_fraction"] <= row["worst_stale_fraction"]
+        assert row["reduction_factor"] >= 1.5

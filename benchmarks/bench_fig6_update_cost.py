@@ -1,0 +1,42 @@
+"""Figure 6 — update messages vs. domain size for α ∈ {0.3, 0.8}.
+
+Paper shape: total update traffic grows with the domain size while the
+per-node traffic stays roughly flat; tightening α from 0.8 to 0.3 costs only a
+small factor more (the paper reports ≈1.2×; the exact factor depends on how
+the circulating reconciliation message is counted — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments.fig6_update_cost import cost_increase_factor, run_figure6
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_update_cost(benchmark, domain_sizes, simulated_hours):
+    def run():
+        return run_figure6(
+            domain_sizes=domain_sizes,
+            alphas=(0.3, 0.8),
+            duration_seconds=simulated_hours * 3600.0,
+            seed=0,
+        )
+
+    table = benchmark.pedantic(run, iterations=1, rounds=1)
+    attach_table(benchmark, table)
+
+    # Shape 1: total messages grow with the domain size (for each alpha).
+    for alpha in (0.3, 0.8):
+        rows = sorted(table.filter(alpha=alpha), key=lambda r: r["domain_size"])
+        totals = [row["total_messages"] for row in rows]
+        assert totals == sorted(totals)
+
+    # Shape 2: per-node traffic is roughly flat in the domain size.
+    for alpha in (0.3, 0.8):
+        per_node = [row["messages_per_node"] for row in table.filter(alpha=alpha)]
+        assert max(per_node) <= 3.0 * max(min(per_node), 1e-9)
+
+    # Shape 3: a tighter threshold costs more, but within an order of magnitude.
+    factor = cost_increase_factor(table, 0.3, 0.8)
+    print(f"\nper-node cost increase factor (alpha 0.3 vs 0.8): {factor:.2f}")
+    assert 1.0 <= factor <= 10.0

@@ -1,0 +1,67 @@
+"""Engine micro-benchmarks: summarization throughput and hierarchy merging.
+
+These support the scalability discussion of Section 3.2.3 (linear-time
+incorporation, bounded memory) and Section 6.1.1 (merge cost depends on leaf
+counts, not tuple counts).
+"""
+
+import pytest
+
+from repro.database.generator import PatientGenerator
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.merging import merge_hierarchies
+
+BACKGROUND = medical_background_knowledge(include_categorical=False)
+
+
+def _records(count, seed=0):
+    return PatientGenerator(seed=seed, background=BACKGROUND).records(count)
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("record_count", [100, 500])
+def test_summarization_throughput(benchmark, record_count):
+    """Incremental incorporation of ``record_count`` records."""
+    records = _records(record_count)
+
+    def build():
+        hierarchy = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        hierarchy.add_records(records)
+        return hierarchy
+
+    hierarchy = benchmark(build)
+    assert hierarchy.records_processed == record_count
+    assert hierarchy.leaf_count() <= hierarchy.mapping.grid_size()
+
+
+@pytest.mark.benchmark(group="engine")
+def test_incremental_incorporation_is_cheap_once_stable(benchmark):
+    """Once every descriptor combination exists, adding a record is cheap."""
+    hierarchy = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+    hierarchy.add_records(_records(500))
+    extra = _records(50, seed=99)
+
+    def add_more():
+        for record in extra:
+            hierarchy.add_record(record)
+
+    benchmark.pedantic(add_more, iterations=1, rounds=3)
+    assert hierarchy.leaf_count() <= hierarchy.mapping.grid_size()
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("peer_count", [4, 16])
+def test_hierarchy_merge_cost(benchmark, peer_count):
+    """Merging cost grows with leaf counts, not with the number of raw tuples."""
+    hierarchies = []
+    for index in range(peer_count):
+        hierarchy = SummaryHierarchy(
+            BACKGROUND, attributes=["age", "bmi"], owner=f"p{index}"
+        )
+        hierarchy.add_records(_records(50, seed=index))
+        hierarchies.append(hierarchy)
+
+    merged = benchmark(lambda: merge_hierarchies(hierarchies, owner="sp"))
+    assert merged.peer_extent() == {f"p{i}" for i in range(peer_count)}
+    assert merged.leaf_count() <= merged.mapping.grid_size()

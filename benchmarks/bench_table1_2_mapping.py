@@ -1,0 +1,25 @@
+"""Tables 1 & 2 — the running example: raw tuples mapped to grid cells.
+
+Regenerates the paper's Table 2 from its Table 1 and checks the exact cell
+structure (three cells with tuple counts 2 / 0.7 / 0.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.experiments.tables import run_table1_table2
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_table2_mapping(benchmark):
+    table = benchmark(run_table1_table2)
+    attach_table(benchmark, table)
+
+    counts = sorted(table.column("tuple_count"), reverse=True)
+    assert counts == pytest.approx([2.0, 0.7, 0.3])
+    labels = {(row["age_label"], row["bmi_label"]) for row in table.rows}
+    assert labels == {
+        ("young", "underweight"),
+        ("young", "normal"),
+        ("adult", "normal"),
+    }

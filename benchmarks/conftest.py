@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Network sizes are
+kept moderate by default so the whole harness completes in minutes; set
+``REPRO_BENCH_FULL=1`` to sweep the paper's full ranges (16–5000 peers), which
+takes substantially longer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def domain_sizes():
+    """Domain sizes swept by the Figure 4–6 benches."""
+    if full_scale():
+        return [16, 100, 500, 1000, 2000, 5000]
+    return [16, 100, 500]
+
+
+@pytest.fixture(scope="session")
+def network_sizes():
+    """Network sizes swept by the Figure 7 bench."""
+    if full_scale():
+        return [16, 100, 500, 1000, 2000, 3500, 5000]
+    return [16, 100, 500, 1000]
+
+
+@pytest.fixture(scope="session")
+def simulated_hours():
+    return 12.0 if full_scale() else 6.0
+
+
+def attach_table(benchmark, table) -> None:
+    """Store the regenerated table in the benchmark report and print it."""
+    benchmark.extra_info["table"] = table.to_json()
+    print()
+    print(table.to_text())

@@ -1,0 +1,54 @@
+"""Query-cost comparison: summary querying vs. flooding vs. centralized index.
+
+A miniature of the paper's Figure 7: the same planned workload (each query
+matched by 10 % of the peers, total-lookup semantics) is answered by
+
+* the summary-querying (SQ) algorithm of the paper,
+* Gnutella-style flooding (TTL 3, expanded until the stop condition holds),
+* an ideal centralized index (the lower bound),
+
+over power-law networks of growing size; the per-query message counts and the
+flooding/SQ ratio are printed, together with the analytical cost model values.
+
+Run with:  python examples/query_cost_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_query_cost_comparison
+
+NETWORK_SIZES = (16, 100, 500, 1000, 2000)
+QUERIES_PER_SIZE = 20
+
+
+def main() -> None:
+    header = (
+        f"{'peers':>6} {'SQ':>10} {'flooding':>10} {'centralized':>12} "
+        f"{'flooding/SQ':>12} {'SQ (model)':>12}"
+    )
+    print("average messages per query (lower is better)\n")
+    print(header)
+    print("-" * len(header))
+    for size in NETWORK_SIZES:
+        run = run_query_cost_comparison(
+            peer_count=size, query_count=QUERIES_PER_SIZE, hit_rate=0.1, seed=1
+        )
+        ratio = (
+            run.flooding_messages / run.summary_querying_messages
+            if run.summary_querying_messages
+            else float("inf")
+        )
+        print(
+            f"{size:>6d} {run.summary_querying_messages:>10.1f} "
+            f"{run.flooding_messages:>10.1f} {run.centralized_messages:>12.1f} "
+            f"{ratio:>12.2f} {run.model_summary_querying_messages:>12.0f}"
+        )
+    print(
+        "\nreading: the summary-based routing contacts only the peers whose"
+        "\ndescriptions match the query, so it stays a small factor above the"
+        "\nideal centralized index and several times below blind flooding."
+    )
+
+
+if __name__ == "__main__":
+    main()

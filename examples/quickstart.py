@@ -1,0 +1,127 @@
+"""Quickstart: summarize a relational table and query the summary.
+
+Reproduces the paper's running example end to end on a single peer:
+
+1. the Patient relation of Table 1,
+2. its fuzzy grid-cell mapping (Table 2),
+3. the summary hierarchy built by the SaintEtiQ-style engine (Figure 3),
+4. query reformulation (Section 5.1) and approximate answering (Section 5.2.2):
+   *"female anorexia patients with an underweight or normal BMI are young"*.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PatientGenerator,
+    SummaryHierarchy,
+    medical_background_knowledge,
+    reformulate,
+)
+from repro.querying.aggregation import approximate_answer
+from repro.querying.proposition import Proposition
+from repro.querying.selection import select_summaries
+from repro.database.query import SelectionQuery
+from repro.saintetiq.mapping import MappingService
+from repro.workloads.queries import paper_example_query
+
+
+def show_table_1(relation) -> None:
+    print("Table 1 — raw Patient data")
+    print(f"{'id':>4} {'age':>5} {'sex':>8} {'bmi':>6} {'disease':>10}")
+    for record in relation:
+        print(
+            f"{record['id']:>4} {record['age']:>5} {record['sex']:>8} "
+            f"{record['bmi']:>6} {record['disease']:>10}"
+        )
+    print()
+
+
+def show_table_2(cells) -> None:
+    print("Table 2 — grid-cell mapping (age x bmi)")
+    print(f"{'cell':>5} {'age':>8} {'bmi':>13} {'tuple count':>12}")
+    ordered = sorted(cells.values(), key=lambda cell: -cell.tuple_count)
+    for index, cell in enumerate(ordered, start=1):
+        description = cell.describe()
+        print(
+            f"{'c' + str(index):>5} {description['age']:>8} "
+            f"{description['bmi']:>13} {cell.tuple_count:>12.2f}"
+        )
+    print()
+
+
+def show_hierarchy(hierarchy: SummaryHierarchy) -> None:
+    print("Summary hierarchy (Figure 3)")
+
+    def render(node, indent=0):
+        intent = "; ".join(
+            f"{attribute}={{{', '.join(sorted(labels))}}}"
+            for attribute, labels in sorted(node.intent.items())
+        )
+        print(f"{'  ' * indent}- count={node.tuple_count:.2f}  [{intent}]")
+        for child in node.children:
+            render(child, indent + 1)
+
+    render(hierarchy.root)
+    print()
+
+
+def main() -> None:
+    background = medical_background_knowledge()
+    generator = PatientGenerator(seed=0, background=background)
+    relation = generator.paper_example_relation()
+    show_table_1(relation)
+
+    # -- mapping service: records -> grid cells (Table 2) ----------------------
+    numeric_background = medical_background_knowledge(include_categorical=False)
+    mapping = MappingService(numeric_background, attributes=["age", "bmi"])
+    cells = mapping.map_records([r.as_dict() for r in relation], peer="hospital-1")
+    show_table_2(cells)
+
+    # -- summarization service: cells -> hierarchy (Figure 3) ------------------
+    hierarchy = SummaryHierarchy(
+        numeric_background, attributes=["age", "bmi"], owner="hospital-1"
+    )
+    hierarchy.add_records(r.as_dict() for r in relation)
+    show_hierarchy(hierarchy)
+
+    # A second hierarchy over every described attribute (age, bmi, sex,
+    # disease) is what the query of Section 5 is evaluated against.
+    full_hierarchy = SummaryHierarchy(background, owner="hospital-1")
+    full_hierarchy.add_records(r.as_dict() for r in relation)
+
+    # -- query reformulation (Section 5.1) --------------------------------------
+    crisp = paper_example_query()
+    flexible = reformulate(crisp, background)
+    print("Query reformulation")
+    print(f"  crisp   : {crisp}")
+    print(f"  flexible: {flexible}")
+    print()
+
+    # -- approximate answering (Section 5.2.2) ----------------------------------
+    flexible_only = SelectionQuery(
+        "patient", flexible.descriptor_predicates(), select=["age"]
+    )
+    proposition = Proposition.from_query(flexible_only)
+    selection = select_summaries(full_hierarchy, proposition)
+    answer = approximate_answer(selection, proposition, select=["age"])
+    print("Approximate answer (no raw record accessed)")
+    print(f"  proposition: {proposition}")
+    for answer_class in answer.classes:
+        interpretation = {
+            attribute: sorted(labels)
+            for attribute, labels in answer_class.interpretation_dict().items()
+        }
+        outputs = {a: sorted(l) for a, l in answer_class.output.items()}
+        print(
+            f"  class {interpretation} -> {outputs} "
+            f"(~{answer_class.tuple_count:.1f} records)"
+        )
+    merged = answer.merged_output()
+    print(f"  => patients with an underweight or normal BMI are "
+          f"{sorted(merged.get('age', frozenset()))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""repro — reproduction of "Summary Management in P2P Systems" (EDBT 2008).
+
+The library combines a SaintEtiQ-style database summarization engine with a
+hybrid (superpeer) P2P overlay: peers maintain local summaries of their
+relational data, domains merge them into global summaries, and queries are
+routed (or answered approximately) through those summaries.
+
+Quick tour of the public API
+----------------------------
+
+>>> from repro import medical_background_knowledge, PatientGenerator
+>>> from repro import SummaryHierarchy
+>>> background = medical_background_knowledge()
+>>> hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"])
+>>> generator = PatientGenerator(seed=1)
+>>> _ = hierarchy.add_records(r.as_dict() for r in generator.paper_example_relation())
+>>> hierarchy.leaf_count() >= 1
+True
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+experiment harness reproducing every table and figure of the paper.
+"""
+
+from repro.core.approximate import answer_in_domain, localize_peers
+from repro.core.config import ProtocolConfig
+from repro.core.construction import DomainBuilder
+from repro.core.cooperation import CooperationList
+from repro.core.domain import Domain
+from repro.core.freshness import Freshness, FreshnessMode
+from repro.core.maintenance import MaintenanceEngine
+from repro.core.protocol import SummaryManagementSystem
+from repro.core.routing import QueryRouter, QueryRoutingResult, RoutingPolicy
+from repro.core.service import LocalSummaryService
+from repro.database.engine import LocalDatabase
+from repro.database.generator import PatientGenerator
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    SelectionQuery,
+)
+from repro.database.schema import Attribute, AttributeType, Schema, patient_schema
+from repro.database.table import Record, Relation
+from repro.exceptions import (
+    BackgroundKnowledgeError,
+    ConfigurationError,
+    NetworkError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SummaryError,
+)
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor, LinguisticVariable
+from repro.fuzzy.membership import (
+    CrispSetMembership,
+    TrapezoidalMembership,
+    TriangularMembership,
+)
+from repro.fuzzy.partition import FuzzyPartition
+from repro.fuzzy.vocabularies import (
+    medical_background_knowledge,
+    uniform_numeric_background_knowledge,
+)
+from repro.network.churn import LifetimeDistribution
+from repro.network.overlay import Overlay
+from repro.network.simulator import Simulator
+from repro.network.topology import TopologyConfig, power_law_topology
+from repro.querying.aggregation import ApproximateAnswer, approximate_answer
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.reformulation import reformulate
+from repro.querying.selection import QuerySelection, select_summaries
+from repro.saintetiq.cell import Cell
+from repro.saintetiq.clustering import ClusteringParameters, SummaryBuilder
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.mapping import MappingService
+from repro.saintetiq.merging import merge_hierarchies
+from repro.saintetiq.summary import Summary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "BackgroundKnowledgeError",
+    "SummaryError",
+    "NetworkError",
+    "ProtocolError",
+    "ConfigurationError",
+    # fuzzy substrate
+    "TrapezoidalMembership",
+    "TriangularMembership",
+    "CrispSetMembership",
+    "Descriptor",
+    "LinguisticVariable",
+    "FuzzyPartition",
+    "BackgroundKnowledge",
+    "medical_background_knowledge",
+    "uniform_numeric_background_knowledge",
+    # database substrate
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "patient_schema",
+    "Record",
+    "Relation",
+    "LocalDatabase",
+    "PatientGenerator",
+    "SelectionQuery",
+    "Comparison",
+    "AttributeIn",
+    "DescriptorPredicate",
+    # summarization engine
+    "Cell",
+    "MappingService",
+    "Summary",
+    "SummaryBuilder",
+    "ClusteringParameters",
+    "SummaryHierarchy",
+    "merge_hierarchies",
+    # querying
+    "reformulate",
+    "Clause",
+    "Proposition",
+    "QuerySelection",
+    "select_summaries",
+    "ApproximateAnswer",
+    "approximate_answer",
+    # network substrate
+    "Simulator",
+    "TopologyConfig",
+    "power_law_topology",
+    "Overlay",
+    "LifetimeDistribution",
+    # core contribution
+    "ProtocolConfig",
+    "Freshness",
+    "FreshnessMode",
+    "CooperationList",
+    "Domain",
+    "DomainBuilder",
+    "MaintenanceEngine",
+    "LocalSummaryService",
+    "RoutingPolicy",
+    "QueryRouter",
+    "QueryRoutingResult",
+    "SummaryManagementSystem",
+    "answer_in_domain",
+    "localize_peers",
+]

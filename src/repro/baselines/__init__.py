@@ -1,0 +1,17 @@
+"""Baseline query-processing algorithms the paper compares against.
+
+* :mod:`repro.baselines.flooding` — pure Gnutella-style flooding with a TTL of
+  3 (no index, no summaries),
+* :mod:`repro.baselines.centralized` — a complete, consistent centralized
+  index (the best case any routing algorithm can hope for).
+"""
+
+from repro.baselines.centralized import CentralizedIndex, centralized_query_cost
+from repro.baselines.flooding import FloodingSearch, flooding_query_cost
+
+__all__ = [
+    "FloodingSearch",
+    "flooding_query_cost",
+    "CentralizedIndex",
+    "centralized_query_cost",
+]

@@ -1,0 +1,75 @@
+"""Centralized-index baseline.
+
+A single server indexes every peer's content; a query costs one message to the
+index, one message to each relevant peer and one response from each of them:
+``C_Q = 1 + 2 * (hit_rate * n)``.  The paper treats this as the lower bound
+"that can be expected from any query processing algorithm, when the index is
+complete and consistent", while noting its vulnerability and maintenance cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.content import ContentModel
+from repro.network.messages import MessageType
+from repro.network.metrics import MessageCounter
+
+
+@dataclass
+class CentralizedOutcome:
+    """Result and cost of one centrally indexed query."""
+
+    originator: str
+    relevant_peers: Set[str] = field(default_factory=set)
+    responding_peers: Set[str] = field(default_factory=set)
+    total_messages: int = 0
+
+
+class CentralizedIndex:
+    """A complete, always-consistent central index over the whole network."""
+
+    def __init__(self, counter: Optional[MessageCounter] = None) -> None:
+        self._counter = counter if counter is not None else MessageCounter()
+        #: peer -> set of query ids it matches (kept implicitly consistent by
+        #: delegating the ground truth to the content model).
+        self._registrations: Dict[str, Set[int]] = {}
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self._counter
+
+    def query(
+        self,
+        peer_ids,
+        originator: str,
+        content: ContentModel,
+        query_id: int,
+    ) -> CentralizedOutcome:
+        """Answer one query through the central index.
+
+        The index is complete and consistent, so the relevant peers are
+        exactly the truly matching ones: no false positives, no false
+        negatives, and the minimum possible number of messages.
+        """
+        outcome = CentralizedOutcome(originator=originator)
+        outcome.relevant_peers = {
+            peer_id
+            for peer_id in peer_ids
+            if content.truly_matching(query_id, peer_id)
+        }
+        outcome.responding_peers = set(outcome.relevant_peers)
+
+        # 1 query to the index + 1 query per relevant peer + 1 response each.
+        outcome.total_messages = 1 + 2 * len(outcome.relevant_peers)
+        self._counter.record_type(MessageType.QUERY, 1 + len(outcome.relevant_peers))
+        self._counter.record_type(
+            MessageType.QUERY_RESPONSE, len(outcome.responding_peers)
+        )
+        return outcome
+
+
+def centralized_query_cost(peer_count: int, hit_rate: float = 0.1) -> float:
+    """Analytical centralized-index cost: ``1 + 2 * hit_rate * n`` messages."""
+    return 1.0 + 2.0 * hit_rate * peer_count

@@ -1,0 +1,140 @@
+"""Command-line interface for the experiment harness.
+
+``python -m repro <command>`` regenerates the paper's tables and figures from
+the terminal without going through pytest:
+
+* ``tables``  — Tables 1/2 (running example) and Table 3 (parameters),
+* ``fig4``    — stale answers vs. domain size,
+* ``fig5``    — false negatives vs. domain size,
+* ``fig6``    — update messages vs. domain size,
+* ``fig7``    — query cost vs. number of peers,
+* ``all``     — everything above.
+
+Every command accepts ``--sizes`` / ``--alphas`` / ``--hours`` / ``--seed``
+overrides and ``--json`` to emit machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.fig4_stale_answers import run_figure4
+from repro.experiments.fig5_false_negatives import run_figure5
+from repro.experiments.fig6_update_cost import run_figure6
+from repro.experiments.fig7_query_cost import run_figure7
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.tables import run_table1_table2, run_table3
+
+DEFAULT_SIZES = [16, 100, 500]
+DEFAULT_ALPHAS = [0.1, 0.3, 0.8]
+
+
+def _parse_sizes(raw: Optional[str], fallback: List[int]) -> List[int]:
+    if not raw:
+        return list(fallback)
+    try:
+        return [int(token) for token in raw.split(",") if token.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid size list {raw!r}") from exc
+
+
+def _parse_alphas(raw: Optional[str], fallback: List[float]) -> List[float]:
+    if not raw:
+        return list(fallback)
+    try:
+        return [float(token) for token in raw.split(",") if token.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid alpha list {raw!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Summary Management in P2P Systems' (EDBT 2008).",
+    )
+    parser.add_argument(
+        "command",
+        choices=["tables", "fig4", "fig5", "fig6", "fig7", "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--sizes",
+        help="comma-separated domain/network sizes (default: 16,100,500)",
+    )
+    parser.add_argument(
+        "--alphas",
+        help="comma-separated freshness thresholds for fig4 (default: 0.1,0.3,0.8)",
+    )
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=6.0,
+        help="simulated hours for the maintenance figures (default: 6)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=20,
+        help="queries per network size for fig7 (default: 20)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text tables"
+    )
+    return parser
+
+
+def _emit(tables: Sequence[ExperimentTable], as_json: bool) -> None:
+    for table in tables:
+        if as_json:
+            print(table.to_json())
+        else:
+            print(table.to_text())
+            print()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sizes = _parse_sizes(args.sizes, DEFAULT_SIZES)
+    alphas = _parse_alphas(args.alphas, DEFAULT_ALPHAS)
+    duration = args.hours * 3600.0
+
+    commands: Dict[str, Callable[[], List[ExperimentTable]]] = {
+        "tables": lambda: [run_table1_table2(), run_table3()],
+        "fig4": lambda: [
+            run_figure4(
+                domain_sizes=sizes,
+                alphas=alphas,
+                duration_seconds=duration,
+                seed=args.seed,
+            )
+        ],
+        "fig5": lambda: [
+            run_figure5(domain_sizes=sizes, duration_seconds=duration, seed=args.seed)
+        ],
+        "fig6": lambda: [
+            run_figure6(domain_sizes=sizes, duration_seconds=duration, seed=args.seed)
+        ],
+        "fig7": lambda: [
+            run_figure7(
+                network_sizes=sizes, queries_per_size=args.queries, seed=args.seed
+            )
+        ],
+    }
+
+    if args.command == "all":
+        tables: List[ExperimentTable] = []
+        for name in ("tables", "fig4", "fig5", "fig6", "fig7"):
+            tables.extend(commands[name]())
+    else:
+        tables = commands[args.command]()
+
+    _emit(tables, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Content models: how the protocol engine decides which peers hold answers.
+
+Two interchangeable models are provided:
+
+* :class:`SummaryContentModel` — the real thing: every peer owns a database and
+  a local summary; domain-level relevance comes from querying the global
+  summary; ground truth comes from evaluating the query on the raw databases.
+  Used by the examples and the integration tests.
+
+* :class:`PlannedContentModel` — the evaluation model of Section 6: each query
+  is matched by a fixed fraction of peers (10 % in Table 3).  The peers
+  matching a query are planned up-front; summaries are assumed complete and
+  consistent at reconciliation time, so relevance equals the plan and
+  staleness effects come only from churn/modification events.  This keeps
+  simulations of up to 5000 peers fast while exercising exactly the routing
+  and maintenance message flows the paper measures.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.database.query import SelectionQuery
+from repro.exceptions import ConfigurationError
+from repro.querying.proposition import Proposition
+from repro.querying.selection import select_summaries
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+
+class ContentModel(abc.ABC):
+    """Answers the two content questions the routing layer asks."""
+
+    @abc.abstractmethod
+    def relevant_partners(
+        self,
+        query_id: int,
+        domain_partners: Iterable[str],
+        global_summary: Optional[SummaryHierarchy],
+        proposition: Optional[Proposition],
+    ) -> Set[str]:
+        """Partners of a domain that the *global summary* designates as relevant."""
+
+    @abc.abstractmethod
+    def truly_matching(self, query_id: int, peer_id: str) -> bool:
+        """Ground truth: does ``peer_id`` currently hold data matching the query?"""
+
+
+class SummaryContentModel(ContentModel):
+    """Relevance from real summaries, ground truth from real databases."""
+
+    def __init__(self, queries: Dict[int, SelectionQuery], databases: Dict[str, object]) -> None:
+        self._queries = queries
+        self._databases = databases
+
+    def register_query(self, query_id: int, query: SelectionQuery) -> None:
+        self._queries[query_id] = query
+
+    def relevant_partners(
+        self,
+        query_id: int,
+        domain_partners: Iterable[str],
+        global_summary: Optional[SummaryHierarchy],
+        proposition: Optional[Proposition],
+    ) -> Set[str]:
+        if global_summary is None or proposition is None:
+            return set()
+        selection = select_summaries(global_summary, proposition)
+        peers = selection.peer_extent()
+        return peers & set(domain_partners)
+
+    def truly_matching(self, query_id: int, peer_id: str) -> bool:
+        database = self._databases.get(peer_id)
+        query = self._queries.get(query_id)
+        if database is None or query is None:
+            return False
+        return database.has_match(query)  # type: ignore[attr-defined]
+
+
+class PlannedContentModel(ContentModel):
+    """Synthetic relevance: a fixed fraction of peers matches each query.
+
+    The model also tracks, per peer, whether its database has *changed* since
+    the last reconciliation with respect to each query — the ingredient behind
+    the paper's distinction between worst-case and real staleness estimates
+    (Figures 4 and 5).
+    """
+
+    def __init__(
+        self,
+        peer_ids: List[str],
+        matching_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= matching_fraction <= 1.0:
+            raise ConfigurationError("matching_fraction must lie in [0, 1]")
+        self._peer_ids = list(peer_ids)
+        self._matching_fraction = matching_fraction
+        self._rng = random.Random(seed)
+        self._matching: Dict[int, Set[str]] = {}
+        #: Peers whose data changed (relative to any query) since the summary
+        #: version currently installed in their domain.
+        self._modified_peers: Set[str] = set()
+        #: Peers that departed and whose data is therefore gone.
+        self._departed_peers: Set[str] = set()
+
+    # -- plan management -----------------------------------------------------------------
+
+    @property
+    def matching_fraction(self) -> float:
+        return self._matching_fraction
+
+    def plan_query(self, query_id: int) -> Set[str]:
+        """Choose the matching peers for a query (10 % of the network by default)."""
+        if query_id in self._matching:
+            return set(self._matching[query_id])
+        population = [p for p in self._peer_ids if p not in self._departed_peers]
+        target = round(self._matching_fraction * len(self._peer_ids))
+        target = min(max(target, 1 if self._matching_fraction > 0 else 0), len(population))
+        chosen = set(self._rng.sample(population, target)) if target else set()
+        self._matching[query_id] = chosen
+        return set(chosen)
+
+    def matching_peers(self, query_id: int) -> Set[str]:
+        return self.plan_query(query_id)
+
+    # -- churn / modification hooks --------------------------------------------------------
+
+    def mark_modified(self, peer_id: str) -> None:
+        self._modified_peers.add(peer_id)
+
+    def mark_departed(self, peer_id: str) -> None:
+        self._departed_peers.add(peer_id)
+
+    def mark_rejoined(self, peer_id: str) -> None:
+        self._departed_peers.discard(peer_id)
+
+    def clear_modification(self, peer_id: str) -> None:
+        """Called when a reconciliation refreshes the peer's descriptions."""
+        self._modified_peers.discard(peer_id)
+
+    def is_modified(self, peer_id: str) -> bool:
+        return peer_id in self._modified_peers
+
+    def is_departed(self, peer_id: str) -> bool:
+        return peer_id in self._departed_peers
+
+    # -- ContentModel API ---------------------------------------------------------------------
+
+    def relevant_partners(
+        self,
+        query_id: int,
+        domain_partners: Iterable[str],
+        global_summary: Optional[SummaryHierarchy],
+        proposition: Optional[Proposition],
+    ) -> Set[str]:
+        # The global summary reflects the state at the last reconciliation: a
+        # peer is designated relevant if it matched the query according to the
+        # descriptions recorded then.  Peers that departed or modified their
+        # data since then are exactly the ones whose designation may be stale.
+        matching = self.plan_query(query_id)
+        return matching & set(domain_partners)
+
+    def truly_matching(self, query_id: int, peer_id: str) -> bool:
+        if peer_id in self._departed_peers:
+            return False
+        return peer_id in self.plan_query(query_id)

@@ -1,0 +1,155 @@
+"""Cooperation lists.
+
+Each global summary is associated with a *Cooperation List* (CL) describing
+its partner peers: one entry per partner, carrying the partner identifier and
+a freshness value (Section 4.1).  The list is the superpeer's only state about
+its domain besides the global summary itself; the reconciliation decision is
+taken by watching the fraction of old descriptions it records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.freshness import Freshness, FreshnessMode
+from repro.exceptions import ProtocolError
+
+
+@dataclass
+class CooperationEntry:
+    """One partner's entry in the cooperation list."""
+
+    peer_id: str
+    freshness: Freshness = Freshness.FRESH
+    #: Virtual time at which the entry last changed (diagnostic only).
+    updated_at: float = 0.0
+
+
+class CooperationList:
+    """The cooperation list of one global summary."""
+
+    def __init__(self, mode: FreshnessMode = FreshnessMode.ONE_BIT) -> None:
+        self._entries: Dict[str, CooperationEntry] = {}
+        self._mode = mode
+
+    # -- membership -----------------------------------------------------------------
+
+    @property
+    def mode(self) -> FreshnessMode:
+        return self._mode
+
+    def add_partner(
+        self,
+        peer_id: str,
+        freshness: Freshness = Freshness.FRESH,
+        now: float = 0.0,
+    ) -> CooperationEntry:
+        """Add (or reset) a partner entry.
+
+        Newly joining peers whose data is not yet merged enter with
+        ``Freshness.STALE`` (Section 4.3: "SP adds a new element to the
+        cooperation list with a freshness value equal to one").
+        """
+        entry = CooperationEntry(peer_id=peer_id, freshness=freshness, updated_at=now)
+        self._entries[peer_id] = entry
+        return entry
+
+    def remove_partner(self, peer_id: str) -> None:
+        if peer_id not in self._entries:
+            raise ProtocolError(f"peer {peer_id!r} is not a partner")
+        del self._entries[peer_id]
+
+    def is_partner(self, peer_id: str) -> bool:
+        return peer_id in self._entries
+
+    def entry(self, peer_id: str) -> CooperationEntry:
+        try:
+            return self._entries[peer_id]
+        except KeyError as exc:
+            raise ProtocolError(f"peer {peer_id!r} is not a partner") from exc
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CooperationEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, peer_id: object) -> bool:
+        return peer_id in self._entries
+
+    # -- freshness updates -------------------------------------------------------------
+
+    def set_freshness(
+        self, peer_id: str, freshness: Freshness, now: float = 0.0
+    ) -> None:
+        entry = self.entry(peer_id)
+        if self._mode is FreshnessMode.ONE_BIT and freshness is Freshness.UNAVAILABLE:
+            freshness = Freshness.STALE
+        entry.freshness = freshness
+        entry.updated_at = now
+
+    def mark_stale(self, peer_id: str, now: float = 0.0) -> None:
+        self.set_freshness(peer_id, Freshness.STALE, now=now)
+
+    def mark_departed(self, peer_id: str, now: float = 0.0) -> None:
+        """Record a graceful departure (value 2, or 1 in 1-bit mode)."""
+        self.set_freshness(peer_id, self._mode.encode_departure(), now=now)
+
+    def reset_all(self, now: float = 0.0) -> None:
+        """Reset every entry to fresh (end of a reconciliation, Section 4.2.2)."""
+        for entry in self._entries.values():
+            entry.freshness = Freshness.FRESH
+            entry.updated_at = now
+
+    # -- views -----------------------------------------------------------------------------
+
+    @property
+    def partner_ids(self) -> List[str]:
+        return list(self._entries)
+
+    def fresh_partners(self) -> List[str]:
+        """``P_fresh`` — partners whose descriptions are fresh."""
+        return [
+            entry.peer_id
+            for entry in self._entries.values()
+            if entry.freshness.is_fresh
+        ]
+
+    def old_partners(self) -> List[str]:
+        """``P_old`` — partners whose descriptions are stale or unavailable."""
+        return [
+            entry.peer_id
+            for entry in self._entries.values()
+            if entry.freshness.counts_as_old
+        ]
+
+    def unavailable_partners(self) -> List[str]:
+        return [
+            entry.peer_id
+            for entry in self._entries.values()
+            if entry.freshness is Freshness.UNAVAILABLE
+        ]
+
+    def old_fraction(self) -> float:
+        """``sum(v) / |CL|`` in 1-bit terms: the quantity compared to α."""
+        if not self._entries:
+            return 0.0
+        old = sum(1 for entry in self._entries.values() if entry.freshness.counts_as_old)
+        return old / len(self._entries)
+
+    def needs_reconciliation(self, alpha: float) -> bool:
+        """The trigger condition of Section 4.2.2."""
+        if not self._entries:
+            return False
+        return self.old_fraction() >= alpha
+
+    def freshness_of(self, peer_id: str) -> Optional[Freshness]:
+        entry = self._entries.get(peer_id)
+        return entry.freshness if entry is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CooperationList({len(self._entries)} partners, "
+            f"{self.old_fraction():.2%} old)"
+        )

@@ -1,0 +1,113 @@
+"""Domains: a summary peer, its partners, and their merged global summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.cooperation import CooperationList
+from repro.core.freshness import Freshness, FreshnessMode
+from repro.exceptions import ProtocolError
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+
+@dataclass
+class Domain:
+    """One domain of the hybrid overlay.
+
+    A domain is "the set of a superpeer and its clients": the superpeer acts
+    as the *summary peer* (SP), stores the domain's global summary ``GS`` and
+    its cooperation list ``CL``.
+    """
+
+    summary_peer_id: str
+    cooperation: CooperationList = field(default_factory=CooperationList)
+    global_summary: Optional[SummaryHierarchy] = None
+    #: Distance (latency) from each partner to the summary peer, filled by the
+    #: construction protocol and used for partnership-switch decisions.
+    partner_distances: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls, summary_peer_id: str, mode: FreshnessMode = FreshnessMode.ONE_BIT
+    ) -> "Domain":
+        return cls(summary_peer_id=summary_peer_id, cooperation=CooperationList(mode))
+
+    # -- membership ---------------------------------------------------------------------
+
+    @property
+    def partner_ids(self) -> List[str]:
+        return self.cooperation.partner_ids
+
+    @property
+    def size(self) -> int:
+        """Domain size = the summary peer plus its partners."""
+        extra = 0 if self.cooperation.is_partner(self.summary_peer_id) else 1
+        return len(self.cooperation) + extra
+
+    def is_partner(self, peer_id: str) -> bool:
+        return self.cooperation.is_partner(peer_id)
+
+    def add_partner(
+        self,
+        peer_id: str,
+        distance: float,
+        freshness: Freshness = Freshness.FRESH,
+        now: float = 0.0,
+    ) -> None:
+        self.cooperation.add_partner(peer_id, freshness=freshness, now=now)
+        self.partner_distances[peer_id] = distance
+
+    def remove_partner(self, peer_id: str) -> None:
+        self.cooperation.remove_partner(peer_id)
+        self.partner_distances.pop(peer_id, None)
+
+    def distance_to(self, peer_id: str) -> float:
+        return self.partner_distances.get(peer_id, float("inf"))
+
+    # -- global summary -------------------------------------------------------------------
+
+    def has_global_summary(self) -> bool:
+        return self.global_summary is not None and not self.global_summary.is_empty()
+
+    def install_global_summary(self, summary: SummaryHierarchy) -> None:
+        self.global_summary = summary
+
+    def coverage(self) -> Set[str]:
+        """Peers whose data the global summary describes (the paper's Coverage)."""
+        if self.global_summary is None:
+            return set()
+        return self.global_summary.peer_extent()
+
+    # -- freshness views --------------------------------------------------------------------
+
+    def fresh_partners(self) -> List[str]:
+        return self.cooperation.fresh_partners()
+
+    def old_partners(self) -> List[str]:
+        return self.cooperation.old_partners()
+
+    def old_fraction(self) -> float:
+        return self.cooperation.old_fraction()
+
+    def needs_reconciliation(self, alpha: float) -> bool:
+        return self.cooperation.needs_reconciliation(alpha)
+
+    def validate(self) -> None:
+        """Sanity checks used by integration tests."""
+        if self.summary_peer_id in self.partner_distances:
+            distance = self.partner_distances[self.summary_peer_id]
+            if distance != 0.0:
+                raise ProtocolError(
+                    "the summary peer's distance to itself must be 0, got "
+                    f"{distance}"
+                )
+        for peer_id in self.partner_ids:
+            if peer_id not in self.partner_distances:
+                raise ProtocolError(f"partner {peer_id!r} has no recorded distance")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Domain(sp={self.summary_peer_id}, partners={len(self.cooperation)}, "
+            f"old={self.old_fraction():.2%})"
+        )

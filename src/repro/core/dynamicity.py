@@ -1,0 +1,261 @@
+"""Peer dynamicity: joins, departures, failures, summary-peer departures.
+
+Section 4.3 of the paper.  In large P2P systems the arrival/departure rate
+dominates the data modification rate, so churn is the main driver of global
+summary staleness.  This module implements the event handlers; the protocol
+engine (:mod:`repro.core.protocol`) decides *when* they fire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.domain import Domain
+from repro.core.freshness import Freshness
+from repro.core.maintenance import MaintenanceEngine
+from repro.exceptions import ProtocolError
+from repro.network.messages import MessageType
+from repro.network.metrics import MessageCounter
+from repro.network.overlay import Overlay
+
+
+@dataclass
+class ChurnEventOutcome:
+    """What a churn handler did: messages sent, reconciliation triggered, etc."""
+
+    event: str
+    peer_id: str
+    domain_id: Optional[str] = None
+    messages: int = 0
+    reconciliation_due: bool = False
+    new_domain_id: Optional[str] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class ChurnHandler:
+    """Implements the join/leave/failure behaviours of Section 4.3."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        counter: Optional[MessageCounter] = None,
+        maintenance: Optional[MaintenanceEngine] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._config = config or ProtocolConfig()
+        self._counter = counter if counter is not None else MessageCounter()
+        self._maintenance = maintenance or MaintenanceEngine(self._config, self._counter)
+        self._rng = rng or random.Random(0)
+
+    @property
+    def maintenance(self) -> MaintenanceEngine:
+        return self._maintenance
+
+    # -- peer joins ----------------------------------------------------------------------------
+
+    def peer_join(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        peer_id: str,
+        now: float = 0.0,
+    ) -> ChurnEventOutcome:
+        """A (re)connecting peer looks for a domain through its neighbours.
+
+        If one of its neighbours is a partner (or a summary peer), the peer
+        sends its local summary to that summary peer and joins with freshness
+        value 1 — meaning "pull me at the next reconciliation".  Otherwise it
+        falls back to a selective walk.
+        """
+        peer = overlay.peer(peer_id)
+        peer.go_online()
+        outcome = ChurnEventOutcome(event="join", peer_id=peer_id)
+
+        sp_id = self._find_domain_via_neighbors(overlay, domains, assignment, peer_id)
+        walk_messages = 0
+        if sp_id is None:
+            sp_id, walk_messages = self._find_domain_via_walk(
+                overlay, domains, assignment, peer_id
+            )
+            if walk_messages:
+                self._counter.record_type(MessageType.FIND, walk_messages)
+        if sp_id is None:
+            outcome.details["orphan"] = True
+            outcome.messages = walk_messages
+            return outcome
+
+        domain = domains[sp_id]
+        self._counter.record_type(MessageType.LOCALSUM)
+        distance = overlay.latency(peer_id, sp_id)
+        domain.add_partner(
+            peer_id, distance=distance, freshness=Freshness.STALE, now=now
+        )
+        assignment[peer_id] = sp_id
+        overlay.peer(peer_id).join_domain(sp_id, distance)
+
+        outcome.domain_id = sp_id
+        outcome.new_domain_id = sp_id
+        outcome.messages = walk_messages + 1
+        outcome.reconciliation_due = domain.needs_reconciliation(
+            self._config.freshness_threshold
+        )
+        return outcome
+
+    def _find_domain_via_neighbors(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        peer_id: str,
+    ) -> Optional[str]:
+        for neighbour in overlay.neighbors(peer_id):
+            if neighbour in domains:
+                return neighbour
+            # A neighbour may still reference a summary peer that has since
+            # departed; only live domains count.
+            sp_id = assignment.get(neighbour)
+            if sp_id is not None and sp_id in domains:
+                return sp_id
+        return None
+
+    def _find_domain_via_walk(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        peer_id: str,
+    ) -> tuple:
+        def reaches_live_domain(candidate: str) -> bool:
+            if candidate in domains:
+                return True
+            sp_id = assignment.get(candidate)
+            return sp_id is not None and sp_id in domains
+
+        target, hops = overlay.selective_walk(
+            peer_id,
+            stop_condition=reaches_live_domain,
+            max_hops=self._config.selective_walk_max_hops,
+            rng=self._rng,
+        )
+        if target is None:
+            return None, hops
+        sp_id = target if target in domains else assignment[target]
+        return sp_id, max(hops, 1)
+
+    # -- peer departures ----------------------------------------------------------------------
+
+    def peer_leave(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        peer_id: str,
+        now: float = 0.0,
+    ) -> ChurnEventOutcome:
+        """A graceful departure: push a freshness update, then go offline."""
+        outcome = ChurnEventOutcome(event="leave", peer_id=peer_id)
+        sp_id = assignment.pop(peer_id, None)
+        if sp_id is not None and sp_id in domains:
+            domain = domains[sp_id]
+            due = self._maintenance.push_departure(domain, peer_id, now=now)
+            outcome.domain_id = sp_id
+            outcome.messages = 1
+            outcome.reconciliation_due = due
+        overlay.peer(peer_id).go_offline()
+        overlay.peer(peer_id).leave_domain()
+        return outcome
+
+    def peer_fail(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        peer_id: str,
+        now: float = 0.0,
+    ) -> ChurnEventOutcome:
+        """A silent failure: no message; stale descriptions linger until reconciliation."""
+        outcome = ChurnEventOutcome(event="fail", peer_id=peer_id)
+        sp_id = assignment.pop(peer_id, None)
+        if sp_id is not None and sp_id in domains:
+            self._maintenance.register_silent_failure(domains[sp_id], peer_id)
+            outcome.domain_id = sp_id
+        overlay.peer(peer_id).go_offline()
+        overlay.peer(peer_id).leave_domain()
+        return outcome
+
+    # -- summary peer departures -----------------------------------------------------------------
+
+    def summary_peer_leave(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        sp_id: str,
+        now: float = 0.0,
+    ) -> ChurnEventOutcome:
+        """A summary peer leaves gracefully: ``release`` every partner.
+
+        Each released partner runs a selective walk to find a new summary peer
+        and joins it (with freshness 1, as for any late join).
+        """
+        if sp_id not in domains:
+            raise ProtocolError(f"{sp_id!r} is not a summary peer")
+        domain = domains.pop(sp_id)
+        outcome = ChurnEventOutcome(event="sp_leave", peer_id=sp_id, domain_id=sp_id)
+
+        partners = list(domain.partner_ids)
+        self._counter.record_type(MessageType.RELEASE, len(partners))
+        outcome.messages += len(partners)
+
+        overlay.peer(sp_id).go_offline()
+        overlay.peer(sp_id).leave_domain()
+
+        relocated: List[str] = []
+        for peer_id in partners:
+            assignment.pop(peer_id, None)
+            overlay.peer(peer_id).leave_domain()
+            if not overlay.peer(peer_id).online:
+                continue
+            join_outcome = self.peer_join(overlay, domains, assignment, peer_id, now=now)
+            outcome.messages += join_outcome.messages
+            if join_outcome.new_domain_id is not None:
+                relocated.append(peer_id)
+        outcome.details["relocated"] = relocated
+        return outcome
+
+    def summary_peer_fail(
+        self,
+        overlay: Overlay,
+        domains: Dict[str, Domain],
+        assignment: Dict[str, str],
+        sp_id: str,
+        now: float = 0.0,
+    ) -> ChurnEventOutcome:
+        """A summary peer fails silently: partners discover it lazily.
+
+        The domain disappears; partners keep believing they are partners until
+        their next push or query fails, at which point they look for a new
+        summary peer (the protocol engine models that discovery by re-joining
+        them here, charging the same selective-walk traffic but no ``release``
+        messages).
+        """
+        if sp_id not in domains:
+            raise ProtocolError(f"{sp_id!r} is not a summary peer")
+        domain = domains.pop(sp_id)
+        outcome = ChurnEventOutcome(event="sp_fail", peer_id=sp_id, domain_id=sp_id)
+
+        overlay.peer(sp_id).go_offline()
+        overlay.peer(sp_id).leave_domain()
+
+        for peer_id in list(domain.partner_ids):
+            assignment.pop(peer_id, None)
+            overlay.peer(peer_id).leave_domain()
+            if not overlay.peer(peer_id).online:
+                continue
+            join_outcome = self.peer_join(overlay, domains, assignment, peer_id, now=now)
+            outcome.messages += join_outcome.messages
+        return outcome

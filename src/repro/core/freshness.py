@@ -1,0 +1,52 @@
+"""Freshness values attached to cooperation-list entries.
+
+Section 4.1 defines a 2-bit freshness value per partner:
+
+* ``0`` — the partner's descriptions in the global summary are fresh,
+* ``1`` — the descriptions need to be refreshed,
+* ``2`` — the partner's original data are not available (the peer left).
+
+Section 4.3 then simplifies to a 1-bit value (``0`` fresh / ``1`` expired-or-
+unavailable), the mode the evaluation uses.  Both encodings are supported so
+the difference can be ablated.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Freshness(enum.IntEnum):
+    """Per-partner freshness of the descriptions merged in the global summary."""
+
+    FRESH = 0
+    STALE = 1
+    UNAVAILABLE = 2
+
+    @property
+    def is_fresh(self) -> bool:
+        return self is Freshness.FRESH
+
+    @property
+    def counts_as_old(self) -> bool:
+        """Whether the entry counts toward the reconciliation threshold α."""
+        return self is not Freshness.FRESH
+
+
+class FreshnessMode(enum.Enum):
+    """Encoding of the freshness value.
+
+    ``TWO_BIT`` keeps the three-valued encoding of Section 4.1 (descriptions of
+    departed peers may still be used for approximate answers); ``ONE_BIT``
+    collapses departures onto "stale", the alternative the paper adopts for its
+    evaluation (a departure accelerates reconciliation).
+    """
+
+    TWO_BIT = "two_bit"
+    ONE_BIT = "one_bit"
+
+    def encode_departure(self) -> Freshness:
+        """The freshness value recorded when a partner leaves gracefully."""
+        if self is FreshnessMode.TWO_BIT:
+            return Freshness.UNAVAILABLE
+        return Freshness.STALE

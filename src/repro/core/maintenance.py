@@ -1,0 +1,212 @@
+"""Summary maintenance: push (data modification) and pull (reconciliation).
+
+Section 4.2 of the paper.  Partners watch their local summary; when it has
+drifted enough they *push* a one-message freshness update to their summary
+peer.  The summary peer watches the fraction of old descriptions in its
+cooperation list; when it reaches the threshold α it *pulls* everybody through
+a ring-style reconciliation: a single message carrying the new global summary
+travels from partner to partner, each one merging its current local summary
+in, and comes back to the summary peer which installs the new version and
+resets every freshness value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.config import ProtocolConfig
+from repro.core.domain import Domain
+from repro.core.freshness import Freshness
+from repro.network.messages import MessageType
+from repro.network.metrics import MessageCounter
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.merging import merge_hierarchies
+
+
+@dataclass
+class ReconciliationRecord:
+    """One executed reconciliation (diagnostics for the experiments)."""
+
+    summary_peer_id: str
+    time: float
+    participants: List[str]
+    removed_partners: List[str]
+    messages: int
+
+
+@dataclass
+class MaintenanceStats:
+    """Aggregate maintenance activity of one engine."""
+
+    push_messages: int = 0
+    reconciliations: int = 0
+    reconciliation_messages: int = 0
+    history: List[ReconciliationRecord] = field(default_factory=list)
+
+    def reconciliation_frequency(self, duration_seconds: float) -> float:
+        """``F_rec`` of the cost model: reconciliations per second."""
+        if duration_seconds <= 0:
+            return 0.0
+        return self.reconciliations / duration_seconds
+
+
+class MaintenanceEngine:
+    """Implements the push/pull maintenance of the global summaries."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        counter: Optional[MessageCounter] = None,
+    ) -> None:
+        self._config = config or ProtocolConfig()
+        self._counter = counter if counter is not None else MessageCounter()
+        self._stats = MaintenanceStats()
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self._config
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self._counter
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        return self._stats
+
+    # -- push phase --------------------------------------------------------------------------
+
+    def push_stale(self, domain: Domain, peer_id: str, now: float = 0.0) -> bool:
+        """A partner flags its descriptions as needing a refresh.
+
+        Returns True when the push tipped the domain over the α threshold
+        (i.e. a reconciliation should now run).
+        """
+        if not domain.is_partner(peer_id):
+            return False
+        self._counter.record_type(MessageType.PUSH)
+        self._stats.push_messages += 1
+        domain.cooperation.mark_stale(peer_id, now=now)
+        return domain.needs_reconciliation(self._config.freshness_threshold)
+
+    def push_departure(self, domain: Domain, peer_id: str, now: float = 0.0) -> bool:
+        """A partner announces it is leaving (freshness 2, or 1 in 1-bit mode)."""
+        if not domain.is_partner(peer_id):
+            return False
+        self._counter.record_type(MessageType.PUSH)
+        self._stats.push_messages += 1
+        domain.cooperation.mark_departed(peer_id, now=now)
+        return domain.needs_reconciliation(self._config.freshness_threshold)
+
+    def register_silent_failure(self, domain: Domain, peer_id: str) -> None:
+        """A partner failed without notification: nothing happens immediately.
+
+        Its stale descriptions remain in the global summary until the next
+        reconciliation (Section 4.3); this hook exists so that callers make the
+        non-event explicit and so tests can assert that no message is counted.
+        """
+        # Intentionally no message and no freshness change.
+        _ = (domain, peer_id)
+
+    # -- pull phase ---------------------------------------------------------------------------
+
+    def needs_reconciliation(self, domain: Domain) -> bool:
+        return domain.needs_reconciliation(self._config.freshness_threshold)
+
+    def reconcile(
+        self,
+        domain: Domain,
+        local_summaries: Optional[Mapping[str, SummaryHierarchy]] = None,
+        available_partners: Optional[Set[str]] = None,
+        now: float = 0.0,
+    ) -> ReconciliationRecord:
+        """Run one ring reconciliation on ``domain``.
+
+        Parameters
+        ----------
+        local_summaries:
+            Current local summaries of the partners; when provided the new
+            global summary is materialised by merging them (available partners
+            only).  When omitted the reconciliation only updates the metadata
+            (cooperation list, message counts) — the mode used by the
+            large-scale, content-free simulations.
+        available_partners:
+            Partners currently reachable.  Unreachable ones do not take part
+            and their entries are removed: "descriptions of unavailable data
+            will be then omitted".
+        """
+        partner_ids = list(domain.partner_ids)
+        if available_partners is None:
+            available = [p for p in partner_ids
+                         if domain.cooperation.freshness_of(p) is not Freshness.UNAVAILABLE]
+        else:
+            available = [p for p in partner_ids if p in available_partners]
+        removed = [p for p in partner_ids if p not in available]
+
+        # One reconciliation message circulates: SP -> p1 -> ... -> pk -> SP.
+        if self._config.count_reconciliation_ring_hops:
+            message_count = len(available) + 1 if available else 1
+        else:
+            message_count = 1
+        self._counter.record_type(MessageType.RECONCILIATION, message_count)
+        self._stats.reconciliations += 1
+        self._stats.reconciliation_messages += message_count
+
+        for peer_id in removed:
+            domain.remove_partner(peer_id)
+        domain.cooperation.reset_all(now=now)
+
+        if local_summaries is not None:
+            hierarchies = [
+                local_summaries[peer_id]
+                for peer_id in available
+                if peer_id in local_summaries
+                and not local_summaries[peer_id].is_empty()
+            ]
+            if domain.summary_peer_id in local_summaries and (
+                domain.summary_peer_id not in available
+            ):
+                own = local_summaries[domain.summary_peer_id]
+                if not own.is_empty():
+                    hierarchies.append(own)
+            if hierarchies:
+                domain.install_global_summary(
+                    merge_hierarchies(hierarchies, owner=domain.summary_peer_id)
+                )
+
+        record = ReconciliationRecord(
+            summary_peer_id=domain.summary_peer_id,
+            time=now,
+            participants=available,
+            removed_partners=removed,
+            messages=message_count,
+        )
+        self._stats.history.append(record)
+        return record
+
+    def maybe_reconcile(
+        self,
+        domain: Domain,
+        local_summaries: Optional[Mapping[str, SummaryHierarchy]] = None,
+        available_partners: Optional[Set[str]] = None,
+        now: float = 0.0,
+    ) -> Optional[ReconciliationRecord]:
+        """Reconcile only when the α condition holds; returns the record if run."""
+        if not self.needs_reconciliation(domain):
+            return None
+        return self.reconcile(
+            domain,
+            local_summaries=local_summaries,
+            available_partners=available_partners,
+            now=now,
+        )
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def update_traffic(self) -> Dict[MessageType, int]:
+        """Push + reconciliation traffic recorded so far."""
+        return {
+            MessageType.PUSH: self._counter.count(MessageType.PUSH),
+            MessageType.RECONCILIATION: self._counter.count(MessageType.RECONCILIATION),
+        }

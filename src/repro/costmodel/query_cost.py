@@ -1,0 +1,109 @@
+"""Query cost — ``C_d``, ``C_f`` and equation (2) of the paper.
+
+* Per-domain cost: ``C_d = 1 + |P_Q| + (1 - FP) · |P_Q|`` messages — the query
+  to the summary peer, one query per relevant peer and the responses of those
+  actually holding data.
+* Inter-domain flooding cost:
+  ``C_f = ((1 - FP) · |P_Q| + 2) · Σ_{i=1..TTL} k^i`` messages, where ``k`` is
+  the average degree: the answering peers, the originator and the summary peer
+  each start a TTL-bounded flood.
+* Total cost (eq. 2): the number of visited domains is
+  ``C_t / ((1 - FP) · |P_Q|)`` and
+  ``C_Q = C_d · C_t/((1-FP)|P_Q|) + C_f · (1 - C_t/((1-FP)|P_Q|))``.
+
+The paper instantiates this with a 10 % query hit per domain equal to 10 % of
+the relevant peers, hence ``C_Q = 10 · C_d + 9 · C_f`` (Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+def domain_query_cost(relevant_peers: float, false_positive_rate: float = 0.0) -> float:
+    """``C_d = 1 + |P_Q| + (1 - FP) · |P_Q|`` messages."""
+    if relevant_peers < 0:
+        raise ConfigurationError("the number of relevant peers must be non-negative")
+    if not 0.0 <= false_positive_rate <= 1.0:
+        raise ConfigurationError("the false-positive rate must lie in [0, 1]")
+    return 1.0 + relevant_peers + (1.0 - false_positive_rate) * relevant_peers
+
+
+def inter_domain_flooding_cost(
+    relevant_peers: float,
+    false_positive_rate: float = 0.0,
+    average_degree: float = 3.5,
+    ttl: int = 3,
+) -> float:
+    """``C_f = ((1 - FP) · |P_Q| + 2) · Σ_{i=1..TTL} k^i`` messages."""
+    if ttl < 1:
+        raise ConfigurationError("the flooding TTL must be at least 1")
+    if average_degree <= 0:
+        raise ConfigurationError("the average degree must be positive")
+    responders = (1.0 - false_positive_rate) * relevant_peers
+    reach = sum(average_degree**i for i in range(1, ttl + 1))
+    return (responders + 2.0) * reach
+
+
+def total_query_cost(
+    required_results: float,
+    relevant_peers_per_domain: float,
+    false_positive_rate: float = 0.0,
+    average_degree: float = 3.5,
+    ttl: int = 3,
+) -> float:
+    """Equation (2): the total cost of a summary-routed query.
+
+    ``required_results`` is ``C_t``; ``relevant_peers_per_domain`` is ``|P_Q|``
+    (the paper assumes one result tuple per relevant peer, so the number of
+    domains to visit is ``C_t / ((1-FP)·|P_Q|)``).
+    """
+    if required_results < 0:
+        raise ConfigurationError("required_results must be non-negative")
+    responders = (1.0 - false_positive_rate) * relevant_peers_per_domain
+    if responders <= 0:
+        raise ConfigurationError(
+            "each domain must provide at least some responders; got "
+            f"(1 - FP) * |P_Q| = {responders}"
+        )
+    domains_to_visit = required_results / responders
+    c_d = domain_query_cost(relevant_peers_per_domain, false_positive_rate)
+    c_f = inter_domain_flooding_cost(
+        relevant_peers_per_domain, false_positive_rate, average_degree, ttl
+    )
+    return c_d * domains_to_visit + c_f * max(0.0, domains_to_visit - 1.0)
+
+
+@dataclass(frozen=True)
+class PaperQueryScenario:
+    """The exact scenario of Section 6.2.3.
+
+    The query hit is 10 % of the total number of peers and each visited domain
+    provides 10 % of the relevant peers (1 % of the network), hence 10 domains
+    are visited and ``C_Q = 10 · C_d + 9 · C_f``.
+    """
+
+    peer_count: int
+    hit_rate: float = 0.1
+    per_domain_share: float = 0.1
+    false_positive_rate: float = 0.0
+    average_degree: float = 3.5
+    ttl: int = 3
+
+    def relevant_peers_per_domain(self) -> float:
+        return self.hit_rate * self.per_domain_share * self.peer_count
+
+    def domains_to_visit(self) -> float:
+        return 1.0 / self.per_domain_share
+
+    def summary_querying_cost(self) -> float:
+        """``C_Q`` of the summary-querying (SQ) algorithm."""
+        per_domain = self.relevant_peers_per_domain()
+        c_d = domain_query_cost(per_domain, self.false_positive_rate)
+        c_f = inter_domain_flooding_cost(
+            per_domain, self.false_positive_rate, self.average_degree, self.ttl
+        )
+        domains = self.domains_to_visit()
+        return c_d * domains + c_f * (domains - 1.0)

@@ -1,0 +1,63 @@
+"""Storage cost — ``C_m`` of Section 6.1.1.
+
+For a ``B``-ary hierarchy of average depth ``d``, there are
+``(B^{d+1} - 1) / (B - 1)`` summaries; with ``k`` bytes per summary (the paper
+estimates 512 bytes from real tests), the space requirement is
+``C_m = k · (B^{d+1} - 1) / (B - 1)``.  Merging two hierarchies yields a
+hierarchy whose size stays in the order of the larger input, and the size is
+anyway bounded by the number of descriptor combinations of the background
+knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.saintetiq.hierarchy import DEFAULT_SUMMARY_SIZE_BYTES
+
+
+def node_count(arity: float, depth: int) -> float:
+    """Number of nodes of a complete ``arity``-ary tree of depth ``depth``."""
+    if arity <= 0:
+        raise ConfigurationError("arity must be positive")
+    if depth < 0:
+        raise ConfigurationError("depth must be non-negative")
+    if arity == 1:
+        return float(depth + 1)
+    return (arity ** (depth + 1) - 1) / (arity - 1)
+
+
+def hierarchy_storage_cost(
+    arity: float,
+    depth: int,
+    summary_size_bytes: int = DEFAULT_SUMMARY_SIZE_BYTES,
+) -> float:
+    """``C_m = k · (B^{d+1} - 1) / (B - 1)`` bytes."""
+    if summary_size_bytes <= 0:
+        raise ConfigurationError("summary_size_bytes must be positive")
+    return summary_size_bytes * node_count(arity, depth)
+
+
+def merged_storage_cost(cost_first: float, cost_second: float) -> float:
+    """Size bound after merging: on the order of the larger input hierarchy."""
+    if cost_first < 0 or cost_second < 0:
+        raise ConfigurationError("storage costs must be non-negative")
+    return max(cost_first, cost_second)
+
+
+def maximum_storage_cost(
+    background: BackgroundKnowledge,
+    summary_size_bytes: int = DEFAULT_SUMMARY_SIZE_BYTES,
+    arity: float = 4.0,
+) -> float:
+    """Upper bound on any hierarchy's size under a given background knowledge.
+
+    The number of leaves is bounded by the number of descriptor combinations
+    (the grid size); internal nodes add at most a ``1/(B-1)`` fraction on top.
+    """
+    leaves = background.grid_size()
+    if arity <= 1:
+        internal = leaves
+    else:
+        internal = leaves / (arity - 1.0)
+    return summary_size_bytes * (leaves + internal)

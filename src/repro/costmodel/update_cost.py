@@ -1,0 +1,94 @@
+"""Update cost — equation (1) of the paper.
+
+``C_up = 1/L + F_rec`` messages per node per second, where ``L`` is the average
+local-summary lifetime and ``F_rec`` the reconciliation frequency.  The
+reconciliation frequency itself follows from the threshold α: the summary peer
+reconciles when the fraction of old descriptions reaches α, i.e. after about
+``α · |CL|`` partners have pushed; with ``|CL|`` partners each pushing every
+``L`` seconds on average, pushes arrive at rate ``|CL| / L`` and the expected
+time between reconciliations is ``α · L`` — so per *node*,
+``F_rec ≈ (n + 1) / (α · L · n)`` reconciliation messages per second (the ring
+visits every partner once plus the return hop to the summary peer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+def update_cost(lifetime_seconds: float, reconciliation_frequency: float) -> float:
+    """Equation (1): ``C_up = 1/L + F_rec`` messages per node per second."""
+    if lifetime_seconds <= 0:
+        raise ConfigurationError("the average lifetime L must be positive")
+    if reconciliation_frequency < 0:
+        raise ConfigurationError("the reconciliation frequency must be non-negative")
+    return 1.0 / lifetime_seconds + reconciliation_frequency
+
+
+@dataclass(frozen=True)
+class UpdateCostModel:
+    """Analytical update-cost model for one domain.
+
+    Attributes
+    ----------
+    domain_size:
+        Number of partner peers in the domain (|CL|).
+    lifetime_seconds:
+        Average local-summary lifetime ``L`` (Table 3: 3 hours).
+    alpha:
+        Reconciliation threshold α.
+    """
+
+    domain_size: int
+    lifetime_seconds: float = 3 * 3600.0
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.domain_size < 1:
+            raise ConfigurationError("domain_size must be at least 1")
+        if self.lifetime_seconds <= 0:
+            raise ConfigurationError("lifetime_seconds must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1]")
+
+    # -- per-component rates --------------------------------------------------------
+
+    def push_rate_per_node(self) -> float:
+        """Push messages per node per second: ``1 / L``."""
+        return 1.0 / self.lifetime_seconds
+
+    def reconciliation_interval(self) -> float:
+        """Expected seconds between reconciliations: ``α · L``.
+
+        Pushes arrive at rate ``n / L``; a reconciliation fires once
+        ``α · n`` of them have accumulated.
+        """
+        return self.alpha * self.lifetime_seconds
+
+    def reconciliation_messages_per_round(self) -> int:
+        """One ring message per partner plus the return hop to the summary peer."""
+        return self.domain_size + 1
+
+    def reconciliation_rate_per_node(self) -> float:
+        """Reconciliation messages per node per second (``F_rec`` of eq. 1)."""
+        round_messages = self.reconciliation_messages_per_round()
+        return round_messages / (self.reconciliation_interval() * self.domain_size)
+
+    # -- totals ------------------------------------------------------------------------
+
+    def cost_per_node_per_second(self) -> float:
+        """Equation (1) with the analytical ``F_rec``."""
+        return update_cost(self.lifetime_seconds, self.reconciliation_rate_per_node())
+
+    def total_messages(self, duration_seconds: float) -> float:
+        """Total push + reconciliation messages over a window (Figure 6's y-axis)."""
+        if duration_seconds < 0:
+            raise ConfigurationError("duration must be non-negative")
+        push = self.domain_size * duration_seconds / self.lifetime_seconds
+        rounds = duration_seconds / self.reconciliation_interval()
+        return push + rounds * self.reconciliation_messages_per_round()
+
+    def messages_per_node(self, duration_seconds: float) -> float:
+        return self.total_messages(duration_seconds) / self.domain_size

@@ -1,0 +1,40 @@
+"""In-memory relational substrate: the "peer DBMS" of the paper.
+
+Each peer of the P2P system owns a small relational database.  This package
+provides the minimal but complete machinery the reproduction needs:
+
+* schemas and typed relations (:mod:`repro.database.schema`,
+  :mod:`repro.database.table`),
+* a selection-query AST with crisp and descriptor predicates
+  (:mod:`repro.database.query`),
+* a local evaluation engine (:mod:`repro.database.engine`),
+* synthetic data generation for the experiments
+  (:mod:`repro.database.generator`).
+"""
+
+from repro.database.engine import LocalDatabase
+from repro.database.generator import PatientGenerator
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    Predicate,
+    SelectionQuery,
+)
+from repro.database.schema import Attribute, AttributeType, Schema
+from repro.database.table import Record, Relation
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "Record",
+    "Relation",
+    "Predicate",
+    "Comparison",
+    "AttributeIn",
+    "DescriptorPredicate",
+    "SelectionQuery",
+    "LocalDatabase",
+    "PatientGenerator",
+]

@@ -1,0 +1,135 @@
+"""Local query evaluation: the per-peer DBMS facade.
+
+A :class:`LocalDatabase` groups the relations a peer shares and evaluates
+selection queries locally.  It is the ground truth against which routing
+precision/recall (false positives and false negatives) is measured by the
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.database.query import DescriptorPredicate, SelectionQuery
+from repro.database.schema import Schema
+from repro.database.table import Record, Relation
+from repro.exceptions import QueryError, SchemaError
+from repro.fuzzy.background import BackgroundKnowledge
+
+
+class LocalDatabase:
+    """A named collection of relations owned by one peer."""
+
+    def __init__(self, background: Optional[BackgroundKnowledge] = None) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._background = background
+
+    @property
+    def background(self) -> Optional[BackgroundKnowledge]:
+        return self._background
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self._relations)
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        schema: Schema,
+        records: Optional[Iterable[Mapping[str, object]]] = None,
+    ) -> Relation:
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        relation = Relation(name, schema, records)
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise SchemaError(f"relation {name!r} does not exist")
+        del self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"relation {name!r} does not exist") from exc
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    # -- state ---------------------------------------------------------------
+
+    def version(self) -> int:
+        """Sum of relation versions: a cheap global modification counter."""
+        return sum(relation.version for relation in self._relations.values())
+
+    def total_records(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    # -- DML / query ---------------------------------------------------------
+
+    def insert(self, relation_name: str, values: Mapping[str, object]) -> Record:
+        return self.relation(relation_name).insert(values)
+
+    def insert_many(
+        self, relation_name: str, rows: Iterable[Mapping[str, object]]
+    ) -> int:
+        return self.relation(relation_name).insert_many(rows)
+
+    def execute(self, query: SelectionQuery) -> List[Dict[str, object]]:
+        """Evaluate a selection query against the local data.
+
+        Descriptor predicates are evaluated through the background knowledge
+        when one is attached (proper fuzzy matching); otherwise they fall back
+        to crisp label comparison.
+        """
+        relation = self.relation(query.relation)
+        matching: List[Record] = []
+        for record in relation:
+            if self._record_matches(record, query):
+                matching.append(record)
+        if not query.select:
+            return [record.as_dict() for record in matching]
+        for attribute in query.select:
+            if attribute not in relation.schema:
+                raise QueryError(
+                    f"projection attribute {attribute!r} not in relation "
+                    f"{query.relation!r}"
+                )
+        return [
+            {attribute: record[attribute] for attribute in query.select}
+            for record in matching
+        ]
+
+    def count_matches(self, query: SelectionQuery) -> int:
+        relation = self.relation(query.relation)
+        return sum(
+            1 for record in relation if self._record_matches(record, query)
+        )
+
+    def has_match(self, query: SelectionQuery) -> bool:
+        """True when at least one local record satisfies the query.
+
+        This is the peer-level ground truth for the query-scope set QS used by
+        the false-positive / false-negative definitions in Section 5.2.1.
+        """
+        relation_name = query.relation
+        if relation_name not in self._relations:
+            return False
+        relation = self._relations[relation_name]
+        return any(self._record_matches(record, query) for record in relation)
+
+    def _record_matches(self, record: Record, query: SelectionQuery) -> bool:
+        for predicate in query.predicates:
+            if isinstance(predicate, DescriptorPredicate) and self._background:
+                if not predicate.matches_with_background(record, self._background):
+                    return False
+            elif not predicate.matches(record):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LocalDatabase(relations={self.relation_names})"

@@ -1,0 +1,162 @@
+"""Relation schemas: attribute names, types and validation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import SchemaError
+
+
+class AttributeType(enum.Enum):
+    """Supported attribute types for the in-memory relational engine."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def validates(self, value: object) -> bool:
+        """Whether ``value`` conforms to this type (``None`` is always valid)."""
+        if value is None:
+            return True
+        if self is AttributeType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is AttributeType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+    def coerce(self, value: object) -> object:
+        """Best-effort coercion of ``value`` into this type.
+
+        Raises :class:`SchemaError` when the value cannot be represented.
+        """
+        if value is None:
+            return None
+        try:
+            if self is AttributeType.INTEGER:
+                return int(value)  # type: ignore[arg-type]
+            if self is AttributeType.FLOAT:
+                return float(value)  # type: ignore[arg-type]
+            if self is AttributeType.TEXT:
+                return str(value)
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in {"true", "1", "yes"}:
+                    return True
+                if lowered in {"false", "0", "no"}:
+                    return False
+                raise ValueError(value)
+            return bool(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} into attribute type {self.value}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: AttributeType
+    nullable: bool = True
+
+    def validate(self, value: object) -> None:
+        if value is None and not self.nullable:
+            raise SchemaError(f"attribute {self.name!r} is not nullable")
+        if not self.type.validates(value):
+            raise SchemaError(
+                f"value {value!r} does not match type {self.type.value} of "
+                f"attribute {self.name!r}"
+            )
+
+
+class Schema:
+    """An ordered collection of attributes describing a relation."""
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes: Dict[str, Attribute] = {
+            attribute.name: attribute for attribute in attributes
+        }
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return list(self._attributes)
+
+    @property
+    def attributes(self) -> List[Attribute]:
+        return list(self._attributes.values())
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown attribute {name!r} (schema has {self.attribute_names})"
+            ) from exc
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def validate_record(self, values: Mapping[str, object]) -> Dict[str, object]:
+        """Validate and normalise a record against this schema.
+
+        Unknown attributes raise; missing nullable attributes default to None.
+        Returns a plain dict keyed in schema order.
+        """
+        unknown = set(values) - set(self._attributes)
+        if unknown:
+            raise SchemaError(
+                f"record carries attributes not in the schema: {sorted(unknown)}"
+            )
+        normalised: Dict[str, object] = {}
+        for name, attribute in self._attributes.items():
+            value = values.get(name)
+            attribute.validate(value)
+            normalised[name] = value
+        return normalised
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema restricted to ``names`` (order follows ``names``)."""
+        return Schema([self.attribute(name) for name in names])
+
+    @classmethod
+    def from_types(
+        cls, types: Mapping[str, AttributeType], non_nullable: Optional[Sequence[str]] = None
+    ) -> "Schema":
+        """Convenience constructor from a name→type mapping."""
+        required = set(non_nullable or [])
+        return cls(
+            [
+                Attribute(name, attribute_type, nullable=name not in required)
+                for name, attribute_type in types.items()
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Schema({self.attribute_names})"
+
+
+def patient_schema() -> Schema:
+    """The Patient relation schema of the paper's Table 1."""
+    return Schema(
+        [
+            Attribute("id", AttributeType.TEXT, nullable=False),
+            Attribute("age", AttributeType.FLOAT),
+            Attribute("sex", AttributeType.TEXT),
+            Attribute("bmi", AttributeType.FLOAT),
+            Attribute("disease", AttributeType.TEXT),
+        ]
+    )

@@ -1,0 +1,160 @@
+"""Relations (tables) and records."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+
+from repro.database.schema import Schema
+from repro.exceptions import SchemaError
+
+
+class Record(Mapping[str, object]):
+    """An immutable, schema-validated tuple of a relation."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, schema: Schema, values: Mapping[str, object]) -> None:
+        self._values: Dict[str, object] = schema.validate_record(values)
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Record({self._values})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+
+
+class Relation:
+    """A named, in-memory relation: a schema plus a list of records.
+
+    The relation keeps a monotonically increasing *version* counter so that
+    observers (e.g. the local summary service) can detect modifications — the
+    push phase of summary maintenance is triggered by local-summary drift,
+    which itself starts from database modifications.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        records: Optional[Iterable[Mapping[str, object]]] = None,
+    ) -> None:
+        self._name = name
+        self._schema = schema
+        self._records: List[Record] = []
+        self._version = 0
+        for values in records or []:
+            self.insert(values)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def version(self) -> int:
+        """Number of mutations applied to this relation since creation."""
+        return self._version
+
+    @property
+    def records(self) -> List[Record]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, object]) -> Record:
+        record = values if isinstance(values, Record) else Record(self._schema, values)
+        if isinstance(values, Record):
+            # Re-validate against *this* relation's schema.
+            record = Record(self._schema, values.as_dict())
+        self._records.append(record)
+        self._version += 1
+        return record
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete(self, predicate: Callable[[Record], bool]) -> int:
+        """Delete records matching ``predicate``; returns the number removed."""
+        kept = [record for record in self._records if not predicate(record)]
+        removed = len(self._records) - len(kept)
+        if removed:
+            self._records = kept
+            self._version += 1
+        return removed
+
+    def update(
+        self,
+        predicate: Callable[[Record], bool],
+        changes: Mapping[str, object],
+    ) -> int:
+        """Update matching records in place; returns the number updated."""
+        unknown = set(changes) - set(self._schema.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"update references unknown attributes: {sorted(unknown)}"
+            )
+        updated = 0
+        new_records: List[Record] = []
+        for record in self._records:
+            if predicate(record):
+                values = record.as_dict()
+                values.update(changes)
+                new_records.append(Record(self._schema, values))
+                updated += 1
+            else:
+                new_records.append(record)
+        if updated:
+            self._records = new_records
+            self._version += 1
+        return updated
+
+    # -- queries -------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Record], bool]) -> List[Record]:
+        return [record for record in self._records if predicate(record)]
+
+    def project(self, attributes: List[str]) -> List[Dict[str, object]]:
+        for attribute in attributes:
+            if attribute not in self._schema:
+                raise SchemaError(
+                    f"projection on unknown attribute {attribute!r}"
+                )
+        return [
+            {attribute: record[attribute] for attribute in attributes}
+            for record in self._records
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Relation({self._name!r}, {len(self._records)} records)"

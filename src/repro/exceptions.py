@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch the whole family with a single ``except`` clause while still being able
+to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is inconsistent or a record does not match it."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown attributes/descriptors."""
+
+
+class BackgroundKnowledgeError(ReproError):
+    """A background knowledge definition is invalid (bad partitions, overlaps...)."""
+
+
+class SummaryError(ReproError):
+    """An operation on summaries or summary hierarchies is invalid."""
+
+
+class NetworkError(ReproError):
+    """A P2P network/topology/simulation operation failed."""
+
+
+class ProtocolError(ReproError):
+    """A summary-management protocol invariant was violated."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or protocol configuration is invalid."""

@@ -1,0 +1,212 @@
+"""Shared simulation drivers used by the figure experiments.
+
+Figures 4–6 study the maintenance of a *single* domain of varying size under
+churn; Figure 7 measures end-to-end query cost over a multi-domain network.
+The drivers here run those simulations and return raw measurements; the
+figure modules turn them into :class:`ExperimentTable` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.centralized import CentralizedIndex, centralized_query_cost
+from repro.baselines.flooding import FloodingSearch
+from repro.core.protocol import (
+    QUERY_MESSAGE_TYPES,
+    UPDATE_MESSAGE_TYPES,
+    StalenessSnapshot,
+    SummaryManagementSystem,
+)
+from repro.core.routing import RoutingPolicy
+from repro.costmodel.query_cost import PaperQueryScenario
+from repro.workloads.scenarios import SimulationScenario
+
+
+@dataclass
+class MaintenanceRun:
+    """Measurements of one single-domain churn/maintenance simulation."""
+
+    scenario: SimulationScenario
+    snapshots: List[StalenessSnapshot] = field(default_factory=list)
+    update_messages: int = 0
+    push_messages: int = 0
+    reconciliation_messages: int = 0
+    reconciliations: int = 0
+    duration_seconds: float = 0.0
+    domain_size: int = 0
+
+    @property
+    def mean_worst_stale_fraction(self) -> float:
+        fractions = [s.worst_stale_fraction for s in self.snapshots if s.relevant_count]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def mean_real_false_negative_fraction(self) -> float:
+        fractions = [
+            s.real_false_negative_fraction for s in self.snapshots if s.relevant_count
+        ]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def mean_real_stale_fraction(self) -> float:
+        fractions = [s.real_stale_fraction for s in self.snapshots if s.relevant_count]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def messages_per_node(self) -> float:
+        if self.domain_size == 0:
+            return 0.0
+        return self.update_messages / self.domain_size
+
+    @property
+    def messages_per_node_per_second(self) -> float:
+        if self.domain_size == 0 or self.duration_seconds <= 0:
+            return 0.0
+        return self.update_messages / (self.domain_size * self.duration_seconds)
+
+
+def run_maintenance_simulation(
+    scenario: SimulationScenario,
+    snapshot_interval_seconds: float = 1200.0,
+    snapshots_per_tick: int = 3,
+    modification_rate_per_peer: float = 1.0 / 10800.0,
+) -> MaintenanceRun:
+    """Simulate churn + maintenance on a single domain and sample staleness.
+
+    Queries are sampled (not charged to traffic) every
+    ``snapshot_interval_seconds`` of virtual time, mimicking Table 3's query
+    rate of one query per node per 20 minutes.  A low rate of local data
+    modifications (one per peer every two hours by default) runs alongside the
+    churn, matching the paper's assumption that churn dominates but data does
+    change occasionally.
+    """
+    system = scenario.build_single_domain_system()
+    run = MaintenanceRun(
+        scenario=scenario,
+        duration_seconds=scenario.duration_seconds,
+        domain_size=system.overlay.size,
+    )
+
+    baseline_update = system.counter.count_types(list(UPDATE_MESSAGE_TYPES))
+    system.schedule_churn(
+        scenario.duration_seconds,
+        lifetime=scenario.lifetime_distribution(),
+        downtime_seconds=scenario.downtime_seconds,
+        graceful_fraction=scenario.graceful_fraction,
+    )
+    system.schedule_modifications(
+        scenario.duration_seconds, modification_rate_per_peer
+    )
+
+    time = snapshot_interval_seconds
+    while time <= scenario.duration_seconds:
+        system.run(until=time)
+        for _sample in range(snapshots_per_tick):
+            run.snapshots.append(system.staleness_snapshot())
+        time += snapshot_interval_seconds
+    system.run(until=scenario.duration_seconds)
+
+    run.update_messages = (
+        system.counter.count_types(list(UPDATE_MESSAGE_TYPES)) - baseline_update
+    )
+    run.push_messages = system.maintenance.stats.push_messages
+    run.reconciliation_messages = system.maintenance.stats.reconciliation_messages
+    run.reconciliations = system.maintenance.stats.reconciliations
+    return run
+
+
+@dataclass
+class QueryCostRun:
+    """Measurements of one multi-domain query-cost comparison."""
+
+    peer_count: int
+    queries: int = 0
+    summary_querying_messages: float = 0.0
+    flooding_messages: float = 0.0
+    centralized_messages: float = 0.0
+    model_summary_querying_messages: float = 0.0
+    model_centralized_messages: float = 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "peers": self.peer_count,
+            "sq_messages": self.summary_querying_messages,
+            "flooding_messages": self.flooding_messages,
+            "centralized_messages": self.centralized_messages,
+            "sq_model": self.model_summary_querying_messages,
+            "centralized_model": self.model_centralized_messages,
+        }
+
+
+def run_query_cost_comparison(
+    peer_count: int,
+    query_count: int = 50,
+    hit_rate: float = 0.1,
+    alpha: float = 0.3,
+    flooding_ttl: int = 3,
+    seed: int = 0,
+    false_positive_rate: float = 0.0,
+) -> QueryCostRun:
+    """Compare summary querying, pure flooding and a centralized index.
+
+    Every algorithm answers the same planned queries over the same overlay;
+    the summary-querying run visits as many domains as needed to gather every
+    available result (a total-lookup query, the paper's Figure 7 setting).
+    """
+    scenario = SimulationScenario(
+        peer_count=peer_count,
+        alpha=alpha,
+        matching_fraction=hit_rate,
+        seed=seed,
+    )
+    system = scenario.build_system()
+    overlay = system.overlay
+    content = system.content
+    assert content is not None
+
+    flooding = FloodingSearch(ttl=flooding_ttl)
+    centralized = CentralizedIndex()
+    originators = [
+        peer_id for peer_id in overlay.peer_ids if peer_id not in system.domains
+    ] or overlay.peer_ids
+
+    run = QueryCostRun(peer_count=peer_count, queries=query_count)
+    sq_total = 0.0
+    flood_total = 0.0
+    central_total = 0.0
+    rng_index = 0
+    for query_index in range(query_count):
+        originator = originators[rng_index % len(originators)]
+        rng_index += 7  # deterministic, spread over the population
+
+        query_id = system.next_query_id()
+        required = max(1, round(hit_rate * peer_count))
+        result = system.pose_query(
+            originator,
+            query_id=query_id,
+            policy=RoutingPolicy.ALL,
+            required_results=required,
+        )
+        sq_total += result.total_messages
+
+        flood_outcome = flooding.query(
+            overlay, originator, content, query_id, required_results=required
+        )
+        flood_total += flood_outcome.total_messages
+
+        central_outcome = centralized.query(
+            overlay.peer_ids, originator, content, query_id
+        )
+        central_total += central_outcome.total_messages
+        del query_index
+
+    run.summary_querying_messages = sq_total / query_count
+    run.flooding_messages = flood_total / query_count
+    run.centralized_messages = central_total / query_count
+    run.model_summary_querying_messages = PaperQueryScenario(
+        peer_count=peer_count, false_positive_rate=false_positive_rate
+    ).summary_querying_cost()
+    run.model_centralized_messages = centralized_query_cost(peer_count, hit_rate)
+    return run

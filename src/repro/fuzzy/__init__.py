@@ -1,0 +1,40 @@
+"""Fuzzy-set substrate used by the SaintEtiQ summarization engine.
+
+This package implements the small slice of Zadeh's fuzzy set theory that the
+paper relies on:
+
+* membership functions over numeric domains (:mod:`repro.fuzzy.membership`),
+* linguistic variables and their descriptors (:mod:`repro.fuzzy.linguistic`),
+* fuzzy partitions of an attribute domain (:mod:`repro.fuzzy.partition`),
+* background knowledge, i.e. the per-attribute vocabulary used to map raw
+  records to linguistic descriptors (:mod:`repro.fuzzy.background`),
+* ready-made vocabularies such as the medical one used in the paper's running
+  example (:mod:`repro.fuzzy.vocabularies`).
+"""
+
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor, LinguisticVariable
+from repro.fuzzy.membership import (
+    CrispSetMembership,
+    MembershipFunction,
+    TrapezoidalMembership,
+    TriangularMembership,
+)
+from repro.fuzzy.partition import FuzzyPartition
+from repro.fuzzy.vocabularies import (
+    medical_background_knowledge,
+    uniform_numeric_background_knowledge,
+)
+
+__all__ = [
+    "MembershipFunction",
+    "TrapezoidalMembership",
+    "TriangularMembership",
+    "CrispSetMembership",
+    "Descriptor",
+    "LinguisticVariable",
+    "FuzzyPartition",
+    "BackgroundKnowledge",
+    "medical_background_knowledge",
+    "uniform_numeric_background_knowledge",
+]

@@ -1,0 +1,131 @@
+"""Membership functions over attribute domains.
+
+A membership function maps a raw attribute value to a membership grade in
+``[0, 1]`` telling how well a linguistic label (e.g. ``young``) describes the
+value.  The paper's running example maps ``age = 20`` to
+``{0.3/adult, 0.7/young}`` using trapezoidal functions such as the one shown in
+its Figure 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+
+class MembershipFunction(abc.ABC):
+    """Abstract membership function ``mu : value -> [0, 1]``."""
+
+    @abc.abstractmethod
+    def grade(self, value: object) -> float:
+        """Return the membership grade of ``value`` in ``[0, 1]``."""
+
+    def __call__(self, value: object) -> float:
+        return self.grade(value)
+
+    def supports(self, value: object) -> bool:
+        """Return True when ``value`` has a strictly positive grade."""
+        return self.grade(value) > 0.0
+
+
+@dataclass(frozen=True)
+class TrapezoidalMembership(MembershipFunction):
+    """Trapezoidal membership function defined by ``a <= b <= c <= d``.
+
+    The grade is 0 outside ``[a, d]``, 1 inside the core ``[b, c]`` and varies
+    linearly on the two slopes.  Open-ended shoulders (e.g. the ``old`` label)
+    are expressed by making ``a == b`` (left shoulder) or ``c == d`` (right
+    shoulder) equal to +/- infinity-like sentinels; here we simply allow
+    ``a == b`` and ``c == d``, which degenerates the slope to a step.
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if not (self.a <= self.b <= self.c <= self.d):
+            raise ValueError(
+                f"trapezoid breakpoints must be ordered a<=b<=c<=d, "
+                f"got ({self.a}, {self.b}, {self.c}, {self.d})"
+            )
+
+    def grade(self, value: object) -> float:
+        try:
+            x = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0.0
+        if x < self.a or x > self.d:
+            return 0.0
+        if self.b <= x <= self.c:
+            return 1.0
+        if x < self.b:
+            # Rising slope.  a == b is handled by the core test above when
+            # x == a == b; otherwise x < b implies a < b here.
+            return (x - self.a) / (self.b - self.a)
+        # Falling slope (c < x <= d and c < d).
+        return (self.d - x) / (self.d - self.c)
+
+    @property
+    def core(self) -> tuple:
+        """The interval of values with grade exactly 1."""
+        return (self.b, self.c)
+
+    @property
+    def support(self) -> tuple:
+        """The interval of values with a strictly positive grade."""
+        return (self.a, self.d)
+
+
+@dataclass(frozen=True)
+class TriangularMembership(MembershipFunction):
+    """Triangular membership function: a trapezoid with an empty core."""
+
+    a: float
+    peak: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if not (self.a <= self.peak <= self.d):
+            raise ValueError(
+                f"triangle breakpoints must be ordered a<=peak<=d, "
+                f"got ({self.a}, {self.peak}, {self.d})"
+            )
+
+    def grade(self, value: object) -> float:
+        return TrapezoidalMembership(self.a, self.peak, self.peak, self.d).grade(value)
+
+    @property
+    def support(self) -> tuple:
+        return (self.a, self.d)
+
+
+class CrispSetMembership(MembershipFunction):
+    """Crisp (boolean) membership over a finite set of categorical values.
+
+    Used for categorical attributes such as ``sex`` or ``disease`` where a
+    label either matches exactly (grade 1) or not at all (grade 0).
+    """
+
+    def __init__(self, values: Iterable[object]) -> None:
+        self._values: FrozenSet[object] = frozenset(values)
+        if not self._values:
+            raise ValueError("a crisp membership needs at least one value")
+
+    @property
+    def values(self) -> FrozenSet[object]:
+        return self._values
+
+    def grade(self, value: object) -> float:
+        return 1.0 if value in self._values else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CrispSetMembership({sorted(map(str, self._values))})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CrispSetMembership) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)

@@ -1,0 +1,151 @@
+"""Fuzzy partitions of numeric attribute domains.
+
+A fuzzy partition cuts an attribute domain into overlapping labelled regions.
+The paper stresses that *"the fuzziness in the vocabulary definition of BK
+permits to express any single value with more than one fuzzy descriptor and
+thus avoid threshold effect thanks to the smooth transition between different
+categories"* — exactly what an overlapping trapezoidal partition provides.
+
+This module offers helpers to build well-formed partitions (ordered,
+overlapping trapezoids that cover the whole domain) and to verify partition
+properties such as coverage and the Ruspini condition (grades summing to 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import BackgroundKnowledgeError
+from repro.fuzzy.linguistic import LinguisticVariable
+from repro.fuzzy.membership import TrapezoidalMembership
+
+
+@dataclass(frozen=True)
+class PartitionBand:
+    """One labelled band of a fuzzy partition: a label plus its trapezoid."""
+
+    label: str
+    function: TrapezoidalMembership
+
+
+class FuzzyPartition:
+    """An ordered collection of overlapping trapezoidal bands over a domain."""
+
+    def __init__(self, attribute: str, bands: Sequence[PartitionBand]) -> None:
+        if not bands:
+            raise BackgroundKnowledgeError(
+                f"fuzzy partition on {attribute!r} needs at least one band"
+            )
+        labels = [band.label for band in bands]
+        if len(set(labels)) != len(labels):
+            raise BackgroundKnowledgeError(
+                f"duplicate labels in partition on {attribute!r}: {labels}"
+            )
+        self._attribute = attribute
+        self._bands = list(bands)
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    @property
+    def bands(self) -> List[PartitionBand]:
+        return list(self._bands)
+
+    @property
+    def labels(self) -> List[str]:
+        return [band.label for band in self._bands]
+
+    @property
+    def domain(self) -> Tuple[float, float]:
+        """The overall support covered by the partition."""
+        lows = [band.function.a for band in self._bands]
+        highs = [band.function.d for band in self._bands]
+        return (min(lows), max(highs))
+
+    def grades(self, value: float) -> Dict[str, float]:
+        """Membership grades of ``value`` in every band (including zeros)."""
+        return {band.label: band.function.grade(value) for band in self._bands}
+
+    def covers(self, value: float) -> bool:
+        """True when at least one band gives ``value`` a positive grade."""
+        return any(band.function.grade(value) > 0.0 for band in self._bands)
+
+    def is_ruspini(self, samples: int = 257) -> bool:
+        """Check the Ruspini condition (grades sum to ~1) on a sample grid.
+
+        A Ruspini partition guarantees that every value is fully accounted for
+        by the vocabulary, which is the usual way background knowledge is
+        authored for SaintEtiQ.  The check samples the domain uniformly.
+        """
+        low, high = self.domain
+        if high <= low:
+            return True
+        step = (high - low) / (samples - 1)
+        for i in range(samples):
+            x = low + i * step
+            total = sum(self.grades(x).values())
+            if abs(total - 1.0) > 1e-6:
+                return False
+        return True
+
+    def to_linguistic_variable(self) -> LinguisticVariable:
+        """Expose the partition as a :class:`LinguisticVariable`."""
+        return LinguisticVariable(
+            self._attribute,
+            {band.label: band.function for band in self._bands},
+        )
+
+    @classmethod
+    def from_breakpoints(
+        cls,
+        attribute: str,
+        labels: Sequence[str],
+        breakpoints: Sequence[float],
+        overlap: float = 0.0,
+    ) -> "FuzzyPartition":
+        """Build a partition from ordered labels and interior breakpoints.
+
+        ``len(breakpoints)`` must equal ``len(labels) + 1``: the first and last
+        entries bound the domain and the interior ones separate consecutive
+        labels.  ``overlap`` is the half-width of the fuzzy transition around
+        each interior breakpoint (0 gives a crisp partition).
+
+        Example: ``from_breakpoints("age", ["young", "adult", "old"],
+        [0, 25, 60, 120], overlap=5)`` builds the three-band variable from the
+        paper's Figure 2.
+        """
+        if len(breakpoints) != len(labels) + 1:
+            raise BackgroundKnowledgeError(
+                "from_breakpoints needs len(breakpoints) == len(labels) + 1, "
+                f"got {len(breakpoints)} breakpoints for {len(labels)} labels"
+            )
+        points = list(map(float, breakpoints))
+        if points != sorted(points):
+            raise BackgroundKnowledgeError(
+                f"breakpoints must be non-decreasing, got {points}"
+            )
+        if overlap < 0:
+            raise BackgroundKnowledgeError("overlap must be non-negative")
+
+        bands: List[PartitionBand] = []
+        for index, label in enumerate(labels):
+            left, right = points[index], points[index + 1]
+            # Shoulder bands are crisp on the outer edge; interior edges get
+            # the +/- overlap transition.
+            a = left if index == 0 else left - overlap
+            b = left if index == 0 else left + overlap
+            c = right if index == len(labels) - 1 else right - overlap
+            d = right if index == len(labels) - 1 else right + overlap
+            b = min(b, c)
+            a = min(a, b)
+            d = max(d, c)
+            bands.append(PartitionBand(label, TrapezoidalMembership(a, b, c, d)))
+        return cls(attribute, bands)
+
+    def __len__(self) -> int:
+        return len(self._bands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FuzzyPartition({self._attribute!r}, labels={self.labels})"

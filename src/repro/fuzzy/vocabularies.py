@@ -1,0 +1,146 @@
+"""Ready-made background knowledge vocabularies.
+
+The main one mirrors the paper's running example: a medical collaboration
+describing patients by ``age``, ``bmi``, ``sex`` and ``disease``.  The numeric
+partitions follow the figures quoted in the paper (e.g. *underweight* exactly
+covers BMI in [15, 17.5] and *normal* exactly covers [19.5, 24], a 20-year-old
+is 0.7 young / 0.3 adult).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import LinguisticVariable
+from repro.fuzzy.membership import CrispSetMembership, TrapezoidalMembership
+from repro.fuzzy.partition import FuzzyPartition
+
+#: Diseases used by the synthetic medical workload.
+DEFAULT_DISEASES: Sequence[str] = (
+    "anorexia",
+    "malaria",
+    "diabetes",
+    "influenza",
+    "asthma",
+    "hypertension",
+    "hepatitis",
+    "tuberculosis",
+)
+
+
+#: Upper support bound of the ``young`` age band.  Chosen so that, exactly as
+#: in the paper's running example, 15- and 18-year-olds are fully ``young``
+#: while a 20-year-old maps to ``{0.7/young, 0.3/adult}``.
+_YOUNG_UPPER = 74.0 / 3.0  # ≈ 24.67 years
+
+
+def age_variable() -> LinguisticVariable:
+    """The ``age`` linguistic variable of the paper's Figure 2.
+
+    Calibrated on the running example: ages 15 and 18 are fully ``young`` and
+    age 20 maps to ``{0.7/young, 0.3/adult}``.
+    """
+    return LinguisticVariable(
+        "age",
+        {
+            "child": TrapezoidalMembership(0, 0, 10, 13),
+            "young": TrapezoidalMembership(10, 13, 18, _YOUNG_UPPER),
+            "adult": TrapezoidalMembership(18, _YOUNG_UPPER, 55, 65),
+            "old": TrapezoidalMembership(55, 65, 120, 120),
+        },
+    )
+
+
+def bmi_variable() -> LinguisticVariable:
+    """The ``bmi`` linguistic variable.
+
+    *underweight* perfectly matches [15, 17.5] and *normal* perfectly matches
+    [19.5, 24], as stated in Section 3.2.1 of the paper.
+    """
+    return LinguisticVariable(
+        "bmi",
+        {
+            "underweight": TrapezoidalMembership(10, 10, 17.5, 19.5),
+            "normal": TrapezoidalMembership(17.5, 19.5, 24, 27),
+            "overweight": TrapezoidalMembership(24, 27, 29, 32),
+            "obese": TrapezoidalMembership(29, 32, 60, 60),
+        },
+    )
+
+
+def sex_variable() -> LinguisticVariable:
+    return LinguisticVariable(
+        "sex",
+        {
+            "female": CrispSetMembership(["female", "F", "f"]),
+            "male": CrispSetMembership(["male", "M", "m"]),
+        },
+    )
+
+
+def disease_variable(
+    diseases: Iterable[str] = DEFAULT_DISEASES,
+) -> LinguisticVariable:
+    return LinguisticVariable(
+        "disease",
+        {disease: CrispSetMembership([disease]) for disease in diseases},
+    )
+
+
+def medical_background_knowledge(
+    diseases: Iterable[str] = DEFAULT_DISEASES,
+    include_categorical: bool = True,
+) -> BackgroundKnowledge:
+    """The SNOMED-flavoured common background knowledge of the running example.
+
+    Parameters
+    ----------
+    diseases:
+        The disease vocabulary (defaults to :data:`DEFAULT_DISEASES`).
+    include_categorical:
+        When False, only the numeric ``age``/``bmi`` variables are included,
+        mirroring the paper's Table 1 example where only those two attributes
+        are selected for summarization.
+    """
+    variables = [age_variable(), bmi_variable()]
+    if include_categorical:
+        variables.append(sex_variable())
+        variables.append(disease_variable(diseases))
+    return BackgroundKnowledge(variables)
+
+
+def uniform_numeric_background_knowledge(
+    attributes: Mapping[str, Sequence[float]],
+    labels_per_attribute: int = 4,
+    overlap_fraction: float = 0.1,
+    label_names: Optional[Sequence[str]] = None,
+) -> BackgroundKnowledge:
+    """Build a generic BK with uniformly spaced fuzzy bands per attribute.
+
+    ``attributes`` maps each attribute name to its ``(low, high)`` domain.
+    This is used by the workload generators when an experiment needs a BK with
+    a controllable granularity (the paper notes that a finer, more overlapping
+    BK yields more grid cells).
+    """
+    variables = []
+    for attribute, (low, high) in attributes.items():
+        low_f, high_f = float(low), float(high)
+        if high_f <= low_f:
+            raise ValueError(
+                f"attribute {attribute!r} has an empty domain ({low}, {high})"
+            )
+        if label_names is not None and len(label_names) == labels_per_attribute:
+            names = list(label_names)
+        else:
+            names = [f"band_{i}" for i in range(labels_per_attribute)]
+        width = (high_f - low_f) / labels_per_attribute
+        breakpoints = [low_f + i * width for i in range(labels_per_attribute + 1)]
+        partition = FuzzyPartition.from_breakpoints(
+            attribute,
+            names,
+            breakpoints,
+            overlap=overlap_fraction * width,
+        )
+        variables.append(partition.to_linguistic_variable())
+    return BackgroundKnowledge(variables)

@@ -1,0 +1,40 @@
+"""P2P network substrate: topology, peers, discrete-event simulation.
+
+The paper evaluates its protocols with the BRITE topology generator and the
+SimJava discrete-event simulation package.  Neither is available (nor needed)
+here; this package provides functionally equivalent substitutes:
+
+* :mod:`repro.network.topology` — power-law overlay generation
+  (Barabási–Albert preferential attachment, Waxman), average degree ≈ 4,
+* :mod:`repro.network.simulator` — a deterministic discrete-event simulator,
+* :mod:`repro.network.peer` / :mod:`repro.network.overlay` — peer and
+  superpeer-overlay models,
+* :mod:`repro.network.churn` — the skewed node-lifetime model of Table 3,
+* :mod:`repro.network.messages` / :mod:`repro.network.metrics` — message
+  accounting, the primary metric of the evaluation.
+"""
+
+from repro.network.churn import LifetimeDistribution
+from repro.network.messages import Message, MessageType
+from repro.network.metrics import MessageCounter, TrafficReport
+from repro.network.overlay import Overlay
+from repro.network.peer import PeerNode, PeerRole
+from repro.network.simulator import Event, Simulator
+from repro.network.topology import TopologyConfig, power_law_topology
+from repro.network.transport import MessageBus
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "TopologyConfig",
+    "power_law_topology",
+    "PeerNode",
+    "PeerRole",
+    "Overlay",
+    "LifetimeDistribution",
+    "Message",
+    "MessageType",
+    "MessageCounter",
+    "TrafficReport",
+    "MessageBus",
+]

@@ -1,0 +1,103 @@
+"""Traffic accounting: the evaluation's primary metric is message counts."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.network.messages import Message, MessageType
+
+
+class MessageCounter:
+    """Counts messages by type (and optionally by sender)."""
+
+    def __init__(self) -> None:
+        self._by_type: Counter = Counter()
+        self._by_sender: Counter = Counter()
+        self._bytes = 0
+
+    def record(self, message: Message) -> None:
+        self._by_type[message.type] += 1
+        self._by_sender[message.source] += 1
+        self._bytes += message.size_bytes
+
+    def record_type(self, message_type: MessageType, count: int = 1) -> None:
+        """Account for messages without materialising :class:`Message` objects."""
+        self._by_type[message_type] += count
+
+    def count(self, message_type: Optional[MessageType] = None) -> int:
+        if message_type is None:
+            return sum(self._by_type.values())
+        return self._by_type[message_type]
+
+    def count_types(self, message_types: Iterable[MessageType]) -> int:
+        return sum(self._by_type[mt] for mt in message_types)
+
+    def by_type(self) -> Dict[MessageType, int]:
+        return dict(self._by_type)
+
+    def by_sender(self) -> Dict[str, int]:
+        return dict(self._by_sender)
+
+    @property
+    def total(self) -> int:
+        return sum(self._by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def merge(self, other: "MessageCounter") -> None:
+        self._by_type.update(other._by_type)
+        self._by_sender.update(other._by_sender)
+        self._bytes += other._bytes
+
+    def reset(self) -> None:
+        self._by_type.clear()
+        self._by_sender.clear()
+        self._bytes = 0
+
+
+@dataclass
+class TrafficReport:
+    """A summary of traffic over a simulation window, normalised per node/second."""
+
+    total_messages: int
+    duration_seconds: float
+    peer_count: int
+    by_type: Mapping[MessageType, int] = field(default_factory=dict)
+
+    @property
+    def messages_per_node(self) -> float:
+        if self.peer_count == 0:
+            return 0.0
+        return self.total_messages / self.peer_count
+
+    @property
+    def messages_per_node_per_second(self) -> float:
+        """The unit of the paper's update-cost equation (eq. 1)."""
+        if self.peer_count == 0 or self.duration_seconds <= 0:
+            return 0.0
+        return self.total_messages / (self.peer_count * self.duration_seconds)
+
+    @classmethod
+    def from_counter(
+        cls,
+        counter: MessageCounter,
+        duration_seconds: float,
+        peer_count: int,
+        message_types: Optional[List[MessageType]] = None,
+    ) -> "TrafficReport":
+        if message_types is None:
+            total = counter.total
+            by_type = counter.by_type()
+        else:
+            total = counter.count_types(message_types)
+            by_type = {mt: counter.count(mt) for mt in message_types}
+        return cls(
+            total_messages=total,
+            duration_seconds=duration_seconds,
+            peer_count=peer_count,
+            by_type=by_type,
+        )

@@ -1,0 +1,249 @@
+"""The hybrid (superpeer) overlay.
+
+An :class:`Overlay` couples a generated topology graph with per-node state
+(:class:`~repro.network.peer.PeerNode`).  It answers the structural questions
+the protocols ask — neighbours, latencies, TTL-bounded broadcast reach — and
+implements the *selective walk* used to discover a summary peer: a random walk
+that always forwards to the highest-degree neighbour (Adamic et al. 2001, as
+cited by the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import NetworkError
+from repro.network.peer import PeerNode, PeerRole
+from repro.network.topology import TopologyConfig, power_law_topology
+
+
+class Overlay:
+    """A topology graph plus the per-node protocol-visible state."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise NetworkError("cannot build an overlay over an empty graph")
+        self._graph = graph
+        self._peers: Dict[str, PeerNode] = {
+            node: PeerNode(peer_id=node) for node in graph.nodes
+        }
+        # Latency queries to a same destination (typically a summary peer) are
+        # frequent; cache single-source shortest-path distances per destination.
+        self._latency_cache: Dict[str, Dict[str, float]] = {}
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def generate(cls, config: TopologyConfig) -> "Overlay":
+        return cls(power_law_topology(config))
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def peer_ids(self) -> List[str]:
+        return list(self._peers)
+
+    @property
+    def size(self) -> int:
+        return len(self._peers)
+
+    def peer(self, peer_id: str) -> PeerNode:
+        try:
+            return self._peers[peer_id]
+        except KeyError as exc:
+            raise NetworkError(f"unknown peer {peer_id!r}") from exc
+
+    def peers(self) -> List[PeerNode]:
+        return list(self._peers.values())
+
+    def online_peers(self) -> List[PeerNode]:
+        return [peer for peer in self._peers.values() if peer.online]
+
+    def superpeers(self) -> List[PeerNode]:
+        return [peer for peer in self._peers.values() if peer.is_superpeer]
+
+    def neighbors(self, peer_id: str, online_only: bool = True) -> List[str]:
+        if peer_id not in self._graph:
+            raise NetworkError(f"unknown peer {peer_id!r}")
+        neighbours = list(self._graph.neighbors(peer_id))
+        if online_only:
+            neighbours = [n for n in neighbours if self._peers[n].online]
+        return neighbours
+
+    def degree(self, peer_id: str) -> int:
+        return int(self._graph.degree(peer_id))
+
+    def latency(self, source: str, destination: str) -> float:
+        """End-to-end latency along the cheapest path between two peers."""
+        if source == destination:
+            return 0.0
+        if self._graph.has_edge(source, destination):
+            return float(self._graph.edges[source, destination]["latency"])
+        distances = self._latency_cache.get(destination)
+        if distances is None:
+            distances = dict(
+                nx.single_source_dijkstra_path_length(
+                    self._graph, destination, weight="latency"
+                )
+            )
+            self._latency_cache[destination] = distances
+        if source not in distances:
+            raise NetworkError(f"no path between {source!r} and {destination!r}")
+        return float(distances[source])
+
+    def average_degree(self) -> float:
+        degrees = [degree for _node, degree in self._graph.degree()]
+        return sum(degrees) / len(degrees)
+
+    # -- superpeer election ----------------------------------------------------------
+
+    def elect_superpeers(
+        self,
+        count: Optional[int] = None,
+        fraction: Optional[float] = None,
+    ) -> List[str]:
+        """Promote the highest-degree nodes to superpeers.
+
+        Exactly one of ``count`` / ``fraction`` may be given; the default is a
+        1/16 fraction (so a 16-node network has a single domain, matching the
+        smallest configuration of Table 3).
+        """
+        if count is not None and fraction is not None:
+            raise NetworkError("give either count or fraction, not both")
+        if count is None:
+            fraction = fraction if fraction is not None else 1.0 / 16.0
+            count = max(1, round(fraction * self.size))
+        count = min(count, self.size)
+        ranked = sorted(self._graph.degree, key=lambda pair: pair[1], reverse=True)
+        elected = [node for node, _degree in ranked[:count]]
+        for peer in self._peers.values():
+            peer.role = PeerRole.SUPERPEER if peer.peer_id in elected else PeerRole.PEER
+        return elected
+
+    # -- reachability ------------------------------------------------------------------
+
+    def within_ttl(self, origin: str, ttl: int, online_only: bool = True) -> Dict[str, int]:
+        """Peers reachable from ``origin`` in at most ``ttl`` hops (excluding origin).
+
+        Returns a mapping ``peer_id -> hop count``; used both by the `sumpeer`
+        broadcast of the construction protocol and by the flooding baseline.
+        """
+        if ttl < 0:
+            raise NetworkError("TTL must be non-negative")
+        reached: Dict[str, int] = {origin: 0}
+        frontier = [origin]
+        for hop in range(1, ttl + 1):
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbour in self.neighbors(node, online_only=online_only):
+                    if neighbour not in reached:
+                        reached[neighbour] = hop
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+            if not frontier:
+                break
+        reached.pop(origin, None)
+        return reached
+
+    def flood_message_count(self, origin: str, ttl: int, online_only: bool = True) -> int:
+        """Number of query messages generated by a TTL-bounded flood from ``origin``.
+
+        Every reached node forwards the message to all of its neighbours except
+        the one it received it from (Gnutella-style), until the TTL runs out.
+        """
+        if ttl <= 0:
+            return 0
+        messages = 0
+        visited: Set[str] = {origin}
+        frontier: List[Tuple[str, Optional[str]]] = [(origin, None)]
+        for _hop in range(ttl):
+            next_frontier: List[Tuple[str, Optional[str]]] = []
+            for node, received_from in frontier:
+                for neighbour in self.neighbors(node, online_only=online_only):
+                    if neighbour == received_from:
+                        continue
+                    messages += 1
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_frontier.append((neighbour, node))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return messages
+
+    # -- selective walk -----------------------------------------------------------------
+
+    def selective_walk(
+        self,
+        origin: str,
+        stop_condition: Callable[[str], bool],
+        max_hops: int = 64,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[Optional[str], int]:
+        """Walk the overlay, always choosing the highest-degree unvisited neighbour.
+
+        Stops when ``stop_condition(peer_id)`` holds (returning that peer and
+        the number of hops walked) or when ``max_hops`` is exhausted (returning
+        ``(None, hops)``).  Ties on degree are broken at random to avoid
+        pathological loops on regular graphs.
+        """
+        rng = rng or random.Random(0)
+        if stop_condition(origin):
+            return origin, 0
+        visited: Set[str] = {origin}
+        current = origin
+        for hop in range(1, max_hops + 1):
+            candidates = [
+                neighbour
+                for neighbour in self.neighbors(current)
+                if neighbour not in visited
+            ]
+            if not candidates:
+                candidates = self.neighbors(current)
+                if not candidates:
+                    return None, hop
+            best_degree = max(self.degree(candidate) for candidate in candidates)
+            best = [c for c in candidates if self.degree(c) == best_degree]
+            current = rng.choice(best)
+            visited.add(current)
+            if stop_condition(current):
+                return current, hop
+        return None, max_hops
+
+    # -- membership changes ----------------------------------------------------------------
+
+    def add_peer(
+        self,
+        peer_id: str,
+        neighbors: Iterable[str],
+        latency_ms: float = 50.0,
+    ) -> PeerNode:
+        """Add a brand-new node connected to ``neighbors``."""
+        if peer_id in self._peers:
+            raise NetworkError(f"peer {peer_id!r} already exists")
+        self._latency_cache.clear()
+        self._graph.add_node(peer_id)
+        for neighbour in neighbors:
+            if neighbour not in self._graph:
+                raise NetworkError(f"unknown neighbour {neighbour!r}")
+            self._graph.add_edge(peer_id, neighbour, latency=latency_ms)
+        node = PeerNode(peer_id=peer_id)
+        self._peers[peer_id] = node
+        return node
+
+    def remove_peer(self, peer_id: str) -> None:
+        """Remove a node entirely (used to model permanent departures)."""
+        self.peer(peer_id)  # raises on unknown peer
+        self._latency_cache.clear()
+        self._graph.remove_node(peer_id)
+        del self._peers[peer_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Overlay({self.size} peers, avg degree {self.average_degree():.2f})"

@@ -1,0 +1,182 @@
+"""Latency-aware message transport on top of the discrete-event simulator.
+
+The protocol engine accounts for messages analytically (the paper's metric is
+a message *count*), but examples and finer-grained experiments sometimes want
+actual message delivery with per-link latency — e.g. to measure query response
+times rather than message counts.  :class:`MessageBus` provides that: peers
+register handlers per message type, ``send`` schedules a delivery event after
+the (shortest-path) latency between the two peers, and every transmission is
+recorded in a :class:`~repro.network.metrics.MessageCounter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import NetworkError
+from repro.network.messages import Message, MessageType
+from repro.network.metrics import MessageCounter
+from repro.network.overlay import Overlay
+from repro.network.simulator import Simulator
+
+MessageHandler = Callable[[Message, float], None]
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered (or dropped) message, for post-hoc inspection."""
+
+    message: Message
+    sent_at: float
+    delivered_at: Optional[float]
+    dropped: bool = False
+    reason: str = ""
+
+
+class MessageBus:
+    """Delivers messages between peers through the simulator."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        simulator: Optional[Simulator] = None,
+        counter: Optional[MessageCounter] = None,
+        default_latency_ms: float = 50.0,
+    ) -> None:
+        self._overlay = overlay
+        self._simulator = simulator if simulator is not None else Simulator()
+        self._counter = counter if counter is not None else MessageCounter()
+        self._default_latency_ms = default_latency_ms
+        self._handlers: Dict[Tuple[str, MessageType], MessageHandler] = {}
+        self._catch_all: Dict[str, MessageHandler] = {}
+        self._log: List[DeliveryRecord] = []
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self._counter
+
+    @property
+    def deliveries(self) -> List[DeliveryRecord]:
+        return list(self._log)
+
+    def delivered_count(self) -> int:
+        return sum(1 for record in self._log if not record.dropped)
+
+    def dropped_count(self) -> int:
+        return sum(1 for record in self._log if record.dropped)
+
+    # -- handler registration ---------------------------------------------------------
+
+    def register(
+        self,
+        peer_id: str,
+        handler: MessageHandler,
+        message_type: Optional[MessageType] = None,
+    ) -> None:
+        """Register a handler for one peer (optionally for one message type only)."""
+        if peer_id not in self._overlay.graph:
+            raise NetworkError(f"cannot register handler for unknown peer {peer_id!r}")
+        if message_type is None:
+            self._catch_all[peer_id] = handler
+        else:
+            self._handlers[(peer_id, message_type)] = handler
+
+    def unregister(self, peer_id: str) -> None:
+        self._catch_all.pop(peer_id, None)
+        for key in [key for key in self._handlers if key[0] == peer_id]:
+            del self._handlers[key]
+
+    # -- sending -----------------------------------------------------------------------
+
+    def send(self, message: Message, latency_ms: Optional[float] = None) -> DeliveryRecord:
+        """Send ``message``; it is delivered after the link latency.
+
+        Messages to offline peers are counted (they were transmitted) but
+        dropped at delivery time, mirroring how a partner discovers that its
+        summary peer failed only when a push or query goes unanswered.
+        """
+        sent_at = self._simulator.now
+        self._counter.record(message)
+        if latency_ms is None:
+            latency_ms = self._latency(message.source, message.destination)
+        record = DeliveryRecord(message=message, sent_at=sent_at, delivered_at=None)
+        self._log.append(record)
+
+        def deliver() -> None:
+            destination = self._overlay.peer(message.destination)
+            if not destination.online:
+                record.dropped = True
+                record.reason = "destination offline"
+                return
+            record.delivered_at = self._simulator.now
+            handler = self._handlers.get((message.destination, message.type))
+            if handler is None:
+                handler = self._catch_all.get(message.destination)
+            if handler is None:
+                record.dropped = True
+                record.reason = "no handler"
+                return
+            handler(message, self._simulator.now)
+
+        self._simulator.schedule(latency_ms / 1000.0, deliver, label=message.type.value)
+        return record
+
+    def broadcast(
+        self,
+        source: str,
+        message_type: MessageType,
+        payload: Optional[dict] = None,
+        ttl: int = 1,
+    ) -> int:
+        """TTL-bounded neighbour broadcast (the ``sumpeer`` pattern).
+
+        Returns the number of messages sent.  Every reached peer forwards the
+        message to all its neighbours except the sender until the TTL expires.
+        """
+        if ttl < 1:
+            raise NetworkError("broadcast TTL must be at least 1")
+        sent = 0
+        visited = {source}
+        frontier: List[Tuple[str, Optional[str]]] = [(source, None)]
+        for remaining in range(ttl, 0, -1):
+            next_frontier: List[Tuple[str, Optional[str]]] = []
+            for node, received_from in frontier:
+                for neighbour in self._overlay.neighbors(node):
+                    if neighbour == received_from:
+                        continue
+                    self.send(
+                        Message(
+                            type=message_type,
+                            source=node,
+                            destination=neighbour,
+                            payload=dict(payload or {}),
+                            ttl=remaining - 1,
+                        )
+                    )
+                    sent += 1
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_frontier.append((neighbour, node))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return sent
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the simulation until pending deliveries are processed."""
+        return self._simulator.run(until=until)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _latency(self, source: str, destination: str) -> float:
+        try:
+            return self._overlay.latency(source, destination)
+        except NetworkError:
+            return self._default_latency_ms

@@ -1,0 +1,34 @@
+"""Summary querying: evaluating flexible queries against summary hierarchies.
+
+This package implements Section 5 of the paper (and the FQAS 2004 work it
+references):
+
+* *query reformulation* — rewriting crisp selection predicates into
+  Background-Knowledge descriptors (:mod:`repro.querying.reformulation`),
+* the *conjunctive proposition* form of a flexible query
+  (:mod:`repro.querying.proposition`),
+* the *valuation function* qualifying the link between a summary and the
+  query (:mod:`repro.querying.valuation`),
+* the *selection algorithm* returning the most abstract summaries that
+  satisfy the query (:mod:`repro.querying.selection`),
+* *approximate answering* by aggregating the selected summaries into
+  interpretation classes (:mod:`repro.querying.aggregation`).
+"""
+
+from repro.querying.aggregation import ApproximateAnswer, approximate_answer
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.reformulation import reformulate
+from repro.querying.selection import QuerySelection, select_summaries
+from repro.querying.valuation import Valuation, valuate
+
+__all__ = [
+    "reformulate",
+    "Clause",
+    "Proposition",
+    "Valuation",
+    "valuate",
+    "QuerySelection",
+    "select_summaries",
+    "ApproximateAnswer",
+    "approximate_answer",
+]

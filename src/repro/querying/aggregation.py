@@ -1,0 +1,124 @@
+"""Approximate answering: aggregating selected summaries into answer classes.
+
+A distinctive feature of the approach (Section 5.2.2) is that a query can be
+processed *entirely in the summary domain*: the selected summaries ``Z_Q`` are
+grouped into classes by their interpretation of the proposition (the labels
+they carry on the constrained attributes), and within each class the output is
+the union of descriptors on the projection attributes.  The paper's example:
+female anorexia patients with an underweight or normal BMI are ``young``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from repro.querying.proposition import Proposition
+from repro.querying.selection import QuerySelection
+from repro.querying.valuation import cell_satisfies
+from repro.saintetiq.cell import Cell
+
+
+#: An interpretation: for each constrained attribute, the label(s) through
+#: which the class satisfies the proposition.
+Interpretation = Tuple[Tuple[str, FrozenSet[str]], ...]
+
+
+@dataclass(frozen=True)
+class AnswerClass:
+    """One interpretation class of the approximate answer."""
+
+    interpretation: Interpretation
+    output: Mapping[str, FrozenSet[str]]
+    tuple_count: float
+
+    def interpretation_dict(self) -> Dict[str, FrozenSet[str]]:
+        return dict(self.interpretation)
+
+    def output_labels(self, attribute: str) -> FrozenSet[str]:
+        return self.output.get(attribute, frozenset())
+
+
+@dataclass
+class ApproximateAnswer:
+    """The full approximate answer: one :class:`AnswerClass` per interpretation."""
+
+    classes: List[AnswerClass] = field(default_factory=list)
+    select: Tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.classes
+
+    def merged_output(self) -> Dict[str, FrozenSet[str]]:
+        """Union of outputs over all classes (a coarse single-row answer)."""
+        merged: Dict[str, Set[str]] = {}
+        for answer_class in self.classes:
+            for attribute, labels in answer_class.output.items():
+                merged.setdefault(attribute, set()).update(labels)
+        return {attribute: frozenset(labels) for attribute, labels in merged.items()}
+
+    def total_tuple_count(self) -> float:
+        return sum(answer_class.tuple_count for answer_class in self.classes)
+
+
+def approximate_answer(
+    selection: QuerySelection,
+    proposition: Proposition,
+    select: Sequence[str],
+) -> ApproximateAnswer:
+    """Aggregate a query selection into an approximate answer.
+
+    Parameters
+    ----------
+    selection:
+        Output of the selection algorithm.
+    proposition:
+        The query's conjunctive proposition (defines the interpretation axes).
+    select:
+        Projection attributes of the query (the paper's ``age`` in its example).
+    """
+    cells = [
+        cell
+        for cell in selection.matching_cells()
+        if cell_satisfies(cell, proposition)
+    ]
+    grouped: Dict[Interpretation, List[Cell]] = {}
+    for cell in cells:
+        interpretation = _interpretation_of(cell, proposition)
+        grouped.setdefault(interpretation, []).append(cell)
+
+    def _sort_key(item: Tuple[Interpretation, List[Cell]]) -> Tuple:
+        interpretation, _cells = item
+        return tuple((attribute, tuple(sorted(labels))) for attribute, labels in interpretation)
+
+    classes: List[AnswerClass] = []
+    for interpretation, class_cells in sorted(grouped.items(), key=_sort_key):
+        output: Dict[str, Set[str]] = {attribute: set() for attribute in select}
+        count = 0.0
+        for cell in class_cells:
+            count += cell.tuple_count
+            for attribute in select:
+                label = cell.label_of(attribute)
+                if label is not None:
+                    output[attribute].add(label)
+        classes.append(
+            AnswerClass(
+                interpretation=interpretation,
+                output={
+                    attribute: frozenset(labels) for attribute, labels in output.items()
+                },
+                tuple_count=count,
+            )
+        )
+    return ApproximateAnswer(classes=classes, select=tuple(select))
+
+
+def _interpretation_of(cell: Cell, proposition: Proposition) -> Interpretation:
+    """The labels through which ``cell`` satisfies each clause."""
+    parts: List[Tuple[str, FrozenSet[str]]] = []
+    for clause in proposition.clauses:
+        label = cell.label_of(clause.attribute)
+        labels = frozenset([label]) if label is not None else frozenset()
+        parts.append((clause.attribute, labels))
+    return tuple(parts)

@@ -1,0 +1,99 @@
+"""Conjunctive propositions derived from flexible queries.
+
+A flexible query's selection condition is transformed into a logical
+proposition in conjunctive form where descriptors appear as literals: each
+constrained attribute yields one :class:`Clause` (a disjunction of that
+attribute's descriptors), and the proposition is the conjunction of clauses —
+e.g. ``(female) AND (underweight OR normal) AND (anorexia)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Mapping, Tuple
+
+from repro.database.query import DescriptorPredicate, SelectionQuery
+from repro.exceptions import QueryError
+from repro.fuzzy.linguistic import Descriptor
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of descriptors over a single attribute."""
+
+    attribute: str
+    labels: FrozenSet[str]
+
+    def __init__(self, attribute: str, labels: Iterable[str]) -> None:
+        labels = frozenset(labels)
+        if not labels:
+            raise QueryError(f"empty clause for attribute {attribute!r}")
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def descriptors(self) -> FrozenSet[Descriptor]:
+        return frozenset(Descriptor(self.attribute, label) for label in self.labels)
+
+    def admits(self, label: str) -> bool:
+        return label in self.labels
+
+    def __str__(self) -> str:
+        rendered = " OR ".join(sorted(self.labels))
+        return f"({rendered})"
+
+
+@dataclass(frozen=True)
+class Proposition:
+    """A conjunction of clauses, one per constrained attribute."""
+
+    clauses: Tuple[Clause, ...]
+
+    def __init__(self, clauses: Iterable[Clause]) -> None:
+        clauses = tuple(clauses)
+        attributes = [clause.attribute for clause in clauses]
+        if len(set(attributes)) != len(attributes):
+            raise QueryError(
+                f"a proposition has at most one clause per attribute, got {attributes}"
+            )
+        object.__setattr__(self, "clauses", clauses)
+
+    @property
+    def attributes(self) -> List[str]:
+        return [clause.attribute for clause in self.clauses]
+
+    def clause_for(self, attribute: str) -> Clause:
+        for clause in self.clauses:
+            if clause.attribute == attribute:
+                return clause
+        raise QueryError(f"no clause constrains attribute {attribute!r}")
+
+    def is_empty(self) -> bool:
+        return not self.clauses
+
+    def admits_labels(self, labels_by_attribute: Mapping[str, Iterable[str]]) -> bool:
+        """Whether a crisp label assignment satisfies every clause."""
+        for clause in self.clauses:
+            labels = set(labels_by_attribute.get(clause.attribute, ()))
+            if not labels or not (labels & clause.labels):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return "TRUE"
+        return " AND ".join(str(clause) for clause in self.clauses)
+
+    @classmethod
+    def from_query(cls, query: SelectionQuery) -> "Proposition":
+        """Build the proposition of a flexible (already reformulated) query."""
+        clauses: List[Clause] = []
+        for predicate in query.predicates:
+            if not isinstance(predicate, DescriptorPredicate):
+                raise QueryError(
+                    "propositions are built from flexible queries; predicate "
+                    f"{predicate} is not a descriptor predicate — reformulate "
+                    "the query first"
+                )
+            clauses.append(Clause(predicate.attribute, predicate.labels))
+        return cls(clauses)

@@ -1,0 +1,126 @@
+"""Query reformulation: crisp selection queries -> flexible queries.
+
+Section 5.1 of the paper: every selection predicate's original value is
+replaced by the corresponding Background-Knowledge descriptors, e.g.
+``bmi < 19`` becomes ``bmi in {underweight, normal}``.  The reformulated query
+scope is a superset of the original scope (false positives are possible, false
+negatives are not): every descriptor whose fuzzy set intersects the predicate's
+solution set is kept.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    Predicate,
+    SelectionQuery,
+)
+from repro.exceptions import QueryError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor
+from repro.fuzzy.membership import (
+    CrispSetMembership,
+    TrapezoidalMembership,
+    TriangularMembership,
+)
+
+#: Number of sample points used to test numeric predicate / fuzzy-set overlap.
+_SUPPORT_SAMPLES = 129
+
+
+def reformulate(
+    query: SelectionQuery, background: BackgroundKnowledge
+) -> SelectionQuery:
+    """Rewrite ``query`` so every predicate over a BK attribute is flexible.
+
+    Predicates over attributes the BK does not describe are left untouched
+    (they simply cannot be checked against summaries and will be re-applied on
+    raw records at the data sources).
+    """
+    new_predicates: List[Predicate] = []
+    for predicate in query.predicates:
+        if isinstance(predicate, DescriptorPredicate):
+            _check_descriptors(predicate, background)
+            new_predicates.append(predicate)
+            continue
+        if predicate.attribute not in background:
+            new_predicates.append(predicate)
+            continue
+        new_predicates.append(_reformulate_predicate(predicate, background))
+    return SelectionQuery(query.relation, new_predicates, query.select)
+
+
+def _check_descriptors(
+    predicate: DescriptorPredicate, background: BackgroundKnowledge
+) -> None:
+    unknown = [
+        descriptor
+        for descriptor in predicate.descriptors
+        if not background.has_descriptor(descriptor)
+    ]
+    if unknown:
+        raise QueryError(
+            f"query uses descriptors unknown to the background knowledge: {unknown}"
+        )
+
+
+def _reformulate_predicate(
+    predicate: Predicate, background: BackgroundKnowledge
+) -> DescriptorPredicate:
+    attribute = predicate.attribute
+    variable = background.variable(attribute)
+    matching: List[Descriptor] = []
+    for label in variable.labels:
+        function = variable.membership(label)
+        if _predicate_overlaps(predicate, function):
+            matching.append(Descriptor(attribute, label))
+    if not matching:
+        raise QueryError(
+            f"predicate {predicate} selects no descriptor of attribute "
+            f"{attribute!r}; the query is unsatisfiable under the background "
+            "knowledge"
+        )
+    return DescriptorPredicate(attribute, matching)
+
+
+def _predicate_overlaps(predicate: Predicate, function) -> bool:
+    """Does the crisp predicate's solution set intersect the fuzzy set's support?"""
+    if isinstance(function, CrispSetMembership):
+        return any(predicate.matches({predicate.attribute: value})
+                   for value in function.values)
+    if isinstance(function, (TrapezoidalMembership, TriangularMembership)):
+        low, high = function.support
+        if high <= low:
+            return predicate.matches({predicate.attribute: low})
+        step = (high - low) / (_SUPPORT_SAMPLES - 1)
+        for index in range(_SUPPORT_SAMPLES):
+            value = low + index * step
+            if function.grade(value) > 0.0 and predicate.matches(
+                {predicate.attribute: value}
+            ):
+                return True
+        return False
+    raise QueryError(
+        f"cannot reformulate predicates against membership function {function!r}"
+    )
+
+
+def reformulation_widens_scope(
+    original: SelectionQuery, flexible: SelectionQuery
+) -> bool:
+    """Sanity check: a flexible query never has *more* predicates than the original.
+
+    (The inclusion ``QS ⊆ QS*`` of Section 5.1 is checked record-wise by the
+    test-suite; this helper only verifies the structural part.)
+    """
+    if original.relation != flexible.relation:
+        return False
+    if len(original.predicates) != len(flexible.predicates):
+        return False
+    return list(original.constrained_attributes) == list(
+        flexible.constrained_attributes
+    )

@@ -1,0 +1,102 @@
+"""The selection algorithm: fast exploration of the hierarchy.
+
+Given a proposition, the selection algorithm returns the set ``Z_Q`` of the
+most abstract summaries that satisfy the query (Section 5.2).  The traversal
+prunes subtrees valued ``NONE``, stops descending at nodes valued ``FULL``
+(they are returned as-is: every record they describe matches), and keeps
+descending through ``PARTIAL`` nodes; ``PARTIAL`` leaves contribute only their
+matching cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.querying.proposition import Proposition
+from repro.querying.valuation import Valuation, cell_satisfies, valuate
+from repro.saintetiq.cell import Cell
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.summary import Summary
+
+
+@dataclass
+class QuerySelection:
+    """Result of running the selection algorithm over a hierarchy.
+
+    Attributes
+    ----------
+    summaries:
+        ``Z_Q`` — most abstract summaries entirely satisfying the proposition.
+    partial_cells:
+        Matching cells harvested from ``PARTIAL`` leaves (records described by
+        those cells satisfy the query; their leaf siblings do not).
+    visited_nodes:
+        Number of summary nodes examined — the "fast exploration" figure.
+    """
+
+    summaries: List[Summary] = field(default_factory=list)
+    partial_cells: List[Cell] = field(default_factory=list)
+    visited_nodes: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.summaries and not self.partial_cells
+
+    def matching_cells(self) -> List[Cell]:
+        """All matching cells: those of Z_Q summaries plus the partial ones."""
+        cells: List[Cell] = []
+        for summary in self.summaries:
+            cells.extend(cell.copy() for cell in summary.cells.values())
+        cells.extend(cell.copy() for cell in self.partial_cells)
+        return cells
+
+    def matching_tuple_count(self) -> float:
+        """Estimated number of records satisfying the query."""
+        return sum(cell.tuple_count for cell in self.matching_cells())
+
+    def peer_extent(self) -> Set[str]:
+        """Relevant peers ``P_Q`` — the union of peer-extents of Z_Q (and
+
+        of the matching partial cells)."""
+        peers: Set[str] = set()
+        for summary in self.summaries:
+            peers |= summary.peer_extent
+        for cell in self.partial_cells:
+            peers |= cell.peers
+        return peers
+
+
+def select_summaries(
+    hierarchy: SummaryHierarchy, proposition: Proposition
+) -> QuerySelection:
+    """Run the selection algorithm over ``hierarchy`` for ``proposition``."""
+    selection = QuerySelection()
+    if hierarchy.is_empty():
+        return selection
+    if proposition.is_empty():
+        # An unconstrained query matches everything: the root is the single
+        # most abstract satisfying summary.
+        selection.summaries.append(hierarchy.root)
+        selection.visited_nodes = 1
+        return selection
+    _explore(hierarchy.root, proposition, selection)
+    return selection
+
+
+def _explore(node: Summary, proposition: Proposition, selection: QuerySelection) -> None:
+    selection.visited_nodes += 1
+    valuation = valuate(node, proposition)
+    if valuation.overall is Valuation.NONE:
+        return
+    if valuation.overall is Valuation.FULL:
+        selection.summaries.append(node)
+        return
+    # PARTIAL: descend, or harvest matching cells at leaves.
+    if node.is_leaf:
+        for cell in node.cells.values():
+            if cell_satisfies(cell, proposition):
+                selection.partial_cells.append(cell)
+        return
+    for child in node.children:
+        _explore(child, proposition, selection)

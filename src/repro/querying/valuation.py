@@ -1,0 +1,86 @@
+"""The valuation function: qualifying the link between a summary and a query.
+
+Each clause of the proposition is checked against the summary's intent on the
+corresponding attribute.  Three outcomes are possible per clause:
+
+* ``FULL`` — every label the summary carries for the attribute belongs to the
+  clause: all the records the summary describes satisfy the clause,
+* ``PARTIAL`` — only some labels belong to the clause: some records may satisfy
+  it, some may not,
+* ``NONE`` — no label belongs to the clause (or the summary carries no label
+  for the attribute): no described record can satisfy it.
+
+The summary-level valuation is the weakest clause outcome (NONE < PARTIAL <
+FULL), so a summary valued ``NONE`` can prune its whole subtree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.querying.proposition import Proposition
+from repro.saintetiq.cell import Cell
+from repro.saintetiq.summary import Summary
+
+
+class Valuation(enum.IntEnum):
+    """Outcome of valuating a proposition in the context of a summary."""
+
+    NONE = 0
+    PARTIAL = 1
+    FULL = 2
+
+
+@dataclass(frozen=True)
+class SummaryValuation:
+    """Per-clause and overall valuation of a summary against a proposition."""
+
+    overall: Valuation
+    per_attribute: Mapping[str, Valuation]
+
+    @property
+    def satisfies(self) -> bool:
+        """At least one described record may satisfy the query."""
+        return self.overall is not Valuation.NONE
+
+    @property
+    def certainly_satisfies(self) -> bool:
+        """Every described record satisfies the query."""
+        return self.overall is Valuation.FULL
+
+
+def valuate(summary: Summary, proposition: Proposition) -> SummaryValuation:
+    """Valuate ``proposition`` in the context of ``summary``."""
+    per_attribute: Dict[str, Valuation] = {}
+    overall = Valuation.FULL
+    intent = summary.intent
+    for clause in proposition.clauses:
+        labels = intent.get(clause.attribute, frozenset())
+        if not labels:
+            outcome = Valuation.NONE
+        else:
+            admitted = {label for label in labels if clause.admits(label)}
+            if not admitted:
+                outcome = Valuation.NONE
+            elif admitted == set(labels):
+                outcome = Valuation.FULL
+            else:
+                outcome = Valuation.PARTIAL
+        per_attribute[clause.attribute] = outcome
+        overall = min(overall, outcome)
+    return SummaryValuation(overall=overall, per_attribute=dict(per_attribute))
+
+
+def cell_satisfies(cell: Cell, proposition: Proposition) -> bool:
+    """Whether a single grid cell satisfies every clause of the proposition.
+
+    A cell carries exactly one label per attribute, so the valuation collapses
+    to a crisp membership test.
+    """
+    for clause in proposition.clauses:
+        label = cell.label_of(clause.attribute)
+        if label is None or not clause.admits(label):
+            return False
+    return True

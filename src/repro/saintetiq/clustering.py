@@ -1,0 +1,344 @@
+"""The summarization service: incremental conceptual clustering of cells.
+
+Cells produced by the mapping service are incorporated one by one into a
+hierarchy of summaries, descending the tree top-down and choosing at each
+level between four operators — *incorporate into the best child*, *create* a
+new child, *merge* the two best children, *split* the best child — the choice
+being driven by a partition score.  This mirrors the Cobweb-inspired process
+described in Section 3.2.2 of the paper; the partition score is a
+category-utility analogue computed over descriptor distributions.
+
+The process is incremental: raw data are parsed once, and incorporating a cell
+costs time proportional to the depth of the tree and the arity of its nodes,
+which matches the paper's claim of linear overall complexity in the number of
+cells (Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell
+from repro.saintetiq.summary import Summary
+
+#: A descriptor-weight profile: descriptor -> weighted tuple count.
+Profile = Dict[Descriptor, float]
+
+
+@dataclass(frozen=True)
+class ClusteringParameters:
+    """Tunable knobs of the summarization service.
+
+    Attributes
+    ----------
+    max_children:
+        Target arity ``B`` of internal nodes.  When a node exceeds it, the two
+        most similar children are merged, which keeps the hierarchy's storage
+        cost at the ``k (B^{d+1}-1)/(B-1)`` bound used by the cost model.
+    enable_merge / enable_split:
+        Allow disabling the structural operators (useful for ablations).
+    """
+
+    max_children: int = 4
+    enable_merge: bool = True
+    enable_split: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_children < 2:
+            raise SummaryError("max_children must be at least 2")
+
+
+def _cell_profile(cell: Cell) -> Profile:
+    return {descriptor: cell.tuple_count for descriptor in cell.key}
+
+
+def _node_profile(node: Summary) -> Profile:
+    profile: Profile = {}
+    for cell in node.cells.values():
+        for descriptor in cell.key:
+            profile[descriptor] = profile.get(descriptor, 0.0) + cell.tuple_count
+    return profile
+
+
+def _profile_total(profile: Profile) -> float:
+    """Total tuple mass of a profile (counted once per cell, not per descriptor)."""
+    # Each cell contributes its count once per attribute; dividing by the
+    # number of attributes would recover the exact mass, but for scoring we
+    # only need a quantity proportional to it, so the raw sum is fine as long
+    # as it is used consistently.
+    return sum(profile.values())
+
+
+def _combine_profiles(*profiles: Profile) -> Profile:
+    combined: Profile = {}
+    for profile in profiles:
+        for descriptor, weight in profile.items():
+            combined[descriptor] = combined.get(descriptor, 0.0) + weight
+    return combined
+
+
+def partition_score(profiles: Sequence[Profile]) -> float:
+    """Category-utility-like score of a candidate partition.
+
+    Higher is better.  For children ``C_k`` with descriptor distributions
+    ``P(d | C_k)`` and parent distribution ``P(d)``::
+
+        score = (1 / n) * sum_k P(C_k) * sum_d [ P(d|C_k)^2 - P(d)^2 ]
+
+    The score rewards partitions whose children concentrate descriptor mass
+    (are internally homogeneous) relative to their parent.
+    """
+    profiles = [profile for profile in profiles if profile]
+    if not profiles:
+        return 0.0
+    totals = [_profile_total(profile) for profile in profiles]
+    grand_total = sum(totals)
+    if grand_total <= 0.0:
+        return 0.0
+    parent = _combine_profiles(*profiles)
+    parent_term = sum((weight / grand_total) ** 2 for weight in parent.values())
+    score = 0.0
+    for profile, total in zip(profiles, totals):
+        if total <= 0.0:
+            continue
+        child_term = sum((weight / total) ** 2 for weight in profile.values())
+        score += (total / grand_total) * (child_term - parent_term)
+    return score / len(profiles)
+
+
+class SummaryBuilder:
+    """Incrementally builds and maintains a summary hierarchy from cells."""
+
+    def __init__(self, parameters: Optional[ClusteringParameters] = None) -> None:
+        self._parameters = parameters or ClusteringParameters()
+        self._root = Summary()
+        self._incorporated = 0
+
+    @property
+    def root(self) -> Summary:
+        return self._root
+
+    @property
+    def parameters(self) -> ClusteringParameters:
+        return self._parameters
+
+    @property
+    def incorporated_cells(self) -> int:
+        """Number of cell incorporations performed so far."""
+        return self._incorporated
+
+    # -- public API --------------------------------------------------------------
+
+    def incorporate(self, cell: Cell) -> None:
+        """Incorporate one populated cell into the hierarchy."""
+        if not cell.key:
+            raise SummaryError("cannot incorporate an empty cell")
+        self._incorporate_at(self._root, cell.copy())
+        self._incorporated += 1
+
+    def incorporate_all(self, cells: Iterable[Cell]) -> int:
+        count = 0
+        for cell in cells:
+            self.incorporate(cell)
+            count += 1
+        return count
+
+    # -- incorporation logic -------------------------------------------------------
+
+    def _incorporate_at(self, node: Summary, cell: Cell) -> None:
+        node.absorb_cell(cell)
+
+        if node.is_leaf:
+            self._handle_leaf(node, cell)
+            return
+
+        host = self._choose_operator(node, cell)
+        if host is None:
+            # A brand-new child was created for the cell; nothing to recurse into.
+            return
+        self._incorporate_at(host, cell)
+        self._enforce_arity(node)
+
+    def _handle_leaf(self, node: Summary, cell: Cell) -> None:
+        """Keep the leaf invariant: every leaf covers exactly one cell key."""
+        existing_keys = set(node.cells)
+        if len(existing_keys) <= 1:
+            # Either a fresh root or a leaf holding the same cell key: the
+            # absorb in the caller already merged the counts.
+            return
+        # The leaf now covers several keys: expand it into one child per key.
+        for key, covered in node.cells.items():
+            child = Summary()
+            child.absorb_cell(covered)
+            node.add_child(child)
+
+    def _choose_operator(self, node: Summary, cell: Cell) -> Optional[Summary]:
+        """Pick the operator with the best partition score; return the host child.
+
+        Returning ``None`` means a new child was created and the descent stops.
+        """
+        children = node.children
+
+        # A cell key already present in the tree must always be routed back to
+        # the subtree that holds it: leaves stay in one-to-one correspondence
+        # with populated grid cells, which keeps the hierarchy size bounded by
+        # the background-knowledge grid (Section 6.1.1 of the paper).
+        for child in children:
+            if cell.key in child.cells:
+                return child
+
+        cell_profile = _cell_profile(cell)
+        profiles = [_node_profile(child) for child in children]
+
+        ranked = self._rank_hosts(children, profiles, cell_profile)
+        best_index = ranked[0]
+        candidates: List[Tuple[float, str, Optional[int]]] = []
+
+        # Option 1: incorporate into the best existing child.
+        add_profiles = list(profiles)
+        add_profiles[best_index] = _combine_profiles(
+            profiles[best_index], cell_profile
+        )
+        candidates.append((partition_score(add_profiles), "add", best_index))
+
+        # Option 2: create a new child for the cell alone.
+        create_profiles = list(profiles) + [dict(cell_profile)]
+        candidates.append((partition_score(create_profiles), "create", None))
+
+        # Option 3: merge the two best children and incorporate there.
+        if self._parameters.enable_merge and len(children) >= 2:
+            second_index = ranked[1]
+            merge_profiles = [
+                profile
+                for index, profile in enumerate(profiles)
+                if index not in (best_index, second_index)
+            ]
+            merge_profiles.append(
+                _combine_profiles(
+                    profiles[best_index], profiles[second_index], cell_profile
+                )
+            )
+            candidates.append((partition_score(merge_profiles), "merge", second_index))
+
+        # Option 4: split the best child (promote its children) and re-add.
+        best_child = children[best_index]
+        if self._parameters.enable_split and not best_child.is_leaf:
+            split_profiles = [
+                profile
+                for index, profile in enumerate(profiles)
+                if index != best_index
+            ]
+            split_profiles.extend(
+                _node_profile(grandchild) for grandchild in best_child.children
+            )
+            split_profiles.append(dict(cell_profile))
+            candidates.append((partition_score(split_profiles), "split", None))
+
+        score, operator, argument = max(candidates, key=lambda item: item[0])
+        del score  # only the argmax matters
+
+        if operator == "add":
+            assert argument is not None
+            return children[argument]
+        if operator == "create":
+            new_child = Summary()
+            new_child.absorb_cell(cell)
+            node.add_child(new_child)
+            self._enforce_arity(node)
+            return None
+        if operator == "merge":
+            assert argument is not None
+            merged = self._merge_children(node, children[best_index], children[argument])
+            return merged
+        # operator == "split"
+        self._split_child(node, best_child)
+        # After the split the partition changed: pick the best host among the
+        # new children with a plain "add" (no further structural operator, to
+        # keep the incorporation cost bounded).
+        new_children = node.children
+        new_profiles = [_node_profile(child) for child in new_children]
+        best = self._rank_hosts(new_children, new_profiles, cell_profile)[0]
+        return new_children[best]
+
+    def _rank_hosts(
+        self,
+        children: Sequence[Summary],
+        profiles: Sequence[Profile],
+        cell_profile: Profile,
+    ) -> List[int]:
+        """Children indices ranked by affinity with the incoming cell."""
+        cell_descriptors = set(cell_profile)
+
+        def affinity(index: int) -> Tuple[float, float]:
+            profile = profiles[index]
+            total = _profile_total(profile)
+            if total <= 0.0:
+                return (0.0, 0.0)
+            overlap = sum(
+                profile.get(descriptor, 0.0) for descriptor in cell_descriptors
+            )
+            return (overlap / total, overlap)
+
+        return sorted(range(len(children)), key=affinity, reverse=True)
+
+    # -- structural operators -----------------------------------------------------
+
+    def _merge_children(
+        self, parent: Summary, first: Summary, second: Summary
+    ) -> Summary:
+        """Replace two children by a single node having both as children."""
+        merged = Summary()
+        merged.absorb_cells(cell for cell in first.cells.values())
+        merged.absorb_cells(cell for cell in second.cells.values())
+        # Collapse trivial structure: if both were leaves the merged node keeps
+        # them as children so the leaf invariant is preserved at the next level.
+        parent.remove_child(first)
+        parent.remove_child(second)
+        merged.add_child(first)
+        merged.add_child(second)
+        parent.add_child(merged)
+        return merged
+
+    def _split_child(self, parent: Summary, child: Summary) -> None:
+        """Remove ``child`` and promote its children one level up."""
+        grandchildren = list(child.children)
+        parent.remove_child(child)
+        for grandchild in grandchildren:
+            child.remove_child(grandchild)
+            parent.add_child(grandchild)
+
+    def _enforce_arity(self, node: Summary) -> None:
+        """Keep the number of children at or below ``max_children``."""
+        while len(node.children) > self._parameters.max_children:
+            profiles = [_node_profile(child) for child in node.children]
+            index_a, index_b = _most_similar_pair(profiles)
+            self._merge_children(node, node.children[index_a], node.children[index_b])
+
+
+def _most_similar_pair(profiles: Sequence[Profile]) -> Tuple[int, int]:
+    """Indices of the two profiles with the highest cosine-like similarity."""
+    best_pair = (0, 1)
+    best_similarity = -1.0
+    for i in range(len(profiles)):
+        for j in range(i + 1, len(profiles)):
+            similarity = _profile_similarity(profiles[i], profiles[j])
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_pair = (i, j)
+    return best_pair
+
+
+def _profile_similarity(first: Profile, second: Profile) -> float:
+    """Cosine similarity between two descriptor-weight profiles."""
+    shared = set(first) & set(second)
+    if not shared:
+        return 0.0
+    dot = sum(first[d] * second[d] for d in shared)
+    norm_first = sum(weight * weight for weight in first.values()) ** 0.5
+    norm_second = sum(weight * weight for weight in second.values()) ** 0.5
+    if norm_first == 0.0 or norm_second == 0.0:
+        return 0.0
+    return dot / (norm_first * norm_second)

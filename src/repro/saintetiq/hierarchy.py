@@ -1,0 +1,220 @@
+"""Summary hierarchies: the tree of summaries built by the summarization service.
+
+A :class:`SummaryHierarchy` wraps a :class:`~repro.saintetiq.clustering.SummaryBuilder`
+together with the mapping service that feeds it, and exposes the operations
+the P2P layer relies on:
+
+* incremental incorporation of records (local summary maintenance),
+* structural figures used by the cost model (node count, depth, arity,
+  estimated size in bytes),
+* a *signature* — the set of descriptors appearing in summary intents — whose
+  drift is how partners detect that their local summary has changed enough to
+  warrant a ``push`` message (Section 4.2.1),
+* deep copies, used when a local summary is shipped to the superpeer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell
+from repro.saintetiq.clustering import ClusteringParameters, SummaryBuilder
+from repro.saintetiq.mapping import MappingService
+from repro.saintetiq.summary import Summary
+
+#: Rough per-summary storage footprint used by the cost model (Section 6.1.1).
+DEFAULT_SUMMARY_SIZE_BYTES = 512
+
+
+class SummaryHierarchy:
+    """A summary tree over one (or several merged) data sources."""
+
+    def __init__(
+        self,
+        background: BackgroundKnowledge,
+        attributes: Optional[Iterable[str]] = None,
+        parameters: Optional[ClusteringParameters] = None,
+        owner: Optional[str] = None,
+    ) -> None:
+        self._background = background
+        self._mapping = MappingService(background, attributes=attributes)
+        self._builder = SummaryBuilder(parameters)
+        self._owner = owner
+        self._records_processed = 0
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def background(self) -> BackgroundKnowledge:
+        return self._background
+
+    @property
+    def mapping(self) -> MappingService:
+        return self._mapping
+
+    @property
+    def root(self) -> Summary:
+        return self._builder.root
+
+    @property
+    def owner(self) -> Optional[str]:
+        return self._owner
+
+    @property
+    def records_processed(self) -> int:
+        return self._records_processed
+
+    @property
+    def attributes(self) -> List[str]:
+        return self._mapping.attributes
+
+    # -- construction / maintenance -------------------------------------------------
+
+    def add_record(self, record: Mapping[str, object]) -> int:
+        """Map one record and incorporate the resulting cells.
+
+        Returns the number of cells the record contributed to.  Records that
+        fall outside the background-knowledge support contribute nothing.
+        """
+        contributions = 0
+        for key, weight, grades in self._mapping.map_record(record):
+            cell = Cell(key=key)
+            cell.absorb_record(record, weight, grades, peer=self._owner)
+            self._builder.incorporate(cell)
+            contributions += 1
+        if contributions:
+            self._records_processed += 1
+        return contributions
+
+    def add_records(self, records: Iterable[Mapping[str, object]]) -> int:
+        """Incorporate a batch of records; returns how many produced cells."""
+        added = 0
+        for record in records:
+            if self.add_record(record):
+                added += 1
+        return added
+
+    def incorporate_cell(self, cell: Cell) -> None:
+        """Incorporate an externally produced cell (used by hierarchy merging)."""
+        self._builder.incorporate(cell)
+
+    # -- structure metrics -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.root.cells
+
+    def node_count(self) -> int:
+        return sum(1 for _node in self.root.iter_subtree())
+
+    def leaf_count(self) -> int:
+        return len(self.root.leaves())
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+    def average_arity(self) -> float:
+        """Average number of children of internal nodes (the ``B`` of the model)."""
+        internal = [node for node in self.root.iter_subtree() if not node.is_leaf]
+        if not internal:
+            return 0.0
+        return sum(len(node.children) for node in internal) / len(internal)
+
+    def size_bytes(self, per_summary: int = DEFAULT_SUMMARY_SIZE_BYTES) -> int:
+        """Estimated storage footprint (``k`` bytes per summary node)."""
+        return per_summary * self.node_count()
+
+    def leaves(self) -> List[Summary]:
+        return self.root.leaves()
+
+    def leaf_cells(self) -> List[Cell]:
+        """The populated cells at the leaves (input of hierarchy merging)."""
+        cells: Dict[object, Cell] = {}
+        for leaf in self.root.leaves():
+            for key, cell in leaf.cells.items():
+                if key in cells:
+                    cells[key].merge(cell)
+                else:
+                    cells[key] = cell.copy()
+        return list(cells.values())
+
+    def peer_extent(self) -> Set[str]:
+        """All peers contributing data to this hierarchy (Definition 4)."""
+        return self.root.peer_extent
+
+    # -- drift detection ---------------------------------------------------------------
+
+    def signature(self) -> FrozenSet[Descriptor]:
+        """The set of descriptors appearing anywhere in the hierarchy's intents.
+
+        The paper detects summary modification *"by observing the
+        appearance/disappearance of descriptors in summary intentions"*; the
+        signature is exactly that observable.
+        """
+        descriptors: Set[Descriptor] = set()
+        for node in self.root.iter_subtree():
+            descriptors |= node.descriptors
+        return frozenset(descriptors)
+
+    def drift_from(self, signature: FrozenSet[Descriptor]) -> float:
+        """Fraction of descriptors that appeared or disappeared since ``signature``.
+
+        Returns a value in [0, 1]; 0 means the intents are unchanged.
+        """
+        current = self.signature()
+        union = current | signature
+        if not union:
+            return 0.0
+        return len(current ^ signature) / len(union)
+
+    # -- copies --------------------------------------------------------------------------
+
+    def snapshot(self) -> "SummaryHierarchy":
+        """Deep copy of this hierarchy (e.g. the version shipped to a superpeer)."""
+        clone = SummaryHierarchy(
+            self._background,
+            attributes=self._mapping.attributes,
+            parameters=self._builder.parameters,
+            owner=self._owner,
+        )
+        clone._builder = SummaryBuilder(self._builder.parameters)
+        for cell in self.leaf_cells():
+            clone._builder.incorporate(cell)
+        clone._records_processed = self._records_processed
+        return clone
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`SummaryError` on violation.
+
+        * every internal node's cell map is the union of its children's,
+        * every leaf covers at least one cell (once the hierarchy is non-empty),
+        * the generalization partial order of Definition 2 holds along edges.
+        """
+        if self.is_empty():
+            return
+        for node in self.root.iter_subtree():
+            if node.is_leaf:
+                if not node.cells:
+                    raise SummaryError(f"leaf {node.node_id} covers no cell")
+                continue
+            child_keys: Set[object] = set()
+            for child in node.children:
+                child_keys |= set(child.cells)
+                if not node.covers(child):
+                    raise SummaryError(
+                        f"node {node.node_id} does not generalize its child "
+                        f"{child.node_id}"
+                    )
+            if child_keys != set(node.cells):
+                raise SummaryError(
+                    f"node {node.node_id} cells differ from the union of its "
+                    f"children's cells"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SummaryHierarchy(owner={self._owner!r}, nodes={self.node_count()}, "
+            f"leaves={self.leaf_count()}, depth={self.depth()})"
+        )

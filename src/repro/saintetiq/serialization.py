@@ -1,0 +1,203 @@
+"""Serialization of summaries and hierarchies.
+
+Local summaries travel inside ``localsum`` and ``reconciliation`` messages and
+global summaries are persisted at summary peers, so the reproduction needs a
+wire format.  Summaries serialize to plain JSON-compatible dictionaries; the
+encoded size doubles as a realistic estimate of the per-message payload that
+the storage-cost model (Section 6.1.1) approximates with 512 bytes per node.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.clustering import ClusteringParameters
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.stats import AttributeStatistics, StatisticsBundle
+from repro.saintetiq.summary import Summary
+
+_FORMAT_VERSION = 1
+
+
+# -- cells ----------------------------------------------------------------------
+
+
+def cell_to_dict(cell: Cell) -> Dict[str, Any]:
+    """Encode one populated grid cell."""
+    return {
+        "key": [[d.attribute, d.label] for d in cell.key],
+        "tuple_count": cell.tuple_count,
+        "grades": [
+            [descriptor.attribute, descriptor.label, grade]
+            for descriptor, grade in sorted(
+                cell.grades.items(), key=lambda kv: (kv[0].attribute, kv[0].label)
+            )
+        ],
+        "statistics": _statistics_to_dict(cell.statistics),
+        "peers": sorted(cell.peers),
+    }
+
+
+def cell_from_dict(payload: Dict[str, Any]) -> Cell:
+    """Decode one populated grid cell."""
+    try:
+        key = make_cell_key(
+            Descriptor(attribute, label) for attribute, label in payload["key"]
+        )
+        cell = Cell(key=key)
+        cell.tuple_count = float(payload["tuple_count"])
+        cell.grades = {
+            Descriptor(attribute, label): float(grade)
+            for attribute, label, grade in payload.get("grades", [])
+        }
+        cell.statistics = _statistics_from_dict(payload.get("statistics", {}))
+        cell.peers = set(payload.get("peers", []))
+        return cell
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SummaryError(f"malformed cell payload: {exc}") from exc
+
+
+def _statistics_to_dict(bundle: StatisticsBundle) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {}
+    for attribute in bundle.attributes:
+        stats = bundle.get(attribute)
+        if stats is None:
+            continue
+        encoded[attribute] = {
+            "count": stats.count,
+            "total": stats.total,
+            "total_squares": stats.total_squares,
+            "min": stats.minimum,
+            "max": stats.maximum,
+        }
+    return encoded
+
+
+def _statistics_from_dict(payload: Dict[str, Any]) -> StatisticsBundle:
+    bundle = StatisticsBundle()
+    for attribute, values in payload.items():
+        stats = AttributeStatistics(
+            count=float(values.get("count", 0.0)),
+            total=float(values.get("total", 0.0)),
+            total_squares=float(values.get("total_squares", 0.0)),
+            minimum=values.get("min"),
+            maximum=values.get("max"),
+        )
+        bundle._stats[attribute] = stats  # noqa: SLF001 - controlled rebuild
+    return bundle
+
+
+# -- summary trees -----------------------------------------------------------------
+
+
+def summary_to_dict(summary: Summary) -> Dict[str, Any]:
+    """Encode a summary node and, recursively, its children."""
+    return {
+        "cells": [cell_to_dict(cell) for _key, cell in sorted(
+            summary.cells.items(), key=lambda kv: tuple(map(str, kv[0]))
+        )],
+        "children": [summary_to_dict(child) for child in summary.children],
+    }
+
+
+def summary_from_dict(payload: Dict[str, Any]) -> Summary:
+    """Decode a summary subtree."""
+    summary = Summary()
+    for cell_payload in payload.get("cells", []):
+        summary.absorb_cell(cell_from_dict(cell_payload))
+    for child_payload in payload.get("children", []):
+        summary.add_child(summary_from_dict(child_payload))
+    return summary
+
+
+# -- hierarchies ----------------------------------------------------------------------
+
+
+def hierarchy_to_dict(hierarchy: SummaryHierarchy) -> Dict[str, Any]:
+    """Encode a whole hierarchy (structure + metadata, not the BK)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "owner": hierarchy.owner,
+        "attributes": hierarchy.attributes,
+        "records_processed": hierarchy.records_processed,
+        "parameters": {
+            "max_children": _builder_parameters(hierarchy).max_children,
+            "enable_merge": _builder_parameters(hierarchy).enable_merge,
+            "enable_split": _builder_parameters(hierarchy).enable_split,
+        },
+        "root": summary_to_dict(hierarchy.root),
+    }
+
+
+def _builder_parameters(hierarchy: SummaryHierarchy) -> ClusteringParameters:
+    return hierarchy._builder.parameters  # noqa: SLF001 - serialization needs them
+
+
+def hierarchy_from_dict(
+    payload: Dict[str, Any], background: BackgroundKnowledge
+) -> SummaryHierarchy:
+    """Decode a hierarchy; the background knowledge is supplied by the caller.
+
+    The receiving peer always owns the (common) background knowledge — only
+    summary structure travels on the wire, exactly as in the paper.
+    """
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise SummaryError(f"unsupported summary format version: {version!r}")
+    parameters_payload = payload.get("parameters", {})
+    parameters = ClusteringParameters(
+        max_children=int(parameters_payload.get("max_children", 4) or 4),
+        enable_merge=bool(parameters_payload.get("enable_merge", True)),
+        enable_split=bool(parameters_payload.get("enable_split", True)),
+    )
+    hierarchy = SummaryHierarchy(
+        background,
+        attributes=payload.get("attributes") or None,
+        parameters=parameters,
+        owner=payload.get("owner"),
+    )
+    root = summary_from_dict(payload.get("root", {}))
+    for cell in _leaf_cells(root):
+        hierarchy.incorporate_cell(cell)
+    hierarchy._records_processed = int(  # noqa: SLF001 - metadata restore
+        payload.get("records_processed", 0)
+    )
+    return hierarchy
+
+
+def _leaf_cells(root: Summary) -> List[Cell]:
+    merged: Dict[object, Cell] = {}
+    for leaf in root.leaves():
+        for key, cell in leaf.cells.items():
+            if key in merged:
+                merged[key].merge(cell)
+            else:
+                merged[key] = cell.copy()
+    return list(merged.values())
+
+
+# -- JSON convenience ---------------------------------------------------------------------
+
+
+def hierarchy_to_json(hierarchy: SummaryHierarchy, indent: Optional[int] = None) -> str:
+    return json.dumps(hierarchy_to_dict(hierarchy), indent=indent, sort_keys=True)
+
+
+def hierarchy_from_json(
+    payload: str, background: BackgroundKnowledge
+) -> SummaryHierarchy:
+    try:
+        decoded = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SummaryError(f"malformed summary JSON: {exc}") from exc
+    return hierarchy_from_dict(decoded, background)
+
+
+def encoded_size_bytes(hierarchy: SummaryHierarchy) -> int:
+    """Actual wire size of the hierarchy (compact JSON encoding)."""
+    return len(hierarchy_to_json(hierarchy).encode("utf-8"))

@@ -1,0 +1,124 @@
+"""Attribute-dependent measures stored in summaries.
+
+The paper notes that every coarser tuple (grid cell, and by extension summary)
+*"stores a record count and attribute-dependent measures (min, max, mean,
+standard deviation, etc.)"*.  :class:`AttributeStatistics` keeps those
+aggregates in a mergeable form (count / sum / sum of squares / min / max) so
+that summaries can be combined without revisiting raw data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+@dataclass
+class AttributeStatistics:
+    """Streaming aggregate of a numeric attribute (weighted)."""
+
+    count: float = 0.0
+    total: float = 0.0
+    total_squares: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Fold one (possibly fractionally weighted) observation in."""
+        if weight <= 0.0:
+            return
+        self.count += weight
+        self.total += weight * value
+        self.total_squares += weight * value * value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def merge(self, other: "AttributeStatistics") -> None:
+        """Fold another aggregate into this one (in place)."""
+        self.count += other.count
+        self.total += other.total
+        self.total_squares += other.total_squares
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+
+    def copy(self) -> "AttributeStatistics":
+        return AttributeStatistics(
+            count=self.count,
+            total=self.total,
+            total_squares=self.total_squares,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count <= 0.0:
+            return None
+        return self.total / self.count
+
+    @property
+    def variance(self) -> Optional[float]:
+        if self.count <= 0.0:
+            return None
+        mean = self.total / self.count
+        variance = self.total_squares / self.count - mean * mean
+        return max(0.0, variance)
+
+    @property
+    def std(self) -> Optional[float]:
+        variance = self.variance
+        return math.sqrt(variance) if variance is not None else None
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class StatisticsBundle:
+    """A per-attribute collection of :class:`AttributeStatistics`."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, AttributeStatistics] = {}
+
+    def add_record(self, record: Mapping[str, object], weight: float = 1.0) -> None:
+        for attribute, value in record.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self._stats.setdefault(attribute, AttributeStatistics()).add(
+                float(value), weight
+            )
+
+    def merge(self, other: "StatisticsBundle") -> None:
+        for attribute, stats in other._stats.items():
+            self._stats.setdefault(attribute, AttributeStatistics()).merge(stats)
+
+    def copy(self) -> "StatisticsBundle":
+        clone = StatisticsBundle()
+        clone._stats = {name: stats.copy() for name, stats in self._stats.items()}
+        return clone
+
+    def get(self, attribute: str) -> Optional[AttributeStatistics]:
+        return self._stats.get(attribute)
+
+    @property
+    def attributes(self) -> list:
+        return list(self._stats)
+
+    def as_dict(self) -> Dict[str, Dict[str, Optional[float]]]:
+        return {name: stats.as_dict() for name, stats in self._stats.items()}

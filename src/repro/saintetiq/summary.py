@@ -1,0 +1,186 @@
+"""Summary nodes: intent, extent, peer-extent and tree structure.
+
+A summary *z* (Definition 1 of the paper) is the bounding box of a cluster of
+cells: its *intent* is, per attribute, the union of the labels of the covered
+cells; its *extent* is the set of covered cells (``L_z``) together with the
+records they aggregate (``R_z`` — represented here by counts and statistics
+rather than raw tuples); its *peer-extent* (Definition 3) is the set of peers
+owning at least one covered record.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell, CellKey
+from repro.saintetiq.stats import StatisticsBundle
+
+_summary_counter = itertools.count()
+
+
+def _next_summary_id() -> int:
+    return next(_summary_counter)
+
+
+@dataclass
+class Summary:
+    """A node of the summary hierarchy."""
+
+    node_id: int = field(default_factory=_next_summary_id)
+    children: List["Summary"] = field(default_factory=list)
+    cells: Dict[CellKey, Cell] = field(default_factory=dict)
+    parent: Optional["Summary"] = field(default=None, repr=False, compare=False)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "Summary") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def remove_child(self, child: "Summary") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def iter_subtree(self) -> Iterable["Summary"]:
+        """Depth-first traversal of this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def leaves(self) -> List["Summary"]:
+        return [node for node in self.iter_subtree() if node.is_leaf]
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a single node has depth 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- intent / extent --------------------------------------------------------
+
+    @property
+    def intent(self) -> Dict[str, FrozenSet[str]]:
+        """Per-attribute set of labels describing the covered cells."""
+        labels: Dict[str, Set[str]] = {}
+        for key in self.cells:
+            for descriptor in key:
+                labels.setdefault(descriptor.attribute, set()).add(descriptor.label)
+        return {attribute: frozenset(values) for attribute, values in labels.items()}
+
+    @property
+    def descriptors(self) -> Set[Descriptor]:
+        """All descriptors appearing in the intent."""
+        result: Set[Descriptor] = set()
+        for key in self.cells:
+            result |= set(key)
+        return result
+
+    @property
+    def attributes(self) -> List[str]:
+        return sorted({descriptor.attribute for key in self.cells for descriptor in key})
+
+    @property
+    def tuple_count(self) -> float:
+        return sum(cell.tuple_count for cell in self.cells.values())
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    @property
+    def peer_extent(self) -> Set[str]:
+        """Definition 3: peers owning at least one record described here."""
+        peers: Set[str] = set()
+        for cell in self.cells.values():
+            peers |= cell.peers
+        return peers
+
+    def statistics(self) -> StatisticsBundle:
+        """Aggregated attribute statistics over the covered cells."""
+        bundle = StatisticsBundle()
+        for cell in self.cells.values():
+            bundle.merge(cell.statistics)
+        return bundle
+
+    def covers(self, other: "Summary") -> bool:
+        """Generalization test: does this summary's extent include ``other``'s?
+
+        Implements the partial order of Definition 2 at the granularity of
+        cells (``R_z ⊆ R_z'`` holds exactly when ``L_z ⊆ L_z'`` for summaries
+        built from the same cell population).
+        """
+        return set(other.cells).issubset(set(self.cells))
+
+    def labels_of(self, attribute: str) -> FrozenSet[str]:
+        return self.intent.get(attribute, frozenset())
+
+    # -- cell bookkeeping --------------------------------------------------------
+
+    def absorb_cell(self, cell: Cell) -> None:
+        """Fold a cell (copied) into this node's own extent."""
+        existing = self.cells.get(cell.key)
+        if existing is None:
+            self.cells[cell.key] = cell.copy()
+        else:
+            existing.merge(cell)
+
+    def absorb_cells(self, cells: Iterable[Cell]) -> None:
+        for cell in cells:
+            self.absorb_cell(cell)
+
+    def recompute_from_children(self) -> None:
+        """Rebuild this node's cell map as the union of its children's.
+
+        Internal nodes of the hierarchy always satisfy this invariant; it is
+        re-established after structural operators (merge/split) run.
+        """
+        if not self.children:
+            return
+        rebuilt: Dict[CellKey, Cell] = {}
+        for child in self.children:
+            for key, cell in child.cells.items():
+                if key in rebuilt:
+                    rebuilt[key].merge(cell)
+                else:
+                    rebuilt[key] = cell.copy()
+        self.cells = rebuilt
+
+    def copy_subtree(self) -> "Summary":
+        """Deep copy of the subtree rooted at this node."""
+        clone = Summary(cells={key: cell.copy() for key, cell in self.cells.items()})
+        for child in self.children:
+            clone.add_child(child.copy_subtree())
+        return clone
+
+    def describe(self) -> Dict[str, List[str]]:
+        """Readable intent: attribute -> sorted labels."""
+        return {
+            attribute: sorted(labels) for attribute, labels in self.intent.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        intent = "; ".join(
+            f"{attribute}={{{', '.join(sorted(labels))}}}"
+            for attribute, labels in sorted(self.intent.items())
+        )
+        return (
+            f"Summary(id={self.node_id}, cells={self.cell_count}, "
+            f"count={self.tuple_count:.2f}, intent=[{intent}])"
+        )
+
+
+def summary_from_cells(cells: Iterable[Cell]) -> Summary:
+    """Build a flat summary (no children) covering ``cells``."""
+    summary = Summary()
+    summary.absorb_cells(cells)
+    if not summary.cells:
+        raise SummaryError("cannot build a summary from an empty cell collection")
+    return summary

@@ -1,0 +1,22 @@
+"""Workload and scenario generation for the experiments.
+
+* :mod:`repro.workloads.patients` — per-peer medical databases matching the
+  paper's running example,
+* :mod:`repro.workloads.queries` — selection-query workloads over those
+  databases,
+* :mod:`repro.workloads.scenarios` — the simulation scenarios of Table 3
+  (network sizes, query rates, churn model, α sweep).
+"""
+
+from repro.workloads.patients import MedicalWorkload, build_peer_databases
+from repro.workloads.queries import QueryWorkload, paper_example_query
+from repro.workloads.scenarios import SimulationScenario, table3_parameters
+
+__all__ = [
+    "MedicalWorkload",
+    "build_peer_databases",
+    "QueryWorkload",
+    "paper_example_query",
+    "SimulationScenario",
+    "table3_parameters",
+]

@@ -1,0 +1,145 @@
+"""Simulation scenarios: the parameter space of Table 3.
+
+A :class:`SimulationScenario` bundles every knob of one simulation run —
+network size, topology, churn model, query workload, protocol configuration —
+and knows how to instantiate a ready-to-run
+:class:`~repro.core.protocol.SummaryManagementSystem` in planned-content mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SummaryManagementSystem
+from repro.exceptions import ConfigurationError
+from repro.network.churn import LifetimeDistribution
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+
+
+def table3_parameters() -> Dict[str, object]:
+    """The simulation parameters of the paper's Table 3, as a plain dict."""
+    return {
+        "local_summary_lifetime": {
+            "distribution": "skewed (log-normal)",
+            "mean_seconds": 3 * 3600.0,
+            "median_seconds": 3600.0,
+        },
+        "number_of_peers": (16, 5000),
+        "number_of_queries": 200,
+        "matching_nodes_fraction": 0.10,
+        "freshness_threshold_alpha": (0.1, 0.8),
+        "query_rate_per_node_per_second": 1.0 / 1200.0,
+        "average_degree": 4,
+        "flooding_ttl": 3,
+    }
+
+
+#: Network sizes swept by the experiments (the paper spans 16–5000 peers).
+DEFAULT_NETWORK_SIZES: List[int] = [16, 100, 500, 1000, 2000, 3500, 5000]
+#: Domain sizes swept by Figures 4–6.
+DEFAULT_DOMAIN_SIZES: List[int] = [16, 100, 500, 1000, 2000, 5000]
+#: α values swept by Figure 4.
+DEFAULT_ALPHAS: List[float] = [0.1, 0.3, 0.5, 0.8]
+
+
+@dataclass
+class SimulationScenario:
+    """One fully specified simulation run."""
+
+    peer_count: int = 500
+    alpha: float = 0.3
+    matching_fraction: float = 0.1
+    query_count: int = 200
+    duration_seconds: float = 6 * 3600.0
+    average_degree: float = 4.0
+    superpeer_fraction: float = 1.0 / 16.0
+    lifetime_mean_seconds: float = 3 * 3600.0
+    lifetime_median_seconds: float = 3600.0
+    downtime_seconds: float = 600.0
+    graceful_fraction: float = 0.9
+    seed: int = 0
+    extra_config: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.peer_count < 2:
+            raise ConfigurationError("peer_count must be at least 2")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1]")
+        if self.duration_seconds <= 0:
+            raise ConfigurationError("duration_seconds must be positive")
+
+    # -- factories -------------------------------------------------------------------
+
+    def protocol_config(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            freshness_threshold=self.alpha,
+            superpeer_fraction=self.superpeer_fraction,
+            **self.extra_config,  # type: ignore[arg-type]
+        )
+
+    def topology_config(self) -> TopologyConfig:
+        return TopologyConfig(
+            peer_count=self.peer_count,
+            average_degree=self.average_degree,
+            seed=self.seed,
+        )
+
+    def lifetime_distribution(self) -> LifetimeDistribution:
+        return LifetimeDistribution(
+            mean_seconds=self.lifetime_mean_seconds,
+            median_seconds=self.lifetime_median_seconds,
+        )
+
+    def build_system(
+        self, summary_peers: Optional[List[str]] = None
+    ) -> SummaryManagementSystem:
+        """Instantiate overlay + system in planned-content mode and build domains."""
+        overlay = Overlay.generate(self.topology_config())
+        system = SummaryManagementSystem(
+            overlay, config=self.protocol_config(), seed=self.seed
+        )
+        system.use_planned_content(
+            matching_fraction=self.matching_fraction, seed=self.seed
+        )
+        system.build_domains(summary_peers=summary_peers)
+        return system
+
+    def build_single_domain_system(self) -> SummaryManagementSystem:
+        """A system with a single domain covering the whole network.
+
+        Figures 4–6 study *one* domain of varying size; forcing a single
+        summary peer makes the domain size equal to the network size.
+        """
+        overlay = Overlay.generate(self.topology_config())
+        config = ProtocolConfig(
+            freshness_threshold=self.alpha,
+            superpeer_fraction=1.0 / max(2, self.peer_count),
+            construction_ttl=max(
+                2, _diameter_upper_bound(self.peer_count, self.average_degree)
+            ),
+            **self.extra_config,  # type: ignore[arg-type]
+        )
+        system = SummaryManagementSystem(overlay, config=config, seed=self.seed)
+        system.use_planned_content(
+            matching_fraction=self.matching_fraction, seed=self.seed
+        )
+        hub = max(overlay.peer_ids, key=overlay.degree)
+        system.build_domains(summary_peers=[hub])
+        return system
+
+    def query_interval_seconds(self) -> float:
+        """Average time between two consecutive queries in the whole network."""
+        rate = self.peer_count / 1200.0  # one query per node per 20 minutes
+        return 1.0 / rate if rate > 0 else float("inf")
+
+
+def _diameter_upper_bound(peer_count: int, average_degree: float) -> int:
+    """A generous TTL that reaches the whole network (log_k(n) + slack)."""
+    import math
+
+    if average_degree <= 1:
+        return peer_count
+    return int(math.ceil(math.log(max(peer_count, 2), average_degree))) + 2

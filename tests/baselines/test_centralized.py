@@ -1,0 +1,48 @@
+"""Unit tests for the centralized-index baseline."""
+
+import pytest
+
+from repro.baselines.centralized import CentralizedIndex, centralized_query_cost
+from repro.core.content import PlannedContentModel
+
+
+class TestCentralizedIndex:
+    def test_exact_relevant_set(self):
+        peers = [f"p{i}" for i in range(50)]
+        content = PlannedContentModel(peers, matching_fraction=0.1, seed=1)
+        index = CentralizedIndex()
+        outcome = index.query(peers, "p0", content, query_id=0)
+        assert outcome.relevant_peers == content.plan_query(0)
+        assert outcome.responding_peers == outcome.relevant_peers
+
+    def test_message_count_formula(self):
+        peers = [f"p{i}" for i in range(50)]
+        content = PlannedContentModel(peers, matching_fraction=0.1, seed=2)
+        index = CentralizedIndex()
+        outcome = index.query(peers, "p0", content, query_id=0)
+        assert outcome.total_messages == 1 + 2 * len(outcome.relevant_peers)
+
+    def test_departed_peers_not_returned(self):
+        peers = [f"p{i}" for i in range(30)]
+        content = PlannedContentModel(peers, matching_fraction=0.2, seed=3)
+        victim = next(iter(content.plan_query(0)))
+        content.mark_departed(victim)
+        outcome = CentralizedIndex().query(peers, "p0", content, query_id=0)
+        assert victim not in outcome.relevant_peers
+
+    def test_counter_records_traffic(self):
+        peers = [f"p{i}" for i in range(10)]
+        content = PlannedContentModel(peers, matching_fraction=0.5, seed=4)
+        index = CentralizedIndex()
+        index.query(peers, "p0", content, 0)
+        assert index.counter.total > 0
+
+
+class TestAnalyticalCost:
+    def test_formula(self):
+        assert centralized_query_cost(2000, 0.1) == pytest.approx(401.0)
+
+    def test_scales_linearly(self):
+        assert centralized_query_cost(1000) * 2 - 1 == pytest.approx(
+            centralized_query_cost(2000)
+        )

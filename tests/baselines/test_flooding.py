@@ -1,0 +1,86 @@
+"""Unit tests for the pure-flooding baseline."""
+
+import pytest
+
+from repro.baselines.flooding import FloodingSearch, flooding_query_cost
+from repro.core.content import PlannedContentModel
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+
+
+@pytest.fixture
+def overlay():
+    return Overlay.generate(TopologyConfig(peer_count=100, seed=6))
+
+
+@pytest.fixture
+def content(overlay):
+    return PlannedContentModel(overlay.peer_ids, matching_fraction=0.2, seed=6)
+
+
+class TestFloodingSearch:
+    def test_invalid_ttl_raises(self):
+        with pytest.raises(ValueError):
+            FloodingSearch(ttl=0)
+
+    def test_ttl_bounded_flood(self, overlay, content):
+        search = FloodingSearch(ttl=2)
+        outcome = search.query(overlay, overlay.peer_ids[0], content, query_id=0)
+        reached_by_bfs = set(overlay.within_ttl(overlay.peer_ids[0], 2))
+        assert outcome.reached_peers == reached_by_bfs
+        assert outcome.query_messages >= len(outcome.reached_peers)
+
+    def test_responses_come_from_matching_reached_peers(self, overlay, content):
+        search = FloodingSearch(ttl=3)
+        outcome = search.query(overlay, overlay.peer_ids[0], content, query_id=0)
+        matching = content.plan_query(0)
+        assert outcome.responding_peers == outcome.reached_peers & matching
+        assert outcome.response_messages == len(outcome.responding_peers)
+
+    def test_total_messages(self, overlay, content):
+        search = FloodingSearch(ttl=2)
+        outcome = search.query(overlay, overlay.peer_ids[0], content, query_id=0)
+        assert outcome.total_messages == outcome.query_messages + outcome.response_messages
+
+    def test_larger_ttl_reaches_more(self, overlay, content):
+        small = FloodingSearch(ttl=1).query(overlay, overlay.peer_ids[0], content, 0)
+        large = FloodingSearch(ttl=3).query(overlay, overlay.peer_ids[0], content, 0)
+        assert len(large.reached_peers) >= len(small.reached_peers)
+        assert large.query_messages >= small.query_messages
+
+    def test_stop_condition_expands_beyond_ttl(self, overlay, content):
+        search = FloodingSearch(ttl=1)
+        originator = overlay.peer_ids[0]
+        # Results the flood can actually reach (the originator answers locally).
+        required = len(content.plan_query(0) - {originator})
+        outcome = search.query(
+            overlay, originator, content, 0, required_results=required
+        )
+        assert len(outcome.responding_peers) >= required
+
+    def test_stop_condition_exhausts_network_when_not_enough_results(self, overlay):
+        empty_content = PlannedContentModel(overlay.peer_ids, matching_fraction=0.0)
+        search = FloodingSearch(ttl=3)
+        outcome = search.query(
+            overlay, overlay.peer_ids[0], empty_content, 0, required_results=10
+        )
+        # The whole connected network gets covered without finding anything.
+        assert len(outcome.reached_peers) == overlay.size - 1
+        assert outcome.responding_peers == set()
+
+    def test_counter_accumulates(self, overlay, content):
+        search = FloodingSearch(ttl=2)
+        search.query(overlay, overlay.peer_ids[0], content, 0)
+        search.query(overlay, overlay.peer_ids[1], content, 1)
+        assert search.counter.total > 0
+
+
+class TestAnalyticalCost:
+    def test_flooding_query_cost_formula(self):
+        assert flooding_query_cost(3.5, 3) == pytest.approx(3.5 + 3.5**2 + 3.5**3)
+
+    def test_flooding_query_cost_with_responders(self):
+        assert flooding_query_cost(2.0, 2, responders=5) == pytest.approx(2 + 4 + 5)
+
+    def test_flooding_query_cost_zero_ttl(self):
+        assert flooding_query_cost(3.5, 0, responders=2) == 2.0

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.database.generator import PatientGenerator
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.mapping import MappingService
+
+
+@pytest.fixture
+def background():
+    """The full medical background knowledge (age, bmi, sex, disease)."""
+    return medical_background_knowledge()
+
+
+@pytest.fixture
+def numeric_background():
+    """The age/bmi-only background knowledge of the paper's running example."""
+    return medical_background_knowledge(include_categorical=False)
+
+
+@pytest.fixture
+def paper_relation():
+    """The exact three-tuple Patient relation of Table 1."""
+    return PatientGenerator(seed=0).paper_example_relation()
+
+
+@pytest.fixture
+def paper_records(paper_relation):
+    return [record.as_dict() for record in paper_relation]
+
+
+@pytest.fixture
+def mapping_service(numeric_background):
+    return MappingService(numeric_background, attributes=["age", "bmi"])
+
+
+@pytest.fixture
+def paper_cells(mapping_service, paper_records):
+    """The grid cells of Table 2."""
+    return mapping_service.map_records(paper_records, peer="peer-a")
+
+
+@pytest.fixture
+def example_hierarchy(numeric_background, paper_records):
+    hierarchy = SummaryHierarchy(
+        numeric_background, attributes=["age", "bmi"], owner="peer-a"
+    )
+    hierarchy.add_records(paper_records)
+    return hierarchy
+
+
+@pytest.fixture
+def small_overlay():
+    """A reproducible 32-peer power-law overlay."""
+    return Overlay.generate(TopologyConfig(peer_count=32, seed=7))
+
+
+@pytest.fixture
+def medium_overlay():
+    """A reproducible 120-peer power-law overlay."""
+    return Overlay.generate(TopologyConfig(peer_count=120, seed=11))
+
+
+@pytest.fixture
+def protocol_config():
+    return ProtocolConfig()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

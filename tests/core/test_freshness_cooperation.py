@@ -1,0 +1,124 @@
+"""Unit tests for freshness values and cooperation lists."""
+
+import pytest
+
+from repro.core.cooperation import CooperationList
+from repro.core.freshness import Freshness, FreshnessMode
+from repro.exceptions import ProtocolError
+
+
+class TestFreshness:
+    def test_values_match_paper_encoding(self):
+        assert Freshness.FRESH == 0
+        assert Freshness.STALE == 1
+        assert Freshness.UNAVAILABLE == 2
+
+    def test_is_fresh(self):
+        assert Freshness.FRESH.is_fresh
+        assert not Freshness.STALE.is_fresh
+
+    def test_counts_as_old(self):
+        assert not Freshness.FRESH.counts_as_old
+        assert Freshness.STALE.counts_as_old
+        assert Freshness.UNAVAILABLE.counts_as_old
+
+    def test_departure_encoding_by_mode(self):
+        assert FreshnessMode.TWO_BIT.encode_departure() is Freshness.UNAVAILABLE
+        assert FreshnessMode.ONE_BIT.encode_departure() is Freshness.STALE
+
+
+class TestCooperationList:
+    def test_add_and_lookup(self):
+        cooperation = CooperationList()
+        cooperation.add_partner("p1")
+        assert cooperation.is_partner("p1")
+        assert "p1" in cooperation
+        assert len(cooperation) == 1
+        assert cooperation.freshness_of("p1") is Freshness.FRESH
+
+    def test_add_with_initial_staleness(self):
+        cooperation = CooperationList()
+        cooperation.add_partner("p1", freshness=Freshness.STALE)
+        assert cooperation.freshness_of("p1") is Freshness.STALE
+
+    def test_remove_partner(self):
+        cooperation = CooperationList()
+        cooperation.add_partner("p1")
+        cooperation.remove_partner("p1")
+        assert not cooperation.is_partner("p1")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ProtocolError):
+            CooperationList().remove_partner("p1")
+
+    def test_entry_unknown_raises(self):
+        with pytest.raises(ProtocolError):
+            CooperationList().entry("p1")
+
+    def test_mark_stale_and_fresh_views(self):
+        cooperation = CooperationList()
+        for index in range(4):
+            cooperation.add_partner(f"p{index}")
+        cooperation.mark_stale("p0")
+        cooperation.mark_stale("p1")
+        assert set(cooperation.old_partners()) == {"p0", "p1"}
+        assert set(cooperation.fresh_partners()) == {"p2", "p3"}
+
+    def test_old_fraction(self):
+        cooperation = CooperationList()
+        for index in range(4):
+            cooperation.add_partner(f"p{index}")
+        cooperation.mark_stale("p0")
+        assert cooperation.old_fraction() == pytest.approx(0.25)
+
+    def test_old_fraction_empty_list(self):
+        assert CooperationList().old_fraction() == 0.0
+
+    def test_needs_reconciliation_threshold(self):
+        cooperation = CooperationList()
+        for index in range(10):
+            cooperation.add_partner(f"p{index}")
+        for index in range(3):
+            cooperation.mark_stale(f"p{index}")
+        assert cooperation.needs_reconciliation(0.3)
+        assert not cooperation.needs_reconciliation(0.31)
+
+    def test_needs_reconciliation_empty_list(self):
+        assert not CooperationList().needs_reconciliation(0.1)
+
+    def test_reset_all(self):
+        cooperation = CooperationList()
+        cooperation.add_partner("p1")
+        cooperation.mark_stale("p1")
+        cooperation.reset_all(now=10.0)
+        assert cooperation.freshness_of("p1") is Freshness.FRESH
+        assert cooperation.entry("p1").updated_at == 10.0
+
+    def test_departure_one_bit_mode(self):
+        cooperation = CooperationList(FreshnessMode.ONE_BIT)
+        cooperation.add_partner("p1")
+        cooperation.mark_departed("p1")
+        assert cooperation.freshness_of("p1") is Freshness.STALE
+        assert cooperation.unavailable_partners() == []
+
+    def test_departure_two_bit_mode(self):
+        cooperation = CooperationList(FreshnessMode.TWO_BIT)
+        cooperation.add_partner("p1")
+        cooperation.mark_departed("p1")
+        assert cooperation.freshness_of("p1") is Freshness.UNAVAILABLE
+        assert cooperation.unavailable_partners() == ["p1"]
+
+    def test_one_bit_mode_collapses_unavailable(self):
+        cooperation = CooperationList(FreshnessMode.ONE_BIT)
+        cooperation.add_partner("p1")
+        cooperation.set_freshness("p1", Freshness.UNAVAILABLE)
+        assert cooperation.freshness_of("p1") is Freshness.STALE
+
+    def test_freshness_of_unknown_is_none(self):
+        assert CooperationList().freshness_of("ghost") is None
+
+    def test_partner_ids_order(self):
+        cooperation = CooperationList()
+        cooperation.add_partner("b")
+        cooperation.add_partner("a")
+        assert cooperation.partner_ids == ["b", "a"]

@@ -1,0 +1,147 @@
+"""Unit tests for summary-based query routing (Section 5.2.1)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.content import PlannedContentModel
+from repro.core.domain import Domain
+from repro.core.freshness import Freshness
+from repro.core.routing import QueryRouter, RoutingPolicy
+from repro.network.messages import MessageType
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+
+
+@pytest.fixture
+def domain_and_content():
+    """A 20-partner domain with a planned content model (50 % hit rate)."""
+    domain = Domain.create("sp")
+    peer_ids = [f"p{i}" for i in range(20)]
+    for index, peer_id in enumerate(peer_ids):
+        domain.add_partner(peer_id, distance=float(index))
+    content = PlannedContentModel(peer_ids, matching_fraction=0.5, seed=1)
+    return domain, content, peer_ids
+
+
+class TestRouteInDomain:
+    def test_all_policy_contacts_every_relevant_peer(self, domain_and_content):
+        domain, content, peer_ids = domain_and_content
+        router = QueryRouter()
+        outcome = router.route_in_domain(0, domain, content)
+        matching = content.plan_query(0)
+        assert outcome.relevant_peers == matching
+        assert outcome.contacted_peers == matching
+        assert outcome.responding_peers == matching
+        assert outcome.false_positives == set()
+        assert outcome.false_negatives == set()
+
+    def test_message_accounting(self, domain_and_content):
+        domain, content, _peer_ids = domain_and_content
+        router = QueryRouter()
+        outcome = router.route_in_domain(0, domain, content)
+        expected = 1 + len(outcome.contacted_peers) + len(outcome.responding_peers)
+        assert outcome.messages == expected
+        assert router.counter.count(MessageType.QUERY) == 1 + len(outcome.contacted_peers)
+        assert router.counter.count(MessageType.QUERY_RESPONSE) == len(
+            outcome.responding_peers
+        )
+
+    def test_no_summary_peer_hop_option(self, domain_and_content):
+        domain, content, _peer_ids = domain_and_content
+        router = QueryRouter()
+        outcome = router.route_in_domain(
+            0, domain, content, charge_summary_peer_hop=False
+        )
+        assert outcome.messages == len(outcome.contacted_peers) + len(
+            outcome.responding_peers
+        )
+
+    def test_departed_relevant_peer_is_false_positive(self, domain_and_content):
+        domain, content, peer_ids = domain_and_content
+        router = QueryRouter()
+        victim = next(iter(content.plan_query(0)))
+        content.mark_departed(victim)
+        online = set(peer_ids) - {victim}
+        outcome = router.route_in_domain(0, domain, content, online_peers=online)
+        assert victim in outcome.contacted_peers
+        assert victim in outcome.false_positives
+        assert victim not in outcome.responding_peers
+        assert outcome.false_positive_rate > 0
+
+    def test_precision_policy_excludes_stale_partners(self, domain_and_content):
+        domain, content, _peer_ids = domain_and_content
+        router = QueryRouter()
+        stale_peer = next(iter(content.plan_query(0)))
+        domain.cooperation.mark_stale(stale_peer)
+        outcome = router.route_in_domain(
+            0, domain, content, policy=RoutingPolicy.PRECISION
+        )
+        assert stale_peer not in outcome.contacted_peers
+        # The excluded peer still matches: it becomes a false negative.
+        assert stale_peer in outcome.false_negatives
+        assert outcome.false_positives == set()
+
+    def test_recall_policy_includes_old_partners(self, domain_and_content):
+        domain, content, _peer_ids = domain_and_content
+        router = QueryRouter()
+        non_matching = next(
+            p for p in domain.partner_ids if p not in content.plan_query(0)
+        )
+        domain.cooperation.mark_stale(non_matching)
+        outcome = router.route_in_domain(
+            0, domain, content, policy=RoutingPolicy.RECALL
+        )
+        assert non_matching in outcome.contacted_peers
+        assert non_matching in outcome.false_positives
+        assert outcome.false_negatives == set()
+
+    def test_described_partners_restrict_relevance(self, domain_and_content):
+        domain, content, _peer_ids = domain_and_content
+        router = QueryRouter()
+        matching = content.plan_query(0)
+        described = set(list(matching)[:1])
+        outcome = router.route_in_domain(
+            0, domain, content, described_partners=described
+        )
+        assert outcome.relevant_peers == described
+        # Matching peers outside the described set are false negatives.
+        assert (matching - described) <= outcome.false_negatives
+
+    def test_rates_zero_when_nothing_contacted(self):
+        domain = Domain.create("sp")
+        domain.add_partner("p0", distance=1.0)
+        content = PlannedContentModel(["p0"], matching_fraction=0.0)
+        router = QueryRouter()
+        outcome = router.route_in_domain(0, domain, content)
+        assert outcome.false_positive_rate == 0.0
+        assert outcome.false_negative_rate == 0.0
+        assert outcome.results == 0
+
+
+class TestFloodingCost:
+    def test_flooding_cost_counts_requests_and_probes(self):
+        overlay = Overlay.generate(TopologyConfig(peer_count=30, seed=2))
+        domain = Domain.create(overlay.peer_ids[0])
+        for peer_id in overlay.peer_ids[1:6]:
+            domain.add_partner(peer_id, distance=1.0)
+        router = QueryRouter(ProtocolConfig(flooding_ttl=3))
+        cost = router.flooding_cost(
+            overlay,
+            domain,
+            responding_peers=overlay.peer_ids[1:3],
+            originator=overlay.peer_ids[10],
+            known_summary_peers=["spX", "spY"],
+            target_domains=1,
+        )
+        assert cost >= 3  # at least the flood requests
+        assert router.counter.count(MessageType.FLOOD_REQUEST) == 3
+        assert router.counter.count(MessageType.FLOOD_QUERY) >= 1
+
+    def test_flooding_cost_zero_known_summary_peers(self):
+        overlay = Overlay.generate(TopologyConfig(peer_count=20, seed=3))
+        domain = Domain.create(overlay.peer_ids[0])
+        router = QueryRouter()
+        cost = router.flooding_cost(
+            overlay, domain, responding_peers=[], originator=overlay.peer_ids[1]
+        )
+        assert cost >= 1

@@ -1,0 +1,139 @@
+"""Unit tests for the analytical cost model (Section 6.1)."""
+
+import pytest
+
+from repro.costmodel.query_cost import (
+    PaperQueryScenario,
+    domain_query_cost,
+    inter_domain_flooding_cost,
+    total_query_cost,
+)
+from repro.costmodel.storage import (
+    hierarchy_storage_cost,
+    maximum_storage_cost,
+    merged_storage_cost,
+    node_count,
+)
+from repro.costmodel.update_cost import UpdateCostModel, update_cost
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.vocabularies import medical_background_knowledge
+
+
+class TestUpdateCost:
+    def test_equation_one(self):
+        assert update_cost(3600.0, 0.001) == pytest.approx(1 / 3600 + 0.001)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            update_cost(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            update_cost(10, -1)
+
+    def test_model_push_rate(self):
+        model = UpdateCostModel(domain_size=100, lifetime_seconds=3600.0, alpha=0.3)
+        assert model.push_rate_per_node() == pytest.approx(1 / 3600)
+
+    def test_reconciliation_interval_scales_with_alpha(self):
+        low = UpdateCostModel(domain_size=100, alpha=0.1)
+        high = UpdateCostModel(domain_size=100, alpha=0.8)
+        assert low.reconciliation_interval() < high.reconciliation_interval()
+
+    def test_smaller_alpha_costs_more(self):
+        low = UpdateCostModel(domain_size=100, alpha=0.3)
+        high = UpdateCostModel(domain_size=100, alpha=0.8)
+        assert low.cost_per_node_per_second() > high.cost_per_node_per_second()
+
+    def test_per_node_cost_roughly_flat_in_domain_size(self):
+        """Figure 6: messages per node are almost independent of the domain size."""
+        small = UpdateCostModel(domain_size=100, alpha=0.3)
+        large = UpdateCostModel(domain_size=2000, alpha=0.3)
+        ratio = large.messages_per_node(3600.0) / small.messages_per_node(3600.0)
+        assert 0.8 <= ratio <= 1.2
+
+    def test_total_messages_grow_with_domain_size(self):
+        small = UpdateCostModel(domain_size=100, alpha=0.3)
+        large = UpdateCostModel(domain_size=1000, alpha=0.3)
+        assert large.total_messages(3600.0) > small.total_messages(3600.0)
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            UpdateCostModel(domain_size=0)
+        with pytest.raises(ConfigurationError):
+            UpdateCostModel(domain_size=10, alpha=0.0)
+
+
+class TestQueryCost:
+    def test_domain_cost_formula(self):
+        assert domain_query_cost(20, 0.0) == pytest.approx(41.0)
+        assert domain_query_cost(20, 0.5) == pytest.approx(31.0)
+
+    def test_domain_cost_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            domain_query_cost(-1)
+        with pytest.raises(ConfigurationError):
+            domain_query_cost(10, 1.5)
+
+    def test_flooding_cost_formula(self):
+        expected = (20 + 2) * (3.5 + 3.5**2 + 3.5**3)
+        assert inter_domain_flooding_cost(20, 0.0, 3.5, 3) == pytest.approx(expected)
+
+    def test_total_cost_single_domain_has_no_flooding(self):
+        cost = total_query_cost(
+            required_results=20, relevant_peers_per_domain=20, average_degree=3.5
+        )
+        assert cost == pytest.approx(domain_query_cost(20))
+
+    def test_total_cost_paper_instantiation(self):
+        """C_Q = 10 C_d + 9 C_f for the Section 6.2.3 scenario."""
+        scenario = PaperQueryScenario(peer_count=2000)
+        per_domain = scenario.relevant_peers_per_domain()
+        expected = 10 * domain_query_cost(per_domain) + 9 * inter_domain_flooding_cost(
+            per_domain
+        )
+        assert scenario.summary_querying_cost() == pytest.approx(expected)
+
+    def test_total_cost_zero_responders_raises(self):
+        with pytest.raises(ConfigurationError):
+            total_query_cost(10, 0)
+
+    def test_query_cost_grows_with_network(self):
+        small = PaperQueryScenario(peer_count=500).summary_querying_cost()
+        large = PaperQueryScenario(peer_count=5000).summary_querying_cost()
+        assert large > small
+
+    def test_false_positives_reduce_responses_but_not_queries(self):
+        clean = domain_query_cost(10, 0.0)
+        dirty = domain_query_cost(10, 0.3)
+        assert dirty < clean
+
+
+class TestStorageCost:
+    def test_node_count_geometric_series(self):
+        assert node_count(2, 3) == pytest.approx(15)
+        assert node_count(4, 2) == pytest.approx(21)
+
+    def test_node_count_unary_tree(self):
+        assert node_count(1, 4) == pytest.approx(5)
+
+    def test_hierarchy_storage_cost(self):
+        assert hierarchy_storage_cost(4, 2, summary_size_bytes=512) == pytest.approx(
+            512 * 21
+        )
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            node_count(0, 2)
+        with pytest.raises(ConfigurationError):
+            node_count(2, -1)
+        with pytest.raises(ConfigurationError):
+            hierarchy_storage_cost(2, 2, summary_size_bytes=0)
+
+    def test_merged_cost_is_max(self):
+        assert merged_storage_cost(1000, 2500) == 2500
+        with pytest.raises(ConfigurationError):
+            merged_storage_cost(-1, 10)
+
+    def test_maximum_storage_bounded_by_grid(self):
+        background = medical_background_knowledge(include_categorical=False)
+        bound = maximum_storage_cost(background, summary_size_bytes=512)
+        assert bound >= 512 * background.grid_size()

@@ -1,0 +1,145 @@
+"""Unit tests for the selection-query AST."""
+
+import pytest
+
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    SelectionQuery,
+)
+from repro.exceptions import QueryError
+from repro.fuzzy.linguistic import Descriptor
+
+
+class TestComparison:
+    def test_equality_operator(self):
+        predicate = Comparison("sex", "=", "female")
+        assert predicate.matches({"sex": "female"})
+        assert not predicate.matches({"sex": "male"})
+
+    def test_all_operators(self):
+        record = {"age": 20}
+        assert Comparison("age", "<", 25).matches(record)
+        assert Comparison("age", "<=", 20).matches(record)
+        assert Comparison("age", ">", 10).matches(record)
+        assert Comparison("age", ">=", 20).matches(record)
+        assert Comparison("age", "!=", 30).matches(record)
+        assert Comparison("age", "==", 20).matches(record)
+
+    def test_missing_attribute_never_matches(self):
+        assert not Comparison("age", "<", 25).matches({"bmi": 20})
+
+    def test_none_value_never_matches(self):
+        assert not Comparison("age", "<", 25).matches({"age": None})
+
+    def test_type_mismatch_never_matches(self):
+        assert not Comparison("age", "<", 25).matches({"age": "twenty"})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QueryError):
+            Comparison("age", "~", 25)
+
+    def test_attribute_property_and_str(self):
+        predicate = Comparison("age", "<", 25)
+        assert predicate.attribute == "age"
+        assert "age" in str(predicate)
+
+
+class TestAttributeIn:
+    def test_matches_member(self):
+        predicate = AttributeIn("disease", ["anorexia", "malaria"])
+        assert predicate.matches({"disease": "malaria"})
+        assert not predicate.matches({"disease": "flu"})
+
+    def test_empty_values_raise(self):
+        with pytest.raises(QueryError):
+            AttributeIn("disease", [])
+
+    def test_str_rendering(self):
+        predicate = AttributeIn("disease", ["anorexia"])
+        assert "disease" in str(predicate)
+
+
+class TestDescriptorPredicate:
+    def test_requires_matching_attribute(self):
+        with pytest.raises(QueryError):
+            DescriptorPredicate("bmi", [Descriptor("age", "young")])
+
+    def test_requires_non_empty_descriptors(self):
+        with pytest.raises(QueryError):
+            DescriptorPredicate("bmi", [])
+
+    def test_crisp_fallback_matching(self):
+        predicate = DescriptorPredicate("sex", [Descriptor("sex", "female")])
+        assert predicate.matches({"sex": "female"})
+        assert not predicate.matches({"sex": "male"})
+
+    def test_matches_with_background(self, background):
+        predicate = DescriptorPredicate(
+            "bmi", [Descriptor("bmi", "underweight"), Descriptor("bmi", "normal")]
+        )
+        assert predicate.matches_with_background({"bmi": 16}, background)
+        assert predicate.matches_with_background({"bmi": 22}, background)
+        assert not predicate.matches_with_background({"bmi": 35}, background)
+
+    def test_alpha_cut(self, background):
+        predicate = DescriptorPredicate(
+            "age", [Descriptor("age", "adult")], alpha_cut=0.5
+        )
+        # age 20 is only 0.3 adult, below the 0.5 cut
+        assert not predicate.matches_with_background({"age": 20}, background)
+        assert predicate.matches_with_background({"age": 40}, background)
+
+    def test_labels_property(self):
+        predicate = DescriptorPredicate(
+            "bmi", [Descriptor("bmi", "normal"), Descriptor("bmi", "underweight")]
+        )
+        assert set(predicate.labels) == {"normal", "underweight"}
+
+
+class TestSelectionQuery:
+    def test_matches_conjunction(self):
+        query = SelectionQuery(
+            "patient",
+            [Comparison("sex", "=", "female"), Comparison("bmi", "<", 19)],
+        )
+        assert query.matches({"sex": "female", "bmi": 17})
+        assert not query.matches({"sex": "female", "bmi": 25})
+
+    def test_empty_predicates_match_everything(self):
+        query = SelectionQuery("patient")
+        assert query.matches({"anything": 1})
+
+    def test_is_flexible(self):
+        crisp = SelectionQuery("patient", [Comparison("bmi", "<", 19)])
+        flexible = SelectionQuery(
+            "patient", [DescriptorPredicate("bmi", [Descriptor("bmi", "normal")])]
+        )
+        assert not crisp.is_flexible()
+        assert flexible.is_flexible()
+
+    def test_constrained_attributes(self):
+        query = SelectionQuery(
+            "patient",
+            [Comparison("sex", "=", "female"), Comparison("bmi", "<", 19)],
+        )
+        assert query.constrained_attributes == ["sex", "bmi"]
+
+    def test_descriptor_predicates_filter(self):
+        query = SelectionQuery(
+            "patient",
+            [
+                Comparison("sex", "=", "female"),
+                DescriptorPredicate("bmi", [Descriptor("bmi", "normal")]),
+            ],
+        )
+        assert len(query.descriptor_predicates()) == 1
+
+    def test_str_rendering(self):
+        query = SelectionQuery(
+            "patient", [Comparison("bmi", "<", 19)], select=["age"]
+        )
+        rendered = str(query)
+        assert "select age from patient" in rendered
+        assert "bmi < 19" in rendered

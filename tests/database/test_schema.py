@@ -1,0 +1,124 @@
+"""Unit tests for schemas and attribute types."""
+
+import pytest
+
+from repro.database.schema import Attribute, AttributeType, Schema, patient_schema
+from repro.exceptions import SchemaError
+
+
+class TestAttributeType:
+    def test_integer_validation(self):
+        assert AttributeType.INTEGER.validates(5)
+        assert not AttributeType.INTEGER.validates(5.5)
+        assert not AttributeType.INTEGER.validates(True)
+        assert AttributeType.INTEGER.validates(None)
+
+    def test_float_validation_accepts_int(self):
+        assert AttributeType.FLOAT.validates(5)
+        assert AttributeType.FLOAT.validates(5.5)
+        assert not AttributeType.FLOAT.validates("5.5")
+
+    def test_text_validation(self):
+        assert AttributeType.TEXT.validates("hello")
+        assert not AttributeType.TEXT.validates(5)
+
+    def test_boolean_validation(self):
+        assert AttributeType.BOOLEAN.validates(True)
+        assert not AttributeType.BOOLEAN.validates("yes")
+
+    def test_coerce_integer(self):
+        assert AttributeType.INTEGER.coerce("42") == 42
+
+    def test_coerce_float(self):
+        assert AttributeType.FLOAT.coerce("3.5") == 3.5
+
+    def test_coerce_boolean_strings(self):
+        assert AttributeType.BOOLEAN.coerce("true") is True
+        assert AttributeType.BOOLEAN.coerce("no") is False
+
+    def test_coerce_none_passthrough(self):
+        assert AttributeType.INTEGER.coerce(None) is None
+
+    def test_coerce_failure_raises(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INTEGER.coerce("not a number")
+        with pytest.raises(SchemaError):
+            AttributeType.BOOLEAN.coerce("maybe")
+
+
+class TestAttribute:
+    def test_validate_accepts_matching_value(self):
+        Attribute("age", AttributeType.FLOAT).validate(21.5)
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            Attribute("age", AttributeType.FLOAT).validate("old")
+
+    def test_non_nullable_rejects_none(self):
+        with pytest.raises(SchemaError):
+            Attribute("id", AttributeType.TEXT, nullable=False).validate(None)
+
+    def test_nullable_accepts_none(self):
+        Attribute("note", AttributeType.TEXT).validate(None)
+
+
+class TestSchema:
+    def test_attribute_names_in_order(self):
+        schema = patient_schema()
+        assert schema.attribute_names == ["id", "age", "sex", "bmi", "disease"]
+
+    def test_attribute_lookup(self):
+        schema = patient_schema()
+        assert schema.attribute("age").type is AttributeType.FLOAT
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            patient_schema().attribute("height")
+
+    def test_contains_and_len(self):
+        schema = patient_schema()
+        assert "bmi" in schema
+        assert "height" not in schema
+        assert len(schema) == 5
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [
+                    Attribute("a", AttributeType.TEXT),
+                    Attribute("a", AttributeType.TEXT),
+                ]
+            )
+
+    def test_empty_schema_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_validate_record_normalises_missing_to_none(self):
+        schema = patient_schema()
+        record = schema.validate_record({"id": "t1", "age": 20})
+        assert record["sex"] is None
+        assert record["age"] == 20
+
+    def test_validate_record_rejects_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            patient_schema().validate_record({"id": "t1", "height": 180})
+
+    def test_validate_record_rejects_missing_required(self):
+        with pytest.raises(SchemaError):
+            patient_schema().validate_record({"age": 20})
+
+    def test_project(self):
+        projected = patient_schema().project(["age", "bmi"])
+        assert projected.attribute_names == ["age", "bmi"]
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            patient_schema().project(["height"])
+
+    def test_from_types(self):
+        schema = Schema.from_types(
+            {"x": AttributeType.FLOAT, "y": AttributeType.TEXT}, non_nullable=["x"]
+        )
+        assert not schema.attribute("x").nullable
+        assert schema.attribute("y").nullable

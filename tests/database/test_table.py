@@ -1,0 +1,106 @@
+"""Unit tests for relations and records."""
+
+import pytest
+
+from repro.database.schema import patient_schema
+from repro.database.table import Record, Relation
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "patient",
+        patient_schema(),
+        [
+            {"id": "t1", "age": 15, "sex": "female", "bmi": 17, "disease": "anorexia"},
+            {"id": "t2", "age": 20, "sex": "male", "bmi": 20, "disease": "malaria"},
+        ],
+    )
+
+
+class TestRecord:
+    def test_mapping_interface(self):
+        record = Record(patient_schema(), {"id": "t1", "age": 30})
+        assert record["age"] == 30
+        assert "bmi" in record
+        assert len(record) == 5
+
+    def test_as_dict(self):
+        record = Record(patient_schema(), {"id": "t1", "age": 30})
+        values = record.as_dict()
+        assert values["id"] == "t1"
+        assert values["disease"] is None
+
+    def test_equality_with_mapping(self):
+        record = Record(patient_schema(), {"id": "t1"})
+        assert record == record.as_dict()
+
+    def test_hashable(self):
+        record = Record(patient_schema(), {"id": "t1"})
+        assert len({record, Record(patient_schema(), {"id": "t1"})}) == 1
+
+    def test_schema_violation_raises(self):
+        with pytest.raises(SchemaError):
+            Record(patient_schema(), {"id": "t1", "age": "twenty"})
+
+
+class TestRelation:
+    def test_len_and_iter(self, relation):
+        assert len(relation) == 2
+        assert [record["id"] for record in relation] == ["t1", "t2"]
+
+    def test_insert_increments_version(self, relation):
+        version = relation.version
+        relation.insert({"id": "t3", "age": 40})
+        assert relation.version == version + 1
+        assert len(relation) == 3
+
+    def test_insert_many(self, relation):
+        count = relation.insert_many(
+            [{"id": "t3", "age": 40}, {"id": "t4", "age": 50}]
+        )
+        assert count == 2
+        assert len(relation) == 4
+
+    def test_insert_validates_schema(self, relation):
+        with pytest.raises(SchemaError):
+            relation.insert({"id": "t9", "unknown": 1})
+
+    def test_delete(self, relation):
+        removed = relation.delete(lambda record: record["sex"] == "male")
+        assert removed == 1
+        assert len(relation) == 1
+
+    def test_delete_no_match_does_not_bump_version(self, relation):
+        version = relation.version
+        removed = relation.delete(lambda record: record["age"] == 999)
+        assert removed == 0
+        assert relation.version == version
+
+    def test_update(self, relation):
+        updated = relation.update(lambda record: record["id"] == "t1", {"age": 16})
+        assert updated == 1
+        assert relation.records[0]["age"] == 16
+
+    def test_update_unknown_attribute_raises(self, relation):
+        with pytest.raises(SchemaError):
+            relation.update(lambda record: True, {"height": 1})
+
+    def test_select(self, relation):
+        females = relation.select(lambda record: record["sex"] == "female")
+        assert len(females) == 1
+        assert females[0]["id"] == "t1"
+
+    def test_project(self, relation):
+        rows = relation.project(["id", "age"])
+        assert rows == [{"id": "t1", "age": 15}, {"id": "t2", "age": 20}]
+
+    def test_project_unknown_attribute_raises(self, relation):
+        with pytest.raises(SchemaError):
+            relation.project(["height"])
+
+    def test_records_returns_copy(self, relation):
+        records = relation.records
+        records.clear()
+        assert len(relation) == 2

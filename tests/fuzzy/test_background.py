@@ -1,0 +1,118 @@
+"""Unit tests for background knowledge."""
+
+import pytest
+
+from repro.exceptions import BackgroundKnowledgeError
+from repro.fuzzy.background import BackgroundKnowledge, common_background_knowledge
+from repro.fuzzy.linguistic import Descriptor, LinguisticVariable
+from repro.fuzzy.membership import TrapezoidalMembership
+from repro.fuzzy.vocabularies import medical_background_knowledge
+
+
+class TestBackgroundKnowledge:
+    def test_attributes_in_order(self, background):
+        assert background.attributes == ["age", "bmi", "sex", "disease"]
+
+    def test_variable_lookup(self, background):
+        assert background.variable("age").attribute == "age"
+
+    def test_unknown_attribute_raises(self, background):
+        with pytest.raises(BackgroundKnowledgeError):
+            background.variable("height")
+
+    def test_contains_and_len(self, background):
+        assert "bmi" in background
+        assert "height" not in background
+        assert len(background) == 4
+
+    def test_descriptors_for_one_attribute(self, background):
+        descriptors = background.descriptors("sex")
+        assert Descriptor("sex", "female") in descriptors
+        assert len(descriptors) == 2
+
+    def test_all_descriptors(self, background):
+        descriptors = background.descriptors()
+        assert Descriptor("age", "young") in descriptors
+        assert Descriptor("disease", "malaria") in descriptors
+
+    def test_has_descriptor(self, background):
+        assert background.has_descriptor(Descriptor("bmi", "underweight"))
+        assert not background.has_descriptor(Descriptor("bmi", "gigantic"))
+        assert not background.has_descriptor(Descriptor("height", "tall"))
+
+    def test_grade(self, background):
+        assert background.grade(Descriptor("bmi", "normal"), 20) == 1.0
+        assert background.grade(Descriptor("bmi", "normal"), 10) == 0.0
+
+    def test_fuzzify_value(self, background):
+        graded = background.fuzzify_value("age", 20)
+        assert graded[Descriptor("age", "young")] == pytest.approx(0.7)
+        assert graded[Descriptor("age", "adult")] == pytest.approx(0.3)
+
+    def test_fuzzify_record_ignores_uncovered_attributes(self, background):
+        record = {"age": 20, "bmi": 20, "height": 180}
+        mapped = background.fuzzify_record(record)
+        assert set(mapped) == {"age", "bmi"}
+
+    def test_fuzzify_record_skips_missing_attributes(self, background):
+        mapped = background.fuzzify_record({"age": 20})
+        assert set(mapped) == {"age"}
+
+    def test_grid_size(self, numeric_background):
+        # 4 age labels x 4 bmi labels
+        assert numeric_background.grid_size() == 16
+
+    def test_duplicate_variable_raises(self):
+        variable = LinguisticVariable(
+            "age", {"young": TrapezoidalMembership(0, 0, 18, 25)}
+        )
+        with pytest.raises(BackgroundKnowledgeError):
+            BackgroundKnowledge([variable, variable])
+
+    def test_empty_background_raises(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            BackgroundKnowledge([])
+
+    def test_from_categorical(self):
+        bk = BackgroundKnowledge.from_categorical({"color": ["red", "blue"]})
+        assert bk.labels("color") == ["red", "blue"]
+        assert bk.grade(Descriptor("color", "red"), "red") == 1.0
+
+    def test_merged_with_disjoint(self):
+        first = BackgroundKnowledge.from_categorical({"color": ["red"]})
+        second = BackgroundKnowledge.from_categorical({"shape": ["round"]})
+        merged = first.merged_with(second)
+        assert merged.attributes == ["color", "shape"]
+
+    def test_merged_with_overlap_raises(self):
+        first = BackgroundKnowledge.from_categorical({"color": ["red"]})
+        second = BackgroundKnowledge.from_categorical({"color": ["blue"]})
+        with pytest.raises(BackgroundKnowledgeError):
+            first.merged_with(second)
+
+
+class TestCommonBackgroundKnowledge:
+    def test_identical_backgrounds_agree(self):
+        first = medical_background_knowledge()
+        second = medical_background_knowledge()
+        compatible, reasons = common_background_knowledge(first, second)
+        assert compatible
+        assert reasons == []
+
+    def test_different_attribute_sets_disagree(self):
+        first = medical_background_knowledge()
+        second = medical_background_knowledge(include_categorical=False)
+        compatible, reasons = common_background_knowledge(first, second)
+        assert not compatible
+        assert reasons
+
+    def test_different_labels_disagree(self):
+        first = medical_background_knowledge(diseases=["anorexia"])
+        second = medical_background_knowledge(diseases=["malaria"])
+        compatible, reasons = common_background_knowledge(first, second)
+        assert not compatible
+        assert any("disease" in reason for reason in reasons)
+
+    def test_empty_input_agrees(self):
+        compatible, reasons = common_background_knowledge()
+        assert compatible and reasons == []

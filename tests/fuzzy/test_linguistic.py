@@ -1,0 +1,104 @@
+"""Unit tests for linguistic variables and descriptors."""
+
+import pytest
+
+from repro.exceptions import BackgroundKnowledgeError
+from repro.fuzzy.linguistic import Descriptor, LinguisticVariable
+from repro.fuzzy.membership import CrispSetMembership, TrapezoidalMembership
+
+
+@pytest.fixture
+def age_variable():
+    return LinguisticVariable(
+        "age",
+        {
+            "young": TrapezoidalMembership(0, 0, 18, 25),
+            "adult": TrapezoidalMembership(18, 25, 60, 70),
+            "old": TrapezoidalMembership(60, 70, 120, 120),
+        },
+    )
+
+
+class TestDescriptor:
+    def test_string_representation(self):
+        assert str(Descriptor("age", "young")) == "age:young"
+
+    def test_equality(self):
+        assert Descriptor("age", "young") == Descriptor("age", "young")
+        assert Descriptor("age", "young") != Descriptor("age", "adult")
+
+    def test_hashable(self):
+        descriptors = {Descriptor("age", "young"), Descriptor("age", "young")}
+        assert len(descriptors) == 1
+
+    def test_ordering(self):
+        assert Descriptor("age", "adult") < Descriptor("age", "young")
+        assert Descriptor("age", "young") < Descriptor("bmi", "normal")
+
+
+class TestLinguisticVariable:
+    def test_labels_preserve_order(self, age_variable):
+        assert age_variable.labels == ["young", "adult", "old"]
+
+    def test_descriptors(self, age_variable):
+        assert Descriptor("age", "adult") in age_variable.descriptors
+        assert len(age_variable.descriptors) == 3
+
+    def test_membership_lookup(self, age_variable):
+        assert age_variable.membership("young").grade(10) == 1.0
+
+    def test_unknown_label_raises(self, age_variable):
+        with pytest.raises(BackgroundKnowledgeError):
+            age_variable.membership("baby")
+
+    def test_grade(self, age_variable):
+        assert age_variable.grade("young", 10) == 1.0
+        assert age_variable.grade("old", 10) == 0.0
+
+    def test_fuzzify_returns_positive_grades_only(self, age_variable):
+        graded = age_variable.fuzzify(20)
+        assert Descriptor("age", "young") in graded
+        assert Descriptor("age", "adult") in graded
+        assert Descriptor("age", "old") not in graded
+
+    def test_fuzzify_grades_sum_to_one_for_ruspini_like_partition(self, age_variable):
+        graded = age_variable.fuzzify(20)
+        assert sum(graded.values()) == pytest.approx(1.0)
+
+    def test_fuzzify_threshold(self, age_variable):
+        graded = age_variable.fuzzify(24, threshold=0.5)
+        assert list(graded) == [Descriptor("age", "adult")]
+
+    def test_best_label(self, age_variable):
+        assert age_variable.best_label(10) == "young"
+        assert age_variable.best_label(90) == "old"
+
+    def test_best_label_none_outside_domain(self):
+        variable = LinguisticVariable(
+            "bmi", {"normal": TrapezoidalMembership(18, 19, 24, 26)}
+        )
+        assert variable.best_label(50) is None
+
+    def test_contains_and_len(self, age_variable):
+        assert "young" in age_variable
+        assert "baby" not in age_variable
+        assert len(age_variable) == 3
+
+    def test_iteration(self, age_variable):
+        assert list(age_variable) == ["young", "adult", "old"]
+
+    def test_empty_terms_raise(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            LinguisticVariable("age", {})
+
+    def test_categorical_variable(self):
+        variable = LinguisticVariable(
+            "sex",
+            {
+                "female": CrispSetMembership(["female"]),
+                "male": CrispSetMembership(["male"]),
+            },
+        )
+        graded = variable.fuzzify("female")
+        assert graded == {Descriptor("sex", "female"): 1.0}
+        assert variable.has_label("male")

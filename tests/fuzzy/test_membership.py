@@ -1,0 +1,136 @@
+"""Unit tests for membership functions."""
+
+import pytest
+
+from repro.fuzzy.membership import (
+    CrispSetMembership,
+    TrapezoidalMembership,
+    TriangularMembership,
+)
+
+
+class TestTrapezoidalMembership:
+    def test_core_values_have_grade_one(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade(10) == 1.0
+        assert trapezoid.grade(15) == 1.0
+        assert trapezoid.grade(20) == 1.0
+
+    def test_outside_support_has_grade_zero(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade(-5) == 0.0
+        assert trapezoid.grade(35) == 0.0
+
+    def test_rising_slope_is_linear(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade(5) == pytest.approx(0.5)
+        assert trapezoid.grade(2.5) == pytest.approx(0.25)
+
+    def test_falling_slope_is_linear(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade(25) == pytest.approx(0.5)
+        assert trapezoid.grade(29) == pytest.approx(0.1)
+
+    def test_boundary_values(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade(0) == 0.0
+        assert trapezoid.grade(30) == 0.0
+
+    def test_left_shoulder(self):
+        shoulder = TrapezoidalMembership(0, 0, 10, 15)
+        assert shoulder.grade(0) == 1.0
+        assert shoulder.grade(5) == 1.0
+        assert shoulder.grade(12.5) == pytest.approx(0.5)
+
+    def test_right_shoulder(self):
+        shoulder = TrapezoidalMembership(50, 60, 100, 100)
+        assert shoulder.grade(100) == 1.0
+        assert shoulder.grade(55) == pytest.approx(0.5)
+
+    def test_invalid_breakpoints_raise(self):
+        with pytest.raises(ValueError):
+            TrapezoidalMembership(10, 5, 20, 30)
+        with pytest.raises(ValueError):
+            TrapezoidalMembership(0, 10, 30, 20)
+
+    def test_non_numeric_value_has_grade_zero(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.grade("not a number") == 0.0
+        assert trapezoid.grade(None) == 0.0
+
+    def test_callable_interface(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid(15) == trapezoid.grade(15)
+
+    def test_supports(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.supports(15)
+        assert not trapezoid.supports(40)
+
+    def test_core_and_support_properties(self):
+        trapezoid = TrapezoidalMembership(0, 10, 20, 30)
+        assert trapezoid.core == (10, 20)
+        assert trapezoid.support == (0, 30)
+
+    def test_paper_age_example(self):
+        """A 20-year-old must be 0.7 young / 0.3 adult, as in the paper."""
+        young = TrapezoidalMembership(10, 13, 18, 74 / 3)
+        adult = TrapezoidalMembership(18, 74 / 3, 55, 65)
+        assert young.grade(20) == pytest.approx(0.7)
+        assert adult.grade(20) == pytest.approx(0.3)
+        assert young.grade(15) == 1.0
+        assert young.grade(18) == 1.0
+
+
+class TestTriangularMembership:
+    def test_peak_has_grade_one(self):
+        triangle = TriangularMembership(0, 10, 20)
+        assert triangle.grade(10) == 1.0
+
+    def test_slopes(self):
+        triangle = TriangularMembership(0, 10, 20)
+        assert triangle.grade(5) == pytest.approx(0.5)
+        assert triangle.grade(15) == pytest.approx(0.5)
+
+    def test_outside_support(self):
+        triangle = TriangularMembership(0, 10, 20)
+        assert triangle.grade(-1) == 0.0
+        assert triangle.grade(21) == 0.0
+
+    def test_invalid_breakpoints_raise(self):
+        with pytest.raises(ValueError):
+            TriangularMembership(10, 5, 20)
+
+    def test_support_property(self):
+        triangle = TriangularMembership(2, 5, 9)
+        assert triangle.support == (2, 9)
+
+
+class TestCrispSetMembership:
+    def test_member_has_grade_one(self):
+        crisp = CrispSetMembership(["female", "male"])
+        assert crisp.grade("female") == 1.0
+
+    def test_non_member_has_grade_zero(self):
+        crisp = CrispSetMembership(["female"])
+        assert crisp.grade("male") == 0.0
+        assert crisp.grade(None) == 0.0
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            CrispSetMembership([])
+
+    def test_equality_and_hash(self):
+        first = CrispSetMembership(["a", "b"])
+        second = CrispSetMembership(["b", "a"])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_values_property(self):
+        crisp = CrispSetMembership(["x", "y"])
+        assert crisp.values == frozenset({"x", "y"})
+
+    def test_numeric_values_allowed(self):
+        crisp = CrispSetMembership([1, 2, 3])
+        assert crisp.grade(2) == 1.0
+        assert crisp.grade(5) == 0.0

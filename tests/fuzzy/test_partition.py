@@ -1,0 +1,87 @@
+"""Unit tests for fuzzy partitions."""
+
+import pytest
+
+from repro.exceptions import BackgroundKnowledgeError
+from repro.fuzzy.membership import TrapezoidalMembership
+from repro.fuzzy.partition import FuzzyPartition, PartitionBand
+
+
+@pytest.fixture
+def age_partition():
+    return FuzzyPartition.from_breakpoints(
+        "age", ["young", "adult", "old"], [0, 25, 60, 120], overlap=5
+    )
+
+
+class TestFromBreakpoints:
+    def test_labels_and_length(self, age_partition):
+        assert age_partition.labels == ["young", "adult", "old"]
+        assert len(age_partition) == 3
+
+    def test_domain_bounds(self, age_partition):
+        assert age_partition.domain == (0, 120)
+
+    def test_interior_overlap(self, age_partition):
+        grades = age_partition.grades(25)
+        assert grades["young"] == pytest.approx(0.5)
+        assert grades["adult"] == pytest.approx(0.5)
+
+    def test_crisp_partition_with_zero_overlap(self):
+        partition = FuzzyPartition.from_breakpoints(
+            "bmi", ["low", "high"], [0, 20, 40], overlap=0
+        )
+        grades = partition.grades(10)
+        assert grades == {"low": 1.0, "high": 0.0}
+
+    def test_wrong_breakpoint_count_raises(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            FuzzyPartition.from_breakpoints("age", ["a", "b"], [0, 10], overlap=1)
+
+    def test_unsorted_breakpoints_raise(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            FuzzyPartition.from_breakpoints("age", ["a", "b"], [0, 30, 10])
+
+    def test_negative_overlap_raises(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            FuzzyPartition.from_breakpoints("age", ["a"], [0, 10], overlap=-1)
+
+
+class TestPartitionProperties:
+    def test_covers_inside_and_outside(self, age_partition):
+        assert age_partition.covers(30)
+        assert not age_partition.covers(500)
+
+    def test_is_ruspini_for_breakpoint_partition(self, age_partition):
+        assert age_partition.is_ruspini()
+
+    def test_non_ruspini_partition_detected(self):
+        bands = [
+            PartitionBand("a", TrapezoidalMembership(0, 0, 10, 20)),
+            PartitionBand("b", TrapezoidalMembership(0, 0, 10, 20)),
+        ]
+        partition = FuzzyPartition("x", bands)
+        assert not partition.is_ruspini()
+
+    def test_to_linguistic_variable(self, age_partition):
+        variable = age_partition.to_linguistic_variable()
+        assert variable.attribute == "age"
+        assert variable.labels == ["young", "adult", "old"]
+        assert variable.grade("adult", 40) == 1.0
+
+    def test_duplicate_labels_raise(self):
+        bands = [
+            PartitionBand("a", TrapezoidalMembership(0, 0, 10, 20)),
+            PartitionBand("a", TrapezoidalMembership(10, 20, 30, 40)),
+        ]
+        with pytest.raises(BackgroundKnowledgeError):
+            FuzzyPartition("x", bands)
+
+    def test_empty_partition_raises(self):
+        with pytest.raises(BackgroundKnowledgeError):
+            FuzzyPartition("x", [])
+
+    def test_grades_include_zero_bands(self, age_partition):
+        grades = age_partition.grades(5)
+        assert set(grades) == {"young", "adult", "old"}
+        assert grades["old"] == 0.0

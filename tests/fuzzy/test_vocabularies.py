@@ -1,0 +1,86 @@
+"""Unit tests for the built-in vocabularies."""
+
+import pytest
+
+from repro.fuzzy.linguistic import Descriptor
+from repro.fuzzy.vocabularies import (
+    DEFAULT_DISEASES,
+    age_variable,
+    bmi_variable,
+    disease_variable,
+    medical_background_knowledge,
+    sex_variable,
+    uniform_numeric_background_knowledge,
+)
+
+
+class TestMedicalVocabulary:
+    def test_age_running_example(self):
+        age = age_variable()
+        assert age.grade("young", 15) == 1.0
+        assert age.grade("young", 18) == 1.0
+        assert age.grade("young", 20) == pytest.approx(0.7)
+        assert age.grade("adult", 20) == pytest.approx(0.3)
+
+    def test_bmi_running_example(self):
+        bmi = bmi_variable()
+        assert bmi.grade("underweight", 15) == 1.0
+        assert bmi.grade("underweight", 17.5) == 1.0
+        assert bmi.grade("normal", 19.5) == 1.0
+        assert bmi.grade("normal", 24) == 1.0
+        assert bmi.grade("underweight", 20) == 0.0
+
+    def test_sex_variable_accepts_aliases(self):
+        sex = sex_variable()
+        assert sex.grade("female", "F") == 1.0
+        assert sex.grade("male", "m") == 1.0
+        assert sex.grade("female", "male") == 0.0
+
+    def test_disease_variable_defaults(self):
+        disease = disease_variable()
+        assert set(disease.labels) == set(DEFAULT_DISEASES)
+
+    def test_medical_background_full(self):
+        background = medical_background_knowledge()
+        assert background.attributes == ["age", "bmi", "sex", "disease"]
+
+    def test_medical_background_numeric_only(self):
+        background = medical_background_knowledge(include_categorical=False)
+        assert background.attributes == ["age", "bmi"]
+
+    def test_custom_disease_list(self):
+        background = medical_background_knowledge(diseases=["flu", "cold"])
+        assert background.labels("disease") == ["flu", "cold"]
+
+
+class TestUniformBackground:
+    def test_band_count_and_names(self):
+        background = uniform_numeric_background_knowledge(
+            {"x": (0, 100)}, labels_per_attribute=5
+        )
+        assert len(background.labels("x")) == 5
+
+    def test_custom_label_names(self):
+        background = uniform_numeric_background_knowledge(
+            {"x": (0, 100)},
+            labels_per_attribute=3,
+            label_names=["low", "mid", "high"],
+        )
+        assert background.labels("x") == ["low", "mid", "high"]
+
+    def test_coverage_of_domain(self):
+        background = uniform_numeric_background_knowledge({"x": (0, 10)})
+        graded = background.fuzzify_value("x", 5.0)
+        assert graded
+        assert all(isinstance(d, Descriptor) for d in graded)
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            uniform_numeric_background_knowledge({"x": (10, 10)})
+
+    def test_multiple_attributes(self):
+        background = uniform_numeric_background_knowledge(
+            {"x": (0, 1), "y": (0, 100)}, labels_per_attribute=2
+        )
+        assert background.attributes == ["x", "y"]
+        assert background.grid_size() == 4

@@ -1,0 +1,102 @@
+"""Unit tests for messages and traffic accounting."""
+
+import pytest
+
+from repro.network.messages import Message, MessageType
+from repro.network.metrics import MessageCounter, TrafficReport
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message(MessageType.PUSH, "p1", "sp")
+        assert message.ttl is None
+        assert not message.expired()
+        assert message.size_bytes == 1
+
+    def test_ttl_expiry(self):
+        message = Message(MessageType.FLOOD_QUERY, "p1", "p2", ttl=0)
+        assert message.expired()
+
+    def test_forwarded_decrements_ttl(self):
+        message = Message(MessageType.FLOOD_QUERY, "p1", "p2", ttl=3, payload={"q": 1})
+        forwarded = message.forwarded("p3")
+        assert forwarded.ttl == 2
+        assert forwarded.source == "p2"
+        assert forwarded.destination == "p3"
+        assert forwarded.payload == {"q": 1}
+
+    def test_forwarded_without_ttl(self):
+        message = Message(MessageType.QUERY, "p1", "p2")
+        assert message.forwarded("p3").ttl is None
+
+    def test_unique_message_ids(self):
+        first = Message(MessageType.QUERY, "a", "b")
+        second = Message(MessageType.QUERY, "a", "b")
+        assert first.message_id != second.message_id
+
+
+class TestMessageCounter:
+    def test_record_and_count(self):
+        counter = MessageCounter()
+        counter.record(Message(MessageType.PUSH, "p1", "sp"))
+        counter.record(Message(MessageType.PUSH, "p2", "sp"))
+        counter.record(Message(MessageType.QUERY, "p1", "sp", size_bytes=10))
+        assert counter.count(MessageType.PUSH) == 2
+        assert counter.count() == 3
+        assert counter.total == 3
+        assert counter.total_bytes == 12
+
+    def test_record_type_without_message(self):
+        counter = MessageCounter()
+        counter.record_type(MessageType.RECONCILIATION, 5)
+        assert counter.count(MessageType.RECONCILIATION) == 5
+
+    def test_count_types(self):
+        counter = MessageCounter()
+        counter.record_type(MessageType.PUSH, 2)
+        counter.record_type(MessageType.QUERY, 3)
+        assert counter.count_types([MessageType.PUSH, MessageType.QUERY]) == 5
+
+    def test_by_sender(self):
+        counter = MessageCounter()
+        counter.record(Message(MessageType.PUSH, "p1", "sp"))
+        counter.record(Message(MessageType.QUERY, "p1", "sp"))
+        assert counter.by_sender()["p1"] == 2
+
+    def test_merge(self):
+        first, second = MessageCounter(), MessageCounter()
+        first.record_type(MessageType.PUSH, 1)
+        second.record_type(MessageType.PUSH, 2)
+        first.merge(second)
+        assert first.count(MessageType.PUSH) == 3
+
+    def test_reset(self):
+        counter = MessageCounter()
+        counter.record_type(MessageType.PUSH, 4)
+        counter.reset()
+        assert counter.total == 0
+
+
+class TestTrafficReport:
+    def test_per_node_and_per_second(self):
+        counter = MessageCounter()
+        counter.record_type(MessageType.PUSH, 100)
+        report = TrafficReport.from_counter(counter, duration_seconds=50, peer_count=10)
+        assert report.total_messages == 100
+        assert report.messages_per_node == pytest.approx(10.0)
+        assert report.messages_per_node_per_second == pytest.approx(0.2)
+
+    def test_filter_by_message_type(self):
+        counter = MessageCounter()
+        counter.record_type(MessageType.PUSH, 10)
+        counter.record_type(MessageType.QUERY, 90)
+        report = TrafficReport.from_counter(
+            counter, 10, 10, message_types=[MessageType.PUSH]
+        )
+        assert report.total_messages == 10
+        assert report.by_type[MessageType.PUSH] == 10
+
+    def test_zero_peers_and_duration(self):
+        report = TrafficReport(total_messages=5, duration_seconds=0, peer_count=0)
+        assert report.messages_per_node == 0.0
+        assert report.messages_per_node_per_second == 0.0

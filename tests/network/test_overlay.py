@@ -1,0 +1,180 @@
+"""Unit tests for the superpeer overlay."""
+
+import random
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.overlay import Overlay
+from repro.network.peer import PeerRole
+from repro.network.topology import TopologyConfig
+
+
+class TestBasicAccess:
+    def test_size_and_peer_ids(self, small_overlay):
+        assert small_overlay.size == 32
+        assert len(small_overlay.peer_ids) == 32
+
+    def test_peer_lookup(self, small_overlay):
+        peer = small_overlay.peer("p0")
+        assert peer.peer_id == "p0"
+        assert peer.online
+
+    def test_unknown_peer_raises(self, small_overlay):
+        with pytest.raises(NetworkError):
+            small_overlay.peer("p999")
+
+    def test_neighbors_are_symmetric(self, small_overlay):
+        for peer_id in small_overlay.peer_ids[:10]:
+            for neighbour in small_overlay.neighbors(peer_id):
+                assert peer_id in small_overlay.neighbors(neighbour)
+
+    def test_neighbors_exclude_offline(self, small_overlay):
+        peer_id = small_overlay.peer_ids[0]
+        neighbours = small_overlay.neighbors(peer_id)
+        victim = neighbours[0]
+        small_overlay.peer(victim).go_offline()
+        assert victim not in small_overlay.neighbors(peer_id)
+        assert victim in small_overlay.neighbors(peer_id, online_only=False)
+
+    def test_degree_and_average_degree(self, small_overlay):
+        degrees = [small_overlay.degree(p) for p in small_overlay.peer_ids]
+        assert min(degrees) >= 1
+        assert small_overlay.average_degree() == pytest.approx(
+            sum(degrees) / len(degrees)
+        )
+
+    def test_latency_direct_and_multi_hop(self, small_overlay):
+        source = small_overlay.peer_ids[0]
+        neighbour = small_overlay.neighbors(source)[0]
+        assert small_overlay.latency(source, neighbour) > 0
+        assert small_overlay.latency(source, source) == 0.0
+        far = small_overlay.peer_ids[-1]
+        assert small_overlay.latency(source, far) >= 0
+
+    def test_empty_graph_raises(self):
+        import networkx as nx
+
+        with pytest.raises(NetworkError):
+            Overlay(nx.Graph())
+
+
+class TestSuperpeerElection:
+    def test_elect_by_fraction(self, medium_overlay):
+        elected = medium_overlay.elect_superpeers(fraction=1 / 16)
+        assert len(elected) == round(120 / 16)
+        assert all(medium_overlay.peer(sp).is_superpeer for sp in elected)
+
+    def test_elect_by_count(self, medium_overlay):
+        elected = medium_overlay.elect_superpeers(count=5)
+        assert len(elected) == 5
+        assert len(medium_overlay.superpeers()) == 5
+
+    def test_elected_are_highest_degree(self, medium_overlay):
+        elected = medium_overlay.elect_superpeers(count=3)
+        degrees = {p: medium_overlay.degree(p) for p in medium_overlay.peer_ids}
+        threshold = sorted(degrees.values(), reverse=True)[2]
+        assert all(degrees[sp] >= threshold for sp in elected)
+
+    def test_count_and_fraction_together_raise(self, medium_overlay):
+        with pytest.raises(NetworkError):
+            medium_overlay.elect_superpeers(count=3, fraction=0.1)
+
+    def test_re_election_resets_roles(self, medium_overlay):
+        first = medium_overlay.elect_superpeers(count=5)
+        second = medium_overlay.elect_superpeers(count=2)
+        assert len(medium_overlay.superpeers()) == 2
+        for peer_id in set(first) - set(second):
+            assert medium_overlay.peer(peer_id).role is PeerRole.PEER
+
+
+class TestReachability:
+    def test_within_ttl_excludes_origin(self, small_overlay):
+        origin = small_overlay.peer_ids[0]
+        reached = small_overlay.within_ttl(origin, 2)
+        assert origin not in reached
+        assert all(1 <= hops <= 2 for hops in reached.values())
+
+    def test_within_ttl_grows_with_ttl(self, medium_overlay):
+        origin = medium_overlay.peer_ids[0]
+        assert len(medium_overlay.within_ttl(origin, 1)) <= len(
+            medium_overlay.within_ttl(origin, 3)
+        )
+
+    def test_within_ttl_zero_is_empty(self, small_overlay):
+        assert small_overlay.within_ttl(small_overlay.peer_ids[0], 0) == {}
+
+    def test_negative_ttl_raises(self, small_overlay):
+        with pytest.raises(NetworkError):
+            small_overlay.within_ttl(small_overlay.peer_ids[0], -1)
+
+    def test_flood_message_count_at_least_reached(self, medium_overlay):
+        origin = medium_overlay.peer_ids[0]
+        messages = medium_overlay.flood_message_count(origin, 3)
+        reached = len(medium_overlay.within_ttl(origin, 3))
+        assert messages >= reached
+
+    def test_flood_zero_ttl_is_zero(self, small_overlay):
+        assert small_overlay.flood_message_count(small_overlay.peer_ids[0], 0) == 0
+
+
+class TestSelectiveWalk:
+    def test_walk_finds_target(self, medium_overlay):
+        rng = random.Random(0)
+        target_set = set(medium_overlay.elect_superpeers(count=3))
+        origin = next(
+            p for p in medium_overlay.peer_ids if p not in target_set
+        )
+        found, hops = medium_overlay.selective_walk(
+            origin, lambda p: p in target_set, rng=rng
+        )
+        assert found in target_set
+        assert hops >= 1
+
+    def test_walk_stops_immediately_if_origin_matches(self, small_overlay):
+        origin = small_overlay.peer_ids[0]
+        found, hops = small_overlay.selective_walk(origin, lambda p: True)
+        assert found == origin
+        assert hops == 0
+
+    def test_walk_gives_up_after_max_hops(self, small_overlay):
+        found, hops = small_overlay.selective_walk(
+            small_overlay.peer_ids[0], lambda p: False, max_hops=5
+        )
+        assert found is None
+        assert hops == 5
+
+    def test_walk_prefers_high_degree_neighbours(self, medium_overlay):
+        origin = min(medium_overlay.peer_ids, key=medium_overlay.degree)
+        rng = random.Random(1)
+        found, hops = medium_overlay.selective_walk(
+            origin, lambda p: p != origin, max_hops=1, rng=rng
+        )
+        assert hops == 1
+        neighbour_degrees = [
+            medium_overlay.degree(n) for n in medium_overlay.neighbors(origin)
+        ]
+        assert medium_overlay.degree(found) == max(neighbour_degrees)
+
+
+class TestMembership:
+    def test_add_peer(self, small_overlay):
+        anchors = small_overlay.peer_ids[:2]
+        node = small_overlay.add_peer("p_new", anchors, latency_ms=42.0)
+        assert node.peer_id == "p_new"
+        assert small_overlay.size == 33
+        assert set(small_overlay.neighbors("p_new", online_only=False)) == set(anchors)
+
+    def test_add_existing_peer_raises(self, small_overlay):
+        with pytest.raises(NetworkError):
+            small_overlay.add_peer("p0", [])
+
+    def test_add_peer_with_unknown_neighbour_raises(self, small_overlay):
+        with pytest.raises(NetworkError):
+            small_overlay.add_peer("p_new", ["p999"])
+
+    def test_remove_peer(self, small_overlay):
+        small_overlay.remove_peer("p0")
+        assert small_overlay.size == 31
+        with pytest.raises(NetworkError):
+            small_overlay.peer("p0")

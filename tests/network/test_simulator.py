@@ -1,0 +1,118 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.run()
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, lambda: order.append("first"))
+        simulator.schedule(1.0, lambda: order.append("second"))
+        simulator.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        simulator = Simulator()
+        simulator.schedule(3.5, lambda: None)
+        simulator.run()
+        assert simulator.now == pytest.approx(3.5)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(NetworkError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_at(2.0, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [2.0]
+
+    def test_schedule_at_in_the_past_raises(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(NetworkError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            simulator.schedule(1.0, lambda: seen.append("second"))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert seen == ["first", "second"]
+        assert simulator.now == pytest.approx(2.0)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(1.0, lambda: seen.append(1))
+        simulator.schedule(10.0, lambda: seen.append(2))
+        simulator.run(until=5.0)
+        assert seen == [1]
+        assert simulator.now == pytest.approx(5.0)
+        simulator.run()
+        assert seen == [1, 2]
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        simulator = Simulator()
+        simulator.run(until=42.0)
+        assert simulator.now == pytest.approx(42.0)
+
+    def test_max_events_budget(self):
+        simulator = Simulator()
+        seen = []
+        for index in range(5):
+            simulator.schedule(index + 1.0, lambda i=index: seen.append(i))
+        processed = simulator.run(max_events=2)
+        assert processed == 2
+        assert seen == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_cancelled_events_do_not_run(self):
+        simulator = Simulator()
+        seen = []
+        event = simulator.schedule(1.0, lambda: seen.append("cancelled"))
+        simulator.schedule(2.0, lambda: seen.append("kept"))
+        event.cancel()
+        simulator.run()
+        assert seen == ["kept"]
+
+    def test_processed_and_pending_counters(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.pending_events == 2
+        simulator.run()
+        assert simulator.processed_events == 2
+        assert simulator.pending_events == 0
+
+    def test_reset(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.pending_events == 0
+        assert simulator.processed_events == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the latency-aware message bus."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.messages import Message, MessageType
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.network.transport import MessageBus
+
+
+@pytest.fixture
+def bus(small_overlay):
+    return MessageBus(small_overlay)
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        received = []
+        bus.register(destination, lambda message, at: received.append((message, at)))
+        bus.send(Message(MessageType.QUERY, source, destination))
+        assert received == []  # nothing happens before the simulator runs
+        bus.run()
+        assert len(received) == 1
+        message, at = received[0]
+        assert message.type is MessageType.QUERY
+        assert at == pytest.approx(small_overlay.latency(source, destination) / 1000.0)
+
+    def test_per_type_handler_takes_precedence(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        typed, generic = [], []
+        bus.register(destination, lambda m, t: generic.append(m))
+        bus.register(destination, lambda m, t: typed.append(m), MessageType.PUSH)
+        bus.send(Message(MessageType.PUSH, source, destination))
+        bus.send(Message(MessageType.QUERY, source, destination))
+        bus.run()
+        assert len(typed) == 1 and typed[0].type is MessageType.PUSH
+        assert len(generic) == 1 and generic[0].type is MessageType.QUERY
+
+    def test_message_to_offline_peer_is_dropped(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        bus.register(destination, lambda m, t: None)
+        small_overlay.peer(destination).go_offline()
+        record = bus.send(Message(MessageType.PUSH, source, destination))
+        bus.run()
+        assert record.dropped
+        assert record.reason == "destination offline"
+        assert bus.dropped_count() == 1
+
+    def test_message_without_handler_is_dropped(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        record = bus.send(Message(MessageType.PUSH, source, destination))
+        bus.run()
+        assert record.dropped
+        assert record.reason == "no handler"
+
+    def test_counter_records_every_transmission(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        bus.send(Message(MessageType.PUSH, source, destination))
+        bus.send(Message(MessageType.QUERY, source, destination))
+        assert bus.counter.total == 2
+
+    def test_register_unknown_peer_raises(self, bus):
+        with pytest.raises(NetworkError):
+            bus.register("ghost", lambda m, t: None)
+
+    def test_unregister(self, small_overlay, bus):
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        received = []
+        bus.register(destination, lambda m, t: received.append(m))
+        bus.unregister(destination)
+        bus.send(Message(MessageType.QUERY, source, destination))
+        bus.run()
+        assert received == []
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_ttl_neighbourhood(self):
+        overlay = Overlay.generate(TopologyConfig(peer_count=40, seed=8))
+        bus = MessageBus(overlay)
+        received = set()
+        for peer_id in overlay.peer_ids:
+            bus.register(
+                peer_id,
+                lambda m, t, me=peer_id: received.add(me),
+                MessageType.SUMPEER,
+            )
+        origin = overlay.peer_ids[0]
+        sent = bus.broadcast(origin, MessageType.SUMPEER, payload={"sp": origin}, ttl=2)
+        bus.run()
+        assert sent == overlay.flood_message_count(origin, 2)
+        assert received >= set(overlay.within_ttl(origin, 2))
+
+    def test_broadcast_invalid_ttl_raises(self, small_overlay):
+        bus = MessageBus(small_overlay)
+        with pytest.raises(NetworkError):
+            bus.broadcast(small_overlay.peer_ids[0], MessageType.SUMPEER, ttl=0)
+
+    def test_deliveries_log(self, small_overlay):
+        bus = MessageBus(small_overlay)
+        source = small_overlay.peer_ids[0]
+        destination = small_overlay.neighbors(source)[0]
+        bus.register(destination, lambda m, t: None)
+        bus.send(Message(MessageType.QUERY, source, destination))
+        bus.run()
+        assert bus.delivered_count() == 1
+        assert len(bus.deliveries) == 1

@@ -1,0 +1,90 @@
+"""Property-based tests for the fuzzy substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.membership import TrapezoidalMembership
+from repro.fuzzy.partition import FuzzyPartition
+from repro.fuzzy.vocabularies import medical_background_knowledge
+
+BACKGROUND = medical_background_knowledge()
+
+
+@st.composite
+def trapezoids(draw):
+    points = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    return TrapezoidalMembership(*points)
+
+
+class TestTrapezoidProperties:
+    @given(trapezoids(), st.floats(min_value=-2e6, max_value=2e6, allow_nan=False))
+    @settings(max_examples=200)
+    def test_grades_are_bounded(self, trapezoid, value):
+        assert 0.0 <= trapezoid.grade(value) <= 1.0
+
+    @given(trapezoids())
+    @settings(max_examples=100)
+    def test_core_values_have_grade_one(self, trapezoid):
+        low, high = trapezoid.core
+        midpoint = (low + high) / 2.0
+        assert trapezoid.grade(midpoint) == 1.0
+
+    @given(trapezoids(), st.floats(min_value=-2e6, max_value=2e6, allow_nan=False))
+    @settings(max_examples=200)
+    def test_support_contains_positive_grades(self, trapezoid, value):
+        if trapezoid.grade(value) > 0.0:
+            low, high = trapezoid.support
+            assert low <= value <= high
+
+
+class TestBackgroundProperties:
+    @given(
+        st.floats(min_value=0, max_value=120, allow_nan=False),
+        st.floats(min_value=10, max_value=60, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_fuzzification_grades_bounded_and_positive(self, age, bmi):
+        for attribute, value in (("age", age), ("bmi", bmi)):
+            graded = BACKGROUND.fuzzify_value(attribute, value)
+            for descriptor, grade in graded.items():
+                assert 0.0 < grade <= 1.0
+                assert descriptor.attribute == attribute
+
+    @given(st.floats(min_value=0, max_value=120, allow_nan=False))
+    @settings(max_examples=200)
+    def test_age_partition_is_ruspini_like(self, age):
+        graded = BACKGROUND.fuzzify_value("age", age)
+        assert abs(sum(graded.values()) - 1.0) < 1e-6
+
+    @given(st.floats(min_value=10, max_value=60, allow_nan=False))
+    @settings(max_examples=200)
+    def test_bmi_partition_is_ruspini_like(self, bmi):
+        graded = BACKGROUND.fuzzify_value("bmi", bmi)
+        assert abs(sum(graded.values()) - 1.0) < 1e-6
+
+
+class TestPartitionBuilderProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=100)
+    def test_from_breakpoints_always_covers_domain(self, bands, overlap_fraction, width):
+        labels = [f"band{i}" for i in range(bands)]
+        breakpoints = [i * width for i in range(bands + 1)]
+        partition = FuzzyPartition.from_breakpoints(
+            "x", labels, breakpoints, overlap=overlap_fraction * width
+        )
+        low, high = partition.domain
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = low + fraction * (high - low)
+            assert partition.covers(value)

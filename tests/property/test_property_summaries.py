@@ -1,0 +1,99 @@
+"""Property-based tests for the summarization engine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.merging import merge_hierarchies
+
+BACKGROUND = medical_background_knowledge(include_categorical=False)
+
+
+def patient_records():
+    return st.lists(
+        st.fixed_dictionaries(
+            {
+                "age": st.floats(min_value=0, max_value=119, allow_nan=False),
+                "bmi": st.floats(min_value=11, max_value=59, allow_nan=False),
+            }
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+def _build(records, owner="peer"):
+    hierarchy = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner=owner)
+    hierarchy.add_records(records)
+    return hierarchy
+
+
+class TestHierarchyInvariants:
+    @given(patient_records())
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation(self, records):
+        """The root's tuple count equals the number of summarized records."""
+        hierarchy = _build(records)
+        assert abs(hierarchy.root.tuple_count - len(records)) < 1e-6
+
+    @given(patient_records())
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants_always_hold(self, records):
+        hierarchy = _build(records)
+        hierarchy.validate()
+
+    @given(patient_records())
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_count_bounded_by_grid_size(self, records):
+        hierarchy = _build(records)
+        assert hierarchy.leaf_count() <= hierarchy.mapping.grid_size()
+
+    @given(patient_records())
+    @settings(max_examples=40, deadline=None)
+    def test_generalization_partial_order_along_edges(self, records):
+        hierarchy = _build(records)
+        for node in hierarchy.root.iter_subtree():
+            for child in node.children:
+                assert node.covers(child)
+
+    @given(patient_records())
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_preserves_mass(self, records):
+        hierarchy = _build(records)
+        snapshot = hierarchy.snapshot()
+        assert abs(snapshot.root.tuple_count - hierarchy.root.tuple_count) < 1e-6
+
+
+class TestMergeInvariants:
+    @given(patient_records(), patient_records())
+    @settings(max_examples=25, deadline=None)
+    def test_merge_conserves_mass_and_peers(self, first_records, second_records):
+        first = _build(first_records, owner="p1")
+        second = _build(second_records, owner="p2")
+        merged = merge_hierarchies([first, second], owner="sp")
+        expected = first.root.tuple_count + second.root.tuple_count
+        assert abs(merged.root.tuple_count - expected) < 1e-6
+        assert merged.peer_extent() == {"p1", "p2"}
+
+    @given(patient_records(), patient_records())
+    @settings(max_examples=25, deadline=None)
+    def test_merge_is_mass_commutative(self, first_records, second_records):
+        first = _build(first_records, owner="p1")
+        second = _build(second_records, owner="p2")
+        ab = merge_hierarchies([first, second])
+        ba = merge_hierarchies([second, first])
+        assert abs(ab.root.tuple_count - ba.root.tuple_count) < 1e-6
+        assert ab.signature() == ba.signature()
+
+    @given(patient_records())
+    @settings(max_examples=25, deadline=None)
+    def test_merged_leaves_bounded_by_grid(self, records):
+        halves = [records[::2], records[1::2]]
+        hierarchies = [
+            _build(half, owner=f"p{i}") for i, half in enumerate(halves) if half
+        ]
+        if not hierarchies:
+            return
+        merged = merge_hierarchies(hierarchies)
+        assert merged.leaf_count() <= merged.mapping.grid_size()

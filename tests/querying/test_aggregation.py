@@ -1,0 +1,57 @@
+"""Unit tests for approximate answering (Section 5.2.2)."""
+
+import pytest
+
+from repro.querying.aggregation import approximate_answer
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.selection import select_summaries
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+
+@pytest.fixture
+def paper_proposition():
+    """(female is implicit — the numeric example only uses age/bmi clauses)."""
+    return Proposition([Clause("bmi", ["underweight", "normal"])])
+
+
+class TestApproximateAnswer:
+    def test_paper_example_output_is_young(self, example_hierarchy, paper_proposition):
+        """Patients with an underweight or normal BMI in Table 1 are young."""
+        selection = select_summaries(example_hierarchy, paper_proposition)
+        answer = approximate_answer(selection, paper_proposition, select=["age"])
+        assert not answer.is_empty
+        merged = answer.merged_output()
+        assert "young" in merged["age"]
+
+    def test_classes_grouped_by_interpretation(self, example_hierarchy, paper_proposition):
+        selection = select_summaries(example_hierarchy, paper_proposition)
+        answer = approximate_answer(selection, paper_proposition, select=["age"])
+        interpretations = [cls.interpretation_dict()["bmi"] for cls in answer.classes]
+        # Two interpretations: through "underweight" and through "normal".
+        assert frozenset({"underweight"}) in interpretations
+        assert frozenset({"normal"}) in interpretations
+
+    def test_tuple_counts_per_class(self, example_hierarchy, paper_proposition):
+        selection = select_summaries(example_hierarchy, paper_proposition)
+        answer = approximate_answer(selection, paper_proposition, select=["age"])
+        assert answer.total_tuple_count() == pytest.approx(3.0)
+
+    def test_empty_selection_gives_empty_answer(self, example_hierarchy):
+        proposition = Proposition([Clause("bmi", ["obese"])])
+        selection = select_summaries(example_hierarchy, proposition)
+        answer = approximate_answer(selection, proposition, select=["age"])
+        assert answer.is_empty
+        assert answer.merged_output() == {}
+        assert answer.total_tuple_count() == 0.0
+
+    def test_projection_attributes_recorded(self, example_hierarchy, paper_proposition):
+        selection = select_summaries(example_hierarchy, paper_proposition)
+        answer = approximate_answer(selection, paper_proposition, select=["age"])
+        assert answer.select == ("age",)
+
+    def test_output_labels_accessor(self, example_hierarchy, paper_proposition):
+        selection = select_summaries(example_hierarchy, paper_proposition)
+        answer = approximate_answer(selection, paper_proposition, select=["age"])
+        first_class = answer.classes[0]
+        assert first_class.output_labels("age")
+        assert first_class.output_labels("unknown") == frozenset()

@@ -1,0 +1,92 @@
+"""Unit tests for clauses and propositions."""
+
+import pytest
+
+from repro.database.query import Comparison, DescriptorPredicate, SelectionQuery
+from repro.exceptions import QueryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.querying.proposition import Clause, Proposition
+
+
+class TestClause:
+    def test_admits(self):
+        clause = Clause("bmi", ["underweight", "normal"])
+        assert clause.admits("normal")
+        assert not clause.admits("obese")
+
+    def test_empty_clause_raises(self):
+        with pytest.raises(QueryError):
+            Clause("bmi", [])
+
+    def test_descriptors(self):
+        clause = Clause("bmi", ["normal"])
+        assert clause.descriptors == frozenset({Descriptor("bmi", "normal")})
+
+    def test_str_rendering(self):
+        clause = Clause("bmi", ["underweight", "normal"])
+        assert "OR" in str(clause)
+
+
+class TestProposition:
+    def test_attributes(self):
+        proposition = Proposition(
+            [Clause("sex", ["female"]), Clause("bmi", ["normal"])]
+        )
+        assert proposition.attributes == ["sex", "bmi"]
+
+    def test_duplicate_attribute_raises(self):
+        with pytest.raises(QueryError):
+            Proposition([Clause("bmi", ["normal"]), Clause("bmi", ["obese"])])
+
+    def test_clause_for(self):
+        proposition = Proposition([Clause("sex", ["female"])])
+        assert proposition.clause_for("sex").labels == frozenset({"female"})
+        with pytest.raises(QueryError):
+            proposition.clause_for("age")
+
+    def test_empty_proposition(self):
+        proposition = Proposition([])
+        assert proposition.is_empty()
+        assert str(proposition) == "TRUE"
+
+    def test_admits_labels(self):
+        proposition = Proposition(
+            [Clause("sex", ["female"]), Clause("bmi", ["underweight", "normal"])]
+        )
+        assert proposition.admits_labels({"sex": ["female"], "bmi": ["normal"]})
+        assert not proposition.admits_labels({"sex": ["male"], "bmi": ["normal"]})
+        assert not proposition.admits_labels({"sex": ["female"]})
+
+    def test_str_rendering_matches_paper_example(self):
+        proposition = Proposition(
+            [
+                Clause("sex", ["female"]),
+                Clause("bmi", ["underweight", "normal"]),
+                Clause("disease", ["anorexia"]),
+            ]
+        )
+        rendered = str(proposition)
+        assert "AND" in rendered and "OR" in rendered
+
+    def test_from_query(self):
+        query = SelectionQuery(
+            "patient",
+            [
+                DescriptorPredicate("sex", [Descriptor("sex", "female")]),
+                DescriptorPredicate(
+                    "bmi",
+                    [Descriptor("bmi", "underweight"), Descriptor("bmi", "normal")],
+                ),
+            ],
+            select=["age"],
+        )
+        proposition = Proposition.from_query(query)
+        assert proposition.attributes == ["sex", "bmi"]
+        assert proposition.clause_for("bmi").labels == frozenset(
+            {"underweight", "normal"}
+        )
+
+    def test_from_query_rejects_crisp_predicates(self):
+        query = SelectionQuery("patient", [Comparison("bmi", "<", 19)])
+        with pytest.raises(QueryError):
+            Proposition.from_query(query)

@@ -1,0 +1,112 @@
+"""Unit tests for query reformulation (Section 5.1)."""
+
+import pytest
+
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    SelectionQuery,
+)
+from repro.exceptions import QueryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.querying.reformulation import reformulate, reformulation_widens_scope
+from repro.workloads.queries import paper_example_query
+
+
+class TestReformulate:
+    def test_paper_example(self, background):
+        """``bmi < 19`` becomes ``bmi in {underweight, normal}``."""
+        flexible = reformulate(paper_example_query(), background)
+        assert flexible.is_flexible()
+        bmi_predicate = next(
+            p for p in flexible.descriptor_predicates() if p.attribute == "bmi"
+        )
+        assert set(bmi_predicate.labels) == {"underweight", "normal"}
+
+    def test_categorical_equality(self, background):
+        query = SelectionQuery("patient", [Comparison("sex", "=", "female")])
+        flexible = reformulate(query, background)
+        predicate = flexible.descriptor_predicates()[0]
+        assert predicate.labels == ["female"]
+
+    def test_range_predicate_selects_overlapping_bands(self, background):
+        query = SelectionQuery("patient", [Comparison("age", ">", 70)])
+        flexible = reformulate(query, background)
+        predicate = flexible.descriptor_predicates()[0]
+        assert "old" in predicate.labels
+
+    def test_in_predicate(self, background):
+        query = SelectionQuery(
+            "patient", [AttributeIn("disease", ["anorexia", "malaria"])]
+        )
+        flexible = reformulate(query, background)
+        predicate = flexible.descriptor_predicates()[0]
+        assert set(predicate.labels) == {"anorexia", "malaria"}
+
+    def test_unknown_attribute_left_untouched(self, background):
+        query = SelectionQuery("patient", [Comparison("height", ">", 150)])
+        flexible = reformulate(query, background)
+        assert isinstance(flexible.predicates[0], Comparison)
+
+    def test_already_flexible_kept(self, background):
+        query = SelectionQuery(
+            "patient", [DescriptorPredicate("sex", [Descriptor("sex", "female")])]
+        )
+        flexible = reformulate(query, background)
+        assert flexible.predicates == query.predicates
+
+    def test_unknown_descriptor_raises(self, background):
+        query = SelectionQuery(
+            "patient", [DescriptorPredicate("sex", [Descriptor("sex", "unknown")])]
+        )
+        with pytest.raises(QueryError):
+            reformulate(query, background)
+
+    def test_unsatisfiable_predicate_raises(self, background):
+        query = SelectionQuery("patient", [Comparison("age", ">", 500)])
+        with pytest.raises(QueryError):
+            reformulate(query, background)
+
+    def test_projection_preserved(self, background):
+        flexible = reformulate(paper_example_query(), background)
+        assert flexible.select == ("age",)
+
+    def test_no_false_negatives_on_raw_records(self, background):
+        """QS ⊆ QS*: any record matching the crisp query matches the flexible one."""
+        crisp = paper_example_query()
+        flexible = reformulate(crisp, background)
+        records = [
+            {"age": 15, "sex": "female", "bmi": 17, "disease": "anorexia"},
+            {"age": 18, "sex": "female", "bmi": 16.5, "disease": "anorexia"},
+            {"age": 25, "sex": "female", "bmi": 18.9, "disease": "anorexia"},
+        ]
+        for record in records:
+            assert crisp.matches(record)
+            assert all(
+                predicate.matches_with_background(record, background)
+                for predicate in flexible.descriptor_predicates()
+            )
+
+    def test_false_positives_possible(self, background):
+        """A BMI-20 patient satisfies the flexible query but not the crisp one."""
+        crisp = paper_example_query()
+        flexible = reformulate(crisp, background)
+        record = {"age": 25, "sex": "female", "bmi": 20, "disease": "anorexia"}
+        assert not crisp.matches(record)
+        assert all(
+            predicate.matches_with_background(record, background)
+            for predicate in flexible.descriptor_predicates()
+        )
+
+
+class TestStructuralCheck:
+    def test_widens_scope_structural_check(self, background):
+        crisp = paper_example_query()
+        flexible = reformulate(crisp, background)
+        assert reformulation_widens_scope(crisp, flexible)
+
+    def test_widens_scope_rejects_unrelated_queries(self, background):
+        crisp = paper_example_query()
+        other = SelectionQuery("other", [])
+        assert not reformulation_widens_scope(crisp, other)

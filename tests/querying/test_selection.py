@@ -1,0 +1,78 @@
+"""Unit tests for the selection algorithm over hierarchies."""
+
+import pytest
+
+from repro.database.generator import PatientGenerator, PatientProfile
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.selection import select_summaries
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+
+@pytest.fixture
+def populated_hierarchy(numeric_background):
+    """A hierarchy over two clearly separated patient populations."""
+    hierarchy = SummaryHierarchy(
+        numeric_background, attributes=["age", "bmi"], owner="peer-a"
+    )
+    generator = PatientGenerator(seed=1)
+    young_thin = PatientProfile(age_range=(13, 17), bmi_range=(15, 17))
+    old_heavy = PatientProfile(age_range=(70, 90), bmi_range=(33, 40))
+    hierarchy.add_records(generator.records(15, profile=young_thin))
+    hierarchy.add_records(generator.records(15, profile=old_heavy))
+    return hierarchy
+
+
+@pytest.fixture
+def young_underweight():
+    return Proposition([Clause("age", ["young"]), Clause("bmi", ["underweight"])])
+
+
+class TestSelectSummaries:
+    def test_empty_hierarchy_selects_nothing(self, numeric_background, young_underweight):
+        selection = select_summaries(
+            SummaryHierarchy(numeric_background), young_underweight
+        )
+        assert selection.is_empty
+        assert selection.visited_nodes == 0
+
+    def test_empty_proposition_selects_root(self, populated_hierarchy):
+        selection = select_summaries(populated_hierarchy, Proposition([]))
+        assert selection.summaries == [populated_hierarchy.root]
+
+    def test_matching_population_found(self, populated_hierarchy, young_underweight):
+        selection = select_summaries(populated_hierarchy, young_underweight)
+        assert not selection.is_empty
+        assert selection.matching_tuple_count() > 0
+
+    def test_only_matching_cells_returned(self, populated_hierarchy, young_underweight):
+        selection = select_summaries(populated_hierarchy, young_underweight)
+        for cell in selection.matching_cells():
+            assert cell.label_of("age") == "young"
+            assert cell.label_of("bmi") == "underweight"
+
+    def test_no_match_returns_empty(self, populated_hierarchy):
+        proposition = Proposition([Clause("bmi", ["overweight"])])
+        selection = select_summaries(populated_hierarchy, proposition)
+        assert selection.is_empty
+
+    def test_pruning_visits_fewer_nodes_than_tree(self, populated_hierarchy):
+        proposition = Proposition([Clause("age", ["child"])])
+        selection = select_summaries(populated_hierarchy, proposition)
+        assert selection.visited_nodes <= populated_hierarchy.node_count()
+
+    def test_peer_extent_propagated(self, populated_hierarchy, young_underweight):
+        selection = select_summaries(populated_hierarchy, young_underweight)
+        assert selection.peer_extent() == {"peer-a"}
+
+    def test_most_abstract_summaries_are_full_matches(
+        self, populated_hierarchy, young_underweight
+    ):
+        selection = select_summaries(populated_hierarchy, young_underweight)
+        for summary in selection.summaries:
+            for cell in summary.cells.values():
+                assert cell.label_of("age") == "young"
+                assert cell.label_of("bmi") == "underweight"
+
+    def test_matching_count_bounded_by_total(self, populated_hierarchy, young_underweight):
+        selection = select_summaries(populated_hierarchy, young_underweight)
+        assert selection.matching_tuple_count() <= populated_hierarchy.root.tuple_count + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for the valuation function."""
+
+import pytest
+
+from repro.fuzzy.linguistic import Descriptor
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.valuation import Valuation, cell_satisfies, valuate
+from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.summary import Summary, summary_from_cells
+
+
+def _cell(labels, count=1.0):
+    key = make_cell_key(Descriptor(a, l) for a, l in labels.items())
+    cell = Cell(key=key)
+    grades = {Descriptor(a, l): 1.0 for a, l in labels.items()}
+    cell.absorb_record({a: 0.0 for a in labels}, count, grades)
+    return cell
+
+
+@pytest.fixture
+def proposition():
+    return Proposition(
+        [Clause("age", ["young"]), Clause("bmi", ["underweight", "normal"])]
+    )
+
+
+class TestValuate:
+    def test_full_when_every_label_admitted(self, proposition):
+        summary = summary_from_cells(
+            [_cell({"age": "young", "bmi": "underweight"}),
+             _cell({"age": "young", "bmi": "normal"})]
+        )
+        valuation = valuate(summary, proposition)
+        assert valuation.overall is Valuation.FULL
+        assert valuation.certainly_satisfies
+        assert valuation.satisfies
+
+    def test_partial_when_some_labels_admitted(self, proposition):
+        summary = summary_from_cells(
+            [_cell({"age": "young", "bmi": "underweight"}),
+             _cell({"age": "adult", "bmi": "obese"})]
+        )
+        valuation = valuate(summary, proposition)
+        assert valuation.overall is Valuation.PARTIAL
+        assert valuation.satisfies
+        assert not valuation.certainly_satisfies
+
+    def test_none_when_no_label_admitted(self, proposition):
+        summary = summary_from_cells([_cell({"age": "old", "bmi": "obese"})])
+        valuation = valuate(summary, proposition)
+        assert valuation.overall is Valuation.NONE
+        assert not valuation.satisfies
+
+    def test_missing_attribute_gives_none(self, proposition):
+        summary = summary_from_cells([_cell({"age": "young"})])
+        valuation = valuate(summary, proposition)
+        assert valuation.overall is Valuation.NONE
+        assert valuation.per_attribute["bmi"] is Valuation.NONE
+
+    def test_per_attribute_details(self, proposition):
+        summary = summary_from_cells(
+            [_cell({"age": "young", "bmi": "underweight"}),
+             _cell({"age": "young", "bmi": "obese"})]
+        )
+        valuation = valuate(summary, proposition)
+        assert valuation.per_attribute["age"] is Valuation.FULL
+        assert valuation.per_attribute["bmi"] is Valuation.PARTIAL
+
+    def test_empty_proposition_is_full(self):
+        summary = summary_from_cells([_cell({"age": "old"})])
+        valuation = valuate(summary, Proposition([]))
+        assert valuation.overall is Valuation.FULL
+
+    def test_empty_summary_is_none(self, proposition):
+        valuation = valuate(Summary(), proposition)
+        assert valuation.overall is Valuation.NONE
+
+
+class TestCellSatisfies:
+    def test_matching_cell(self, proposition):
+        assert cell_satisfies(_cell({"age": "young", "bmi": "normal"}), proposition)
+
+    def test_non_matching_cell(self, proposition):
+        assert not cell_satisfies(_cell({"age": "old", "bmi": "normal"}), proposition)
+
+    def test_cell_missing_attribute(self, proposition):
+        assert not cell_satisfies(_cell({"age": "young"}), proposition)
+
+    def test_empty_proposition_always_satisfied(self):
+        assert cell_satisfies(_cell({"age": "old"}), Proposition([]))

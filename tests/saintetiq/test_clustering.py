@@ -1,0 +1,144 @@
+"""Unit tests for the incremental conceptual clustering."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.clustering import (
+    ClusteringParameters,
+    SummaryBuilder,
+    partition_score,
+)
+
+
+def _cell(labels, count=1.0):
+    key = make_cell_key(Descriptor(a, l) for a, l in labels.items())
+    cell = Cell(key=key)
+    grades = {Descriptor(a, l): 1.0 for a, l in labels.items()}
+    cell.absorb_record({a: 0.0 for a in labels}, count, grades)
+    return cell
+
+
+def _random_cells(count, seed=0):
+    rng = random.Random(seed)
+    ages = ["child", "young", "adult", "old"]
+    bmis = ["underweight", "normal", "overweight", "obese"]
+    return [
+        _cell({"age": rng.choice(ages), "bmi": rng.choice(bmis)}, count=rng.uniform(0.2, 3.0))
+        for _ in range(count)
+    ]
+
+
+class TestClusteringParameters:
+    def test_defaults(self):
+        parameters = ClusteringParameters()
+        assert parameters.max_children >= 2
+
+    def test_invalid_arity_raises(self):
+        with pytest.raises(SummaryError):
+            ClusteringParameters(max_children=1)
+
+
+class TestPartitionScore:
+    def test_empty_partition_scores_zero(self):
+        assert partition_score([]) == 0.0
+        assert partition_score([{}]) == 0.0
+
+    def test_homogeneous_split_beats_mixed_split(self):
+        young = {Descriptor("age", "young"): 4.0}
+        adult = {Descriptor("age", "adult"): 4.0}
+        mixed_a = {Descriptor("age", "young"): 2.0, Descriptor("age", "adult"): 2.0}
+        mixed_b = {Descriptor("age", "young"): 2.0, Descriptor("age", "adult"): 2.0}
+        assert partition_score([young, adult]) > partition_score([mixed_a, mixed_b])
+
+    def test_score_of_single_pure_child_is_non_negative(self):
+        assert partition_score([{Descriptor("age", "young"): 1.0}]) >= 0.0
+
+
+class TestSummaryBuilder:
+    def test_first_cell_becomes_root_leaf(self):
+        builder = SummaryBuilder()
+        builder.incorporate(_cell({"age": "young"}))
+        assert builder.root.is_leaf
+        assert builder.root.cell_count == 1
+
+    def test_same_key_merges_at_root(self):
+        builder = SummaryBuilder()
+        builder.incorporate(_cell({"age": "young"}, count=1.0))
+        builder.incorporate(_cell({"age": "young"}, count=2.0))
+        assert builder.root.is_leaf
+        assert builder.root.tuple_count == pytest.approx(3.0)
+
+    def test_two_distinct_cells_create_children(self):
+        builder = SummaryBuilder()
+        builder.incorporate(_cell({"age": "young"}))
+        builder.incorporate(_cell({"age": "adult"}))
+        assert not builder.root.is_leaf
+        assert len(builder.root.children) == 2
+
+    def test_root_always_covers_everything(self):
+        builder = SummaryBuilder()
+        cells = _random_cells(30)
+        builder.incorporate_all(cells)
+        total = sum(cell.tuple_count for cell in cells)
+        assert builder.root.tuple_count == pytest.approx(total)
+
+    def test_leaves_cover_single_cell_keys(self):
+        builder = SummaryBuilder()
+        builder.incorporate_all(_random_cells(40, seed=3))
+        for leaf in builder.root.leaves():
+            assert leaf.cell_count == 1
+
+    def test_internal_nodes_union_of_children(self):
+        builder = SummaryBuilder()
+        builder.incorporate_all(_random_cells(40, seed=5))
+        for node in builder.root.iter_subtree():
+            if node.is_leaf:
+                continue
+            child_keys = set()
+            for child in node.children:
+                child_keys |= set(child.cells)
+            assert child_keys == set(node.cells)
+
+    def test_arity_bound_respected(self):
+        parameters = ClusteringParameters(max_children=3)
+        builder = SummaryBuilder(parameters)
+        builder.incorporate_all(_random_cells(60, seed=7))
+        for node in builder.root.iter_subtree():
+            assert len(node.children) <= 3
+
+    def test_incorporated_counter(self):
+        builder = SummaryBuilder()
+        builder.incorporate_all(_random_cells(12))
+        assert builder.incorporated_cells == 12
+
+    def test_leaf_count_bounded_by_distinct_keys(self):
+        builder = SummaryBuilder()
+        cells = _random_cells(80, seed=11)
+        builder.incorporate_all(cells)
+        distinct_keys = {cell.key for cell in cells}
+        assert len(builder.root.leaves()) <= len(distinct_keys) + 1
+
+    def test_empty_cell_raises(self):
+        builder = SummaryBuilder()
+        bad = Cell(key=())
+        with pytest.raises(SummaryError):
+            builder.incorporate(bad)
+
+    def test_disable_merge_and_split_still_works(self):
+        parameters = ClusteringParameters(enable_merge=False, enable_split=False, max_children=8)
+        builder = SummaryBuilder(parameters)
+        builder.incorporate_all(_random_cells(30, seed=13))
+        assert builder.root.tuple_count > 0
+
+    def test_deterministic_for_same_input(self):
+        cells = _random_cells(25, seed=17)
+        first = SummaryBuilder()
+        second = SummaryBuilder()
+        first.incorporate_all([cell.copy() for cell in cells])
+        second.incorporate_all([cell.copy() for cell in cells])
+        assert first.root.tuple_count == pytest.approx(second.root.tuple_count)
+        assert len(first.root.leaves()) == len(second.root.leaves())

@@ -1,0 +1,90 @@
+"""Unit tests for the mapping service (Tables 1 and 2 of the paper)."""
+
+import pytest
+
+from repro.exceptions import BackgroundKnowledgeError
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.mapping import MappingService
+
+
+class TestMapRecord:
+    def test_crisp_record_maps_to_single_cell(self, mapping_service):
+        results = mapping_service.map_record({"age": 15, "bmi": 17})
+        assert len(results) == 1
+        key, weight, grades = results[0]
+        assert weight == 1.0
+        assert {d.label for d in key} == {"young", "underweight"}
+
+    def test_fuzzy_record_maps_to_two_cells(self, mapping_service):
+        """The paper's t2 (age 20, bmi 20) lands in (young, normal) and (adult, normal)."""
+        results = mapping_service.map_record({"age": 20, "bmi": 20})
+        weights = {frozenset(d.label for d in key): weight for key, weight, _ in results}
+        assert weights[frozenset({"young", "normal"})] == pytest.approx(0.7)
+        assert weights[frozenset({"adult", "normal"})] == pytest.approx(0.3)
+
+    def test_missing_attribute_maps_to_nothing(self, mapping_service):
+        assert mapping_service.map_record({"age": 15}) == []
+
+    def test_none_value_maps_to_nothing(self, mapping_service):
+        assert mapping_service.map_record({"age": 15, "bmi": None}) == []
+
+    def test_out_of_domain_value_maps_to_nothing(self, mapping_service):
+        assert mapping_service.map_record({"age": 15, "bmi": 500}) == []
+
+    def test_grades_carried_per_descriptor(self, mapping_service):
+        results = mapping_service.map_record({"age": 20, "bmi": 20})
+        for _key, _weight, grades in results:
+            assert grades[Descriptor("bmi", "normal")] == 1.0
+
+
+class TestMapRecords:
+    def test_paper_table2(self, paper_cells):
+        """Exactly the three cells of Table 2 with the paper's tuple counts."""
+        assert len(paper_cells) == 3
+        by_labels = {
+            frozenset(cell.describe().values()): cell for cell in paper_cells.values()
+        }
+        assert by_labels[frozenset({"young", "underweight"})].tuple_count == pytest.approx(2.0)
+        assert by_labels[frozenset({"young", "normal"})].tuple_count == pytest.approx(0.7)
+        assert by_labels[frozenset({"adult", "normal"})].tuple_count == pytest.approx(0.3)
+
+    def test_adult_grade_is_maximum_of_tuple_memberships(self, paper_cells):
+        """0.3/adult in cell c3, as stated in Section 3.2.1."""
+        for cell in paper_cells.values():
+            if cell.describe().get("age") == "adult":
+                assert cell.grades[Descriptor("age", "adult")] == pytest.approx(0.3)
+
+    def test_peer_extent_tagging(self, paper_cells):
+        assert all(cell.peers == {"peer-a"} for cell in paper_cells.values())
+
+    def test_total_mass_preserved(self, mapping_service, paper_records):
+        cells = mapping_service.map_records(paper_records)
+        total = sum(cell.tuple_count for cell in cells.values())
+        assert total == pytest.approx(len(paper_records))
+
+
+class TestConfiguration:
+    def test_attribute_restriction(self, numeric_background):
+        service = MappingService(numeric_background, attributes=["age"])
+        results = service.map_record({"age": 15})
+        assert len(results) == 1
+
+    def test_unknown_attribute_raises(self, numeric_background):
+        with pytest.raises(BackgroundKnowledgeError):
+            MappingService(numeric_background, attributes=["height"])
+
+    def test_empty_attribute_list_raises(self, numeric_background):
+        with pytest.raises(BackgroundKnowledgeError):
+            MappingService(numeric_background, attributes=[])
+
+    def test_grid_size(self, mapping_service):
+        assert mapping_service.grid_size() == 16
+
+    def test_threshold_prunes_weak_descriptors(self, numeric_background):
+        service = MappingService(
+            numeric_background, attributes=["age", "bmi"], threshold=0.5
+        )
+        results = service.map_record({"age": 20, "bmi": 20})
+        # The 0.3/adult combination is pruned by the 0.5 alpha-cut.
+        labels = [frozenset(d.label for d in key) for key, _w, _g in results]
+        assert frozenset({"adult", "normal"}) not in labels

@@ -1,0 +1,98 @@
+"""Unit tests for summary serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SummaryError
+from repro.fuzzy.linguistic import Descriptor
+from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.serialization import (
+    cell_from_dict,
+    cell_to_dict,
+    encoded_size_bytes,
+    hierarchy_from_dict,
+    hierarchy_from_json,
+    hierarchy_to_dict,
+    hierarchy_to_json,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+
+def _cell():
+    key = make_cell_key([Descriptor("age", "young"), Descriptor("bmi", "normal")])
+    cell = Cell(key=key)
+    cell.absorb_record(
+        {"age": 20, "bmi": 20},
+        0.7,
+        {Descriptor("age", "young"): 0.7, Descriptor("bmi", "normal"): 1.0},
+        peer="p1",
+    )
+    return cell
+
+
+class TestCellSerialization:
+    def test_round_trip(self):
+        original = _cell()
+        restored = cell_from_dict(cell_to_dict(original))
+        assert restored.key == original.key
+        assert restored.tuple_count == pytest.approx(original.tuple_count)
+        assert restored.grades == original.grades
+        assert restored.peers == original.peers
+        assert restored.statistics.get("age").mean == pytest.approx(20.0)
+
+    def test_payload_is_json_compatible(self):
+        json.dumps(cell_to_dict(_cell()))
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(SummaryError):
+            cell_from_dict({"key": [["age", "young"], ["age", "old"]], "tuple_count": 1})
+        with pytest.raises(SummaryError):
+            cell_from_dict({"tuple_count": 1})
+
+
+class TestSummarySerialization:
+    def test_round_trip_preserves_structure(self, example_hierarchy):
+        payload = summary_to_dict(example_hierarchy.root)
+        restored = summary_from_dict(payload)
+        assert restored.tuple_count == pytest.approx(example_hierarchy.root.tuple_count)
+        assert len(restored.children) == len(example_hierarchy.root.children)
+        assert restored.intent == example_hierarchy.root.intent
+
+
+class TestHierarchySerialization:
+    def test_round_trip_preserves_leaf_cells_and_metadata(
+        self, example_hierarchy, numeric_background
+    ):
+        payload = hierarchy_to_dict(example_hierarchy)
+        restored = hierarchy_from_dict(payload, numeric_background)
+        assert restored.owner == example_hierarchy.owner
+        assert restored.attributes == example_hierarchy.attributes
+        assert restored.records_processed == example_hierarchy.records_processed
+        assert restored.root.tuple_count == pytest.approx(
+            example_hierarchy.root.tuple_count
+        )
+        assert restored.signature() == example_hierarchy.signature()
+
+    def test_json_round_trip(self, example_hierarchy, numeric_background):
+        encoded = hierarchy_to_json(example_hierarchy)
+        restored = hierarchy_from_json(encoded, numeric_background)
+        assert restored.leaf_count() == example_hierarchy.leaf_count()
+
+    def test_malformed_json_raises(self, numeric_background):
+        with pytest.raises(SummaryError):
+            hierarchy_from_json("{not json", numeric_background)
+
+    def test_unsupported_version_raises(self, example_hierarchy, numeric_background):
+        payload = hierarchy_to_dict(example_hierarchy)
+        payload["version"] = 99
+        with pytest.raises(SummaryError):
+            hierarchy_from_dict(payload, numeric_background)
+
+    def test_encoded_size_reasonable(self, example_hierarchy):
+        size = encoded_size_bytes(example_hierarchy)
+        assert size > 0
+        # A tiny 3-record hierarchy should stay within a few kilobytes — the
+        # same order of magnitude as the 512-bytes-per-node model estimate.
+        assert size < 16 * 1024

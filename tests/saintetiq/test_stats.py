@@ -1,0 +1,113 @@
+"""Unit tests for attribute statistics."""
+
+import pytest
+
+from repro.saintetiq.stats import AttributeStatistics, StatisticsBundle
+
+
+class TestAttributeStatistics:
+    def test_empty_statistics(self):
+        stats = AttributeStatistics()
+        assert stats.mean is None
+        assert stats.std is None
+        assert stats.minimum is None
+
+    def test_single_observation(self):
+        stats = AttributeStatistics()
+        stats.add(10.0)
+        assert stats.mean == 10.0
+        assert stats.std == 0.0
+        assert stats.minimum == 10.0
+        assert stats.maximum == 10.0
+
+    def test_mean_and_variance(self):
+        stats = AttributeStatistics()
+        for value in [2.0, 4.0, 6.0, 8.0]:
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(5.0)
+
+    def test_weighted_observations(self):
+        stats = AttributeStatistics()
+        stats.add(10.0, weight=0.5)
+        stats.add(20.0, weight=0.5)
+        assert stats.count == pytest.approx(1.0)
+        assert stats.mean == pytest.approx(15.0)
+
+    def test_zero_weight_is_ignored(self):
+        stats = AttributeStatistics()
+        stats.add(10.0, weight=0.0)
+        assert stats.count == 0.0
+        assert stats.mean is None
+
+    def test_merge(self):
+        first = AttributeStatistics()
+        second = AttributeStatistics()
+        first.add(1.0)
+        first.add(2.0)
+        second.add(3.0)
+        first.merge(second)
+        assert first.count == 3
+        assert first.mean == pytest.approx(2.0)
+        assert first.minimum == 1.0
+        assert first.maximum == 3.0
+
+    def test_merge_with_empty(self):
+        stats = AttributeStatistics()
+        stats.add(5.0)
+        stats.merge(AttributeStatistics())
+        assert stats.count == 1
+
+    def test_copy_is_independent(self):
+        stats = AttributeStatistics()
+        stats.add(5.0)
+        clone = stats.copy()
+        clone.add(100.0)
+        assert stats.count == 1
+        assert clone.count == 2
+
+    def test_as_dict(self):
+        stats = AttributeStatistics()
+        stats.add(5.0)
+        payload = stats.as_dict()
+        assert payload["count"] == 1
+        assert payload["mean"] == 5.0
+
+    def test_variance_never_negative(self):
+        stats = AttributeStatistics()
+        # Numerically tricky: many identical large values.
+        for _ in range(100):
+            stats.add(1e9)
+        assert stats.variance >= 0.0
+
+
+class TestStatisticsBundle:
+    def test_add_record_tracks_numeric_attributes_only(self):
+        bundle = StatisticsBundle()
+        bundle.add_record({"age": 20, "sex": "female", "flag": True})
+        assert bundle.attributes == ["age"]
+
+    def test_get_missing_attribute(self):
+        assert StatisticsBundle().get("age") is None
+
+    def test_merge_bundles(self):
+        first = StatisticsBundle()
+        second = StatisticsBundle()
+        first.add_record({"age": 10})
+        second.add_record({"age": 30})
+        first.merge(second)
+        assert first.get("age").mean == pytest.approx(20.0)
+
+    def test_copy_is_independent(self):
+        bundle = StatisticsBundle()
+        bundle.add_record({"age": 10})
+        clone = bundle.copy()
+        clone.add_record({"age": 30})
+        assert bundle.get("age").count == 1
+        assert clone.get("age").count == 2
+
+    def test_as_dict(self):
+        bundle = StatisticsBundle()
+        bundle.add_record({"age": 10, "bmi": 20})
+        payload = bundle.as_dict()
+        assert set(payload) == {"age", "bmi"}

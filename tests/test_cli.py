@@ -1,0 +1,59 @@
+"""Unit tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+        capsys.readouterr()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.hours == 6.0
+        assert args.seed == 0
+        assert not args.json
+
+
+class TestCommands:
+    def test_tables_command_text_output(self, capsys):
+        exit_code = main(["tables"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Tables 1 & 2" in captured.out
+        assert "Table 3" in captured.out
+
+    def test_tables_command_json_output(self, capsys):
+        exit_code = main(["tables", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        first_line_block = captured.out.strip().split("\n{")[0]
+        payload = json.loads(first_line_block)
+        assert payload["name"].startswith("Tables 1 & 2")
+
+    def test_fig6_command_with_small_overrides(self, capsys):
+        exit_code = main(["fig6", "--sizes", "16,32", "--hours", "1", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 6" in captured.out
+
+    def test_fig7_command_with_small_overrides(self, capsys):
+        exit_code = main(["fig7", "--sizes", "16,32", "--queries", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 7" in captured.out
+
+    def test_invalid_sizes_rejected(self, capsys):
+        with pytest.raises((SystemExit, Exception)):
+            main(["fig6", "--sizes", "sixteen"])
+        capsys.readouterr()

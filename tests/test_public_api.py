@@ -1,0 +1,70 @@
+"""Tests of the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_every_name_in_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in (
+            "repro.fuzzy",
+            "repro.database",
+            "repro.saintetiq",
+            "repro.querying",
+            "repro.network",
+            "repro.core",
+            "repro.baselines",
+            "repro.costmodel",
+            "repro.workloads",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_module_docstring_example_runs(self):
+        """The usage sketched in the package docstring actually works."""
+        background = repro.medical_background_knowledge()
+        hierarchy = repro.SummaryHierarchy(background, attributes=["age", "bmi"])
+        generator = repro.PatientGenerator(seed=1)
+        added = hierarchy.add_records(
+            record.as_dict() for record in generator.paper_example_relation()
+        )
+        assert added == 3
+        assert hierarchy.leaf_count() >= 1
+
+    def test_exceptions_form_a_single_family(self):
+        for name in (
+            "SchemaError",
+            "QueryError",
+            "BackgroundKnowledgeError",
+            "SummaryError",
+            "NetworkError",
+            "ProtocolError",
+            "ConfigurationError",
+        ):
+            exception_type = getattr(repro, name)
+            assert issubclass(exception_type, repro.ReproError)
+
+    def test_routing_policy_values(self):
+        assert {policy.value for policy in repro.RoutingPolicy} == {
+            "all",
+            "precision",
+            "recall",
+        }
+
+    def test_freshness_values_match_paper(self):
+        assert repro.Freshness.FRESH == 0
+        assert repro.Freshness.STALE == 1
+        assert repro.Freshness.UNAVAILABLE == 2
