@@ -2,11 +2,15 @@
 
 These support the scalability discussion of Section 3.2.3 (linear-time
 incorporation, bounded memory) and Section 6.1.1 (merge cost depends on leaf
-counts, not tuple counts).
+counts, not tuple counts).  Construction scaling over grid size lives in
+:mod:`benchmarks.bench_construction_scaling`.
 """
+
+import json
 
 import pytest
 
+from benchmarks.conftest import mean_seconds
 from repro.database.generator import PatientGenerator
 from repro.fuzzy.vocabularies import medical_background_knowledge
 from repro.saintetiq.hierarchy import SummaryHierarchy
@@ -33,6 +37,15 @@ def test_summarization_throughput(benchmark, record_count):
     hierarchy = benchmark(build)
     assert hierarchy.records_processed == record_count
     assert hierarchy.leaf_count() <= hierarchy.mapping.grid_size()
+    mean = mean_seconds(benchmark)
+    benchmark.extra_info["throughput"] = json.dumps(
+        {
+            "records": record_count,
+            "records_per_second": record_count / mean if mean else None,
+            "leaves": hierarchy.leaf_count(),
+            "depth": hierarchy.depth(),
+        }
+    )
 
 
 @pytest.mark.benchmark(group="engine")

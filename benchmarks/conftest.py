@@ -43,3 +43,11 @@ def attach_table(benchmark, table) -> None:
     benchmark.extra_info["table"] = table.to_json()
     print()
     print(table.to_text())
+
+
+def mean_seconds(benchmark):
+    """Mean runtime of a benchmark, or None under ``--benchmark-disable``."""
+    stats = getattr(benchmark, "stats", None)
+    if not stats:
+        return None
+    return stats.stats.mean

@@ -67,8 +67,7 @@ class SummaryContentModel(ContentModel):
         if global_summary is None or proposition is None:
             return set()
         selection = select_summaries(global_summary, proposition)
-        peers = selection.peer_extent()
-        return peers & set(domain_partners)
+        return selection.peer_extent().intersection(domain_partners)
 
     def truly_matching(self, query_id: int, peer_id: str) -> bool:
         database = self._databases.get(peer_id)

@@ -52,8 +52,13 @@ class QuerySelection:
         return cells
 
     def matching_tuple_count(self) -> float:
-        """Estimated number of records satisfying the query."""
-        return sum(cell.tuple_count for cell in self.matching_cells())
+        """Estimated number of records satisfying the query.
+
+        Sums the cached per-summary tuple masses directly — no cell copies.
+        """
+        return sum(summary.tuple_count for summary in self.summaries) + sum(
+            cell.tuple_count for cell in self.partial_cells
+        )
 
     def peer_extent(self) -> Set[str]:
         """Relevant peers ``P_Q`` — the union of peer-extents of Z_Q (and

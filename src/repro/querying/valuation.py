@@ -52,7 +52,11 @@ class SummaryValuation:
 
 
 def valuate(summary: Summary, proposition: Proposition) -> SummaryValuation:
-    """Valuate ``proposition`` in the context of ``summary``."""
+    """Valuate ``proposition`` in the context of ``summary``.
+
+    Reads the summary's cached intent — label sets are not re-derived from
+    the covered cells per visit.
+    """
     per_attribute: Dict[str, Valuation] = {}
     overall = Valuation.FULL
     intent = summary.intent
@@ -61,10 +65,10 @@ def valuate(summary: Summary, proposition: Proposition) -> SummaryValuation:
         if not labels:
             outcome = Valuation.NONE
         else:
-            admitted = {label for label in labels if clause.admits(label)}
-            if not admitted:
+            admitted_count = sum(1 for label in labels if clause.admits(label))
+            if not admitted_count:
                 outcome = Valuation.NONE
-            elif admitted == set(labels):
+            elif admitted_count == len(labels):
                 outcome = Valuation.FULL
             else:
                 outcome = Valuation.PARTIAL

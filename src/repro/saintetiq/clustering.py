@@ -12,6 +12,36 @@ The process is incremental: raw data are parsed once, and incorporating a cell
 costs time proportional to the depth of the tree and the arity of its nodes,
 which matches the paper's claim of linear overall complexity in the number of
 cells (Section 3.2.3).
+
+Cache-invariant contract
+------------------------
+The O(depth · arity) bound only holds because the scoring loop consumes the
+aggregates each :class:`~repro.saintetiq.summary.Summary` materializes instead
+of rescanning covered cells.  The division of labour is:
+
+* **Deltas are owned by** ``Summary.absorb_cell`` — the only way cells enter a
+  node during incorporation.  It folds the incoming cell's contribution into
+  the cached profile / mass / intent / peer-extent / statistics, so by the
+  time :meth:`SummaryBuilder._choose_operator` runs, ``node.profile`` already
+  reflects the cell absorbed at that level.
+* **Structural operators** (merge, split, arity enforcement) never edit cell
+  maps in place; merge builds the replacement node's cache as a child-union
+  merge via ``Summary.recompute_from_children``, and split leaves every
+  surviving node's cell map (hence cache) untouched.
+* **Dirty flags are set** only by wholesale cell-map replacement (constructor
+  supplied maps, ``Summary.invalidate_cache``) and **cleared** by the next
+  aggregate access (lazy one-pass rebuild) or by
+  ``recompute_from_children``.  The builder itself never marks nodes dirty —
+  every mutation it performs goes through a delta-maintaining path.
+* The scoring fast path additionally relies on the internal-node invariant
+  (a node's cell map is the union of its children's): the candidate
+  partitions of all four operators then share one parent distribution —
+  ``node.profile`` — so the parent term of the score is computed once per
+  level instead of once per candidate.
+
+``SummaryBuilder(reference_scoring=True)`` bypasses every cached aggregate and
+re-derives profiles from the cell maps with the naive four-way scoring — the
+slow reference implementation that equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -55,7 +85,12 @@ def _cell_profile(cell: Cell) -> Profile:
     return {descriptor: cell.tuple_count for descriptor in cell.key}
 
 
-def _node_profile(node: Summary) -> Profile:
+def _node_profile_fresh(node: Summary) -> Profile:
+    """Rebuild the profile from the cell map, bypassing the cache.
+
+    This is the original O(covered cells) computation, kept as the reference
+    the cached fast path is validated against.
+    """
     profile: Profile = {}
     for cell in node.cells.values():
         for descriptor in cell.key:
@@ -109,13 +144,90 @@ def partition_score(profiles: Sequence[Profile]) -> float:
     return score / len(profiles)
 
 
+def _quantize_score(score: float) -> float:
+    """Round a partition score to 12 significant digits.
+
+    Candidate scores frequently tie *exactly* in real arithmetic (symmetric
+    partitions), where the sub-ulp noise of float summation order would
+    otherwise decide the operator.  Quantizing before the argmax makes the
+    choice deterministic — ties break by candidate order (add, create, merge,
+    split) — and independent of how the score was associated, so the cached
+    fast path and the recompute-from-scratch reference pick identical
+    operators.
+    """
+    return float(f"{score:.12e}")
+
+
+def _term_stats(profile: Profile) -> Tuple[float, float]:
+    """(total mass, sum of squared weights) of a profile in one pass."""
+    total = 0.0
+    squares = 0.0
+    for weight in profile.values():
+        total += weight
+        squares += weight * weight
+    return total, squares
+
+
+class _PartitionScorer:
+    """Scores the four candidate partitions of one tree level.
+
+    All four candidates redistribute the *same* extent (the node's cells, the
+    incoming cell included), so they share the parent distribution: the parent
+    term is computed once from the node's cached profile, and each candidate
+    only recomputes the terms of the children it actually modifies.
+    """
+
+    def __init__(self, node: Summary, profiles: Sequence[Profile]) -> None:
+        parent_profile = node.profile
+        self.grand_total = _profile_total(parent_profile)
+        if self.grand_total > 0.0:
+            inv = 1.0 / self.grand_total
+            self.parent_term = sum(
+                (weight * inv) ** 2 for weight in parent_profile.values()
+            )
+        else:
+            self.parent_term = 0.0
+        self.stats = [_term_stats(profile) for profile in profiles]
+        self.nonempty = [bool(profile) for profile in profiles]
+        self.base_count = sum(self.nonempty)
+        self.base = sum(self.contribution(total, sq) for total, sq in self.stats)
+
+    def contribution(self, total: float, squares: float) -> float:
+        """One child's ``P(C_k) * (child_term - parent_term)`` summand."""
+        if self.grand_total <= 0.0 or total <= 0.0:
+            return 0.0
+        child_term = squares / (total * total)
+        return (total / self.grand_total) * (child_term - self.parent_term)
+
+    def score(self, summed: float, count: int) -> float:
+        if count <= 0 or self.grand_total <= 0.0:
+            return 0.0
+        return summed / count
+
+    def without(self, *indices: int) -> Tuple[float, int]:
+        """Base sum and non-empty count with the given children removed."""
+        summed = self.base
+        count = self.base_count
+        for index in indices:
+            summed -= self.contribution(*self.stats[index])
+            if self.nonempty[index]:
+                count -= 1
+        return summed, count
+
+
 class SummaryBuilder:
     """Incrementally builds and maintains a summary hierarchy from cells."""
 
-    def __init__(self, parameters: Optional[ClusteringParameters] = None) -> None:
+    def __init__(
+        self,
+        parameters: Optional[ClusteringParameters] = None,
+        *,
+        reference_scoring: bool = False,
+    ) -> None:
         self._parameters = parameters or ClusteringParameters()
         self._root = Summary()
         self._incorporated = 0
+        self._reference_scoring = reference_scoring
 
     @property
     def root(self) -> Summary:
@@ -129,6 +241,21 @@ class SummaryBuilder:
     def incorporated_cells(self) -> int:
         """Number of cell incorporations performed so far."""
         return self._incorporated
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped by every mutating entry point.
+
+        Every mutation of the tree (absorption, structural operators) happens
+        inside :meth:`incorporate`, so derived caches — tree height, intent
+        signatures — can key their validity on this counter.
+        """
+        return self._incorporated
+
+    def _profile_of(self, node: Summary) -> Profile:
+        if self._reference_scoring:
+            return _node_profile_fresh(node)
+        return node.profile
 
     # -- public API --------------------------------------------------------------
 
@@ -191,53 +318,23 @@ class SummaryBuilder:
                 return child
 
         cell_profile = _cell_profile(cell)
-        profiles = [_node_profile(child) for child in children]
+        profiles = [self._profile_of(child) for child in children]
 
         ranked = self._rank_hosts(children, profiles, cell_profile)
         best_index = ranked[0]
-        candidates: List[Tuple[float, str, Optional[int]]] = []
 
-        # Option 1: incorporate into the best existing child.
-        add_profiles = list(profiles)
-        add_profiles[best_index] = _combine_profiles(
-            profiles[best_index], cell_profile
+        if self._reference_scoring:
+            candidates = self._candidates_reference(
+                node, children, profiles, cell_profile, ranked
+            )
+        else:
+            candidates = self._candidates_cached(
+                node, children, profiles, cell_profile, ranked
+            )
+
+        score, operator, argument = max(
+            candidates, key=lambda item: _quantize_score(item[0])
         )
-        candidates.append((partition_score(add_profiles), "add", best_index))
-
-        # Option 2: create a new child for the cell alone.
-        create_profiles = list(profiles) + [dict(cell_profile)]
-        candidates.append((partition_score(create_profiles), "create", None))
-
-        # Option 3: merge the two best children and incorporate there.
-        if self._parameters.enable_merge and len(children) >= 2:
-            second_index = ranked[1]
-            merge_profiles = [
-                profile
-                for index, profile in enumerate(profiles)
-                if index not in (best_index, second_index)
-            ]
-            merge_profiles.append(
-                _combine_profiles(
-                    profiles[best_index], profiles[second_index], cell_profile
-                )
-            )
-            candidates.append((partition_score(merge_profiles), "merge", second_index))
-
-        # Option 4: split the best child (promote its children) and re-add.
-        best_child = children[best_index]
-        if self._parameters.enable_split and not best_child.is_leaf:
-            split_profiles = [
-                profile
-                for index, profile in enumerate(profiles)
-                if index != best_index
-            ]
-            split_profiles.extend(
-                _node_profile(grandchild) for grandchild in best_child.children
-            )
-            split_profiles.append(dict(cell_profile))
-            candidates.append((partition_score(split_profiles), "split", None))
-
-        score, operator, argument = max(candidates, key=lambda item: item[0])
         del score  # only the argmax matters
 
         if operator == "add":
@@ -254,14 +351,143 @@ class SummaryBuilder:
             merged = self._merge_children(node, children[best_index], children[argument])
             return merged
         # operator == "split"
+        best_child = children[best_index]
         self._split_child(node, best_child)
         # After the split the partition changed: pick the best host among the
         # new children with a plain "add" (no further structural operator, to
         # keep the incorporation cost bounded).
         new_children = node.children
-        new_profiles = [_node_profile(child) for child in new_children]
+        new_profiles = [self._profile_of(child) for child in new_children]
         best = self._rank_hosts(new_children, new_profiles, cell_profile)[0]
         return new_children[best]
+
+    def _candidates_cached(
+        self,
+        node: Summary,
+        children: Sequence[Summary],
+        profiles: Sequence[Profile],
+        cell_profile: Profile,
+        ranked: Sequence[int],
+    ) -> List[Tuple[float, str, Optional[int]]]:
+        """Candidate scores sharing the parent term across the four operators."""
+        best_index = ranked[0]
+        scorer = _PartitionScorer(node, profiles)
+        cell_total, cell_squares = _term_stats(cell_profile)
+        candidates: List[Tuple[float, str, Optional[int]]] = []
+
+        # Option 1: incorporate into the best existing child.  Only the
+        # squared weights of the cell's own descriptors change.
+        add_total = scorer.stats[best_index][0] + cell_total
+        add_squares = scorer.stats[best_index][1]
+        best_profile = profiles[best_index]
+        for descriptor, weight in cell_profile.items():
+            previous = best_profile.get(descriptor, 0.0)
+            combined = previous + weight
+            add_squares += combined * combined - previous * previous
+        summed, count = scorer.without(best_index)
+        candidates.append(
+            (
+                scorer.score(summed + scorer.contribution(add_total, add_squares), count + 1),
+                "add",
+                best_index,
+            )
+        )
+
+        # Option 2: create a new child for the cell alone.
+        candidates.append(
+            (
+                scorer.score(
+                    scorer.base + scorer.contribution(cell_total, cell_squares),
+                    scorer.base_count + 1,
+                ),
+                "create",
+                None,
+            )
+        )
+
+        # Option 3: merge the two best children and incorporate there.
+        if self._parameters.enable_merge and len(children) >= 2:
+            second_index = ranked[1]
+            merged_profile = _combine_profiles(
+                profiles[best_index], profiles[second_index], cell_profile
+            )
+            merged_total, merged_squares = _term_stats(merged_profile)
+            summed, count = scorer.without(best_index, second_index)
+            candidates.append(
+                (
+                    scorer.score(
+                        summed + scorer.contribution(merged_total, merged_squares),
+                        count + 1,
+                    ),
+                    "merge",
+                    second_index,
+                )
+            )
+
+        # Option 4: split the best child (promote its children) and re-add.
+        best_child = children[best_index]
+        if self._parameters.enable_split and not best_child.is_leaf:
+            summed, count = scorer.without(best_index)
+            for grandchild in best_child.children:
+                grandchild_profile = self._profile_of(grandchild)
+                summed += scorer.contribution(*_term_stats(grandchild_profile))
+                if grandchild_profile:
+                    count += 1
+            summed += scorer.contribution(cell_total, cell_squares)
+            candidates.append((scorer.score(summed, count + 1), "split", None))
+
+        return candidates
+
+    def _candidates_reference(
+        self,
+        node: Summary,
+        children: Sequence[Summary],
+        profiles: Sequence[Profile],
+        cell_profile: Profile,
+        ranked: Sequence[int],
+    ) -> List[Tuple[float, str, Optional[int]]]:
+        """The original candidate construction: four full partition scores."""
+        del node  # the reference path re-derives the parent per candidate
+        best_index = ranked[0]
+        candidates: List[Tuple[float, str, Optional[int]]] = []
+
+        add_profiles = list(profiles)
+        add_profiles[best_index] = _combine_profiles(
+            profiles[best_index], cell_profile
+        )
+        candidates.append((partition_score(add_profiles), "add", best_index))
+
+        create_profiles = list(profiles) + [dict(cell_profile)]
+        candidates.append((partition_score(create_profiles), "create", None))
+
+        if self._parameters.enable_merge and len(children) >= 2:
+            second_index = ranked[1]
+            merge_profiles = [
+                profile
+                for index, profile in enumerate(profiles)
+                if index not in (best_index, second_index)
+            ]
+            merge_profiles.append(
+                _combine_profiles(
+                    profiles[best_index], profiles[second_index], cell_profile
+                )
+            )
+            candidates.append((partition_score(merge_profiles), "merge", second_index))
+
+        best_child = children[best_index]
+        if self._parameters.enable_split and not best_child.is_leaf:
+            split_profiles = [
+                profile
+                for index, profile in enumerate(profiles)
+                if index != best_index
+            ]
+            split_profiles.extend(
+                _node_profile_fresh(grandchild) for grandchild in best_child.children
+            )
+            split_profiles.append(dict(cell_profile))
+            candidates.append((partition_score(split_profiles), "split", None))
+
+        return candidates
 
     def _rank_hosts(
         self,
@@ -269,7 +495,12 @@ class SummaryBuilder:
         profiles: Sequence[Profile],
         cell_profile: Profile,
     ) -> List[int]:
-        """Children indices ranked by affinity with the incoming cell."""
+        """Children indices ranked by affinity with the incoming cell.
+
+        Affinities are quantized like partition scores: real-arithmetic ties
+        must rank by child order, not by sub-ulp float noise, or the cached
+        and reference scorers could pick different hosts.
+        """
         cell_descriptors = set(cell_profile)
 
         def affinity(index: int) -> Tuple[float, float]:
@@ -280,7 +511,7 @@ class SummaryBuilder:
             overlap = sum(
                 profile.get(descriptor, 0.0) for descriptor in cell_descriptors
             )
-            return (overlap / total, overlap)
+            return (_quantize_score(overlap / total), _quantize_score(overlap))
 
         return sorted(range(len(children)), key=affinity, reverse=True)
 
@@ -291,14 +522,14 @@ class SummaryBuilder:
     ) -> Summary:
         """Replace two children by a single node having both as children."""
         merged = Summary()
-        merged.absorb_cells(cell for cell in first.cells.values())
-        merged.absorb_cells(cell for cell in second.cells.values())
         # Collapse trivial structure: if both were leaves the merged node keeps
         # them as children so the leaf invariant is preserved at the next level.
         parent.remove_child(first)
         parent.remove_child(second)
         merged.add_child(first)
         merged.add_child(second)
+        # Cell map and cached aggregates in one child-union pass.
+        merged.recompute_from_children()
         parent.add_child(merged)
         return merged
 
@@ -313,18 +544,23 @@ class SummaryBuilder:
     def _enforce_arity(self, node: Summary) -> None:
         """Keep the number of children at or below ``max_children``."""
         while len(node.children) > self._parameters.max_children:
-            profiles = [_node_profile(child) for child in node.children]
+            profiles = [self._profile_of(child) for child in node.children]
             index_a, index_b = _most_similar_pair(profiles)
             self._merge_children(node, node.children[index_a], node.children[index_b])
 
 
 def _most_similar_pair(profiles: Sequence[Profile]) -> Tuple[int, int]:
-    """Indices of the two profiles with the highest cosine-like similarity."""
+    """Indices of the two profiles with the highest cosine-like similarity.
+
+    Similarities are quantized like partition scores: exact ties (e.g. two
+    pairs of proportional profiles, both at similarity 1.0) must break by pair
+    order, not by sub-ulp float noise.
+    """
     best_pair = (0, 1)
     best_similarity = -1.0
     for i in range(len(profiles)):
         for j in range(i + 1, len(profiles)):
-            similarity = _profile_similarity(profiles[i], profiles[j])
+            similarity = _quantize_score(_profile_similarity(profiles[i], profiles[j]))
             if similarity > best_similarity:
                 best_similarity = similarity
                 best_pair = (i, j)

@@ -15,7 +15,7 @@ the P2P layer relies on:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import SummaryError
 from repro.fuzzy.background import BackgroundKnowledge
@@ -23,7 +23,7 @@ from repro.fuzzy.linguistic import Descriptor
 from repro.saintetiq.cell import Cell
 from repro.saintetiq.clustering import ClusteringParameters, SummaryBuilder
 from repro.saintetiq.mapping import MappingService
-from repro.saintetiq.summary import Summary
+from repro.saintetiq.summary import Summary, collect_leaf_cells
 
 #: Rough per-summary storage footprint used by the cost model (Section 6.1.1).
 DEFAULT_SUMMARY_SIZE_BYTES = 512
@@ -44,6 +44,11 @@ class SummaryHierarchy:
         self._builder = SummaryBuilder(parameters)
         self._owner = owner
         self._records_processed = 0
+        # Derived figures memoized against the builder's mutation counter:
+        # every tree mutation goes through ``SummaryBuilder.incorporate``, so
+        # a matching counter proves the cached value is still current.
+        self._depth_cache: Optional[Tuple[int, int]] = None
+        self._signature_cache: Optional[Tuple[int, FrozenSet[Descriptor]]] = None
 
     # -- accessors -----------------------------------------------------------------
 
@@ -101,6 +106,10 @@ class SummaryHierarchy:
         """Incorporate an externally produced cell (used by hierarchy merging)."""
         self._builder.incorporate(cell)
 
+    def incorporate_cells(self, cells: Iterable[Cell]) -> int:
+        """Incorporate a batch of externally produced cells; returns how many."""
+        return self._builder.incorporate_all(cells)
+
     # -- structure metrics -----------------------------------------------------------
 
     def is_empty(self) -> bool:
@@ -113,7 +122,11 @@ class SummaryHierarchy:
         return len(self.root.leaves())
 
     def depth(self) -> int:
-        return self.root.depth()
+        """Tree height, memoized until the next mutation (see ``_depth_cache``)."""
+        version = self._builder.mutation_count
+        if self._depth_cache is None or self._depth_cache[0] != version:
+            self._depth_cache = (version, self.root.depth())
+        return self._depth_cache[1]
 
     def average_arity(self) -> float:
         """Average number of children of internal nodes (the ``B`` of the model)."""
@@ -131,14 +144,7 @@ class SummaryHierarchy:
 
     def leaf_cells(self) -> List[Cell]:
         """The populated cells at the leaves (input of hierarchy merging)."""
-        cells: Dict[object, Cell] = {}
-        for leaf in self.root.leaves():
-            for key, cell in leaf.cells.items():
-                if key in cells:
-                    cells[key].merge(cell)
-                else:
-                    cells[key] = cell.copy()
-        return list(cells.values())
+        return collect_leaf_cells(self.root)
 
     def peer_extent(self) -> Set[str]:
         """All peers contributing data to this hierarchy (Definition 4)."""
@@ -151,12 +157,17 @@ class SummaryHierarchy:
 
         The paper detects summary modification *"by observing the
         appearance/disappearance of descriptors in summary intentions"*; the
-        signature is exactly that observable.
+        signature is exactly that observable.  Memoized until the next
+        mutation: drift checks run on every maintenance tick, far more often
+        than the tree changes.
         """
-        descriptors: Set[Descriptor] = set()
-        for node in self.root.iter_subtree():
-            descriptors |= node.descriptors
-        return frozenset(descriptors)
+        version = self._builder.mutation_count
+        if self._signature_cache is None or self._signature_cache[0] != version:
+            descriptors: Set[Descriptor] = set()
+            for node in self.root.iter_subtree():
+                descriptors |= node.descriptors
+            self._signature_cache = (version, frozenset(descriptors))
+        return self._signature_cache[1]
 
     def drift_from(self, signature: FrozenSet[Descriptor]) -> float:
         """Fraction of descriptors that appeared or disappeared since ``signature``.
@@ -180,8 +191,7 @@ class SummaryHierarchy:
             owner=self._owner,
         )
         clone._builder = SummaryBuilder(self._builder.parameters)
-        for cell in self.leaf_cells():
-            clone._builder.incorporate(cell)
+        clone._builder.incorporate_all(self.leaf_cells())
         clone._records_processed = self._records_processed
         return clone
 
@@ -190,11 +200,13 @@ class SummaryHierarchy:
 
         * every internal node's cell map is the union of its children's,
         * every leaf covers at least one cell (once the hierarchy is non-empty),
-        * the generalization partial order of Definition 2 holds along edges.
+        * the generalization partial order of Definition 2 holds along edges,
+        * every node's cached aggregates match a from-scratch recomputation.
         """
         if self.is_empty():
             return
         for node in self.root.iter_subtree():
+            node.check_cache()
             if node.is_leaf:
                 if not node.cells:
                     raise SummaryError(f"leaf {node.node_id} covers no cell")

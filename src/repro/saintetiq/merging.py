@@ -38,10 +38,7 @@ def merge_into(target: SummaryHierarchy, source: SummaryHierarchy) -> int:
             "cannot merge hierarchies summarizing different attribute sets: "
             f"{target.attributes} vs {source.attributes}"
         )
-    cells = source.leaf_cells()
-    for cell in cells:
-        target.incorporate_cell(cell)
-    return len(cells)
+    return target.incorporate_cells(source.leaf_cells())
 
 
 def merge_hierarchies(

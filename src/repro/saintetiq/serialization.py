@@ -10,7 +10,7 @@ the storage-cost model (Section 6.1.1) approximates with 512 bytes per node.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.exceptions import SummaryError
 from repro.fuzzy.background import BackgroundKnowledge
@@ -19,7 +19,7 @@ from repro.saintetiq.cell import Cell, make_cell_key
 from repro.saintetiq.clustering import ClusteringParameters
 from repro.saintetiq.hierarchy import SummaryHierarchy
 from repro.saintetiq.stats import AttributeStatistics, StatisticsBundle
-from repro.saintetiq.summary import Summary
+from repro.saintetiq.summary import Summary, collect_leaf_cells
 
 _FORMAT_VERSION = 1
 
@@ -162,23 +162,11 @@ def hierarchy_from_dict(
         owner=payload.get("owner"),
     )
     root = summary_from_dict(payload.get("root", {}))
-    for cell in _leaf_cells(root):
-        hierarchy.incorporate_cell(cell)
+    hierarchy.incorporate_cells(collect_leaf_cells(root))
     hierarchy._records_processed = int(  # noqa: SLF001 - metadata restore
         payload.get("records_processed", 0)
     )
     return hierarchy
-
-
-def _leaf_cells(root: Summary) -> List[Cell]:
-    merged: Dict[object, Cell] = {}
-    for leaf in root.leaves():
-        for key, cell in leaf.cells.items():
-            if key in merged:
-                merged[key].merge(cell)
-            else:
-                merged[key] = cell.copy()
-    return list(merged.values())
 
 
 # -- JSON convenience ---------------------------------------------------------------------

@@ -6,13 +6,34 @@ cells; its *extent* is the set of covered cells (``L_z``) together with the
 records they aggregate (``R_z`` — represented here by counts and statistics
 rather than raw tuples); its *peer-extent* (Definition 3) is the set of peers
 owning at least one covered record.
+
+Aggregate cache
+---------------
+Every node materializes the aggregates the clustering and query layers keep
+asking for — descriptor-weight profile, total tuple mass, per-attribute intent
+label sets, peer-extent, attribute statistics — instead of rescanning
+``cells`` on each access.  The cache follows a delta protocol:
+
+* :meth:`absorb_cell` applies the incoming cell's contribution as a delta
+  (cell maps only ever grow during incorporation, so deltas are additive);
+* :meth:`recompute_from_children` re-establishes both the cell map *and* the
+  cached aggregates as a child-union merge of the children's caches, without
+  revisiting individual descriptors per covered cell;
+* wholesale replacement of ``cells`` (constructor-supplied maps, deep copies)
+  marks the cache *dirty*; the next aggregate access rebuilds it from the cell
+  map in one pass (:meth:`invalidate_cache` exposes the same hook to any
+  out-of-band mutator).
+
+:meth:`check_cache` recomputes everything from scratch and raises on any
+divergence; :meth:`SummaryHierarchy.validate` calls it on every node.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import SummaryError
 from repro.fuzzy.linguistic import Descriptor
@@ -34,6 +55,28 @@ class Summary:
     children: List["Summary"] = field(default_factory=list)
     cells: Dict[CellKey, Cell] = field(default_factory=dict)
     parent: Optional["Summary"] = field(default=None, repr=False, compare=False)
+
+    # Materialized aggregates (see the module docstring for the protocol).
+    _profile: Dict[Descriptor, float] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    _mass: float = field(init=False, default=0.0, repr=False, compare=False)
+    _labels: Dict[str, Set[str]] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    _peers: Set[str] = field(init=False, default_factory=set, repr=False, compare=False)
+    _stats: StatisticsBundle = field(
+        init=False, default_factory=StatisticsBundle, repr=False, compare=False
+    )
+    _intent_view: Optional[Dict[str, FrozenSet[str]]] = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    _dirty: bool = field(init=False, default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Constructor-supplied cell maps bypass the delta protocol.
+        if self.cells:
+            self._dirty = True
 
     # -- structure -------------------------------------------------------------
 
@@ -60,36 +103,158 @@ class Summary:
 
     def depth(self) -> int:
         """Height of the subtree rooted here (a single node has depth 0)."""
-        if not self.children:
-            return 0
-        return 1 + max(child.depth() for child in self.children)
+        best = 0
+        stack: List[Tuple["Summary", int]] = [(self, 0)]
+        while stack:
+            node, level = stack.pop()
+            if node.children:
+                next_level = level + 1
+                for child in node.children:
+                    stack.append((child, next_level))
+            elif level > best:
+                best = level
+        return best
+
+    # -- aggregate cache ---------------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Flag the cached aggregates as stale (out-of-band ``cells`` mutation)."""
+        self._dirty = True
+
+    def _ensure_cache(self) -> None:
+        if self._dirty:
+            self._rebuild_cache()
+
+    def _rebuild_cache(self) -> None:
+        """One-pass rebuild of every aggregate from the cell map."""
+        profile, mass, labels, peers, stats = self._compute_from_cells()
+        self._profile = profile
+        self._mass = mass
+        self._labels = labels
+        self._peers = peers
+        self._stats = stats
+        self._intent_view = None
+        self._dirty = False
+
+    def _compute_from_cells(
+        self,
+    ) -> Tuple[Dict[Descriptor, float], float, Dict[str, Set[str]], Set[str], StatisticsBundle]:
+        profile: Dict[Descriptor, float] = {}
+        mass = 0.0
+        labels: Dict[str, Set[str]] = {}
+        peers: Set[str] = set()
+        stats = StatisticsBundle()
+        for cell in self.cells.values():
+            count = cell.tuple_count
+            mass += count
+            for descriptor in cell.key:
+                if descriptor in profile:
+                    profile[descriptor] += count
+                else:
+                    profile[descriptor] = count
+                    labels.setdefault(descriptor.attribute, set()).add(descriptor.label)
+            peers |= cell.peers
+            stats.merge(cell.statistics)
+        return profile, mass, labels, peers, stats
+
+    def _apply_cell_delta(self, cell: Cell) -> None:
+        """Fold one incoming cell's contribution into the cached aggregates."""
+        if self._dirty:
+            return  # a full rebuild is pending anyway
+        count = cell.tuple_count
+        self._mass += count
+        profile = self._profile
+        for descriptor in cell.key:
+            if descriptor in profile:
+                profile[descriptor] += count
+            else:
+                profile[descriptor] = count
+                self._labels.setdefault(descriptor.attribute, set()).add(
+                    descriptor.label
+                )
+                self._intent_view = None
+        if cell.peers:
+            self._peers |= cell.peers
+        self._stats.merge(cell.statistics)
+
+    def check_cache(self, rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> None:
+        """Recompute every aggregate from scratch and raise on divergence."""
+        if self._dirty:
+            return  # nothing materialized to check
+        profile, mass, labels, peers, stats = self._compute_from_cells()
+        if set(profile) != set(self._profile):
+            raise SummaryError(
+                f"node {self.node_id}: cached profile descriptors diverged"
+            )
+        for descriptor, weight in profile.items():
+            if not math.isclose(
+                weight, self._profile[descriptor], rel_tol=rel_tol, abs_tol=abs_tol
+            ):
+                raise SummaryError(
+                    f"node {self.node_id}: cached weight of {descriptor} diverged"
+                )
+        if not math.isclose(mass, self._mass, rel_tol=rel_tol, abs_tol=abs_tol):
+            raise SummaryError(f"node {self.node_id}: cached tuple mass diverged")
+        if labels != self._labels:
+            raise SummaryError(f"node {self.node_id}: cached intent diverged")
+        if peers != self._peers:
+            raise SummaryError(f"node {self.node_id}: cached peer-extent diverged")
+        for attribute in set(stats.attributes) | set(self._stats.attributes):
+            fresh, cached = stats.get(attribute), self._stats.get(attribute)
+            if fresh is None or cached is None:
+                raise SummaryError(
+                    f"node {self.node_id}: cached statistics attributes diverged"
+                )
+            if not math.isclose(
+                fresh.count, cached.count, rel_tol=rel_tol, abs_tol=abs_tol
+            ) or not math.isclose(
+                fresh.total, cached.total, rel_tol=rel_tol, abs_tol=abs_tol
+            ):
+                raise SummaryError(
+                    f"node {self.node_id}: cached statistics of {attribute!r} diverged"
+                )
 
     # -- intent / extent --------------------------------------------------------
 
     @property
+    def profile(self) -> Dict[Descriptor, float]:
+        """Descriptor-weight profile: descriptor -> covered tuple mass.
+
+        The returned mapping is the live cache — treat it as read-only.
+        """
+        self._ensure_cache()
+        return self._profile
+
+    @property
     def intent(self) -> Dict[str, FrozenSet[str]]:
-        """Per-attribute set of labels describing the covered cells."""
-        labels: Dict[str, Set[str]] = {}
-        for key in self.cells:
-            for descriptor in key:
-                labels.setdefault(descriptor.attribute, set()).add(descriptor.label)
-        return {attribute: frozenset(values) for attribute, values in labels.items()}
+        """Per-attribute set of labels describing the covered cells.
+
+        The returned mapping is a cached view shared between calls — treat it
+        as read-only.
+        """
+        self._ensure_cache()
+        if self._intent_view is None:
+            self._intent_view = {
+                attribute: frozenset(values)
+                for attribute, values in self._labels.items()
+            }
+        return self._intent_view
 
     @property
     def descriptors(self) -> Set[Descriptor]:
         """All descriptors appearing in the intent."""
-        result: Set[Descriptor] = set()
-        for key in self.cells:
-            result |= set(key)
-        return result
+        self._ensure_cache()
+        return set(self._profile)
 
     @property
     def attributes(self) -> List[str]:
-        return sorted({descriptor.attribute for key in self.cells for descriptor in key})
+        self._ensure_cache()
+        return sorted(self._labels)
 
     @property
     def tuple_count(self) -> float:
-        return sum(cell.tuple_count for cell in self.cells.values())
+        self._ensure_cache()
+        return self._mass
 
     @property
     def cell_count(self) -> int:
@@ -98,17 +263,13 @@ class Summary:
     @property
     def peer_extent(self) -> Set[str]:
         """Definition 3: peers owning at least one record described here."""
-        peers: Set[str] = set()
-        for cell in self.cells.values():
-            peers |= cell.peers
-        return peers
+        self._ensure_cache()
+        return set(self._peers)
 
     def statistics(self) -> StatisticsBundle:
         """Aggregated attribute statistics over the covered cells."""
-        bundle = StatisticsBundle()
-        for cell in self.cells.values():
-            bundle.merge(cell.statistics)
-        return bundle
+        self._ensure_cache()
+        return self._stats.copy()
 
     def covers(self, other: "Summary") -> bool:
         """Generalization test: does this summary's extent include ``other``'s?
@@ -117,7 +278,7 @@ class Summary:
         cells (``R_z ⊆ R_z'`` holds exactly when ``L_z ⊆ L_z'`` for summaries
         built from the same cell population).
         """
-        return set(other.cells).issubset(set(self.cells))
+        return other.cells.keys() <= self.cells.keys()
 
     def labels_of(self, attribute: str) -> FrozenSet[str]:
         return self.intent.get(attribute, frozenset())
@@ -131,6 +292,7 @@ class Summary:
             self.cells[cell.key] = cell.copy()
         else:
             existing.merge(cell)
+        self._apply_cell_delta(cell)
 
     def absorb_cells(self, cells: Iterable[Cell]) -> None:
         for cell in cells:
@@ -140,18 +302,44 @@ class Summary:
         """Rebuild this node's cell map as the union of its children's.
 
         Internal nodes of the hierarchy always satisfy this invariant; it is
-        re-established after structural operators (merge/split) run.
+        re-established after structural operators (merge/split) run.  The
+        cached aggregates are rebuilt alongside by merging the children's
+        caches — no per-cell descriptor walk.
         """
         if not self.children:
             return
         rebuilt: Dict[CellKey, Cell] = {}
+        profile: Dict[Descriptor, float] = {}
+        mass = 0.0
+        labels: Dict[str, Set[str]] = {}
+        peers: Set[str] = set()
+        stats = StatisticsBundle()
         for child in self.children:
             for key, cell in child.cells.items():
                 if key in rebuilt:
                     rebuilt[key].merge(cell)
                 else:
                     rebuilt[key] = cell.copy()
+            child._ensure_cache()
+            mass += child._mass
+            for descriptor, weight in child._profile.items():
+                if descriptor in profile:
+                    profile[descriptor] += weight
+                else:
+                    profile[descriptor] = weight
+                    labels.setdefault(descriptor.attribute, set()).add(
+                        descriptor.label
+                    )
+            peers |= child._peers
+            stats.merge(child._stats)
         self.cells = rebuilt
+        self._profile = profile
+        self._mass = mass
+        self._labels = labels
+        self._peers = peers
+        self._stats = stats
+        self._intent_view = None
+        self._dirty = False
 
     def copy_subtree(self) -> "Summary":
         """Deep copy of the subtree rooted at this node."""
@@ -184,3 +372,20 @@ def summary_from_cells(cells: Iterable[Cell]) -> Summary:
     if not summary.cells:
         raise SummaryError("cannot build a summary from an empty cell collection")
     return summary
+
+
+def collect_leaf_cells(root: Summary) -> List[Cell]:
+    """The populated cells at the leaves of ``root``'s subtree, key-merged.
+
+    Shared by hierarchy merging and (de)serialization: both rebuild a summary
+    from the finest-grained extent, so sibling leaves covering the same key
+    (possible after structural operators) are merged into one cell copy.
+    """
+    merged: Dict[CellKey, Cell] = {}
+    for leaf in root.leaves():
+        for key, cell in leaf.cells.items():
+            if key in merged:
+                merged[key].merge(cell)
+            else:
+                merged[key] = cell.copy()
+    return list(merged.values())

@@ -97,3 +97,39 @@ class TestMergeInvariants:
             return
         merged = merge_hierarchies(hierarchies)
         assert merged.leaf_count() <= merged.mapping.grid_size()
+
+
+class TestAggregateCacheInvariants:
+    @given(patient_records())
+    @settings(max_examples=30, deadline=None)
+    def test_cached_aggregates_match_fresh_recompute(self, records):
+        """Every node's materialized aggregates survive a from-scratch check."""
+        hierarchy = _build(records)
+        for node in hierarchy.root.iter_subtree():
+            node.check_cache()
+
+    @given(patient_records())
+    @settings(max_examples=30, deadline=None)
+    def test_intent_equals_rederived_label_sets(self, records):
+        hierarchy = _build(records)
+        for node in hierarchy.root.iter_subtree():
+            rederived = {}
+            for key in node.cells:
+                for descriptor in key:
+                    rederived.setdefault(descriptor.attribute, set()).add(
+                        descriptor.label
+                    )
+            assert node.intent == {
+                attribute: frozenset(labels)
+                for attribute, labels in rederived.items()
+            }
+
+    @given(patient_records())
+    @settings(max_examples=20, deadline=None)
+    def test_hierarchy_depth_cache_tracks_mutations(self, records):
+        hierarchy = SummaryHierarchy(
+            BACKGROUND, attributes=["age", "bmi"], owner="peer"
+        )
+        for record in records:
+            hierarchy.add_record(record)
+            assert hierarchy.depth() == hierarchy.root.depth()

@@ -1,0 +1,229 @@
+"""Cache-correctness and equivalence tests for the aggregate cache layer.
+
+The incremental cache in :mod:`repro.saintetiq.summary` must stay consistent
+with a from-scratch recomputation across *every* mutation path — construction
+(with and without the structural operators), hierarchy merging, maintenance
+reconciliation, snapshots, serialization round-trips — and the cached scoring
+fast path must reproduce the reference implementation's hierarchies exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.maintenance import MaintenanceEngine
+from repro.database.generator import PatientGenerator
+from repro.fuzzy.linguistic import Descriptor
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.selection import select_summaries
+from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.clustering import ClusteringParameters, SummaryBuilder
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.merging import merge_hierarchies, merge_into
+from repro.saintetiq.serialization import hierarchy_from_json, hierarchy_to_json
+
+BACKGROUND = medical_background_knowledge(include_categorical=False)
+
+PARAMETER_GRID = [
+    ClusteringParameters(max_children=2, enable_merge=True, enable_split=True),
+    ClusteringParameters(max_children=4, enable_merge=True, enable_split=True),
+    ClusteringParameters(max_children=4, enable_merge=False, enable_split=True),
+    ClusteringParameters(max_children=4, enable_merge=True, enable_split=False),
+    ClusteringParameters(max_children=3, enable_merge=False, enable_split=False),
+]
+
+
+def random_cells(count, n_attrs=3, n_labels=5, seed=0, peers=("p1", "p2", "p3")):
+    """A random stream of populated grid cells with fractional masses."""
+    rng = random.Random(seed)
+    cells = []
+    for _ in range(count):
+        key = make_cell_key(
+            Descriptor(f"a{index}", f"l{rng.randrange(n_labels)}")
+            for index in range(n_attrs)
+        )
+        cell = Cell(key=key, tuple_count=rng.uniform(0.05, 4.0))
+        cell.grades = {descriptor: rng.random() for descriptor in key}
+        cell.peers = {rng.choice(peers)}
+        cells.append(cell)
+    return cells
+
+
+def assert_tree_cache_consistent(root):
+    for node in root.iter_subtree():
+        node.check_cache()
+
+
+def _records(count, seed=0):
+    return PatientGenerator(seed=seed, background=BACKGROUND).records(count)
+
+
+class TestCacheCorrectness:
+    """Cached aggregates equal a fresh recomputation after every mutation."""
+
+    @pytest.mark.parametrize("parameters", PARAMETER_GRID)
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_random_streams_keep_cache_consistent(self, parameters, seed):
+        builder = SummaryBuilder(parameters)
+        for index, cell in enumerate(random_cells(240, seed=seed), start=1):
+            builder.incorporate(cell)
+            if index % 16 == 0:
+                assert_tree_cache_consistent(builder.root)
+        assert_tree_cache_consistent(builder.root)
+
+    def test_cache_survives_hierarchy_merging(self):
+        owners = [f"peer{i}" for i in range(4)]
+        hierarchies = []
+        for index, owner in enumerate(owners):
+            hierarchy = SummaryHierarchy(
+                BACKGROUND, attributes=["age", "bmi"], owner=owner
+            )
+            hierarchy.add_records(_records(40, seed=index))
+            hierarchies.append(hierarchy)
+        merged = merge_hierarchies(hierarchies, owner="sp")
+        merged.validate()  # validate() includes per-node cache checks
+        assert merged.peer_extent() == set(owners)
+        # Incremental merge into an existing hierarchy (the churn/join path).
+        target = hierarchies[0]
+        merge_into(target, hierarchies[1])
+        target.validate()
+
+    def test_cache_survives_snapshot_and_serialization_roundtrip(self):
+        hierarchy = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        hierarchy.add_records(_records(60))
+        snapshot = hierarchy.snapshot()
+        snapshot.validate()
+        restored = hierarchy_from_json(hierarchy_to_json(hierarchy), BACKGROUND)
+        restored.validate()
+        assert math.isclose(
+            restored.root.tuple_count, hierarchy.root.tuple_count, rel_tol=1e-9
+        )
+        assert restored.signature() == hierarchy.signature()
+
+    def test_cache_survives_maintenance_reconciliation(self):
+        domain = Domain.create("sp")
+        locals_ = {}
+        for index, peer in enumerate(["sp", "p1", "p2"]):
+            hierarchy = SummaryHierarchy(
+                BACKGROUND, attributes=["age", "bmi"], owner=peer
+            )
+            hierarchy.add_records(_records(30, seed=index))
+            locals_[peer] = hierarchy
+            if peer != "sp":
+                domain.add_partner(peer, distance=1.0)
+        engine = MaintenanceEngine()
+        engine.push_stale(domain, "p1")
+        engine.reconcile(domain, local_summaries=locals_)
+        assert domain.global_summary is not None
+        domain.global_summary.validate()
+        assert domain.global_summary.peer_extent() == {"sp", "p1", "p2"}
+
+    def test_invalidated_cache_rebuilds_to_same_values(self):
+        builder = SummaryBuilder()
+        builder.incorporate_all(random_cells(120, seed=3))
+        before = {
+            node.node_id: (dict(node.profile), node.tuple_count, node.intent)
+            for node in builder.root.iter_subtree()
+        }
+        for node in builder.root.iter_subtree():
+            node.invalidate_cache()
+        for node in builder.root.iter_subtree():
+            profile, mass, intent = before[node.node_id]
+            assert set(node.profile) == set(profile)
+            for descriptor, weight in node.profile.items():
+                assert math.isclose(weight, profile[descriptor], rel_tol=1e-9)
+            assert math.isclose(node.tuple_count, mass, rel_tol=1e-9)
+            assert node.intent == intent
+
+
+class TestScoringEquivalence:
+    """The cached fast path reproduces the reference implementation exactly."""
+
+    @pytest.mark.parametrize("parameters", PARAMETER_GRID)
+    def test_cached_and_reference_builders_agree(self, parameters):
+        cells = random_cells(200, seed=11)
+        cached = SummaryBuilder(parameters)
+        reference = SummaryBuilder(parameters, reference_scoring=True)
+        cached.incorporate_all(cell.copy() for cell in cells)
+        reference.incorporate_all(cell.copy() for cell in cells)
+        assert _tree_shape(cached.root) == _tree_shape(reference.root)
+
+    def test_identical_hierarchies_on_patient_workload(self):
+        records = _records(300)
+        cached = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        reference = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        reference._builder = SummaryBuilder(
+            reference._builder.parameters, reference_scoring=True
+        )
+        cached.add_records(records)
+        reference.add_records(records)
+        assert hierarchy_to_json(cached) == hierarchy_to_json(reference)
+
+    def test_identical_query_selections(self):
+        records = _records(250)
+        cached = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        reference = SummaryHierarchy(BACKGROUND, attributes=["age", "bmi"], owner="p")
+        reference._builder = SummaryBuilder(
+            reference._builder.parameters, reference_scoring=True
+        )
+        cached.add_records(records)
+        reference.add_records(records)
+        propositions = [
+            Proposition([Clause("age", {"young", "adult"})]),
+            Proposition(
+                [
+                    Clause("age", {"old"}),
+                    Clause("bmi", {"obese", "overweight"}),
+                ]
+            ),
+        ]
+        for proposition in propositions:
+            left = select_summaries(cached, proposition)
+            right = select_summaries(reference, proposition)
+            assert left.visited_nodes == right.visited_nodes
+            assert [s.intent for s in left.summaries] == [
+                s.intent for s in right.summaries
+            ]
+            assert math.isclose(
+                left.matching_tuple_count(),
+                right.matching_tuple_count(),
+                rel_tol=1e-9,
+            ) or (left.matching_tuple_count() == right.matching_tuple_count() == 0.0)
+            assert left.peer_extent() == right.peer_extent()
+
+    def test_candidate_scores_match_reference(self):
+        """Per-step check: both scorers yield numerically close candidates."""
+        mismatches = []
+
+        class ComparingBuilder(SummaryBuilder):
+            def _candidates_cached(self, node, children, profiles, cell_profile, ranked):
+                fast = super()._candidates_cached(
+                    node, children, profiles, cell_profile, ranked
+                )
+                reference = self._candidates_reference(
+                    node, children, profiles, cell_profile, ranked
+                )
+                for (f_score, f_op, f_arg), (r_score, r_op, r_arg) in zip(
+                    fast, reference
+                ):
+                    if (f_op, f_arg) != (r_op, r_arg) or not math.isclose(
+                        f_score, r_score, rel_tol=1e-9, abs_tol=1e-12
+                    ):
+                        mismatches.append(((f_score, f_op), (r_score, r_op)))
+                return fast
+
+        builder = ComparingBuilder()
+        builder.incorporate_all(random_cells(150, seed=21))
+        assert not mismatches
+
+
+def _tree_shape(node):
+    """Canonical structural fingerprint: cells, masses, and child shapes."""
+    return (
+        tuple(sorted(tuple(map(str, key)) for key in node.cells)),
+        round(node.tuple_count, 9),
+        tuple(_tree_shape(child) for child in node.children),
+    )

@@ -136,3 +136,74 @@ class TestPartialOrder:
         clone.children[0].absorb_cell(_cell({"age": "adult"}))
         assert child.cell_count == 1
         assert clone.children[0].cell_count == 2
+
+
+class TestAggregateCache:
+    def test_absorb_updates_cached_aggregates(self):
+        summary = Summary()
+        summary.absorb_cell(_cell({"age": "young"}, count=1.5, peers=("p1",)))
+        summary.absorb_cell(_cell({"age": "adult"}, count=2.0, peers=("p2",)))
+        assert summary.tuple_count == pytest.approx(3.5)
+        assert summary.intent == {"age": frozenset({"young", "adult"})}
+        assert summary.peer_extent == {"p1", "p2"}
+        assert summary.profile[Descriptor("age", "young")] == pytest.approx(1.5)
+        summary.check_cache()
+
+    def test_check_cache_detects_out_of_band_mutation(self):
+        summary = summary_from_cells([_cell({"age": "young"}, count=1.0)])
+        assert summary.tuple_count == pytest.approx(1.0)  # materialize the cache
+        key = next(iter(summary.cells))
+        summary.cells[key].tuple_count = 99.0
+        with pytest.raises(SummaryError):
+            summary.check_cache()
+        summary.invalidate_cache()
+        assert summary.tuple_count == pytest.approx(99.0)
+        summary.check_cache()
+
+    def test_constructor_supplied_cells_rebuild_lazily(self):
+        original = summary_from_cells([_cell({"age": "young"}, count=2.0)])
+        clone = Summary(cells={k: c.copy() for k, c in original.cells.items()})
+        assert clone.tuple_count == pytest.approx(2.0)
+        assert clone.intent == original.intent
+        clone.check_cache()
+
+    def test_recompute_from_children_merges_child_caches(self):
+        parent = Summary()
+        parent.add_child(
+            summary_from_cells([_cell({"age": "young"}, count=1.0, peers=("p1",))])
+        )
+        parent.add_child(
+            summary_from_cells([_cell({"age": "young"}, count=2.0, peers=("p2",))])
+        )
+        parent.recompute_from_children()
+        assert parent.cell_count == 1  # same key merged
+        assert parent.tuple_count == pytest.approx(3.0)
+        assert parent.peer_extent == {"p1", "p2"}
+        parent.check_cache()
+
+    def test_statistics_returns_independent_copy(self):
+        summary = summary_from_cells([_cell({"age": "young"}, count=2.0)])
+        bundle = summary.statistics()
+        bundle.add_record({"age": 50.0}, weight=10.0)
+        assert summary.statistics().get("age").count == pytest.approx(2.0)
+
+
+class TestIterativeDepth:
+    def test_depth_on_chain_beyond_recursion_limit(self):
+        import sys
+
+        root = Summary()
+        node = root
+        for _ in range(sys.getrecursionlimit() + 500):
+            child = Summary()
+            node.add_child(child)
+            node = child
+        assert root.depth() == sys.getrecursionlimit() + 500
+
+    def test_depth_of_bushy_tree(self):
+        root = Summary()
+        shallow, deep = Summary(), Summary()
+        root.add_child(shallow)
+        root.add_child(deep)
+        deep.add_child(Summary())
+        assert root.depth() == 2
