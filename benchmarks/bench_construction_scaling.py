@@ -10,7 +10,9 @@ builder, and records cells/second plus structural figures in
 ``test_cached_vs_reference_speedup`` additionally pits the incremental
 aggregate cache against the recompute-from-scratch reference scorer
 (``SummaryBuilder(reference_scoring=True)``, the pre-cache implementation) on
-the largest default grid.
+the largest default grid, and ``test_shared_vs_copied_merge_speedup`` pits the
+cell-aliasing structural merge against the legacy deep-copy merge
+(``SummaryBuilder(copy_on_merge=True)``) on a merge-heavy binary-arity build.
 """
 
 import json
@@ -22,7 +24,7 @@ import pytest
 from benchmarks.conftest import full_scale, mean_seconds
 from repro.fuzzy.linguistic import Descriptor
 from repro.saintetiq.cell import Cell, make_cell_key
-from repro.saintetiq.clustering import SummaryBuilder
+from repro.saintetiq.clustering import ClusteringParameters, SummaryBuilder
 
 #: (attributes, labels per attribute, cells in the stream) — grid size grows
 #: as ``labels ** attributes``; the stream revisits keys so same-key merging
@@ -139,3 +141,48 @@ def test_cached_vs_reference_speedup(benchmark):
     # The cached and reference builders must also agree on the result.
     assert len(builder.root.cells) == len(reference.root.cells)
     assert speedup is not None and speedup >= 5.0
+
+
+@pytest.mark.benchmark(group="construction-scaling")
+def test_shared_vs_copied_merge_speedup(benchmark):
+    """Cell-aliasing merges vs legacy deep-copy merges on a merge-heavy build.
+
+    ``max_children=2`` makes the arity enforcement merge on essentially every
+    overflow, so the cost of ``_merge_children``'s child-union pass dominates:
+    the legacy path deep-copied O(covered cells) grades/statistics/peer sets
+    per merge, the aliasing path inserts references and copies only on write.
+    """
+    n_attrs, n_labels, n_cells = DEFAULT_SWEEP[-1]
+    cells = _cell_stream(n_attrs, n_labels, n_cells)
+    parameters = ClusteringParameters(max_children=2)
+
+    def build_shared():
+        builder = SummaryBuilder(parameters)
+        builder.incorporate_all(cells)
+        return builder
+
+    t0 = time.perf_counter()
+    copying = SummaryBuilder(parameters, copy_on_merge=True)
+    copying.incorporate_all(cells)
+    copying_elapsed = time.perf_counter() - t0
+
+    builder = benchmark.pedantic(build_shared, iterations=1, rounds=3)
+    shared_elapsed = mean_seconds(benchmark)
+    if shared_elapsed is None:  # --benchmark-disable: time one run directly
+        t0 = time.perf_counter()
+        builder = build_shared()
+        shared_elapsed = time.perf_counter() - t0
+    speedup = copying_elapsed / shared_elapsed if shared_elapsed > 0 else None
+    benchmark.extra_info["merge_sharing"] = json.dumps(
+        {
+            "cells": n_cells,
+            "grid_size": n_labels**n_attrs,
+            "copying_seconds": copying_elapsed,
+            "shared_seconds": shared_elapsed,
+            "speedup": speedup,
+        }
+    )
+    # Both merge strategies must build the same summary.
+    assert len(builder.root.cells) == len(copying.root.cells)
+    assert builder.root.tuple_count == pytest.approx(copying.root.tuple_count)
+    assert speedup is not None and speedup >= 1.8

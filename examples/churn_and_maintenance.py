@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.costmodel.update_cost import UpdateCostModel
 from repro.experiments.runner import run_maintenance_simulation
-from repro.workloads.scenarios import SimulationScenario
+from repro.workloads.registry import default_registry
 
 DOMAIN_SIZE = 300
 HOURS = 12.0
@@ -35,8 +35,10 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    registry = default_registry()
     for alpha in ALPHAS:
-        scenario = SimulationScenario(
+        scenario = registry.scenario(
+            "maintenance",
             peer_count=DOMAIN_SIZE,
             alpha=alpha,
             duration_seconds=HOURS * 3600.0,

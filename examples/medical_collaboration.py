@@ -4,20 +4,22 @@ The scenario the paper's introduction motivates: hospitals share patient
 databases in a P2P network; a doctor asks for *"the age of female patients
 diagnosed with anorexia and having an underweight or normal BMI"*.
 
-The script builds the full stack:
+The whole stack is declared in one ``SystemBuilder`` expression:
 
 1. a power-law overlay of 48 hospital peers (BRITE substitute),
-2. per-peer Patient databases and local summaries,
+2. per-peer Patient databases and local summaries (``.real_content``),
 3. superpeer domains with merged global summaries (construction protocol),
-4. summary-based query routing (peer localization) with message accounting,
-5. the approximate answer computed entirely in the summary domain.
+4. summary-based query routing with message accounting — one
+   ``session.query(...)`` call returns a ``QueryAnswer`` bundling the routing
+   result *and* the approximate answer computed entirely in the summary
+   domain, no raw record shipped.
 
 Run with:  python examples/medical_collaboration.py
 """
 
 from __future__ import annotations
 
-from repro import ProtocolConfig, SummaryManagementSystem, medical_background_knowledge
+from repro import SystemBuilder, medical_background_knowledge
 from repro.core.approximate import answer_in_domain
 from repro.network.overlay import Overlay
 from repro.network.topology import TopologyConfig
@@ -26,60 +28,72 @@ from repro.workloads.queries import paper_example_query
 
 
 def main() -> None:
-    # -- 1. overlay -------------------------------------------------------------
+    # -- 1. one declarative expression builds the whole network -----------------
     overlay = Overlay.generate(TopologyConfig(peer_count=48, average_degree=4, seed=7))
-    print(f"overlay: {overlay.size} peers, average degree "
-          f"{overlay.average_degree():.2f}")
-
-    # -- 2. databases and local summaries ----------------------------------------
     background = medical_background_knowledge()
-    config = ProtocolConfig(superpeer_fraction=1 / 12, construction_ttl=3)
-    system = SummaryManagementSystem(overlay, config=config, background=background, seed=7)
-
     workload = MedicalWorkload(records_per_peer=10, matching_fraction=0.2, seed=7)
     databases = build_peer_databases(overlay.peer_ids, workload)
-    system.attach_databases(databases)
+
+    session = (
+        SystemBuilder()
+        .topology(overlay)
+        .background(background)
+        .protocol(superpeer_fraction=1 / 12, construction_ttl=3)
+        .real_content(databases)
+        .seed(7)
+        .build()
+    )
+
+    print(f"overlay: {session.overlay.size} peers, average degree "
+          f"{session.overlay.average_degree():.2f}")
     total_records = sum(db.total_records() for db in databases.values())
     print(f"databases: {len(databases)} peers, {total_records} patient records")
 
-    # -- 3. domains and global summaries ------------------------------------------
-    report = system.build_domains()
+    # -- 2. domains and global summaries (built by .build()) ---------------------
+    report = session.construction_report
+    assert report is not None
     print(f"domains: {report.domain_count} summary peers, "
           f"{report.messages.total} construction messages")
-    for sp_id, domain in system.domains.items():
+    for sp_id, domain in session.domains.items():
         size = domain.global_summary.node_count() if domain.has_global_summary() else 0
         print(f"  domain {sp_id}: {len(domain.partner_ids)} partners, "
               f"global summary of {size} nodes "
               f"(~{domain.global_summary.size_bytes() if domain.has_global_summary() else 0} bytes)")
 
-    # -- 4. query routing ----------------------------------------------------------
+    # -- 3. one query, one typed answer -------------------------------------------
     query = paper_example_query()
     print(f"\nquery: {query}")
     ground_truth = {p for p, db in databases.items() if db.has_match(query)}
     print(f"ground truth: {len(ground_truth)} hospitals hold matching patients")
 
-    originator = next(iter(system.assignment))
-    result = system.pose_query(originator, query=query)
-    print(f"summary routing from {originator}:")
-    print(f"  domains visited    : {result.domains_visited}")
-    print(f"  peers contacted    : {len(result.contacted_peers)} "
-          f"(out of {overlay.size})")
-    print(f"  matching responses : {result.results}")
-    print(f"  false positives    : {result.false_positive_rate:.1%}")
-    print(f"  false negatives    : {result.false_negative_rate:.1%}")
-    print(f"  messages exchanged : {result.total_messages}")
+    answer = session.query(query=query)
+    print(f"summary routing from {answer.originator}:")
+    print(f"  domains visited    : {answer.domains_visited}")
+    print(f"  peers contacted    : {len(answer.contacted_peers)} "
+          f"(out of {session.overlay.size})")
+    print(f"  matching responses : {answer.results}")
+    print(f"  false positives    : {answer.false_positive_rate:.1%}")
+    print(f"  false negatives    : {answer.false_negative_rate:.1%}")
+    print(f"  messages exchanged : {answer.total_messages}")
 
-    # -- 5. approximate answering ----------------------------------------------------
-    print("\napproximate answers per domain (no raw records shipped):")
-    for sp_id, domain in system.domains.items():
+    # -- 4. the approximate answer rides along in the QueryAnswer -------------------
+    if answer.answer is not None and not answer.answer.is_empty:
+        labels = sorted(answer.answer.merged_output().get("age", frozenset()))
+        print(f"\napproximate answer (no raw record accessed): matching "
+              f"patients are {labels} "
+              f"(~{answer.answer.total_tuple_count():.1f} records described)")
+
+    # Per-domain breakdown, straight from the session's domains.
+    print("\napproximate answers per domain:")
+    for sp_id, domain in session.domains.items():
         if not domain.has_global_summary():
             continue
-        answer = answer_in_domain(domain, query, background).answer
-        if answer.is_empty:
+        domain_answer = answer_in_domain(domain, query, background).answer
+        if domain_answer.is_empty:
             continue
-        labels = sorted(answer.merged_output().get("age", frozenset()))
+        labels = sorted(domain_answer.merged_output().get("age", frozenset()))
         print(f"  domain {sp_id}: matching patients are {labels} "
-              f"(~{answer.total_tuple_count():.1f} records described)")
+              f"(~{domain_answer.total_tuple_count():.1f} records described)")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,10 @@ matched by 10 % of the peers, total-lookup semantics) is answered by
 over power-law networks of growing size; the per-query message counts and the
 flooding/SQ ratio are printed, together with the analytical cost model values.
 
+Each network is constructed through the ``"query-cost"`` entry of the
+scenario registry (``SystemBuilder`` under the hood) by the shared
+:func:`repro.experiments.runner.run_query_cost_comparison` driver.
+
 Run with:  python examples/query_cost_comparison.py
 """
 

@@ -1,12 +1,21 @@
-"""Quickstart: summarize a relational table and query the summary.
+"""Quickstart: summarize a relational table, then query a whole network.
 
-Reproduces the paper's running example end to end on a single peer:
+Walks the paper's running example end to end:
 
 1. the Patient relation of Table 1,
 2. its fuzzy grid-cell mapping (Table 2),
 3. the summary hierarchy built by the SaintEtiQ-style engine (Figure 3),
-4. query reformulation (Section 5.1) and approximate answering (Section 5.2.2):
-   *"female anorexia patients with an underweight or normal BMI are young"*.
+4. query reformulation (Section 5.1),
+5. a full P2P network declared with ``SystemBuilder`` and queried through the
+   ``NetworkSession`` façade: one ``session.query(...)`` call routes the query
+   with the SQ algorithm and returns a typed ``QueryAnswer`` carrying the
+   routing outcome, the message cost and the approximate answer —
+   *"female anorexia patients with an underweight or normal BMI are young"* —
+   computed without touching a raw record.
+
+``SystemBuilder`` is the supported way to wire the system; constructing
+``SummaryManagementSystem`` and calling ``attach_databases`` /
+``build_domains`` by hand still works but is deprecated.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,14 +25,14 @@ from __future__ import annotations
 from repro import (
     PatientGenerator,
     SummaryHierarchy,
+    SystemBuilder,
     medical_background_knowledge,
     reformulate,
 )
-from repro.querying.aggregation import approximate_answer
-from repro.querying.proposition import Proposition
-from repro.querying.selection import select_summaries
-from repro.database.query import SelectionQuery
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
 from repro.saintetiq.mapping import MappingService
+from repro.workloads.patients import MedicalWorkload, build_peer_databases
 from repro.workloads.queries import paper_example_query
 
 
@@ -86,11 +95,6 @@ def main() -> None:
     hierarchy.add_records(r.as_dict() for r in relation)
     show_hierarchy(hierarchy)
 
-    # A second hierarchy over every described attribute (age, bmi, sex,
-    # disease) is what the query of Section 5 is evaluated against.
-    full_hierarchy = SummaryHierarchy(background, owner="hospital-1")
-    full_hierarchy.add_records(r.as_dict() for r in relation)
-
     # -- query reformulation (Section 5.1) --------------------------------------
     crisp = paper_example_query()
     flexible = reformulate(crisp, background)
@@ -99,28 +103,35 @@ def main() -> None:
     print(f"  flexible: {flexible}")
     print()
 
-    # -- approximate answering (Section 5.2.2) ----------------------------------
-    flexible_only = SelectionQuery(
-        "patient", flexible.descriptor_predicates(), select=["age"]
+    # -- a whole network in one declarative expression ---------------------------
+    # 16 hospitals, each owning a small Patient database; local summaries,
+    # domains and global summaries are built by .build().
+    overlay = Overlay.generate(TopologyConfig(peer_count=16, average_degree=4, seed=5))
+    workload = MedicalWorkload(records_per_peer=8, matching_fraction=0.25, seed=5)
+    databases = build_peer_databases(overlay.peer_ids, workload)
+    session = (
+        SystemBuilder()
+        .topology(overlay)
+        .background(background)
+        .protocol(superpeer_fraction=1 / 8, construction_ttl=3)
+        .real_content(databases)
+        .seed(5)
+        .build()
     )
-    proposition = Proposition.from_query(flexible_only)
-    selection = select_summaries(full_hierarchy, proposition)
-    answer = approximate_answer(selection, proposition, select=["age"])
-    print("Approximate answer (no raw record accessed)")
-    print(f"  proposition: {proposition}")
-    for answer_class in answer.classes:
-        interpretation = {
-            attribute: sorted(labels)
-            for attribute, labels in answer_class.interpretation_dict().items()
-        }
-        outputs = {a: sorted(l) for a, l in answer_class.output.items()}
-        print(
-            f"  class {interpretation} -> {outputs} "
-            f"(~{answer_class.tuple_count:.1f} records)"
-        )
-    merged = answer.merged_output()
-    print(f"  => patients with an underweight or normal BMI are "
-          f"{sorted(merged.get('age', frozenset()))}")
+    print(f"network: {session.overlay.size} hospitals in "
+          f"{len(session.domains)} summary domains")
+
+    # -- one call: route the query and answer it approximately --------------------
+    answer = session.query(query=crisp)
+    print(f"query posed at {answer.originator}:")
+    print(f"  peers contacted    : {len(answer.contacted_peers)} "
+          f"(out of {session.overlay.size})")
+    print(f"  matching responses : {answer.results}")
+    print(f"  messages exchanged : {answer.total_messages}")
+    if answer.answer is not None and not answer.answer.is_empty:
+        merged = answer.answer.merged_output()
+        print(f"  => patients with an underweight or normal BMI are "
+              f"{sorted(merged.get('age', frozenset()))}")
 
 
 if __name__ == "__main__":

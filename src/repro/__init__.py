@@ -8,14 +8,31 @@ routed (or answered approximately) through those summaries.
 Quick tour of the public API
 ----------------------------
 
->>> from repro import medical_background_knowledge, PatientGenerator
->>> from repro import SummaryHierarchy
->>> background = medical_background_knowledge()
->>> hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"])
->>> generator = PatientGenerator(seed=1)
->>> _ = hierarchy.add_records(r.as_dict() for r in generator.paper_example_relation())
->>> hierarchy.leaf_count() >= 1
+A whole network is declared with :class:`SystemBuilder` and driven through
+the :class:`NetworkSession` it builds; every query returns a typed
+:class:`QueryAnswer`:
+
+>>> from repro import SystemBuilder
+>>> session = (
+...     SystemBuilder()
+...     .topology(peer_count=32, average_degree=4)
+...     .planned_content(hit_rate=0.25)
+...     .seed(7)
+...     .build()
+... )
+>>> answer = session.query()
+>>> answer.results >= 1
 True
+>>> answer.total_messages >= answer.results
+True
+>>> answer.staleness is not None  # planned mode bundles staleness accounting
+True
+
+Named parameter sets live in the scenario registry
+(``default_registry().session("table3-default")``); the low-level pieces —
+overlays, summaries, the :class:`SummaryManagementSystem` engine — remain
+available, but wiring the engine by hand (``attach_databases`` /
+``build_domains`` / ``pose_query``) is deprecated in favour of the builder.
 
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiment harness reproducing every table and figure of the paper.
@@ -31,6 +48,13 @@ from repro.core.maintenance import MaintenanceEngine
 from repro.core.protocol import SummaryManagementSystem
 from repro.core.routing import QueryRouter, QueryRoutingResult, RoutingPolicy
 from repro.core.service import LocalSummaryService
+from repro.core.session import (
+    MaintenanceReport,
+    NetworkSession,
+    QueryAnswer,
+    SessionTraffic,
+    SystemBuilder,
+)
 from repro.database.engine import LocalDatabase
 from repro.database.generator import PatientGenerator
 from repro.database.query import (
@@ -77,6 +101,8 @@ from repro.saintetiq.hierarchy import SummaryHierarchy
 from repro.saintetiq.mapping import MappingService
 from repro.saintetiq.merging import merge_hierarchies
 from repro.saintetiq.summary import Summary
+from repro.workloads.registry import ScenarioRegistry, default_registry
+from repro.workloads.scenarios import SimulationScenario
 
 __version__ = "1.0.0"
 
@@ -151,4 +177,14 @@ __all__ = [
     "SummaryManagementSystem",
     "answer_in_domain",
     "localize_peers",
+    # declarative session façade
+    "SystemBuilder",
+    "NetworkSession",
+    "QueryAnswer",
+    "MaintenanceReport",
+    "SessionTraffic",
+    # scenarios
+    "SimulationScenario",
+    "ScenarioRegistry",
+    "default_registry",
 ]

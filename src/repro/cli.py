@@ -3,15 +3,20 @@
 ``python -m repro <command>`` regenerates the paper's tables and figures from
 the terminal without going through pytest:
 
-* ``tables``  — Tables 1/2 (running example) and Table 3 (parameters),
-* ``fig4``    — stale answers vs. domain size,
-* ``fig5``    — false negatives vs. domain size,
-* ``fig6``    — update messages vs. domain size,
-* ``fig7``    — query cost vs. number of peers,
-* ``all``     — everything above.
+* ``tables``         — Tables 1/2 (running example) and Table 3 (parameters),
+* ``fig4``           — stale answers vs. domain size,
+* ``fig5``           — false negatives vs. domain size,
+* ``fig6``           — update messages vs. domain size,
+* ``fig7``           — query cost vs. number of peers,
+* ``all``            — everything above,
+* ``list-scenarios`` — the named scenarios of the registry,
+* ``run-scenario``   — build a named scenario through ``SystemBuilder``,
+  simulate its churn horizon and pose a query batch
+  (``python -m repro run-scenario smoke --queries 10``).
 
 Every command accepts ``--sizes`` / ``--alphas`` / ``--hours`` / ``--seed``
-overrides and ``--json`` to emit machine-readable output.
+overrides and ``--json`` to emit machine-readable output; ``run-scenario``
+additionally takes ``--peers`` / ``--alpha`` / ``--hit-rate`` / ``--queries``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.experiments.fig6_update_cost import run_figure6
 from repro.experiments.fig7_query_cost import run_figure7
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.tables import run_table1_table2, run_table3
+from repro.workloads.registry import default_registry
 
 DEFAULT_SIZES = [16, 100, 500]
 DEFAULT_ALPHAS = [0.1, 0.3, 0.8]
@@ -56,8 +62,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["tables", "fig4", "fig5", "fig6", "fig7", "all"],
-        help="which table/figure to regenerate",
+        choices=[
+            "tables",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "all",
+            "list-scenarios",
+            "run-scenario",
+        ],
+        help="which table/figure to regenerate, or a scenario command",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="scenario name for run-scenario (see list-scenarios)",
+    )
+    parser.add_argument(
+        "--peers",
+        type=int,
+        help="override the scenario's network size (run-scenario)",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        help="override the scenario's freshness threshold (run-scenario)",
+    )
+    parser.add_argument(
+        "--hit-rate",
+        type=float,
+        help="override the scenario's query hit rate (run-scenario)",
     )
     parser.add_argument(
         "--sizes",
@@ -70,8 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--hours",
         type=float,
-        default=6.0,
-        help="simulated hours for the maintenance figures (default: 6)",
+        help="simulated hours (figures default: 6; run-scenario defaults to "
+        "the scenario's own horizon)",
     )
     parser.add_argument(
         "--queries",
@@ -79,7 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         help="queries per network size for fig7 (default: 20)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        help="simulation seed (figures default: 0; run-scenario defaults to "
+        "the scenario's own seed)",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text tables"
     )
@@ -95,12 +135,120 @@ def _emit(tables: Sequence[ExperimentTable], as_json: bool) -> None:
             print()
 
 
+def _list_scenarios_table() -> ExperimentTable:
+    registry = default_registry()
+    table = ExperimentTable(
+        name="Registered scenarios",
+        columns=["name", "description"],
+        expectation="build any of these with: repro run-scenario <name>",
+    )
+    for name in registry.names():
+        table.add_row(name=name, description=registry.describe(name))
+    return table
+
+
+def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
+    registry = default_registry()
+    # Only explicitly passed flags override the scenario's own declaration.
+    overrides: Dict[str, object] = {}
+    if args.hours is not None:
+        overrides["duration_seconds"] = args.hours * 3600.0
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.peers is not None:
+        overrides["peer_count"] = args.peers
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    if args.hit_rate is not None:
+        overrides["matching_fraction"] = args.hit_rate
+    scenario = registry.scenario(args.scenario, **overrides)
+
+    session = scenario.apply_dynamics(scenario.builder()).build()
+    session.run_until()
+    required = max(1, round(scenario.matching_fraction * scenario.peer_count))
+    answers = session.query_many(count=args.queries, required_results=required)
+    maintenance = session.maintenance_report()
+    traffic = session.traffic()
+
+    queries = len(answers)
+    stale_fractions = [
+        answer.staleness.worst_stale_fraction
+        for answer in answers
+        if answer.staleness is not None and answer.staleness.relevant_count
+    ]
+    table = ExperimentTable(
+        name=f"Scenario {args.scenario!r}",
+        columns=[
+            "peers",
+            "domains",
+            "simulated_hours",
+            "queries",
+            "mean_results",
+            "mean_query_messages",
+            "mean_worst_stale_fraction",
+            "push_messages",
+            "reconciliations",
+            "update_messages_per_node",
+            "query_messages_total",
+        ],
+        expectation=registry.describe(args.scenario),
+        parameters={
+            "alpha": scenario.alpha,
+            "hit_rate": scenario.matching_fraction,
+            "seed": scenario.seed,
+        },
+    )
+    table.add_row(
+        peers=session.overlay.size,
+        domains=len(session.domains),
+        simulated_hours=scenario.duration_seconds / 3600.0,
+        queries=queries,
+        mean_results=(
+            sum(a.results for a in answers) / queries if queries else 0.0
+        ),
+        mean_query_messages=(
+            sum(a.query_messages for a in answers) / queries if queries else 0.0
+        ),
+        mean_worst_stale_fraction=(
+            sum(stale_fractions) / len(stale_fractions) if stale_fractions else 0.0
+        ),
+        push_messages=maintenance.push_messages,
+        reconciliations=maintenance.reconciliations,
+        update_messages_per_node=maintenance.messages_per_node,
+        query_messages_total=traffic.query.total_messages,
+    )
+    return table
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command != "run-scenario" and args.scenario is not None:
+        parser.error(
+            f"unexpected argument {args.scenario!r}: only run-scenario takes "
+            "a scenario name"
+        )
+    if args.command == "list-scenarios":
+        _emit([_list_scenarios_table()], args.json)
+        return 0
+    if args.command == "run-scenario":
+        if not args.scenario:
+            parser.error("run-scenario requires a scenario name (see list-scenarios)")
+        from repro.exceptions import ConfigurationError
+
+        try:
+            table = _run_scenario_table(args)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        _emit([table], args.json)
+        return 0
+
     sizes = _parse_sizes(args.sizes, DEFAULT_SIZES)
     alphas = _parse_alphas(args.alphas, DEFAULT_ALPHAS)
-    duration = args.hours * 3600.0
+    hours = args.hours if args.hours is not None else 6.0
+    duration = hours * 3600.0
+    args.seed = args.seed if args.seed is not None else 0
 
     commands: Dict[str, Callable[[], List[ExperimentTable]]] = {
         "tables": lambda: [run_table1_table2(), run_table3()],

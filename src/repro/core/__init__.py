@@ -22,7 +22,10 @@ overlay simulation):
 * :mod:`repro.core.content` — content models (real summaries or planned
   relevance) used by the experiments,
 * :mod:`repro.core.protocol` — the end-to-end protocol engine driving a whole
-  simulated network.
+  simulated network,
+* :mod:`repro.core.session` — the declarative façade over all of the above:
+  :class:`SystemBuilder` assembles a validated network, :class:`NetworkSession`
+  runs it and answers queries with typed :class:`QueryAnswer` values.
 """
 
 from repro.core.config import ProtocolConfig
@@ -35,6 +38,13 @@ from repro.core.maintenance import MaintenanceEngine
 from repro.core.protocol import SummaryManagementSystem
 from repro.core.routing import QueryRouter, QueryRoutingResult, RoutingPolicy
 from repro.core.service import LocalSummaryService
+from repro.core.session import (
+    MaintenanceReport,
+    NetworkSession,
+    QueryAnswer,
+    SessionTraffic,
+    SystemBuilder,
+)
 
 __all__ = [
     "ProtocolConfig",
@@ -50,4 +60,9 @@ __all__ = [
     "QueryRoutingResult",
     "LocalSummaryService",
     "SummaryManagementSystem",
+    "SystemBuilder",
+    "NetworkSession",
+    "QueryAnswer",
+    "MaintenanceReport",
+    "SessionTraffic",
 ]

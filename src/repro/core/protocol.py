@@ -141,6 +141,10 @@ class SummaryManagementSystem:
         return self._config
 
     @property
+    def background(self) -> Optional[BackgroundKnowledge]:
+        return self._background
+
+    @property
     def simulator(self) -> Simulator:
         return self._simulator
 
@@ -467,6 +471,11 @@ class SummaryManagementSystem:
         if self._content is None:
             raise ProtocolError(
                 "configure content first (attach_databases or use_planned_content)"
+            )
+        if query is not None and query_id is not None:
+            raise ProtocolError(
+                "pose_query accepts either query or query_id, not both: a real "
+                "query is assigned a fresh id when it is registered"
             )
         proposition: Optional[Proposition] = None
         if query is not None:

@@ -1,0 +1,752 @@
+"""The declarative session façade over the whole protocol machine.
+
+The paper's protocol is one coherent machine — overlay + domains + local
+summaries + maintenance + churn + summary querying — but wiring it by hand is
+an order-sensitive ritual (construct the overlay, construct the system, attach
+content, build domains, schedule churn, run, pose queries...).  This module
+collapses that ritual into two classes:
+
+* :class:`SystemBuilder` — a fluent, declarative builder.  Every aspect of a
+  network is stated up front (``.topology(...)``, ``.background(...)``,
+  ``.planned_content(...)`` / ``.real_content(...)``, ``.domains(...)``,
+  ``.churn(...)``, ``.modifications(...)``, ``.seed(...)``); ``.build()``
+  validates the whole configuration — raising :class:`ConfigurationError`
+  with a pointed message instead of letting a half-wired system fail with a
+  mid-run :class:`ProtocolError` — and assembles the simulator, overlay and
+  :class:`~repro.core.protocol.SummaryManagementSystem` in the exact order the
+  imperative API required.
+
+* :class:`NetworkSession` — the façade returned by ``.build()``.  It owns the
+  assembled system and exposes the redesigned query surface:
+  :meth:`NetworkSession.query` returns a :class:`QueryAnswer` bundling the
+  routing result, the approximate (summary-only) answer, the per-query
+  staleness snapshot and the traffic deltas in one value, while
+  :meth:`NetworkSession.run_until`, :meth:`NetworkSession.maintenance_report`
+  and :meth:`NetworkSession.traffic` cover the simulation and reporting side.
+
+The legacy constructor wiring keeps working (the builder delegates to it), but
+new code — the experiment drivers, the workload scenarios, the examples and
+the CLI all construct networks through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.config import ProtocolConfig
+from repro.core.construction import ConstructionReport
+from repro.core.content import ContentModel, PlannedContentModel
+from repro.core.domain import Domain
+from repro.core.protocol import (
+    QUERY_MESSAGE_TYPES,
+    UPDATE_MESSAGE_TYPES,
+    StalenessSnapshot,
+    SummaryManagementSystem,
+)
+from repro.core.routing import QueryRoutingResult, RoutingPolicy
+from repro.database.engine import LocalDatabase
+from repro.database.query import SelectionQuery
+from repro.exceptions import ConfigurationError, QueryError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.network.churn import LifetimeDistribution
+from repro.network.metrics import TrafficReport
+from repro.network.overlay import Overlay
+from repro.network.simulator import Simulator
+from repro.network.topology import TopologyConfig
+from repro.querying.aggregation import ApproximateAnswer
+
+
+@dataclass
+class QueryAnswer:
+    """Everything one posed query produced, in a single typed value.
+
+    Bundles the four things callers previously had to collect by hand from
+    four different objects: the :class:`QueryRoutingResult` (who was
+    contacted, who answered, at what message cost), the approximate
+    summary-only answer (real content only), the staleness snapshot of the
+    answer (planned content only) and the query/update traffic deltas the
+    call produced on the system-wide counter.
+    """
+
+    routing: QueryRoutingResult
+    #: Approximate answer computed from the visited domains' global summaries
+    #: (Section 5.2.2); ``None`` in planned-content mode or when no visited
+    #: domain could answer.
+    answer: Optional[ApproximateAnswer] = None
+    #: Staleness accounting for this query (planned content only).
+    staleness: Optional[StalenessSnapshot] = None
+    #: Query-side messages (query/response/flooding) this call added.
+    query_messages: int = 0
+    #: Update-side messages (push/reconciliation) this call added — normally 0.
+    update_messages: int = 0
+    #: Simulated time at which the query was posed.
+    posed_at: float = 0.0
+
+    # -- delegation to the routing result -------------------------------------------
+
+    @property
+    def query_id(self) -> int:
+        return self.routing.query_id
+
+    @property
+    def originator(self) -> str:
+        return self.routing.originator
+
+    @property
+    def results(self) -> int:
+        return self.routing.results
+
+    @property
+    def total_messages(self) -> int:
+        return self.routing.total_messages
+
+    @property
+    def domains_visited(self) -> int:
+        return self.routing.domains_visited
+
+    @property
+    def contacted_peers(self) -> Set[str]:
+        return self.routing.contacted_peers
+
+    @property
+    def responding_peers(self) -> Set[str]:
+        return self.routing.responding_peers
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.routing.false_positive_rate
+
+    @property
+    def false_negative_rate(self) -> float:
+        return self.routing.false_negative_rate
+
+    def satisfied(self) -> bool:
+        return self.routing.satisfied()
+
+
+@dataclass
+class MaintenanceReport:
+    """Push/reconciliation activity over a simulation window."""
+
+    duration_seconds: float
+    push_messages: int
+    reconciliations: int
+    reconciliation_messages: int
+    update_traffic: TrafficReport
+
+    @property
+    def update_messages(self) -> int:
+        return self.update_traffic.total_messages
+
+    @property
+    def messages_per_node(self) -> float:
+        return self.update_traffic.messages_per_node
+
+    @property
+    def messages_per_node_per_second(self) -> float:
+        return self.update_traffic.messages_per_node_per_second
+
+
+@dataclass
+class SessionTraffic:
+    """Update- and query-side traffic reports over one window."""
+
+    update: TrafficReport
+    query: TrafficReport
+
+    @property
+    def total_messages(self) -> int:
+        return self.update.total_messages + self.query.total_messages
+
+
+@dataclass
+class _ChurnPlan:
+    duration_seconds: float
+    lifetime: Optional[LifetimeDistribution] = None
+    downtime_seconds: float = 600.0
+    graceful_fraction: float = 0.9
+    rejoin: bool = True
+    include_summary_peers: bool = False
+
+
+@dataclass
+class _ModificationPlan:
+    duration_seconds: float
+    rate_per_peer_per_second: float
+
+
+class SystemBuilder:
+    """Declarative, validated assembly of a summary-management network.
+
+    Every method returns the builder, so a whole network reads as one
+    expression::
+
+        session = (
+            SystemBuilder()
+            .topology(peer_count=500, average_degree=4)
+            .planned_content(hit_rate=0.1)
+            .churn(duration_seconds=6 * 3600.0)
+            .seed(42)
+            .build()
+        )
+
+    ``.build()`` validates the configuration up front and raises
+    :class:`ConfigurationError` on any inconsistency (missing topology,
+    real content without background knowledge, both content modes at once,
+    churn without a positive horizon...), then wires the system in the
+    canonical order: overlay → system → content → domains → event schedule.
+    """
+
+    def __init__(self) -> None:
+        self._topology_config: Optional[TopologyConfig] = None
+        self._topology_kwargs: Optional[Dict[str, object]] = None
+        self._overlay: Optional[Overlay] = None
+        self._background: Optional[BackgroundKnowledge] = None
+        self._config: Optional[ProtocolConfig] = None
+        self._config_kwargs: Dict[str, object] = {}
+        self._seed: int = 0
+        self._planned: Optional[Tuple[float, Optional[int]]] = None
+        self._databases: Optional[Mapping[str, LocalDatabase]] = None
+        self._rebuild_summaries: bool = True
+        self._build_domains: bool = True
+        self._summary_peers: Optional[List[str]] = None
+        self._churn: Optional[_ChurnPlan] = None
+        self._modifications: Optional[_ModificationPlan] = None
+
+    # -- declarative configuration -----------------------------------------------------
+
+    def topology(
+        self,
+        overlay: Optional[Union[Overlay, TopologyConfig]] = None,
+        *,
+        peer_count: Optional[int] = None,
+        average_degree: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> "SystemBuilder":
+        """Declare the overlay: an existing one, a config, or generation knobs."""
+        if overlay is not None and (
+            peer_count is not None or average_degree is not None or seed is not None
+        ):
+            raise ConfigurationError(
+                "topology takes either an overlay/config or generation knobs "
+                "(peer_count/average_degree/seed), not both: knobs cannot be "
+                "applied to an already-built topology"
+            )
+        if isinstance(overlay, Overlay):
+            self._overlay = overlay
+            self._topology_config = None
+            self._topology_kwargs = None
+        elif isinstance(overlay, TopologyConfig):
+            self._topology_config = overlay
+            self._overlay = None
+            self._topology_kwargs = None
+        elif peer_count is not None:
+            self._topology_kwargs = {
+                "peer_count": peer_count,
+                "average_degree": 4.0 if average_degree is None else average_degree,
+                "seed": seed,
+            }
+            self._overlay = None
+            self._topology_config = None
+        else:
+            raise ConfigurationError(
+                "topology needs an Overlay, a TopologyConfig or peer_count=..."
+            )
+        return self
+
+    def background(self, knowledge: BackgroundKnowledge) -> "SystemBuilder":
+        """Declare the background knowledge (required for real content)."""
+        self._background = knowledge
+        return self
+
+    def protocol(
+        self, config: Optional[ProtocolConfig] = None, **kwargs: object
+    ) -> "SystemBuilder":
+        """Declare the protocol configuration (or individual knobs of it)."""
+        if config is not None and kwargs:
+            raise ConfigurationError(
+                "protocol takes either a ProtocolConfig or keyword knobs, not both"
+            )
+        if config is not None:
+            self._config = config
+            self._config_kwargs = {}
+        else:
+            self._config = None
+            self._config_kwargs = dict(kwargs)
+        return self
+
+    def planned_content(
+        self, hit_rate: float = 0.1, seed: Optional[int] = None
+    ) -> "SystemBuilder":
+        """Use the content-free evaluation mode of Table 3.
+
+        Each query is matched by ``hit_rate`` of the peers; no summaries are
+        built, which scales to thousands of peers.
+        """
+        self._planned = (hit_rate, seed)
+        return self
+
+    def real_content(
+        self,
+        databases: Mapping[str, LocalDatabase],
+        rebuild_summaries: bool = True,
+    ) -> "SystemBuilder":
+        """Attach real per-peer databases (local summaries are built from them)."""
+        self._databases = databases
+        self._rebuild_summaries = rebuild_summaries
+        return self
+
+    def domains(
+        self,
+        summary_peers: Optional[Sequence[str]] = None,
+        build: bool = True,
+    ) -> "SystemBuilder":
+        """Control domain construction (on by default).
+
+        ``summary_peers`` forces the set of summary peers (e.g. a single hub
+        for the one-domain maintenance experiments); ``build=False`` leaves
+        the network domain-less.
+        """
+        self._summary_peers = list(summary_peers) if summary_peers is not None else None
+        self._build_domains = build
+        return self
+
+    def churn(
+        self,
+        duration_seconds: float,
+        lifetime: Optional[LifetimeDistribution] = None,
+        downtime_seconds: float = 600.0,
+        graceful_fraction: float = 0.9,
+        rejoin: bool = True,
+        include_summary_peers: bool = False,
+    ) -> "SystemBuilder":
+        """Schedule departure/rejoin churn over ``duration_seconds`` of virtual time."""
+        self._churn = _ChurnPlan(
+            duration_seconds=duration_seconds,
+            lifetime=lifetime,
+            downtime_seconds=downtime_seconds,
+            graceful_fraction=graceful_fraction,
+            rejoin=rejoin,
+            include_summary_peers=include_summary_peers,
+        )
+        return self
+
+    def modifications(
+        self, duration_seconds: float, rate_per_peer_per_second: float
+    ) -> "SystemBuilder":
+        """Schedule Poisson local-data modifications per partner peer."""
+        self._modifications = _ModificationPlan(
+            duration_seconds=duration_seconds,
+            rate_per_peer_per_second=rate_per_peer_per_second,
+        )
+        return self
+
+    def seed(self, seed: int) -> "SystemBuilder":
+        """Master seed: system RNG, and the default for topology/content seeds."""
+        self._seed = seed
+        return self
+
+    # -- validation -------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if (
+            self._overlay is None
+            and self._topology_config is None
+            and self._topology_kwargs is None
+        ):
+            raise ConfigurationError(
+                "no topology configured: call .topology(peer_count=...) or pass "
+                "an Overlay/TopologyConfig"
+            )
+        if self._planned is not None and self._databases is not None:
+            raise ConfigurationError(
+                "planned_content and real_content are mutually exclusive: a "
+                "network either plans query hits or owns real databases"
+            )
+        if self._planned is None and self._databases is None:
+            raise ConfigurationError(
+                "no content configured: call .planned_content(hit_rate=...) "
+                "for the evaluation mode or .real_content(databases=...) for "
+                "real databases"
+            )
+        if self._planned is not None:
+            hit_rate, _seed = self._planned
+            if not 0.0 <= hit_rate <= 1.0:
+                raise ConfigurationError("planned_content hit_rate must lie in [0, 1]")
+        if self._databases is not None:
+            if self._background is None:
+                raise ConfigurationError(
+                    "real_content requires .background(...): local summaries "
+                    "are built against a background knowledge"
+                )
+            if not self._databases:
+                raise ConfigurationError("real_content needs at least one database")
+        if self._churn is not None:
+            if self._churn.duration_seconds <= 0:
+                raise ConfigurationError("churn duration_seconds must be positive")
+            if not 0.0 <= self._churn.graceful_fraction <= 1.0:
+                raise ConfigurationError("churn graceful_fraction must lie in [0, 1]")
+            if self._churn.downtime_seconds < 0:
+                raise ConfigurationError("churn downtime_seconds must be non-negative")
+        if self._modifications is not None:
+            if self._modifications.duration_seconds <= 0:
+                raise ConfigurationError(
+                    "modifications duration_seconds must be positive"
+                )
+            if self._modifications.rate_per_peer_per_second < 0:
+                raise ConfigurationError(
+                    "modifications rate_per_peer_per_second must be non-negative"
+                )
+        if (self._churn is not None or self._modifications is not None) and (
+            not self._build_domains
+        ):
+            raise ConfigurationError(
+                "churn/modifications need domains: remove .domains(build=False)"
+            )
+
+    def _resolve_overlay(self) -> Overlay:
+        if self._overlay is not None:
+            return self._overlay
+        if self._topology_config is not None:
+            return Overlay.generate(self._topology_config)
+        assert self._topology_kwargs is not None
+        kwargs = dict(self._topology_kwargs)
+        if kwargs.get("seed") is None:
+            kwargs["seed"] = self._seed
+        config = TopologyConfig(
+            peer_count=int(kwargs["peer_count"]),  # type: ignore[arg-type]
+            average_degree=float(kwargs["average_degree"]),  # type: ignore[arg-type]
+            seed=int(kwargs["seed"]),  # type: ignore[arg-type]
+        )
+        return Overlay.generate(config)
+
+    def _resolve_config(self) -> ProtocolConfig:
+        if self._config is not None:
+            return self._config
+        return ProtocolConfig(**self._config_kwargs)  # type: ignore[arg-type]
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self) -> "NetworkSession":
+        """Validate the declared configuration and assemble the session."""
+        self._validate()
+        overlay = self._resolve_overlay()
+        config = self._resolve_config()
+        system = SummaryManagementSystem(
+            overlay, config=config, background=self._background, seed=self._seed
+        )
+        if self._databases is not None:
+            system.attach_databases(
+                self._databases, rebuild_summaries=self._rebuild_summaries
+            )
+        else:
+            assert self._planned is not None
+            hit_rate, content_seed = self._planned
+            system.use_planned_content(
+                matching_fraction=hit_rate,
+                seed=self._seed if content_seed is None else content_seed,
+            )
+        report: Optional[ConstructionReport] = None
+        if self._build_domains:
+            report = system.build_domains(summary_peers=self._summary_peers)
+        horizon: Optional[float] = None
+        if self._churn is not None:
+            system.schedule_churn(
+                self._churn.duration_seconds,
+                lifetime=self._churn.lifetime,
+                downtime_seconds=self._churn.downtime_seconds,
+                graceful_fraction=self._churn.graceful_fraction,
+                rejoin=self._churn.rejoin,
+                include_summary_peers=self._churn.include_summary_peers,
+            )
+            horizon = self._churn.duration_seconds
+        if self._modifications is not None:
+            system.schedule_modifications(
+                self._modifications.duration_seconds,
+                self._modifications.rate_per_peer_per_second,
+            )
+            horizon = max(horizon or 0.0, self._modifications.duration_seconds)
+        return NetworkSession(system, construction_report=report, horizon=horizon)
+
+
+class NetworkSession:
+    """Façade owning a fully wired summary-management network.
+
+    Obtained from :meth:`SystemBuilder.build`; wrapping an already-assembled
+    :class:`SummaryManagementSystem` directly is supported for migration.
+    """
+
+    def __init__(
+        self,
+        system: SummaryManagementSystem,
+        construction_report: Optional[ConstructionReport] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self._system = system
+        self._construction_report = construction_report
+        self._horizon = horizon
+
+    # -- accessors --------------------------------------------------------------------
+
+    @property
+    def system(self) -> SummaryManagementSystem:
+        """The underlying protocol engine (escape hatch for legacy code)."""
+        return self._system
+
+    @property
+    def overlay(self) -> Overlay:
+        return self._system.overlay
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._system.simulator
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self._system.config
+
+    @property
+    def domains(self) -> Dict[str, Domain]:
+        return self._system.domains
+
+    @property
+    def content(self) -> Optional[ContentModel]:
+        return self._system.content
+
+    @property
+    def construction_report(self) -> Optional[ConstructionReport]:
+        return self._construction_report
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """End of the scheduled churn/modification window, if any."""
+        return self._horizon
+
+    @property
+    def now(self) -> float:
+        return self._system.simulator.now
+
+    @property
+    def planned(self) -> bool:
+        """Whether the session runs in planned-content (evaluation) mode."""
+        return isinstance(self._system.content, PlannedContentModel)
+
+    def partner_ids(self) -> List[str]:
+        """Peers that are not summary peers, in overlay order."""
+        domains = self._system.domains
+        return [p for p in self._system.overlay.peer_ids if p not in domains]
+
+    def default_originator(self) -> str:
+        """A deterministic partner peer used when no originator is given."""
+        partners = self.partner_ids()
+        if partners:
+            return partners[0]
+        peer_ids = self._system.overlay.peer_ids
+        if not peer_ids:
+            raise ConfigurationError("the overlay has no peers to originate queries")
+        return peer_ids[0]
+
+    def next_query_id(self) -> int:
+        return self._system.next_query_id()
+
+    # -- the query surface -------------------------------------------------------------
+
+    def query(
+        self,
+        originator: Optional[str] = None,
+        query: Optional[SelectionQuery] = None,
+        query_id: Optional[int] = None,
+        *,
+        policy: RoutingPolicy = RoutingPolicy.ALL,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+        include_staleness: Optional[bool] = None,
+        include_answer: Optional[bool] = None,
+    ) -> QueryAnswer:
+        """Pose one query and return everything it produced as a :class:`QueryAnswer`.
+
+        The routing itself is byte-identical to the legacy
+        ``system.pose_query(...)`` call: the session only *reads* the routing
+        result, the message counter and (in planned mode) the deterministic
+        staleness draws, so message counts and RNG state are unaffected.
+
+        ``include_staleness`` defaults to planned-content mode;
+        ``include_answer`` defaults to real-content mode with a real query.
+        """
+        system = self._system
+        if originator is None:
+            originator = self.default_originator()
+        counter = system.counter
+        query_before = counter.count_types(list(QUERY_MESSAGE_TYPES))
+        update_before = counter.count_types(list(UPDATE_MESSAGE_TYPES))
+        routing = system.pose_query(
+            originator,
+            query=query,
+            query_id=query_id,
+            policy=policy,
+            required_results=required_results,
+            max_domains=max_domains,
+        )
+        query_delta = counter.count_types(list(QUERY_MESSAGE_TYPES)) - query_before
+        update_delta = counter.count_types(list(UPDATE_MESSAGE_TYPES)) - update_before
+
+        if include_staleness is None:
+            include_staleness = self.planned
+        staleness: Optional[StalenessSnapshot] = None
+        if include_staleness:
+            # An explicit True on a real-content session reaches the engine
+            # and raises its ProtocolError rather than silently yielding None.
+            staleness = system.staleness_snapshot(query_id=routing.query_id)
+
+        if include_answer is None:
+            include_answer = query is not None and not self.planned
+        answer: Optional[ApproximateAnswer] = None
+        if include_answer and query is not None:
+            answer = self._approximate_answer(routing, query)
+
+        return QueryAnswer(
+            routing=routing,
+            answer=answer,
+            staleness=staleness,
+            query_messages=query_delta,
+            update_messages=update_delta,
+            posed_at=system.simulator.now,
+        )
+
+    def _approximate_answer(
+        self, routing: QueryRoutingResult, query: SelectionQuery
+    ) -> Optional[ApproximateAnswer]:
+        """Merge the summary-only answers of the domains the query visited."""
+        from repro.core.approximate import answer_in_domain
+        from repro.querying.reformulation import reformulate
+
+        background = self._system.background
+        if background is None:
+            return None
+        flexible = reformulate(query, background)
+        merged: Optional[ApproximateAnswer] = None
+        for outcome in routing.domain_outcomes:
+            domain = self._system.domains.get(outcome.domain_id)
+            if domain is None or not domain.has_global_summary():
+                continue
+            try:
+                result = answer_in_domain(
+                    domain, flexible, background, already_flexible=True
+                )
+            except QueryError:
+                # The query constrains attributes outside the background
+                # knowledge: routing degrades gracefully, so does the answer.
+                return None
+            if merged is None:
+                merged = result.answer
+            else:
+                merged.classes.extend(result.answer.classes)
+        return merged
+
+    def query_many(
+        self,
+        count: Optional[int] = None,
+        queries: Optional[Iterable[SelectionQuery]] = None,
+        originators: Optional[Sequence[str]] = None,
+        *,
+        policy: RoutingPolicy = RoutingPolicy.ALL,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+        include_staleness: Optional[bool] = None,
+        include_answer: Optional[bool] = None,
+    ) -> List[QueryAnswer]:
+        """Pose a batch of queries, cycling originators across the population.
+
+        Planned mode poses ``count`` plan-matched queries; real mode iterates
+        ``queries``.  Exactly one of the two must be given.
+        """
+        if (count is None) == (queries is None):
+            raise ConfigurationError(
+                "query_many takes either count (planned content) or queries "
+                "(real content), exactly one"
+            )
+        pool = list(originators) if originators else self.partner_ids()
+        if not pool:
+            pool = [self.default_originator()]
+        answers: List[QueryAnswer] = []
+        if count is not None:
+            iterator: Iterable[Optional[SelectionQuery]] = (None for _ in range(count))
+        else:
+            assert queries is not None
+            iterator = iter(queries)
+        for index, one_query in enumerate(iterator):
+            answers.append(
+                self.query(
+                    pool[index % len(pool)],
+                    query=one_query,
+                    policy=policy,
+                    required_results=required_results,
+                    max_domains=max_domains,
+                    include_staleness=include_staleness,
+                    include_answer=include_answer,
+                )
+            )
+        return answers
+
+    # -- simulation --------------------------------------------------------------------
+
+    def run_until(self, time: Optional[float] = None) -> int:
+        """Advance the simulation to ``time`` (default: the scheduled horizon).
+
+        Returns the number of events processed.
+        """
+        if time is None:
+            time = self._horizon
+        return self._system.run(until=time)
+
+    def staleness(self, query_id: Optional[int] = None) -> StalenessSnapshot:
+        """Sample current answer staleness (planned content only)."""
+        return self._system.staleness_snapshot(query_id=query_id)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def _window(self, duration_seconds: Optional[float]) -> float:
+        if duration_seconds is not None:
+            return duration_seconds
+        if self._horizon is not None:
+            return self._horizon
+        return self._system.simulator.now
+
+    def maintenance_report(
+        self, duration_seconds: Optional[float] = None
+    ) -> MaintenanceReport:
+        """Push/reconciliation figures over the given window (default: horizon)."""
+        window = self._window(duration_seconds)
+        stats = self._system.maintenance.stats
+        return MaintenanceReport(
+            duration_seconds=window,
+            push_messages=stats.push_messages,
+            reconciliations=stats.reconciliations,
+            reconciliation_messages=stats.reconciliation_messages,
+            update_traffic=self._system.update_traffic_report(window),
+        )
+
+    def traffic(self, duration_seconds: Optional[float] = None) -> SessionTraffic:
+        """Update- and query-side traffic reports over the given window."""
+        window = self._window(duration_seconds)
+        return SessionTraffic(
+            update=self._system.update_traffic_report(window),
+            query=self._system.query_traffic_report(window),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"NetworkSession(peers={self._system.overlay.size}, "
+            f"domains={len(self._system.domains)}, now={self.now:.0f}s)"
+        )

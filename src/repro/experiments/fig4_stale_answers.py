@@ -12,7 +12,8 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import run_maintenance_simulation
-from repro.workloads.scenarios import DEFAULT_ALPHAS, DEFAULT_DOMAIN_SIZES, SimulationScenario
+from repro.workloads.registry import default_registry
+from repro.workloads.scenarios import DEFAULT_ALPHAS, DEFAULT_DOMAIN_SIZES
 
 PAPER_EXPECTATION = (
     "stale-answer fraction grows with the threshold α and stays bounded "
@@ -41,9 +42,11 @@ def run_figure4(
             "lifetime": "log-normal mean 3 h / median 1 h",
         },
     )
+    registry = default_registry()
     for alpha in alphas:
         for size in domain_sizes:
-            scenario = SimulationScenario(
+            scenario = registry.scenario(
+                "maintenance",
                 peer_count=size,
                 alpha=alpha,
                 duration_seconds=duration_seconds,

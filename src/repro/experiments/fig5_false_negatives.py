@@ -14,7 +14,8 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import run_maintenance_simulation
-from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES, SimulationScenario
+from repro.workloads.registry import default_registry
+from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES
 
 PAPER_EXPECTATION = (
     "false negatives stay small (≈3 % for domains below 2000 peers); the real "
@@ -46,8 +47,10 @@ def run_figure5(
             "seed": seed,
         },
     )
+    registry = default_registry()
     for size in domain_sizes:
-        scenario = SimulationScenario(
+        scenario = registry.scenario(
+            "maintenance",
             peer_count=size,
             alpha=alpha,
             duration_seconds=duration_seconds,

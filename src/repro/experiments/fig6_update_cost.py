@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence
 from repro.costmodel.update_cost import UpdateCostModel
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import run_maintenance_simulation
-from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES, SimulationScenario
+from repro.workloads.registry import default_registry
+from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES
 
 PAPER_EXPECTATION = (
     "total messages increase with the domain size, per-node messages stay "
@@ -44,9 +45,11 @@ def run_figure6(
         expectation=PAPER_EXPECTATION,
         parameters={"duration_seconds": duration_seconds, "seed": seed},
     )
+    registry = default_registry()
     for alpha in alphas:
         for size in domain_sizes:
-            scenario = SimulationScenario(
+            scenario = registry.scenario(
+                "maintenance",
                 peer_count=size,
                 alpha=alpha,
                 duration_seconds=duration_seconds,

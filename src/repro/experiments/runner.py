@@ -13,15 +13,14 @@ from typing import Dict, List, Optional
 
 from repro.baselines.centralized import CentralizedIndex, centralized_query_cost
 from repro.baselines.flooding import FloodingSearch
-from repro.core.protocol import (
-    QUERY_MESSAGE_TYPES,
-    UPDATE_MESSAGE_TYPES,
-    StalenessSnapshot,
-    SummaryManagementSystem,
-)
+from repro.core.protocol import UPDATE_MESSAGE_TYPES, StalenessSnapshot
 from repro.core.routing import RoutingPolicy
 from repro.costmodel.query_cost import PaperQueryScenario
-from repro.workloads.scenarios import SimulationScenario
+from repro.workloads.registry import default_registry
+from repro.workloads.scenarios import (
+    DEFAULT_MODIFICATION_RATE_PER_PEER,
+    SimulationScenario,
+)
 
 
 @dataclass
@@ -71,7 +70,7 @@ def run_maintenance_simulation(
     scenario: SimulationScenario,
     snapshot_interval_seconds: float = 1200.0,
     snapshots_per_tick: int = 3,
-    modification_rate_per_peer: float = 1.0 / 10800.0,
+    modification_rate_per_peer: float = DEFAULT_MODIFICATION_RATE_PER_PEER,
 ) -> MaintenanceRun:
     """Simulate churn + maintenance on a single domain and sample staleness.
 
@@ -82,38 +81,34 @@ def run_maintenance_simulation(
     churn, matching the paper's assumption that churn dominates but data does
     change occasionally.
     """
-    system = scenario.build_single_domain_system()
+    session = scenario.apply_dynamics(
+        scenario.single_domain_builder(),
+        modification_rate_per_peer=modification_rate_per_peer,
+    ).build()
     run = MaintenanceRun(
         scenario=scenario,
         duration_seconds=scenario.duration_seconds,
-        domain_size=system.overlay.size,
+        domain_size=session.overlay.size,
     )
 
-    baseline_update = system.counter.count_types(list(UPDATE_MESSAGE_TYPES))
-    system.schedule_churn(
-        scenario.duration_seconds,
-        lifetime=scenario.lifetime_distribution(),
-        downtime_seconds=scenario.downtime_seconds,
-        graceful_fraction=scenario.graceful_fraction,
-    )
-    system.schedule_modifications(
-        scenario.duration_seconds, modification_rate_per_peer
-    )
+    baseline_update = session.system.counter.count_types(list(UPDATE_MESSAGE_TYPES))
 
     time = snapshot_interval_seconds
     while time <= scenario.duration_seconds:
-        system.run(until=time)
+        session.run_until(time)
         for _sample in range(snapshots_per_tick):
-            run.snapshots.append(system.staleness_snapshot())
+            run.snapshots.append(session.staleness())
         time += snapshot_interval_seconds
-    system.run(until=scenario.duration_seconds)
+    session.run_until(scenario.duration_seconds)
 
     run.update_messages = (
-        system.counter.count_types(list(UPDATE_MESSAGE_TYPES)) - baseline_update
+        session.system.counter.count_types(list(UPDATE_MESSAGE_TYPES))
+        - baseline_update
     )
-    run.push_messages = system.maintenance.stats.push_messages
-    run.reconciliation_messages = system.maintenance.stats.reconciliation_messages
-    run.reconciliations = system.maintenance.stats.reconciliations
+    report = session.maintenance_report(scenario.duration_seconds)
+    run.push_messages = report.push_messages
+    run.reconciliation_messages = report.reconciliation_messages
+    run.reconciliations = report.reconciliations
     return run
 
 
@@ -155,22 +150,21 @@ def run_query_cost_comparison(
     the summary-querying run visits as many domains as needed to gather every
     available result (a total-lookup query, the paper's Figure 7 setting).
     """
-    scenario = SimulationScenario(
+    scenario = default_registry().scenario(
+        "query-cost",
         peer_count=peer_count,
         alpha=alpha,
         matching_fraction=hit_rate,
         seed=seed,
     )
-    system = scenario.build_system()
-    overlay = system.overlay
-    content = system.content
+    session = scenario.session()
+    overlay = session.overlay
+    content = session.content
     assert content is not None
 
     flooding = FloodingSearch(ttl=flooding_ttl)
     centralized = CentralizedIndex()
-    originators = [
-        peer_id for peer_id in overlay.peer_ids if peer_id not in system.domains
-    ] or overlay.peer_ids
+    originators = session.partner_ids() or overlay.peer_ids
 
     run = QueryCostRun(peer_count=peer_count, queries=query_count)
     sq_total = 0.0
@@ -181,15 +175,16 @@ def run_query_cost_comparison(
         originator = originators[rng_index % len(originators)]
         rng_index += 7  # deterministic, spread over the population
 
-        query_id = system.next_query_id()
+        query_id = session.next_query_id()
         required = max(1, round(hit_rate * peer_count))
-        result = system.pose_query(
+        answer = session.query(
             originator,
             query_id=query_id,
             policy=RoutingPolicy.ALL,
             required_results=required,
+            include_staleness=False,
         )
-        sq_total += result.total_messages
+        sq_total += answer.total_messages
 
         flood_outcome = flooding.query(
             overlay, originator, content, query_id, required_results=required

@@ -9,7 +9,7 @@ value together with their membership grades — e.g.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import BackgroundKnowledgeError
@@ -27,6 +27,17 @@ class Descriptor:
 
     attribute: str
     label: str
+    #: Precomputed hash: descriptors are the elements of every cell key, so
+    #: they are hashed millions of times by the cell-map dicts of the
+    #: summarization hot path — the generated dataclass hash would rebuild
+    #: and hash an (attribute, label) tuple on every lookup.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.attribute, self.label)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.attribute}:{self.label}"

@@ -56,6 +56,13 @@ class Cell:
     peers:
         Peer-extent contribution (which peers own records in this cell);
         empty for purely local, single-database summaries.
+    owner:
+        Copy-on-write tag: the single :class:`~repro.saintetiq.summary.Summary`
+        node allowed to mutate this cell in place.  Structural merges alias
+        cells between a node and its children instead of deep-copying them;
+        a node absorbing into a cell it does not own must copy it first.
+        ``None`` (freshly mapped or deserialized cells) means "owned by
+        nobody": the first absorbing node takes a private copy.
     """
 
     key: CellKey
@@ -63,6 +70,7 @@ class Cell:
     grades: Dict[Descriptor, float] = field(default_factory=dict)
     statistics: StatisticsBundle = field(default_factory=StatisticsBundle)
     peers: Set[str] = field(default_factory=set)
+    owner: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def descriptors(self) -> Set[Descriptor]:

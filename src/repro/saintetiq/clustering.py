@@ -27,7 +27,12 @@ of rescanning covered cells.  The division of labour is:
 * **Structural operators** (merge, split, arity enforcement) never edit cell
   maps in place; merge builds the replacement node's cache as a child-union
   merge via ``Summary.recompute_from_children``, and split leaves every
-  surviving node's cell map (hence cache) untouched.
+  surviving node's cell map (hence cache) untouched.  The merged node's cell
+  map *aliases* its children's cells (copy-on-write, keyed on ``Cell.owner``)
+  so a structural merge costs O(covered cells) dict inserts, not O(covered
+  cells) deep copies of grades/statistics/peer sets;
+  ``SummaryBuilder(copy_on_merge=True)`` restores the legacy deep-copy merge
+  for A/B benchmarking.
 * **Dirty flags are set** only by wholesale cell-map replacement (constructor
   supplied maps, ``Summary.invalidate_cache``) and **cleared** by the next
   aggregate access (lazy one-pass rebuild) or by
@@ -223,11 +228,13 @@ class SummaryBuilder:
         parameters: Optional[ClusteringParameters] = None,
         *,
         reference_scoring: bool = False,
+        copy_on_merge: bool = False,
     ) -> None:
         self._parameters = parameters or ClusteringParameters()
         self._root = Summary()
         self._incorporated = 0
         self._reference_scoring = reference_scoring
+        self._copy_on_merge = copy_on_merge
 
     @property
     def root(self) -> Summary:
@@ -528,8 +535,9 @@ class SummaryBuilder:
         parent.remove_child(second)
         merged.add_child(first)
         merged.add_child(second)
-        # Cell map and cached aggregates in one child-union pass.
-        merged.recompute_from_children()
+        # Cell map and cached aggregates in one child-union pass (cells are
+        # aliased, not copied, unless the legacy A/B mode asks otherwise).
+        merged.recompute_from_children(copy_cells=self._copy_on_merge)
         parent.add_child(merged)
         return merged
 

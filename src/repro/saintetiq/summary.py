@@ -18,7 +18,9 @@ label sets, peer-extent, attribute statistics — instead of rescanning
   (cell maps only ever grow during incorporation, so deltas are additive);
 * :meth:`recompute_from_children` re-establishes both the cell map *and* the
   cached aggregates as a child-union merge of the children's caches, without
-  revisiting individual descriptors per covered cell;
+  revisiting individual descriptors per covered cell; the rebuilt map aliases
+  the children's cells (copy-on-write via :attr:`Cell.owner`) instead of
+  deep-copying O(covered cells) of grades/statistics/peer sets;
 * wholesale replacement of ``cells`` (constructor-supplied maps, deep copies)
   marks the cache *dirty*; the next aggregate access rebuilds it from the cell
   map in one pass (:meth:`invalidate_cache` exposes the same hook to any
@@ -286,11 +288,24 @@ class Summary:
     # -- cell bookkeeping --------------------------------------------------------
 
     def absorb_cell(self, cell: Cell) -> None:
-        """Fold a cell (copied) into this node's own extent."""
+        """Fold a cell (copied) into this node's own extent.
+
+        The cell map may alias cells owned by descendants (structural merges
+        share instead of copying); a node only mutates cells it owns, taking a
+        private copy-on-write otherwise.  Because incorporation descends from
+        the root, every ancestor breaks its alias for a key *before* the
+        owning descendant mutates that cell in place.
+        """
         existing = self.cells.get(cell.key)
         if existing is None:
-            self.cells[cell.key] = cell.copy()
+            owned = cell.copy()
+            owned.owner = self
+            self.cells[cell.key] = owned
         else:
+            if existing.owner is not self:
+                existing = existing.copy()
+                existing.owner = self
+                self.cells[cell.key] = existing
             existing.merge(cell)
         self._apply_cell_delta(cell)
 
@@ -298,13 +313,21 @@ class Summary:
         for cell in cells:
             self.absorb_cell(cell)
 
-    def recompute_from_children(self) -> None:
+    def recompute_from_children(self, *, copy_cells: bool = False) -> None:
         """Rebuild this node's cell map as the union of its children's.
 
         Internal nodes of the hierarchy always satisfy this invariant; it is
         re-established after structural operators (merge/split) run.  The
         cached aggregates are rebuilt alongside by merging the children's
         caches — no per-cell descriptor walk.
+
+        The rebuilt map *aliases* the children's cells instead of deep-copying
+        them: only keys covered by several children need a fresh merged copy
+        (owned by this node), so a structural merge of disjoint extents costs
+        one dict insert per covered cell rather than one deep copy.  Aliased
+        cells stay owned by the child; :meth:`absorb_cell` copies on write
+        before this node ever mutates one.  ``copy_cells=True`` restores the
+        legacy deep-copy behaviour (kept for A/B benchmarking).
         """
         if not self.children:
             return
@@ -315,11 +338,25 @@ class Summary:
         peers: Set[str] = set()
         stats = StatisticsBundle()
         for child in self.children:
-            for key, cell in child.cells.items():
-                if key in rebuilt:
-                    rebuilt[key].merge(cell)
-                else:
-                    rebuilt[key] = cell.copy()
+            if not rebuilt and not copy_cells:
+                # Fast path for the first child: a wholesale shallow copy.
+                rebuilt = dict(child.cells)
+            else:
+                for key, cell in child.cells.items():
+                    existing = rebuilt.get(key)
+                    if existing is None:
+                        if copy_cells:
+                            copied = cell.copy()
+                            copied.owner = self
+                            rebuilt[key] = copied
+                        else:
+                            rebuilt[key] = cell
+                    else:
+                        if existing.owner is not self:
+                            existing = existing.copy()
+                            existing.owner = self
+                            rebuilt[key] = existing
+                        existing.merge(cell)
             child._ensure_cache()
             mass += child._mass
             for descriptor, weight in child._profile.items():

@@ -5,11 +5,14 @@
 * :mod:`repro.workloads.queries` — selection-query workloads over those
   databases,
 * :mod:`repro.workloads.scenarios` — the simulation scenarios of Table 3
-  (network sizes, query rates, churn model, α sweep).
+  (network sizes, query rates, churn model, α sweep),
+* :mod:`repro.workloads.registry` — the named-scenario registry the drivers,
+  examples and CLI build their sessions from.
 """
 
 from repro.workloads.patients import MedicalWorkload, build_peer_databases
 from repro.workloads.queries import QueryWorkload, paper_example_query
+from repro.workloads.registry import ScenarioRegistry, default_registry
 from repro.workloads.scenarios import SimulationScenario, table3_parameters
 
 __all__ = [
@@ -19,4 +22,6 @@ __all__ = [
     "paper_example_query",
     "SimulationScenario",
     "table3_parameters",
+    "ScenarioRegistry",
+    "default_registry",
 ]

@@ -2,17 +2,24 @@
 
 A :class:`SimulationScenario` bundles every knob of one simulation run —
 network size, topology, churn model, query workload, protocol configuration —
-and knows how to instantiate a ready-to-run
-:class:`~repro.core.protocol.SummaryManagementSystem` in planned-content mode.
+and turns it into a ready-to-run
+:class:`~repro.core.session.NetworkSession` (planned-content mode) through
+the declarative :class:`~repro.core.session.SystemBuilder`:
+:meth:`SimulationScenario.session` for the multi-domain network,
+:meth:`SimulationScenario.single_domain_session` for the one-domain setting
+of Figures 4–6.  The legacy ``build_system`` / ``build_single_domain_system``
+methods remain as deprecated shims returning the bare engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import SummaryManagementSystem
+from repro.core.session import NetworkSession, SystemBuilder
 from repro.exceptions import ConfigurationError
 from repro.network.churn import LifetimeDistribution
 from repro.network.overlay import Overlay
@@ -36,6 +43,10 @@ def table3_parameters() -> Dict[str, object]:
         "flooding_ttl": 3,
     }
 
+
+#: Default local-data modification rate: one modification per peer every
+#: three hours, the paper's "churn dominates but data does change" regime.
+DEFAULT_MODIFICATION_RATE_PER_PEER: float = 1.0 / 10800.0
 
 #: Network sizes swept by the experiments (the paper spans 16–5000 peers).
 DEFAULT_NETWORK_SIZES: List[int] = [16, 100, 500, 1000, 2000, 3500, 5000]
@@ -93,25 +104,29 @@ class SimulationScenario:
             median_seconds=self.lifetime_median_seconds,
         )
 
-    def build_system(
-        self, summary_peers: Optional[List[str]] = None
-    ) -> SummaryManagementSystem:
-        """Instantiate overlay + system in planned-content mode and build domains."""
-        overlay = Overlay.generate(self.topology_config())
-        system = SummaryManagementSystem(
-            overlay, config=self.protocol_config(), seed=self.seed
-        )
-        system.use_planned_content(
-            matching_fraction=self.matching_fraction, seed=self.seed
-        )
-        system.build_domains(summary_peers=summary_peers)
-        return system
+    def builder(self, summary_peers: Optional[List[str]] = None) -> SystemBuilder:
+        """A :class:`SystemBuilder` declaring this scenario (multi-domain).
 
-    def build_single_domain_system(self) -> SummaryManagementSystem:
-        """A system with a single domain covering the whole network.
+        The builder is returned unfinished so callers can add churn or
+        modification schedules before ``.build()``.
+        """
+        builder = (
+            SystemBuilder()
+            .topology(self.topology_config())
+            .protocol(self.protocol_config())
+            .planned_content(hit_rate=self.matching_fraction, seed=self.seed)
+            .seed(self.seed)
+        )
+        if summary_peers is not None:
+            builder.domains(summary_peers=summary_peers)
+        return builder
 
-        Figures 4–6 study *one* domain of varying size; forcing a single
-        summary peer makes the domain size equal to the network size.
+    def single_domain_builder(self) -> SystemBuilder:
+        """A builder for the single-domain setting of Figures 4–6.
+
+        Figures 4–6 study *one* domain of varying size; forcing the best-
+        connected peer as the only summary peer makes the domain size equal
+        to the network size.
         """
         overlay = Overlay.generate(self.topology_config())
         config = ProtocolConfig(
@@ -122,13 +137,68 @@ class SimulationScenario:
             ),
             **self.extra_config,  # type: ignore[arg-type]
         )
-        system = SummaryManagementSystem(overlay, config=config, seed=self.seed)
-        system.use_planned_content(
-            matching_fraction=self.matching_fraction, seed=self.seed
-        )
         hub = max(overlay.peer_ids, key=overlay.degree)
-        system.build_domains(summary_peers=[hub])
-        return system
+        return (
+            SystemBuilder()
+            .topology(overlay)
+            .protocol(config)
+            .planned_content(hit_rate=self.matching_fraction, seed=self.seed)
+            .domains(summary_peers=[hub])
+            .seed(self.seed)
+        )
+
+    def apply_dynamics(
+        self,
+        builder: SystemBuilder,
+        modification_rate_per_peer: float = DEFAULT_MODIFICATION_RATE_PER_PEER,
+    ) -> SystemBuilder:
+        """Declare this scenario's churn + modification schedule on ``builder``.
+
+        The single place the churn knobs (lifetime distribution, downtime,
+        graceful fraction) and the default modification rate are turned into
+        builder calls — shared by the experiment drivers and the CLI.
+        """
+        builder.churn(
+            self.duration_seconds,
+            lifetime=self.lifetime_distribution(),
+            downtime_seconds=self.downtime_seconds,
+            graceful_fraction=self.graceful_fraction,
+        )
+        if modification_rate_per_peer > 0:
+            builder.modifications(self.duration_seconds, modification_rate_per_peer)
+        return builder
+
+    def session(self, summary_peers: Optional[List[str]] = None) -> NetworkSession:
+        """The ready-to-run multi-domain session for this scenario."""
+        return self.builder(summary_peers=summary_peers).build()
+
+    def single_domain_session(self) -> NetworkSession:
+        """The ready-to-run single-domain session (Figures 4–6 setting)."""
+        return self.single_domain_builder().build()
+
+    # -- deprecated imperative shims -------------------------------------------------
+
+    def build_system(
+        self, summary_peers: Optional[List[str]] = None
+    ) -> SummaryManagementSystem:
+        """Deprecated: use :meth:`session` (or :meth:`builder`) instead."""
+        warnings.warn(
+            "SimulationScenario.build_system is deprecated; use "
+            "SimulationScenario.session(...).system instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.session(summary_peers=summary_peers).system
+
+    def build_single_domain_system(self) -> SummaryManagementSystem:
+        """Deprecated: use :meth:`single_domain_session` instead."""
+        warnings.warn(
+            "SimulationScenario.build_single_domain_system is deprecated; use "
+            "SimulationScenario.single_domain_session().system instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.single_domain_session().system
 
     def query_interval_seconds(self) -> float:
         """Average time between two consecutive queries in the whole network."""

@@ -97,6 +97,69 @@ class TestPlannedQueries:
         system.pose_query(next(iter(system.assignment)), max_domains=1)
         assert len(system.query_results) == 1
 
+    def test_query_and_query_id_together_rejected(self):
+        """Passing both would silently ignore query_id; it must raise instead."""
+        system = _planned_system()
+        originator = next(iter(system.assignment))
+        with pytest.raises(ProtocolError, match="either query or query_id"):
+            system.pose_query(
+                originator, query=paper_example_query(), query_id=7
+            )
+        # The ambiguous call must not have consumed an id or recorded a result.
+        assert system.query_results == []
+        assert system.next_query_id() == 0
+
+
+class TestRoutingEdges:
+    """Edge cases of the SQ routing surface."""
+
+    def test_max_domains_caps_a_total_lookup(self):
+        """required_results keeps extending only until max_domains cuts it off."""
+        system = _planned_system()
+        originator = next(iter(system.assignment))
+        # Ask for more results than a single domain can provide...
+        unbounded = system.pose_query(
+            originator, required_results=system.overlay.size
+        )
+        assert unbounded.domains_visited == len(system.domains)
+        # ...then cap the visit at one domain: the quota stays unmet.
+        capped = system.pose_query(
+            originator, required_results=system.overlay.size, max_domains=1
+        )
+        assert capped.domains_visited == 1
+        assert not capped.satisfied()
+        assert capped.results <= unbounded.results
+
+    def test_required_results_stops_before_max_domains(self):
+        """A satisfied quota stops the walk even with domain budget left."""
+        system = _planned_system()
+        originator = next(iter(system.assignment))
+        result = system.pose_query(
+            originator, required_results=1, max_domains=len(system.domains)
+        )
+        assert result.satisfied()
+        assert result.domains_visited < len(system.domains)
+
+    def test_max_domains_zero_visits_nothing(self):
+        system = _planned_system()
+        originator = next(iter(system.assignment))
+        result = system.pose_query(originator, max_domains=0)
+        assert result.domains_visited == 0
+        assert result.results == 0
+        assert result.total_messages == 0
+
+    def test_empty_domain_network_yields_empty_result(self):
+        """A network with no built domains answers with an empty result."""
+        overlay = Overlay.generate(TopologyConfig(peer_count=16, seed=9))
+        system = SummaryManagementSystem(overlay, seed=9)
+        system.use_planned_content(matching_fraction=0.1, seed=9)
+        # build_domains is never called: there is nothing to route through.
+        result = system.pose_query(overlay.peer_ids[0], required_results=3)
+        assert result.domains_visited == 0
+        assert result.results == 0
+        assert result.total_messages == 0
+        assert not result.satisfied()
+
 
 class TestChurnAndMaintenance:
     def test_schedule_churn_generates_departures(self):

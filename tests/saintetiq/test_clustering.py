@@ -142,3 +142,52 @@ class TestSummaryBuilder:
         second.incorporate_all([cell.copy() for cell in cells])
         assert first.root.tuple_count == pytest.approx(second.root.tuple_count)
         assert len(first.root.leaves()) == len(second.root.leaves())
+
+
+class TestMergeCellSharing:
+    """Structural merges alias cells (copy-on-write) instead of deep-copying."""
+
+    def _merge_heavy_builder(self, cells, **kwargs):
+        builder = SummaryBuilder(ClusteringParameters(max_children=2), **kwargs)
+        builder.incorporate_all(cells)
+        return builder
+
+    def test_shared_and_copied_merges_build_identical_trees(self):
+        cells = _random_cells(60, seed=5)
+        shared = self._merge_heavy_builder([c.copy() for c in cells])
+        copied = self._merge_heavy_builder(
+            [c.copy() for c in cells], copy_on_merge=True
+        )
+        assert set(shared.root.cells) == set(copied.root.cells)
+        assert shared.root.tuple_count == pytest.approx(copied.root.tuple_count)
+        for key, cell in shared.root.cells.items():
+            assert cell.tuple_count == pytest.approx(copied.root.cells[key].tuple_count)
+
+    def test_merged_nodes_alias_children_cells(self):
+        builder = self._merge_heavy_builder(_random_cells(40, seed=6))
+        aliases = 0
+        for node in builder.root.iter_subtree():
+            for child in node.children:
+                for key, cell in child.cells.items():
+                    if node.cells.get(key) is cell:
+                        aliases += 1
+        assert aliases > 0, "expected at least one shared (uncopied) cell"
+
+    def test_caches_stay_consistent_under_sharing(self):
+        """Every node's cached aggregates survive alias-then-absorb cycles."""
+        builder = self._merge_heavy_builder(_random_cells(80, seed=7))
+        for node in builder.root.iter_subtree():
+            node.check_cache()
+
+    def test_only_owner_mutates_a_shared_cell(self):
+        """Absorbing into an aliased key copies before mutating (COW)."""
+        builder = SummaryBuilder(ClusteringParameters(max_children=2))
+        cells = _random_cells(30, seed=8)
+        builder.incorporate_all(cells)
+        # Re-incorporate every distinct key once more: every node on the
+        # descent path must keep map and cached profile in sync even where
+        # its entry aliased a descendant's cell.
+        for cell in list(builder.root.cells.values()):
+            builder.incorporate(cell.copy())
+        for node in builder.root.iter_subtree():
+            node.check_cache()

@@ -20,8 +20,10 @@ class TestArgumentParsing:
 
     def test_defaults(self):
         args = build_parser().parse_args(["tables"])
-        assert args.hours == 6.0
-        assert args.seed == 0
+        # hours/seed stay unset so run-scenario can fall back to the
+        # scenario's own declaration; figure commands resolve them to 6 h / 0.
+        assert args.hours is None
+        assert args.seed is None
         assert not args.json
 
 
@@ -57,3 +59,77 @@ class TestCommands:
         with pytest.raises((SystemExit, Exception)):
             main(["fig6", "--sizes", "sixteen"])
         capsys.readouterr()
+
+
+class TestScenarioCommands:
+    def test_list_scenarios(self, capsys):
+        exit_code = main(["list-scenarios"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "table3-default" in captured.out
+        assert "smoke" in captured.out
+
+    def test_run_scenario_smoke(self, capsys):
+        exit_code = main(
+            ["run-scenario", "smoke", "--queries", "3", "--hours", "1", "--seed", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Scenario 'smoke'" in captured.out
+        assert "mean_query_messages" in captured.out
+
+    def test_run_scenario_json(self, capsys):
+        exit_code = main(
+            ["run-scenario", "smoke", "--queries", "2", "--hours", "1", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["rows"][0]["queries"] == 2
+
+    def test_run_scenario_with_overrides(self, capsys):
+        exit_code = main(
+            [
+                "run-scenario",
+                "smoke",
+                "--peers",
+                "24",
+                "--alpha",
+                "0.5",
+                "--queries",
+                "2",
+                "--hours",
+                "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["rows"][0]["peers"] == 24
+        assert payload["parameters"]["alpha"] == 0.5
+
+    def test_run_scenario_defaults_to_scenario_horizon(self, capsys):
+        """Without --hours, the scenario's own declared duration is used."""
+        exit_code = main(["run-scenario", "smoke", "--queries", "1", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["rows"][0]["simulated_hours"] == 1.0  # smoke declares 1 h
+
+    def test_run_scenario_requires_a_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-scenario"])
+        capsys.readouterr()
+
+    def test_run_scenario_unknown_name_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-scenario", "no-such-scenario"])
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+
+    def test_stray_scenario_argument_rejected_for_other_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tables", "stray-arg"])
+        captured = capsys.readouterr()
+        assert "only run-scenario" in captured.err

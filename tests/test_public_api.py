@@ -34,7 +34,21 @@ class TestPublicSurface:
                 assert hasattr(module, name), f"{module_name}.{name} missing"
 
     def test_module_docstring_example_runs(self):
-        """The usage sketched in the package docstring actually works."""
+        """The quick tour sketched in the package docstring actually works."""
+        session = (
+            repro.SystemBuilder()
+            .topology(peer_count=32, average_degree=4)
+            .planned_content(hit_rate=0.25)
+            .seed(7)
+            .build()
+        )
+        answer = session.query()
+        assert answer.results >= 1
+        assert answer.total_messages >= answer.results
+        assert answer.staleness is not None
+
+    def test_summarization_substrate_still_direct(self):
+        """The low-level summarization engine remains usable on its own."""
         background = repro.medical_background_knowledge()
         hierarchy = repro.SummaryHierarchy(background, attributes=["age", "bmi"])
         generator = repro.PatientGenerator(seed=1)
@@ -68,3 +82,45 @@ class TestPublicSurface:
         assert repro.Freshness.FRESH == 0
         assert repro.Freshness.STALE == 1
         assert repro.Freshness.UNAVAILABLE == 2
+
+
+class TestSessionSurface:
+    """The declarative façade is part of the supported public API."""
+
+    def test_session_facade_exported(self):
+        for name in (
+            "SystemBuilder",
+            "NetworkSession",
+            "QueryAnswer",
+            "MaintenanceReport",
+            "SessionTraffic",
+            "ScenarioRegistry",
+            "default_registry",
+            "SimulationScenario",
+        ):
+            assert name in repro.__all__, f"repro.{name} not in __all__"
+            assert hasattr(repro, name)
+
+    def test_query_answer_wraps_a_routing_result(self):
+        session = (
+            repro.SystemBuilder()
+            .topology(peer_count=16)
+            .planned_content(hit_rate=0.2)
+            .seed(1)
+            .build()
+        )
+        answer = session.query(required_results=1)
+        assert isinstance(answer, repro.QueryAnswer)
+        assert isinstance(answer.routing, repro.QueryRoutingResult)
+        assert answer.query_id == answer.routing.query_id
+        assert answer.satisfied() == answer.routing.satisfied()
+
+    def test_builder_errors_are_configuration_errors(self):
+        with pytest.raises(repro.ConfigurationError):
+            repro.SystemBuilder().build()
+
+    def test_default_registry_builds_sessions(self):
+        registry = repro.default_registry()
+        assert isinstance(registry, repro.ScenarioRegistry)
+        session = registry.session("smoke", seed=3)
+        assert isinstance(session, repro.NetworkSession)
