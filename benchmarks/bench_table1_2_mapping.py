@@ -2,12 +2,22 @@
 
 Regenerates the paper's Table 2 from its Table 1 and checks the exact cell
 structure (three cells with tuple counts 2 / 0.7 / 0.3).
+
+``test_batched_mapping_speedup`` additionally pits the memoized batch path of
+``MappingService.map_records`` (per-attribute fuzzification memo + shared
+cell-key expansion) against the plain per-record loop it replaced, on a
+generated patient relation.
 """
+
+import time
 
 import pytest
 
-from benchmarks.conftest import attach_table
+from benchmarks.conftest import attach_table, full_scale, mean_seconds
+from repro.database.generator import PatientGenerator
 from repro.experiments.tables import run_table1_table2
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.saintetiq.mapping import MappingService, map_records_reference
 
 
 @pytest.mark.benchmark(group="tables")
@@ -23,3 +33,41 @@ def test_table1_table2_mapping(benchmark):
         ("young", "normal"),
         ("adult", "normal"),
     }
+
+
+#: Relation size for the batch-mapping bench.
+MAPPING_RECORDS = 60000 if full_scale() else 15000
+
+
+@pytest.mark.benchmark(group="mapping-batch")
+def test_batched_mapping_speedup(benchmark):
+    """Batched ``map_records`` vs the per-record loop on a patient relation."""
+    background = medical_background_knowledge()
+    service = MappingService(background)
+    records = [
+        r.as_dict() for r in PatientGenerator(seed=7).relation(MAPPING_RECORDS)
+    ]
+
+    batched = benchmark(service.map_records, records, "peer-a")
+
+    t0 = time.perf_counter()
+    reference = map_records_reference(service, records, "peer-a")
+    reference_seconds = time.perf_counter() - t0
+
+    assert set(batched) == set(reference)
+    for key, cell in batched.items():
+        assert cell.tuple_count == pytest.approx(reference[key].tuple_count)
+        assert cell.grades == reference[key].grades
+
+    benchmark.extra_info["records"] = MAPPING_RECORDS
+    benchmark.extra_info["cells"] = len(batched)
+    benchmark.extra_info["per_record_seconds"] = reference_seconds
+    batched_seconds = mean_seconds(benchmark)
+    if batched_seconds:
+        speedup = reference_seconds / batched_seconds
+        benchmark.extra_info["batched_speedup"] = speedup
+        print(
+            f"\nbatched {batched_seconds:.3f}s vs per-record "
+            f"{reference_seconds:.3f}s ({speedup:.2f}x) over "
+            f"{MAPPING_RECORDS} records"
+        )

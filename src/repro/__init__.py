@@ -28,6 +28,20 @@ True
 >>> answer.staleness is not None  # planned mode bundles staleness accounting
 True
 
+Sessions persist through the ``repro.store`` subsystem: ``checkpoint()``
+captures the full session state (a store is a directory of JSON files, a
+single SQLite file, or in-memory), and ``SystemBuilder.from_checkpoint``
+resumes it byte-identically — the resumed session routes the next query
+exactly as the original would have:
+
+>>> from repro import InMemoryBackend
+>>> store = InMemoryBackend()
+>>> session.checkpoint(store)
+'session'
+>>> resumed = SystemBuilder.from_checkpoint(store)
+>>> resumed.query().routing == session.query().routing
+True
+
 Named parameter sets live in the scenario registry
 (``default_registry().session("table3-default")``); the low-level pieces —
 overlays, summaries, the :class:`SummaryManagementSystem` engine — remain
@@ -73,6 +87,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SchemaError,
+    StoreError,
     SummaryError,
 )
 from repro.fuzzy.background import BackgroundKnowledge
@@ -101,6 +116,15 @@ from repro.saintetiq.hierarchy import SummaryHierarchy
 from repro.saintetiq.mapping import MappingService
 from repro.saintetiq.merging import merge_hierarchies
 from repro.saintetiq.summary import Summary
+from repro.store import (
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SessionCache,
+    SnapshotStore,
+    SqliteBackend,
+    StoreBackend,
+    open_store,
+)
 from repro.workloads.registry import ScenarioRegistry, default_registry
 from repro.workloads.scenarios import SimulationScenario
 
@@ -117,6 +141,7 @@ __all__ = [
     "NetworkError",
     "ProtocolError",
     "ConfigurationError",
+    "StoreError",
     # fuzzy substrate
     "TrapezoidalMembership",
     "TriangularMembership",
@@ -183,6 +208,14 @@ __all__ = [
     "QueryAnswer",
     "MaintenanceReport",
     "SessionTraffic",
+    # persistence (repro.store)
+    "StoreBackend",
+    "InMemoryBackend",
+    "JsonDirectoryBackend",
+    "SqliteBackend",
+    "open_store",
+    "SnapshotStore",
+    "SessionCache",
     # scenarios
     "SimulationScenario",
     "ScenarioRegistry",

@@ -12,18 +12,32 @@ the terminal without going through pytest:
 * ``list-scenarios`` — the named scenarios of the registry,
 * ``run-scenario``   — build a named scenario through ``SystemBuilder``,
   simulate its churn horizon and pose a query batch
-  (``python -m repro run-scenario smoke --queries 10``).
+  (``python -m repro run-scenario smoke --queries 10``),
+* ``save-session``   — build a named scenario and checkpoint it into a store,
+  optionally mid-simulation (``--hours`` picks the checkpoint time inside the
+  scenario's horizon): ``python -m repro save-session smoke --store
+  runs.sqlite --hours 0.5``,
+* ``load-session``   — restore a checkpointed session, run it to its horizon
+  and pose a query batch (``python -m repro load-session --store runs.sqlite``),
+* ``inspect-store``  — list the checkpoints and content-addressed snapshots
+  of a store (``python -m repro inspect-store --store runs.sqlite``).
 
 Every command accepts ``--sizes`` / ``--alphas`` / ``--hours`` / ``--seed``
 overrides and ``--json`` to emit machine-readable output; ``run-scenario``
 additionally takes ``--peers`` / ``--alpha`` / ``--hit-rate`` / ``--queries``.
+The figures and ``run-scenario`` accept ``--cache-dir`` (a directory or a
+``.sqlite`` path): built sessions are checkpointed there and repeated
+invocations warm-start from the cache instead of reconstructing.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.session import NetworkSession
 
 from repro.experiments.fig4_stale_answers import run_figure4
 from repro.experiments.fig5_false_negatives import run_figure5
@@ -71,13 +85,31 @@ def build_parser() -> argparse.ArgumentParser:
             "all",
             "list-scenarios",
             "run-scenario",
+            "save-session",
+            "load-session",
+            "inspect-store",
         ],
-        help="which table/figure to regenerate, or a scenario command",
+        help="which table/figure to regenerate, or a scenario/store command",
     )
     parser.add_argument(
         "scenario",
         nargs="?",
-        help="scenario name for run-scenario (see list-scenarios)",
+        help="scenario name for run-scenario/save-session (see list-scenarios)",
+    )
+    parser.add_argument(
+        "--store",
+        help="session store: a directory of JSON files, or a .sqlite path "
+        "(save-session / load-session / inspect-store)",
+    )
+    parser.add_argument(
+        "--name",
+        default="session",
+        help="checkpoint name inside the store (default: session)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="warm-start cache for built sessions (figures and run-scenario): "
+        "a directory or a .sqlite path",
     )
     parser.add_argument(
         "--peers",
@@ -106,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--hours",
         type=float,
         help="simulated hours (figures default: 6; run-scenario defaults to "
-        "the scenario's own horizon)",
+        "the scenario's own horizon; for save-session this is the checkpoint "
+        "time within the scenario's horizon)",
     )
     parser.add_argument(
         "--queries",
@@ -147,11 +180,11 @@ def _list_scenarios_table() -> ExperimentTable:
     return table
 
 
-def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
+def _scenario_from_args(args: argparse.Namespace, include_hours: bool = True):
     registry = default_registry()
     # Only explicitly passed flags override the scenario's own declaration.
     overrides: Dict[str, object] = {}
-    if args.hours is not None:
+    if include_hours and args.hours is not None:
         overrides["duration_seconds"] = args.hours * 3600.0
     if args.seed is not None:
         overrides["seed"] = args.seed
@@ -161,12 +194,37 @@ def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
         overrides["alpha"] = args.alpha
     if args.hit_rate is not None:
         overrides["matching_fraction"] = args.hit_rate
-    scenario = registry.scenario(args.scenario, **overrides)
+    return registry.scenario(args.scenario, **overrides)
 
-    session = scenario.apply_dynamics(scenario.builder()).build()
+
+def _build_scenario_session(args: argparse.Namespace, scenario) -> "NetworkSession":
+    import dataclasses
+
+    factory = lambda: scenario.apply_dynamics(scenario.builder()).build()  # noqa: E731
+    if not args.cache_dir:
+        return factory()
+    from repro.store.cache import SessionCache
+
+    key = dict(dataclasses.asdict(scenario))
+    key["driver"] = "cli-run-scenario"
+    session, _warm = SessionCache(args.cache_dir).get_or_build(key, factory)
+    return session
+
+
+def _session_report_table(
+    session: "NetworkSession",
+    name: str,
+    query_count: int,
+    expectation: str,
+    parameters: Dict[str, object],
+) -> ExperimentTable:
+    """Run a session to its horizon, pose queries, and tabulate the outcome."""
     session.run_until()
-    required = max(1, round(scenario.matching_fraction * scenario.peer_count))
-    answers = session.query_many(count=args.queries, required_results=required)
+    required = None
+    if session.planned:
+        fraction = session.content.matching_fraction  # type: ignore[union-attr]
+        required = max(1, round(fraction * session.overlay.size))
+    answers = session.query_many(count=query_count, required_results=required)
     maintenance = session.maintenance_report()
     traffic = session.traffic()
 
@@ -176,8 +234,9 @@ def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
         for answer in answers
         if answer.staleness is not None and answer.staleness.relevant_count
     ]
+    horizon = session.horizon if session.horizon is not None else session.now
     table = ExperimentTable(
-        name=f"Scenario {args.scenario!r}",
+        name=name,
         columns=[
             "peers",
             "domains",
@@ -191,17 +250,13 @@ def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
             "update_messages_per_node",
             "query_messages_total",
         ],
-        expectation=registry.describe(args.scenario),
-        parameters={
-            "alpha": scenario.alpha,
-            "hit_rate": scenario.matching_fraction,
-            "seed": scenario.seed,
-        },
+        expectation=expectation,
+        parameters=parameters,
     )
     table.add_row(
         peers=session.overlay.size,
         domains=len(session.domains),
-        simulated_hours=scenario.duration_seconds / 3600.0,
+        simulated_hours=horizon / 3600.0,
         queries=queries,
         mean_results=(
             sum(a.results for a in answers) / queries if queries else 0.0
@@ -220,26 +275,120 @@ def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
     return table
 
 
+def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
+    scenario = _scenario_from_args(args)
+    session = _build_scenario_session(args, scenario)
+    return _session_report_table(
+        session,
+        name=f"Scenario {args.scenario!r}",
+        query_count=args.queries,
+        expectation=default_registry().describe(args.scenario),
+        parameters={
+            "alpha": scenario.alpha,
+            "hit_rate": scenario.matching_fraction,
+            "seed": scenario.seed,
+        },
+    )
+
+
+def _save_session_table(args: argparse.Namespace) -> ExperimentTable:
+    from repro.store import SnapshotStore, open_store
+    from repro.store.checkpoint import CHECKPOINT_KIND
+
+    # For save-session, --hours picks the *checkpoint time* inside the
+    # scenario's own horizon (a mid-simulation snapshot), it does not shorten
+    # the scenario: the remaining schedule is captured and load-session
+    # continues it to the original horizon.
+    scenario = _scenario_from_args(args, include_hours=False)
+    session = scenario.apply_dynamics(scenario.builder()).build()
+    if args.hours is not None:
+        at = args.hours * 3600.0
+        if session.horizon is not None:
+            at = min(at, session.horizon)
+        session.run_until(at)
+    backend = open_store(args.store)
+    session.checkpoint(backend, name=args.name)
+    table = ExperimentTable(
+        name=f"Checkpoint {args.name!r}",
+        columns=["store", "checkpoint", "peers", "domains", "at_hours", "bytes"],
+        expectation="resume with: repro load-session --store "
+        f"{args.store} --name {args.name}",
+        parameters={"scenario": args.scenario, "seed": scenario.seed},
+    )
+    table.add_row(
+        store=backend.location(),
+        checkpoint=args.name,
+        peers=session.overlay.size,
+        domains=len(session.domains),
+        at_hours=session.now / 3600.0,
+        bytes=backend.size_bytes(CHECKPOINT_KIND, args.name)
+        + SnapshotStore(backend).size_bytes(),
+    )
+    return table
+
+
+def _load_session_table(args: argparse.Namespace) -> ExperimentTable:
+    from repro.core.session import SystemBuilder
+
+    session = SystemBuilder.from_checkpoint(args.store, name=args.name)
+    return _session_report_table(
+        session,
+        name=f"Restored session {args.name!r}",
+        query_count=args.queries,
+        expectation=f"session resumed from {args.store}",
+        parameters={"store": args.store, "name": args.name},
+    )
+
+
+def _inspect_store_table(args: argparse.Namespace) -> ExperimentTable:
+    from repro.store import open_store
+
+    backend = open_store(args.store)
+    table = ExperimentTable(
+        name=f"Store {backend.location()}",
+        columns=["kind", "key", "bytes"],
+        expectation="checkpoints restore with load-session; snapshots are "
+        "content-addressed summary hierarchies (shared across checkpoints)",
+    )
+    for kind in backend.kinds():
+        for key in backend.keys(kind):
+            table.add_row(kind=kind, key=key, bytes=backend.size_bytes(kind, key))
+    return table
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command != "run-scenario" and args.scenario is not None:
+    takes_scenario = {"run-scenario", "save-session"}
+    if args.command not in takes_scenario and args.scenario is not None:
         parser.error(
-            f"unexpected argument {args.scenario!r}: only run-scenario takes "
-            "a scenario name"
+            f"unexpected argument {args.scenario!r}: only run-scenario and "
+            "save-session take a scenario name"
         )
+    if args.command in {"save-session", "load-session", "inspect-store"} and (
+        not args.store
+    ):
+        parser.error(f"{args.command} requires --store PATH")
     if args.command == "list-scenarios":
         _emit([_list_scenarios_table()], args.json)
         return 0
-    if args.command == "run-scenario":
-        if not args.scenario:
-            parser.error("run-scenario requires a scenario name (see list-scenarios)")
-        from repro.exceptions import ConfigurationError
+    if args.command in {"run-scenario", "save-session", "load-session", "inspect-store"}:
+        if args.command in takes_scenario and not args.scenario:
+            parser.error(
+                f"{args.command} requires a scenario name (see list-scenarios)"
+            )
+        from repro.exceptions import ConfigurationError, StoreError
 
+        handlers = {
+            "run-scenario": _run_scenario_table,
+            "save-session": _save_session_table,
+            "load-session": _load_session_table,
+            "inspect-store": _inspect_store_table,
+        }
         try:
-            table = _run_scenario_table(args)
-        except ConfigurationError as exc:
+            table = handlers[args.command](args)
+        except (ConfigurationError, StoreError) as exc:
             parser.error(str(exc))
         _emit([table], args.json)
         return 0
@@ -249,6 +398,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     hours = args.hours if args.hours is not None else 6.0
     duration = hours * 3600.0
     args.seed = args.seed if args.seed is not None else 0
+    cache = args.cache_dir or None
 
     commands: Dict[str, Callable[[], List[ExperimentTable]]] = {
         "tables": lambda: [run_table1_table2(), run_table3()],
@@ -258,17 +408,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 alphas=alphas,
                 duration_seconds=duration,
                 seed=args.seed,
+                cache=cache,
             )
         ],
         "fig5": lambda: [
-            run_figure5(domain_sizes=sizes, duration_seconds=duration, seed=args.seed)
+            run_figure5(
+                domain_sizes=sizes,
+                duration_seconds=duration,
+                seed=args.seed,
+                cache=cache,
+            )
         ],
         "fig6": lambda: [
-            run_figure6(domain_sizes=sizes, duration_seconds=duration, seed=args.seed)
+            run_figure6(
+                domain_sizes=sizes,
+                duration_seconds=duration,
+                seed=args.seed,
+                cache=cache,
+            )
         ],
         "fig7": lambda: [
             run_figure7(
-                network_sizes=sizes, queries_per_size=args.queries, seed=args.seed
+                network_sizes=sizes,
+                queries_per_size=args.queries,
+                seed=args.seed,
+                cache=cache,
             )
         ],
     }

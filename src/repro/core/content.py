@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.database.query import SelectionQuery
 from repro.exceptions import ConfigurationError
@@ -123,6 +123,40 @@ class PlannedContentModel(ContentModel):
 
     def matching_peers(self, query_id: int) -> Set[str]:
         return self.plan_query(query_id)
+
+    # -- checkpoint state ------------------------------------------------------------------
+
+    def state_payload(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the whole plan (RNG state included)."""
+        version, internal, position = self._rng.getstate()
+        return {
+            "peer_ids": list(self._peer_ids),
+            "matching_fraction": self._matching_fraction,
+            "rng_state": [version, list(internal), position],
+            "matching": {
+                str(query_id): sorted(peers)
+                for query_id, peers in self._matching.items()
+            },
+            "modified_peers": sorted(self._modified_peers),
+            "departed_peers": sorted(self._departed_peers),
+        }
+
+    @classmethod
+    def from_state(cls, payload: Mapping[str, object]) -> "PlannedContentModel":
+        """Rebuild a plan whose future draws match the captured model exactly."""
+        model = cls(
+            list(payload["peer_ids"]),  # type: ignore[arg-type]
+            matching_fraction=float(payload["matching_fraction"]),  # type: ignore[arg-type]
+        )
+        version, internal, position = payload["rng_state"]  # type: ignore[misc]
+        model._rng.setstate((version, tuple(internal), position))
+        model._matching = {
+            int(query_id): set(peers)
+            for query_id, peers in payload["matching"].items()  # type: ignore[union-attr]
+        }
+        model._modified_peers = set(payload["modified_peers"])  # type: ignore[arg-type]
+        model._departed_peers = set(payload["departed_peers"])  # type: ignore[arg-type]
+        return model
 
     # -- churn / modification hooks --------------------------------------------------------
 

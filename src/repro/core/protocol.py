@@ -172,6 +172,25 @@ class SummaryManagementSystem:
     def query_results(self) -> List[QueryRoutingResult]:
         return list(self._query_results)
 
+    @property
+    def rng(self) -> random.Random:
+        """The system RNG (its state is captured by session checkpoints)."""
+        return self._rng
+
+    @property
+    def services(self) -> Dict[str, "LocalSummaryService"]:
+        """Per-peer local summary services (real-content mode)."""
+        return dict(self._services)
+
+    @property
+    def databases(self) -> Dict[str, LocalDatabase]:
+        return dict(self._databases)
+
+    @property
+    def described(self) -> Dict[str, Set[str]]:
+        """Per-domain set of partners the installed global summary describes."""
+        return {sp_id: set(peers) for sp_id, peers in self._described.items()}
+
     def domain_of(self, peer_id: str) -> Optional[Domain]:
         if peer_id in self._domains:
             return self._domains[peer_id]
@@ -292,28 +311,71 @@ class SummaryManagementSystem:
         if depart_at >= horizon:
             return 0
         graceful = self._rng.random() < graceful_fraction
-
-        def depart() -> None:
-            self._handle_departure(peer_id, graceful)
-            if rejoin:
-                rejoin_at = depart_at + downtime
-                if rejoin_at < horizon:
-                    self._simulator.schedule_at(
-                        rejoin_at, lambda: self._handle_rejoin(peer_id), label="rejoin"
-                    )
-                    # Schedule the next cycle after the peer is back online.
-                    self._schedule_peer_cycle(
-                        peer_id,
-                        start=rejoin_at,
-                        horizon=horizon,
-                        lifetime=lifetime,
-                        downtime=downtime,
-                        graceful_fraction=graceful_fraction,
-                        rejoin=rejoin,
-                    )
-
-        self._simulator.schedule_at(depart_at, depart, label="departure")
+        self.schedule_event_from_spec(
+            {
+                "kind": "departure",
+                "peer_id": peer_id,
+                "graceful": graceful,
+                "rejoin": rejoin,
+                "depart_at": depart_at,
+                "downtime_seconds": downtime,
+                "horizon": horizon,
+                "graceful_fraction": graceful_fraction,
+                "lifetime_mean_seconds": lifetime.mean_seconds,
+                "lifetime_median_seconds": lifetime.median_seconds,
+            },
+            at=depart_at,
+        )
         return 1
+
+    # -- declarative event specs ---------------------------------------------------------------
+    #
+    # Every churn/modification event is scheduled through a plain JSON spec so
+    # that pending events can be checkpointed and re-created on restore (the
+    # callbacks themselves are closures and cannot be persisted).
+
+    def event_callback_from_spec(self, spec: Mapping[str, object]):
+        """Build the simulator callback described by a declarative event spec."""
+        kind = spec.get("kind")
+        if kind == "departure":
+            return lambda: self._run_departure_event(spec)
+        if kind == "rejoin":
+            return lambda: self._handle_rejoin(str(spec["peer_id"]))
+        if kind == "modification":
+            return lambda: self._handle_modification(str(spec["peer_id"]))
+        raise ProtocolError(f"unknown scheduled-event kind: {kind!r}")
+
+    def schedule_event_from_spec(self, spec: Dict[str, object], at: float) -> None:
+        self._simulator.schedule_at(
+            at,
+            self.event_callback_from_spec(spec),
+            label=str(spec["kind"]),
+            spec=spec,
+        )
+
+    def _run_departure_event(self, spec: Mapping[str, object]) -> None:
+        peer_id = str(spec["peer_id"])
+        self._handle_departure(peer_id, bool(spec["graceful"]))
+        if spec["rejoin"]:
+            rejoin_at = float(spec["depart_at"]) + float(spec["downtime_seconds"])  # type: ignore[arg-type]
+            horizon = float(spec["horizon"])  # type: ignore[arg-type]
+            if rejoin_at < horizon:
+                self.schedule_event_from_spec(
+                    {"kind": "rejoin", "peer_id": peer_id}, at=rejoin_at
+                )
+                # Schedule the next cycle after the peer is back online.
+                self._schedule_peer_cycle(
+                    peer_id,
+                    start=rejoin_at,
+                    horizon=horizon,
+                    lifetime=LifetimeDistribution(
+                        mean_seconds=float(spec["lifetime_mean_seconds"]),  # type: ignore[arg-type]
+                        median_seconds=float(spec["lifetime_median_seconds"]),  # type: ignore[arg-type]
+                    ),
+                    downtime=float(spec["downtime_seconds"]),  # type: ignore[arg-type]
+                    graceful_fraction=float(spec["graceful_fraction"]),  # type: ignore[arg-type]
+                    rejoin=True,
+                )
 
     def _handle_departure(self, peer_id: str, graceful: bool) -> None:
         if not self._overlay.peer(peer_id).online:
@@ -371,10 +433,8 @@ class SummaryManagementSystem:
                 continue
             at = self._rng.expovariate(rate_per_peer_per_second)
             while at < duration_seconds:
-                self._simulator.schedule_at(
-                    at,
-                    lambda p=peer_id: self._handle_modification(p),
-                    label="modification",
+                self.schedule_event_from_spec(
+                    {"kind": "modification", "peer_id": peer_id}, at=at
                 )
                 scheduled += 1
                 at += self._rng.expovariate(rate_per_peer_per_second)

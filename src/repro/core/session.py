@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     List,
@@ -43,6 +44,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.backend import StoreBackend
 
 from repro.core.config import ProtocolConfig
 from repro.core.construction import ConstructionReport
@@ -438,6 +442,25 @@ class SystemBuilder:
 
     # -- assembly ---------------------------------------------------------------------
 
+    @staticmethod
+    def from_checkpoint(
+        target: Union[None, str, "StoreBackend"],
+        name: str = "session",
+        background: Optional[BackgroundKnowledge] = None,
+    ) -> "NetworkSession":
+        """Resume a session checkpointed with :meth:`NetworkSession.checkpoint`.
+
+        ``target`` is a store path (directory of JSON, or a ``.sqlite`` file)
+        or an opened :class:`~repro.store.StoreBackend`.  The restored session
+        continues byte-identically: subsequent ``query()`` routing, staleness
+        snapshots and traffic reports match the never-persisted session.
+        Real-content checkpoints additionally need the common ``background``
+        knowledge, exactly like the summary wire format.
+        """
+        from repro.store.checkpoint import restore_session
+
+        return restore_session(target, name=name, background=background)
+
     def build(self) -> "NetworkSession":
         """Validate the declared configuration and assemble the session."""
         self._validate()
@@ -698,6 +721,25 @@ class NetworkSession:
                 )
             )
         return answers
+
+    # -- persistence -------------------------------------------------------------------
+
+    def checkpoint(
+        self,
+        target: Union[None, str, "StoreBackend"],
+        name: str = "session",
+    ) -> str:
+        """Persist this session's full state into a store.
+
+        Captures the overlay, domains, content model, protocol configuration,
+        message counters, the simulator clock and every pending churn or
+        modification event; hierarchies are stored content-addressed so
+        identical summaries are persisted once.  Resume with
+        :meth:`SystemBuilder.from_checkpoint`.  Returns the checkpoint name.
+        """
+        from repro.store.checkpoint import save_session
+
+        return save_session(self, target, name=name)
 
     # -- simulation --------------------------------------------------------------------
 

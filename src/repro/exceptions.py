@@ -38,3 +38,8 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or protocol configuration is invalid."""
+
+
+class StoreError(ReproError):
+    """A persistence-store operation failed (backend I/O, missing object,
+    malformed payload, or an attempt to checkpoint non-checkpointable state)."""

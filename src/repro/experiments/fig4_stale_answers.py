@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import run_maintenance_simulation
+from repro.experiments.runner import CacheTarget, run_maintenance_simulation
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import DEFAULT_ALPHAS, DEFAULT_DOMAIN_SIZES
 
@@ -27,6 +27,7 @@ def run_figure4(
     alphas: Optional[Sequence[float]] = None,
     duration_seconds: float = 6 * 3600.0,
     seed: int = 0,
+    cache: CacheTarget = None,
 ) -> ExperimentTable:
     """Reproduce Figure 4: worst-case stale answers vs. domain size and α."""
     domain_sizes = list(domain_sizes or DEFAULT_DOMAIN_SIZES)
@@ -52,7 +53,7 @@ def run_figure4(
                 duration_seconds=duration_seconds,
                 seed=seed,
             )
-            run = run_maintenance_simulation(scenario)
+            run = run_maintenance_simulation(scenario, cache=cache)
             table.add_row(
                 domain_size=size,
                 alpha=alpha,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import run_maintenance_simulation
+from repro.experiments.runner import CacheTarget, run_maintenance_simulation
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES
 
@@ -28,6 +28,7 @@ def run_figure5(
     alpha: float = 0.3,
     duration_seconds: float = 6 * 3600.0,
     seed: int = 0,
+    cache: CacheTarget = None,
 ) -> ExperimentTable:
     """Reproduce Figure 5: real false-negative fraction vs. domain size."""
     domain_sizes = list(domain_sizes or DEFAULT_DOMAIN_SIZES)
@@ -56,7 +57,7 @@ def run_figure5(
             duration_seconds=duration_seconds,
             seed=seed,
         )
-        run = run_maintenance_simulation(scenario)
+        run = run_maintenance_simulation(scenario, cache=cache)
         worst = run.mean_worst_stale_fraction
         false_negatives = run.mean_real_false_negative_fraction
         reduction = worst / false_negatives if false_negatives > 0 else float("inf")

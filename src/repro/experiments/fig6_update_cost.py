@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence
 
 from repro.costmodel.update_cost import UpdateCostModel
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import run_maintenance_simulation
+from repro.experiments.runner import CacheTarget, run_maintenance_simulation
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES
 
@@ -28,6 +28,7 @@ def run_figure6(
     alphas: Sequence[float] = (0.3, 0.8),
     duration_seconds: float = 6 * 3600.0,
     seed: int = 0,
+    cache: CacheTarget = None,
 ) -> ExperimentTable:
     """Reproduce Figure 6: update traffic vs. domain size for two α values."""
     domain_sizes = list(domain_sizes or DEFAULT_DOMAIN_SIZES)
@@ -55,7 +56,7 @@ def run_figure6(
                 duration_seconds=duration_seconds,
                 seed=seed,
             )
-            run = run_maintenance_simulation(scenario)
+            run = run_maintenance_simulation(scenario, cache=cache)
             model = UpdateCostModel(
                 domain_size=size,
                 lifetime_seconds=scenario.lifetime_mean_seconds,

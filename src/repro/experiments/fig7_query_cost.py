@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import run_query_cost_comparison
+from repro.experiments.runner import CacheTarget, run_query_cost_comparison
 from repro.workloads.scenarios import DEFAULT_NETWORK_SIZES
 
 PAPER_EXPECTATION = (
@@ -27,6 +27,7 @@ def run_figure7(
     hit_rate: float = 0.1,
     flooding_ttl: int = 3,
     seed: int = 0,
+    cache: CacheTarget = None,
 ) -> ExperimentTable:
     """Reproduce Figure 7: per-query message counts for the three algorithms."""
     network_sizes = list(network_sizes or DEFAULT_NETWORK_SIZES)
@@ -56,6 +57,7 @@ def run_figure7(
             hit_rate=hit_rate,
             flooding_ttl=flooding_ttl,
             seed=seed,
+            cache=cache,
         )
         ratio = (
             run.flooding_messages / run.summary_querying_messages

@@ -8,19 +8,56 @@ figure modules turn them into :class:`ExperimentTable` rows.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.backend import StoreBackend
+    from repro.store.cache import SessionCache
 
 from repro.baselines.centralized import CentralizedIndex, centralized_query_cost
 from repro.baselines.flooding import FloodingSearch
 from repro.core.protocol import UPDATE_MESSAGE_TYPES, StalenessSnapshot
 from repro.core.routing import RoutingPolicy
+from repro.core.session import NetworkSession
 from repro.costmodel.query_cost import PaperQueryScenario
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import (
     DEFAULT_MODIFICATION_RATE_PER_PEER,
     SimulationScenario,
 )
+
+#: A warm-start cache target: a directory/SQLite path, an opened backend, or
+#: an existing :class:`~repro.store.cache.SessionCache`.
+CacheTarget = Union[None, str, "StoreBackend", "SessionCache"]
+
+
+def _cached_session(
+    cache: CacheTarget,
+    key_parameters: Dict[str, object],
+    factory: Callable[[], NetworkSession],
+) -> NetworkSession:
+    """Build a session, or restore it from a warm-start cache when given one.
+
+    The cache key covers every parameter that determines the built session,
+    so a repeated sweep with identical parameters skips topology generation,
+    domain construction and event scheduling entirely — and, because restore
+    is byte-identical, produces exactly the same measurements.
+    """
+    if cache is None:
+        return factory()
+    from repro.store.cache import SessionCache
+
+    session_cache = cache if isinstance(cache, SessionCache) else SessionCache(cache)
+    session, _warm = session_cache.get_or_build(key_parameters, factory)
+    return session
+
+
+def _scenario_key(scenario: SimulationScenario, **extra: object) -> Dict[str, object]:
+    key: Dict[str, object] = dict(dataclasses.asdict(scenario))
+    key.update(extra)
+    return key
 
 
 @dataclass
@@ -71,6 +108,7 @@ def run_maintenance_simulation(
     snapshot_interval_seconds: float = 1200.0,
     snapshots_per_tick: int = 3,
     modification_rate_per_peer: float = DEFAULT_MODIFICATION_RATE_PER_PEER,
+    cache: CacheTarget = None,
 ) -> MaintenanceRun:
     """Simulate churn + maintenance on a single domain and sample staleness.
 
@@ -80,11 +118,22 @@ def run_maintenance_simulation(
     modifications (one per peer every two hours by default) runs alongside the
     churn, matching the paper's assumption that churn dominates but data does
     change occasionally.
+
+    ``cache`` points a warm-start store at the built (not yet run) session:
+    repeated sweeps skip construction and restore it instead.
     """
-    session = scenario.apply_dynamics(
-        scenario.single_domain_builder(),
-        modification_rate_per_peer=modification_rate_per_peer,
-    ).build()
+    session = _cached_session(
+        cache,
+        _scenario_key(
+            scenario,
+            driver="single-domain-maintenance",
+            modification_rate_per_peer=modification_rate_per_peer,
+        ),
+        lambda: scenario.apply_dynamics(
+            scenario.single_domain_builder(),
+            modification_rate_per_peer=modification_rate_per_peer,
+        ).build(),
+    )
     run = MaintenanceRun(
         scenario=scenario,
         duration_seconds=scenario.duration_seconds,
@@ -143,12 +192,15 @@ def run_query_cost_comparison(
     flooding_ttl: int = 3,
     seed: int = 0,
     false_positive_rate: float = 0.0,
+    cache: CacheTarget = None,
 ) -> QueryCostRun:
     """Compare summary querying, pure flooding and a centralized index.
 
     Every algorithm answers the same planned queries over the same overlay;
     the summary-querying run visits as many domains as needed to gather every
     available result (a total-lookup query, the paper's Figure 7 setting).
+    ``cache`` warm-starts the built session (see
+    :func:`run_maintenance_simulation`).
     """
     scenario = default_registry().scenario(
         "query-cost",
@@ -157,7 +209,11 @@ def run_query_cost_comparison(
         matching_fraction=hit_rate,
         seed=seed,
     )
-    session = scenario.session()
+    session = _cached_session(
+        cache,
+        _scenario_key(scenario, driver="multi-domain-query-cost"),
+        scenario.session,
+    )
     overlay = session.overlay
     content = session.content
     assert content is not None

@@ -58,6 +58,26 @@ class MessageCounter:
         self._by_sender.clear()
         self._bytes = 0
 
+    # -- checkpoint state ---------------------------------------------------------
+
+    def state_payload(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (message types keyed by their value)."""
+        return {
+            "by_type": {mt.value: count for mt, count in self._by_type.items()},
+            "by_sender": dict(self._by_sender),
+            "bytes": self._bytes,
+        }
+
+    @classmethod
+    def from_state(cls, payload: Mapping[str, object]) -> "MessageCounter":
+        counter = cls()
+        for value, count in payload.get("by_type", {}).items():  # type: ignore[union-attr]
+            counter._by_type[MessageType(value)] = int(count)
+        for sender, count in payload.get("by_sender", {}).items():  # type: ignore[union-attr]
+            counter._by_sender[sender] = int(count)
+        counter._bytes = int(payload.get("bytes", 0))  # type: ignore[arg-type]
+        return counter
+
 
 @dataclass
 class TrafficReport:

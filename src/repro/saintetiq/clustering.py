@@ -280,6 +280,19 @@ class SummaryBuilder:
             count += 1
         return count
 
+    def adopt_root(self, root: Summary, incorporated: int) -> None:
+        """Install an externally rebuilt tree (exact deserialization).
+
+        ``incorporated`` restores the mutation counter so caches keyed on
+        :attr:`mutation_count` stay coherent with the original builder.
+        Subsequent :meth:`incorporate` calls continue from that count, exactly
+        as they would have on the adopted tree's original builder.
+        """
+        if incorporated < 0:
+            raise SummaryError("incorporated count cannot be negative")
+        self._root = root
+        self._incorporated = incorporated
+
     # -- incorporation logic -------------------------------------------------------
 
     def _incorporate_at(self, node: Summary, cell: Cell) -> None:

@@ -15,8 +15,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import BackgroundKnowledgeError
 from repro.fuzzy.background import BackgroundKnowledge
-from repro.fuzzy.linguistic import Descriptor
+from repro.fuzzy.linguistic import Descriptor, LinguisticVariable
 from repro.saintetiq.cell import Cell, CellKey, make_cell_key
+
+#: Sentinel distinguishing "not memoized yet" from "value maps to nothing".
+_MISSING = object()
 
 
 class MappingService:
@@ -63,6 +66,13 @@ class MappingService:
 
     # -- record-level mapping --------------------------------------------------
 
+    def _fuzzify_attribute(
+        self, variable: "LinguisticVariable", value: object
+    ) -> List[Tuple[Descriptor, float]]:
+        """Graded descriptors of one attribute value, in canonical order."""
+        graded = variable.fuzzify(value, threshold=self._threshold)
+        return sorted(graded.items(), key=lambda kv: kv[0])
+
     def map_record(
         self, record: Mapping[str, object]
     ) -> List[Tuple[CellKey, float, Dict[Descriptor, float]]]:
@@ -81,13 +91,18 @@ class MappingService:
         for attribute in self._attributes:
             if attribute not in record or record[attribute] is None:
                 return []
-            graded = self._background.fuzzify_value(
-                attribute, record[attribute], threshold=self._threshold
+            graded = self._fuzzify_attribute(
+                self._background.variable(attribute), record[attribute]
             )
             if not graded:
                 return []
-            per_attribute.append(sorted(graded.items(), key=lambda kv: kv[0]))
+            per_attribute.append(graded)
+        return self._combine(per_attribute)
 
+    @staticmethod
+    def _combine(
+        per_attribute: List[List[Tuple[Descriptor, float]]]
+    ) -> List[Tuple[CellKey, float, Dict[Descriptor, float]]]:
         results: List[Tuple[CellKey, float, Dict[Descriptor, float]]] = []
         for combination in itertools.product(*per_attribute):
             descriptors = [descriptor for descriptor, _grade in combination]
@@ -111,10 +126,63 @@ class MappingService:
 
         ``peer`` tags every produced cell with the owning peer identifier so
         that peer-extents can be propagated through the hierarchy.
+
+        The batch path hoists the per-attribute partition lookups out of the
+        per-record loop and memoizes the fuzzification of repeated attribute
+        values — real relations draw from small value domains (ages, BMI
+        classes...), so most fuzzifications are cache hits.  The produced
+        cells are identical to mapping each record individually.
         """
+        variables = [
+            (attribute, self._background.variable(attribute))
+            for attribute in self._attributes
+        ]
+        memo: List[Dict[object, Optional[List[Tuple[Descriptor, float]]]]] = [
+            {} for _attribute in variables
+        ]
+        # Combination memo: records sharing their fuzzified attribute values
+        # also share the full (cell key, weight, grades) expansion.  Memoized
+        # graded lists are identity-stable, so their ids form a safe key.
+        combos: Dict[
+            Tuple[int, ...], List[Tuple[CellKey, float, Dict[Descriptor, float]]]
+        ] = {}
         cells: Dict[CellKey, Cell] = {}
         for record in records:
-            for key, weight, grades in self.map_record(record):
+            per_attribute: List[List[Tuple[Descriptor, float]]] = []
+            all_memoized = True
+            for index, (attribute, variable) in enumerate(variables):
+                if attribute not in record or record[attribute] is None:
+                    per_attribute = []
+                    break
+                value = record[attribute]
+                try:
+                    graded = memo[index].get(value, _MISSING)
+                    memoizable = True
+                except TypeError:  # unhashable value: fuzzify every time
+                    graded = _MISSING
+                    memoizable = False
+                    all_memoized = False
+                if graded is _MISSING:
+                    graded = self._fuzzify_attribute(variable, value) or None
+                    if memoizable:
+                        memo[index][value] = graded
+                if graded is None:
+                    per_attribute = []
+                    break
+                per_attribute.append(graded)
+            if not per_attribute:
+                continue
+            # Memoized lists are kept alive by ``memo``, so their ids are
+            # stable combo keys; ad-hoc lists (unhashable values) are not.
+            if all_memoized:
+                combo_key = tuple(id(graded) for graded in per_attribute)
+                expansion = combos.get(combo_key)
+                if expansion is None:
+                    expansion = self._combine(per_attribute)
+                    combos[combo_key] = expansion
+            else:
+                expansion = self._combine(per_attribute)
+            for key, weight, grades in expansion:
                 cell = cells.get(key)
                 if cell is None:
                     cell = Cell(key=key)
@@ -128,3 +196,25 @@ class MappingService:
         for attribute in self._attributes:
             size *= len(self._background.variable(attribute))
         return size
+
+
+def map_records_reference(
+    service: MappingService,
+    records: Iterable[Mapping[str, object]],
+    peer: Optional[str] = None,
+) -> Dict[CellKey, Cell]:
+    """The pre-batching relation mapping: one full lookup chain per record.
+
+    Kept as the reference implementation the memoized batch path of
+    :meth:`MappingService.map_records` is validated and benchmarked against
+    (same pattern as the clustering engine's ``reference_scoring`` path).
+    """
+    cells: Dict[CellKey, Cell] = {}
+    for record in records:
+        for key, weight, grades in service.map_record(record):
+            cell = cells.get(key)
+            if cell is None:
+                cell = Cell(key=key)
+                cells[key] = cell
+            cell.absorb_record(record, weight, grades, peer=peer)
+    return cells

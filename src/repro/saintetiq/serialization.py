@@ -5,10 +5,27 @@ global summaries are persisted at summary peers, so the reproduction needs a
 wire format.  Summaries serialize to plain JSON-compatible dictionaries; the
 encoded size doubles as a realistic estimate of the per-message payload that
 the storage-cost model (Section 6.1.1) approximates with 512 bytes per node.
+
+Canonical encoding
+------------------
+:func:`canonical_json` fixes *one* byte representation per payload (sorted
+keys, compact separators).  Everything that needs to agree on sizes or
+identity uses it: :func:`encoded_size_bytes` (the Fig-6/Table-2 storage-cost
+figures), and the content-addressed snapshot store of :mod:`repro.store`
+(:func:`content_hash` / :func:`hierarchy_content_hash` — two hierarchies with
+the same canonical bytes share one stored snapshot).
+
+Rehydration is *exact*: :func:`hierarchy_from_dict` rebuilds the serialized
+tree node by node — cached aggregate profiles are re-established by the
+absorb deltas, every cell's copy-on-write :attr:`Cell.owner` tag is set to its
+containing node, and the builder's mutation counter is restored — so a
+roundtripped hierarchy absorbs and merges byte-identically to the original
+instead of being re-clustered from its leaf cells.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -19,9 +36,35 @@ from repro.saintetiq.cell import Cell, make_cell_key
 from repro.saintetiq.clustering import ClusteringParameters
 from repro.saintetiq.hierarchy import SummaryHierarchy
 from repro.saintetiq.stats import AttributeStatistics, StatisticsBundle
-from repro.saintetiq.summary import Summary, collect_leaf_cells
+from repro.saintetiq.summary import Summary
 
-_FORMAT_VERSION = 1
+#: Version 2 adds the builder's mutation counter (``incorporated``) and is
+#: decoded structure-preservingly; version-1 payloads are still accepted.
+_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
+
+
+# -- canonical encoding ---------------------------------------------------------
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical text encoding: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_encode(payload: Any) -> bytes:
+    """Canonical UTF-8 bytes of a JSON-compatible payload."""
+    return canonical_json(payload).encode("utf-8")
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 over the canonical encoding: the content address of a payload."""
+    return hashlib.sha256(canonical_encode(payload)).hexdigest()
+
+
+def hierarchy_content_hash(hierarchy: SummaryHierarchy) -> str:
+    """Content address of a hierarchy (equal hierarchies hash identically)."""
+    return content_hash(hierarchy_to_dict(hierarchy))
 
 
 # -- cells ----------------------------------------------------------------------
@@ -125,6 +168,7 @@ def hierarchy_to_dict(hierarchy: SummaryHierarchy) -> Dict[str, Any]:
         "owner": hierarchy.owner,
         "attributes": hierarchy.attributes,
         "records_processed": hierarchy.records_processed,
+        "incorporated": hierarchy._builder.incorporated_cells,  # noqa: SLF001
         "parameters": {
             "max_children": _builder_parameters(hierarchy).max_children,
             "enable_merge": _builder_parameters(hierarchy).enable_merge,
@@ -145,9 +189,16 @@ def hierarchy_from_dict(
 
     The receiving peer always owns the (common) background knowledge — only
     summary structure travels on the wire, exactly as in the paper.
+
+    Decoding is structure-preserving: the serialized tree is adopted as-is
+    (no re-clustering), each node's cached aggregates are rebuilt by the
+    absorb deltas, each cell is owned by its containing node, and the
+    builder's mutation counter resumes from the serialized value — further
+    ``absorb``/``merge``/``incorporate`` calls behave byte-identically to the
+    same calls on the original hierarchy.
     """
     version = payload.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in _ACCEPTED_VERSIONS:
         raise SummaryError(f"unsupported summary format version: {version!r}")
     parameters_payload = payload.get("parameters", {})
     parameters = ClusteringParameters(
@@ -162,7 +213,12 @@ def hierarchy_from_dict(
         owner=payload.get("owner"),
     )
     root = summary_from_dict(payload.get("root", {}))
-    hierarchy.incorporate_cells(collect_leaf_cells(root))
+    incorporated = payload.get("incorporated")
+    if incorporated is None:
+        # Version-1 payloads predate the counter; any monotone base keeps the
+        # memoized depth/signature caches coherent, so the leaf-cell count works.
+        incorporated = sum(len(leaf.cells) for leaf in root.leaves())
+    hierarchy._builder.adopt_root(root, int(incorporated))  # noqa: SLF001
     hierarchy._records_processed = int(  # noqa: SLF001 - metadata restore
         payload.get("records_processed", 0)
     )
@@ -173,6 +229,9 @@ def hierarchy_from_dict(
 
 
 def hierarchy_to_json(hierarchy: SummaryHierarchy, indent: Optional[int] = None) -> str:
+    """JSON text of a hierarchy: canonical when compact, pretty with ``indent``."""
+    if indent is None:
+        return canonical_json(hierarchy_to_dict(hierarchy))
     return json.dumps(hierarchy_to_dict(hierarchy), indent=indent, sort_keys=True)
 
 
@@ -187,5 +246,9 @@ def hierarchy_from_json(
 
 
 def encoded_size_bytes(hierarchy: SummaryHierarchy) -> int:
-    """Actual wire size of the hierarchy (compact JSON encoding)."""
-    return len(hierarchy_to_json(hierarchy).encode("utf-8"))
+    """Actual wire size of the hierarchy — the canonical compact encoding.
+
+    By construction this is ``len()`` of exactly the bytes the snapshot store
+    hashes, so storage-cost figures and content addresses always agree.
+    """
+    return len(canonical_encode(hierarchy_to_dict(hierarchy)))

@@ -1,0 +1,55 @@
+"""``repro.store`` — pluggable persistence for summaries and whole sessions.
+
+The paper's super-peers hold materialized summary hierarchies that outlive
+any single query or churn event; this subsystem gives the reproduction the
+matching persistence layer:
+
+* **Backends** (:mod:`repro.store.backend`) — one tiny namespaced document
+  contract, three implementations: in-memory, directory-of-JSON, SQLite
+  single-file.  :func:`open_store` picks one from a path.
+* **Snapshots** (:mod:`repro.store.snapshots`) — content-addressed storage of
+  :class:`~repro.saintetiq.hierarchy.SummaryHierarchy` objects; identical
+  hierarchies share one stored object across peers, checkpoints and runs.
+* **Checkpoints** (:mod:`repro.store.checkpoint`) — capture/restore of a full
+  :class:`~repro.core.session.NetworkSession`; the restored session's query
+  routing, staleness and traffic output is byte-identical to the original.
+* **Warm-start cache** (:mod:`repro.store.cache`) — experiment drivers reuse
+  built sessions across sweeps instead of reconstructing them.
+
+The high-level entry points live on the session façade:
+``NetworkSession.checkpoint(target)`` and
+``SystemBuilder.from_checkpoint(target)``.
+"""
+
+from repro.store.backend import (
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    open_store,
+)
+from repro.store.cache import SessionCache
+from repro.store.checkpoint import (
+    CHECKPOINT_KIND,
+    DEFAULT_CHECKPOINT_NAME,
+    list_checkpoints,
+    restore_session,
+    save_session,
+)
+from repro.store.snapshots import SNAPSHOT_KIND, SnapshotStore
+
+__all__ = [
+    "StoreBackend",
+    "InMemoryBackend",
+    "JsonDirectoryBackend",
+    "SqliteBackend",
+    "open_store",
+    "SnapshotStore",
+    "SNAPSHOT_KIND",
+    "SessionCache",
+    "save_session",
+    "restore_session",
+    "list_checkpoints",
+    "CHECKPOINT_KIND",
+    "DEFAULT_CHECKPOINT_NAME",
+]

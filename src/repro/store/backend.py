@@ -1,0 +1,328 @@
+"""Pluggable persistence backends for the ``repro.store`` subsystem.
+
+A backend is a tiny namespaced document store: JSON-compatible payloads are
+filed under a ``(kind, key)`` pair, where ``kind`` groups objects of one type
+("snapshot", "checkpoint", ...) and ``key`` identifies one object — typically
+a content hash or a user-chosen name.  Three implementations ship:
+
+* :class:`InMemoryBackend` — a dict; the default for tests and throwaway runs.
+* :class:`JsonDirectoryBackend` — one ``<kind>/<key>.json`` file per object;
+  greppable, diffable, rsync-friendly.
+* :class:`SqliteBackend` — a single SQLite file; the compact choice for large
+  stores (thousands of snapshots) and the one that travels as one artifact.
+
+:func:`open_store` picks a backend from a path: ``None`` → memory, a
+``.sqlite``/``.db``/``.sqlite3`` suffix → SQLite, anything else → directory.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import re
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import StoreError
+
+#: Payloads are canonicalised on write: sorted keys, compact separators.
+_ENCODER = {"sort_keys": True, "separators": (",", ":")}
+
+_KEY_PATTERN = re.compile(r"^[A-Za-z0-9._@+-]{1,200}$")
+
+
+def _check_names(kind: str, key: str) -> None:
+    for name, value in (("kind", kind), ("key", key)):
+        if not _KEY_PATTERN.match(value):
+            raise StoreError(
+                f"invalid store {name} {value!r}: use 1-200 characters from "
+                "[A-Za-z0-9._@+-]"
+            )
+
+
+class StoreBackend(abc.ABC):
+    """The persistence contract: a namespaced JSON document store."""
+
+    @abc.abstractmethod
+    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``(kind, key)``, overwriting any previous value."""
+
+    @abc.abstractmethod
+    def get(self, kind: str, key: str) -> Dict[str, Any]:
+        """Load the payload stored under ``(kind, key)``.
+
+        Raises :class:`StoreError` when the object does not exist.
+        """
+
+    @abc.abstractmethod
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether an object is stored under ``(kind, key)``."""
+
+    @abc.abstractmethod
+    def keys(self, kind: str) -> List[str]:
+        """All keys stored under ``kind``, sorted."""
+
+    @abc.abstractmethod
+    def kinds(self) -> List[str]:
+        """All kinds with at least one stored object, sorted."""
+
+    @abc.abstractmethod
+    def delete(self, kind: str, key: str) -> None:
+        """Remove one object; raises :class:`StoreError` when absent."""
+
+    @abc.abstractmethod
+    def size_bytes(self, kind: str, key: str) -> int:
+        """Encoded size of one stored object, in bytes."""
+
+    @abc.abstractmethod
+    def location(self) -> str:
+        """Human-readable description of where the data lives."""
+
+    def close(self) -> None:  # pragma: no cover - only SQLite overrides
+        """Release any held resources (connections, file handles)."""
+
+    def __contains__(self, kind_key: object) -> bool:
+        if not (isinstance(kind_key, tuple) and len(kind_key) == 2):
+            raise StoreError("membership tests take a (kind, key) pair")
+        kind, key = kind_key
+        return self.contains(str(kind), str(key))
+
+
+class InMemoryBackend(StoreBackend):
+    """Objects live in a process-local dict (no durability)."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, Dict[str, str]] = {}
+
+    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        _check_names(kind, key)
+        try:
+            encoded = json.dumps(payload, **_ENCODER)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload for {kind}/{key} is not JSON-compatible: {exc}")
+        self._objects.setdefault(kind, {})[key] = encoded
+
+    def get(self, kind: str, key: str) -> Dict[str, Any]:
+        _check_names(kind, key)
+        try:
+            return json.loads(self._objects[kind][key])
+        except KeyError:
+            raise StoreError(f"no stored object {kind}/{key}") from None
+
+    def contains(self, kind: str, key: str) -> bool:
+        _check_names(kind, key)
+        return key in self._objects.get(kind, {})
+
+    def keys(self, kind: str) -> List[str]:
+        return sorted(self._objects.get(kind, {}))
+
+    def kinds(self) -> List[str]:
+        return sorted(kind for kind, objects in self._objects.items() if objects)
+
+    def delete(self, kind: str, key: str) -> None:
+        _check_names(kind, key)
+        try:
+            del self._objects[kind][key]
+        except KeyError:
+            raise StoreError(f"no stored object {kind}/{key}") from None
+
+    def size_bytes(self, kind: str, key: str) -> int:
+        _check_names(kind, key)
+        try:
+            return len(self._objects[kind][key].encode("utf-8"))
+        except KeyError:
+            raise StoreError(f"no stored object {kind}/{key}") from None
+
+    def location(self) -> str:
+        return "memory"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        total = sum(len(objects) for objects in self._objects.values())
+        return f"InMemoryBackend({total} objects)"
+
+
+class JsonDirectoryBackend(StoreBackend):
+    """One ``<root>/<kind>/<key>.json`` file per object."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        if self._root.exists() and not self._root.is_dir():
+            raise StoreError(
+                f"JSON store root {self._root} exists and is not a directory"
+            )
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, kind: str, key: str) -> Path:
+        _check_names(kind, key)
+        return self._root / kind / f"{key}.json"
+
+    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            encoded = json.dumps(payload, **_ENCODER)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload for {kind}/{key} is not JSON-compatible: {exc}")
+        # Write-then-rename keeps readers from ever seeing a half-written file.
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(encoded, encoding="utf-8")
+        temporary.replace(path)
+
+    def get(self, kind: str, key: str) -> Dict[str, Any]:
+        path = self._path(kind, key)
+        if not path.is_file():
+            raise StoreError(f"no stored object {kind}/{key} under {self._root}")
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt stored object {kind}/{key}: {exc}") from exc
+
+    def contains(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).is_file()
+
+    def keys(self, kind: str) -> List[str]:
+        directory = self._root / kind
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))
+
+    def kinds(self) -> List[str]:
+        return sorted(
+            path.name
+            for path in self._root.iterdir()
+            if path.is_dir() and any(path.glob("*.json"))
+        )
+
+    def delete(self, kind: str, key: str) -> None:
+        path = self._path(kind, key)
+        if not path.is_file():
+            raise StoreError(f"no stored object {kind}/{key} under {self._root}")
+        path.unlink()
+
+    def size_bytes(self, kind: str, key: str) -> int:
+        path = self._path(kind, key)
+        if not path.is_file():
+            raise StoreError(f"no stored object {kind}/{key} under {self._root}")
+        return path.stat().st_size
+
+    def location(self) -> str:
+        return str(self._root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"JsonDirectoryBackend({self._root})"
+
+
+class SqliteBackend(StoreBackend):
+    """All objects in one SQLite file (table ``objects(kind, key, payload)``)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        if self._path.parent and not self._path.parent.exists():
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(str(self._path))
+        except sqlite3.Error as exc:  # pragma: no cover - filesystem dependent
+            raise StoreError(f"cannot open SQLite store {self._path}: {exc}") from exc
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS objects ("
+            " kind TEXT NOT NULL,"
+            " key TEXT NOT NULL,"
+            " payload TEXT NOT NULL,"
+            " PRIMARY KEY (kind, key))"
+        )
+        self._connection.commit()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        _check_names(kind, key)
+        try:
+            encoded = json.dumps(payload, **_ENCODER)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload for {kind}/{key} is not JSON-compatible: {exc}")
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO objects (kind, key, payload) VALUES (?, ?, ?)",
+                (kind, key, encoded),
+            )
+
+    def _fetch(self, kind: str, key: str) -> Optional[str]:
+        _check_names(kind, key)
+        row = self._connection.execute(
+            "SELECT payload FROM objects WHERE kind = ? AND key = ?", (kind, key)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def get(self, kind: str, key: str) -> Dict[str, Any]:
+        encoded = self._fetch(kind, key)
+        if encoded is None:
+            raise StoreError(f"no stored object {kind}/{key} in {self._path}")
+        try:
+            return json.loads(encoded)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt stored object {kind}/{key}: {exc}") from exc
+
+    def contains(self, kind: str, key: str) -> bool:
+        return self._fetch(kind, key) is not None
+
+    def keys(self, kind: str) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT key FROM objects WHERE kind = ? ORDER BY key", (kind,)
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def kinds(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT kind FROM objects ORDER BY kind"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def delete(self, kind: str, key: str) -> None:
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM objects WHERE kind = ? AND key = ?", (kind, key)
+            )
+        if cursor.rowcount == 0:
+            raise StoreError(f"no stored object {kind}/{key} in {self._path}")
+
+    def size_bytes(self, kind: str, key: str) -> int:
+        encoded = self._fetch(kind, key)
+        if encoded is None:
+            raise StoreError(f"no stored object {kind}/{key} in {self._path}")
+        return len(encoded.encode("utf-8"))
+
+    def location(self) -> str:
+        return str(self._path)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SqliteBackend({self._path})"
+
+
+_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
+
+
+def open_store(target: Union[None, str, Path, StoreBackend]) -> StoreBackend:
+    """Open (or pass through) a store backend.
+
+    ``None`` opens an in-memory store; a path with a ``.sqlite``/``.sqlite3``/
+    ``.db`` suffix opens the single-file SQLite backend; any other path opens
+    a JSON directory; an existing backend is returned unchanged.
+    """
+    if target is None:
+        return InMemoryBackend()
+    if isinstance(target, StoreBackend):
+        return target
+    path = Path(target)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return SqliteBackend(path)
+    return JsonDirectoryBackend(path)

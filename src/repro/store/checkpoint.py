@@ -1,0 +1,580 @@
+"""Session checkpoint/restore: persist a whole :class:`NetworkSession`.
+
+A checkpoint captures everything a running session is made of — overlay graph
+and per-peer state, domains with their cooperation lists and global
+summaries, protocol configuration, content model (plan + RNG state), message
+counters, maintenance statistics, the simulator clock and every pending
+churn/modification event — so that a session restored with
+:meth:`repro.core.session.SystemBuilder.from_checkpoint` continues *byte
+identically*: subsequent query routing, staleness snapshots and traffic
+reports match the never-persisted session exactly.
+
+Hierarchies (local summaries, global summaries) are not inlined: they are
+filed in the same backend's content-addressed :class:`SnapshotStore` and the
+checkpoint references them by hash, so identical hierarchies are stored once
+across peers, checkpoints and runs.
+
+Determinism notes
+-----------------
+* Pending simulator events carry declarative specs (see
+  :meth:`SummaryManagementSystem.schedule_event_from_spec`); their original
+  sequence numbers are preserved so same-timestamp ties break as in the
+  uninterrupted run.
+* The overlay's per-node adjacency *order* is serialized and re-imposed on
+  the rebuilt graph: neighbour order feeds the selective walk's tie-breaking
+  RNG, so byte-identical continuation needs the exact order, which plain
+  edge-list reconstruction cannot guarantee.
+* Dict insertion orders that are protocol-visible (domain visit order,
+  cooperation-list partner order, partner distances) are serialized as
+  ordered lists.
+
+The diagnostic ``query_results`` history of the engine is *not* part of a
+checkpoint: it records the past, which the restored session does not replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+import networkx as nx
+
+from repro.core.config import ProtocolConfig
+from repro.core.content import PlannedContentModel, SummaryContentModel
+from repro.core.cooperation import CooperationList
+from repro.core.domain import Domain
+from repro.core.freshness import Freshness, FreshnessMode
+from repro.core.maintenance import ReconciliationRecord
+from repro.core.protocol import SummaryManagementSystem
+from repro.core.service import LocalSummaryService
+from repro.database.engine import LocalDatabase
+from repro.database.query import (
+    AttributeIn,
+    Comparison,
+    DescriptorPredicate,
+    Predicate,
+    SelectionQuery,
+)
+from repro.database.schema import Attribute, AttributeType, Schema
+from repro.exceptions import StoreError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.fuzzy.linguistic import Descriptor
+from repro.network.metrics import MessageCounter
+from repro.network.overlay import Overlay
+from repro.network.peer import PeerRole
+from repro.saintetiq.clustering import ClusteringParameters
+from repro.store.backend import StoreBackend, open_store
+from repro.store.snapshots import SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.session import NetworkSession
+
+#: The namespace checkpoints are filed under in any backend.
+CHECKPOINT_KIND = "checkpoint"
+#: Default checkpoint name when the caller does not pick one.
+DEFAULT_CHECKPOINT_NAME = "session"
+
+_CHECKPOINT_FORMAT = 1
+
+
+# -- small codec helpers ----------------------------------------------------------
+
+
+def _rng_payload(rng: random.Random) -> List[object]:
+    version, internal, position = rng.getstate()
+    return [version, list(internal), position]
+
+
+def _rng_restore(rng: random.Random, payload: List[object]) -> None:
+    version, internal, position = payload
+    rng.setstate((version, tuple(internal), position))
+
+
+def _finite(value: float) -> Optional[float]:
+    return None if value == float("inf") else value
+
+
+def _or_inf(value: Optional[float]) -> float:
+    return float("inf") if value is None else float(value)
+
+
+# -- overlay ----------------------------------------------------------------------
+
+
+def _overlay_payload(overlay: Overlay) -> Dict[str, Any]:
+    graph = overlay.graph
+    return {
+        "nodes": list(graph.nodes),
+        # Per-node adjacency in its exact iteration order (see module notes).
+        "adjacency": [
+            [node, [[nbr, graph.edges[node, nbr]["latency"]] for nbr in graph.adj[node]]]
+            for node in graph.nodes
+        ],
+        "peers": [
+            {
+                "peer_id": peer.peer_id,
+                "role": peer.role.value,
+                "online": peer.online,
+                "summary_peer_id": peer.summary_peer_id,
+                "summary_peer_distance": _finite(peer.summary_peer_distance),
+                "known_summary_peers": sorted(peer.known_summary_peers),
+            }
+            for peer in overlay.peers()
+        ],
+    }
+
+
+def _overlay_from_payload(payload: Dict[str, Any]) -> Overlay:
+    graph = nx.Graph()
+    graph.add_nodes_from(payload["nodes"])
+    for node, neighbours in payload["adjacency"]:
+        for neighbour, latency in neighbours:
+            if not graph.has_edge(node, neighbour):
+                graph.add_edge(node, neighbour, latency=float(latency))
+    # Re-impose the serialized adjacency order: the edge-attribute dicts are
+    # shared between both endpoints, so reordering the keys keeps them aliased.
+    for node, neighbours in payload["adjacency"]:
+        adjacency = graph._adj[node]  # noqa: SLF001 - order restoration
+        graph._adj[node] = {  # noqa: SLF001
+            neighbour: adjacency[neighbour] for neighbour, _latency in neighbours
+        }
+    overlay = Overlay(graph)
+    for state in payload["peers"]:
+        peer = overlay.peer(state["peer_id"])
+        peer.role = PeerRole(state["role"])
+        peer.online = bool(state["online"])
+        peer.summary_peer_id = state["summary_peer_id"]
+        peer.summary_peer_distance = _or_inf(state["summary_peer_distance"])
+        peer.known_summary_peers = set(state["known_summary_peers"])
+    return overlay
+
+
+# -- protocol configuration -------------------------------------------------------
+
+
+def _config_payload(config: ProtocolConfig) -> Dict[str, Any]:
+    return {
+        "construction_ttl": config.construction_ttl,
+        "freshness_threshold": config.freshness_threshold,
+        "freshness_mode": config.freshness_mode.value,
+        "drift_threshold": config.drift_threshold,
+        "flooding_ttl": config.flooding_ttl,
+        "selective_walk_max_hops": config.selective_walk_max_hops,
+        "query_rate_per_peer": config.query_rate_per_peer,
+        "modification_probability": config.modification_probability,
+        "superpeer_fraction": config.superpeer_fraction,
+        "count_reconciliation_ring_hops": config.count_reconciliation_ring_hops,
+    }
+
+
+def _config_from_payload(payload: Dict[str, Any]) -> ProtocolConfig:
+    fields = dict(payload)
+    fields["freshness_mode"] = FreshnessMode(fields["freshness_mode"])
+    return ProtocolConfig(**fields)
+
+
+# -- domains ----------------------------------------------------------------------
+
+
+def _domain_payload(domain: Domain, snapshots: SnapshotStore) -> Dict[str, Any]:
+    summary_hash: Optional[str] = None
+    if domain.global_summary is not None:
+        summary_hash = snapshots.put_hierarchy(domain.global_summary)
+    return {
+        "summary_peer_id": domain.summary_peer_id,
+        "mode": domain.cooperation.mode.value,
+        "entries": [
+            [entry.peer_id, int(entry.freshness), entry.updated_at]
+            for entry in domain.cooperation
+        ],
+        "distances": [
+            [peer_id, distance]
+            for peer_id, distance in domain.partner_distances.items()
+        ],
+        "global_summary": summary_hash,
+    }
+
+
+def _domain_from_payload(
+    payload: Dict[str, Any],
+    snapshots: SnapshotStore,
+    background: Optional[BackgroundKnowledge],
+) -> Domain:
+    cooperation = CooperationList(FreshnessMode(payload["mode"]))
+    for peer_id, freshness, updated_at in payload["entries"]:
+        entry = cooperation.add_partner(peer_id, now=float(updated_at))
+        entry.freshness = Freshness(int(freshness))
+    domain = Domain(
+        summary_peer_id=payload["summary_peer_id"],
+        cooperation=cooperation,
+        partner_distances={
+            peer_id: float(distance) for peer_id, distance in payload["distances"]
+        },
+    )
+    summary_hash = payload.get("global_summary")
+    if summary_hash is not None:
+        if background is None:
+            raise StoreError(
+                "this checkpoint carries global summaries: restoring it needs "
+                "the common background knowledge (pass background=...)"
+            )
+        domain.global_summary = snapshots.get_hierarchy(summary_hash, background)
+    return domain
+
+
+# -- queries ----------------------------------------------------------------------
+
+
+def _predicate_payload(predicate: Predicate) -> Dict[str, Any]:
+    if isinstance(predicate, Comparison):
+        return {"type": "comparison", "attr": predicate.attr, "op": predicate.op,
+                "value": predicate.value}
+    if isinstance(predicate, AttributeIn):
+        return {
+            "type": "in",
+            "attr": predicate.attr,
+            "values": sorted(predicate.values, key=repr),
+        }
+    if isinstance(predicate, DescriptorPredicate):
+        return {
+            "type": "descriptor",
+            "attr": predicate.attr,
+            "descriptors": [[d.attribute, d.label] for d in predicate.descriptors],
+            "alpha_cut": predicate.alpha_cut,
+        }
+    raise StoreError(f"cannot checkpoint predicate type {type(predicate).__name__}")
+
+
+def _predicate_from_payload(payload: Dict[str, Any]) -> Predicate:
+    kind = payload["type"]
+    if kind == "comparison":
+        return Comparison(payload["attr"], payload["op"], payload["value"])
+    if kind == "in":
+        return AttributeIn(payload["attr"], payload["values"])
+    if kind == "descriptor":
+        return DescriptorPredicate(
+            payload["attr"],
+            [Descriptor(attribute, label) for attribute, label in payload["descriptors"]],
+            alpha_cut=float(payload["alpha_cut"]),
+        )
+    raise StoreError(f"unknown checkpointed predicate type {kind!r}")
+
+
+def _query_payload(query: SelectionQuery) -> Dict[str, Any]:
+    return {
+        "relation": query.relation,
+        "predicates": [_predicate_payload(p) for p in query.predicates],
+        "select": list(query.select),
+    }
+
+
+def _query_from_payload(payload: Dict[str, Any]) -> SelectionQuery:
+    return SelectionQuery(
+        payload["relation"],
+        [_predicate_from_payload(p) for p in payload["predicates"]],
+        payload["select"],
+    )
+
+
+# -- databases and services (real content) ----------------------------------------
+
+
+def _database_payload(database: LocalDatabase) -> Dict[str, Any]:
+    relations = []
+    for name in database.relation_names:
+        relation = database.relation(name)
+        relations.append(
+            {
+                "name": name,
+                "schema": [
+                    [a.name, a.type.value, a.nullable] for a in relation.schema.attributes
+                ],
+                "records": [record.as_dict() for record in relation],
+                "version": relation.version,
+            }
+        )
+    return {"relations": relations}
+
+
+def _database_from_payload(
+    payload: Dict[str, Any], background: Optional[BackgroundKnowledge]
+) -> LocalDatabase:
+    database = LocalDatabase(background=background)
+    for spec in payload["relations"]:
+        schema = Schema(
+            [
+                Attribute(name, AttributeType(type_value), nullable)
+                for name, type_value, nullable in spec["schema"]
+            ]
+        )
+        relation = database.create_relation(spec["name"], schema, spec["records"])
+        relation._version = int(spec["version"])  # noqa: SLF001 - exact restore
+    return database
+
+
+def _service_payload(
+    service: LocalSummaryService, snapshots: SnapshotStore
+) -> Dict[str, Any]:
+    return {
+        "summary": snapshots.put_hierarchy(service.summary),
+        "published_signature": sorted(
+            [d.attribute, d.label] for d in service._published_signature  # noqa: SLF001
+        ),
+        "database_version_summarized": service._database_version_summarized,  # noqa: SLF001
+    }
+
+
+# -- capture ----------------------------------------------------------------------
+
+
+def capture_session(session: "NetworkSession") -> Tuple[Dict[str, Any], SnapshotStore]:
+    """Encode a session into a checkpoint payload (hierarchies kept aside).
+
+    Returns the payload and a staging in-memory snapshot store holding the
+    referenced hierarchies; :func:`save_session` copies both into the target
+    backend.
+    """
+    system = session.system
+    snapshots = SnapshotStore(None)
+
+    simulator = system.simulator
+    events = []
+    for event in simulator.pending():
+        if event.spec is None:
+            raise StoreError(
+                f"pending simulator event {event.label or '<unlabelled>'!r} at "
+                f"t={event.time:.0f}s carries no declarative spec and cannot "
+                "be checkpointed; schedule protocol events through "
+                "schedule_event_from_spec"
+            )
+        events.append(
+            {
+                "time": event.time,
+                "sequence": event.sequence,
+                "label": event.label,
+                "spec": event.spec,
+            }
+        )
+
+    content = system.content
+    if content is None:
+        raise StoreError("cannot checkpoint a session with no content configured")
+    planned = isinstance(content, PlannedContentModel)
+
+    payload: Dict[str, Any] = {
+        "format": _CHECKPOINT_FORMAT,
+        "mode": "planned" if planned else "real",
+        "horizon": session.horizon,
+        "config": _config_payload(system.config),
+        "system_rng": _rng_payload(system.rng),
+        "counter": system.counter.state_payload(),
+        "simulator": {
+            "now": simulator.now,
+            "processed": simulator.processed_events,
+            "next_sequence": simulator.next_sequence,
+            "events": events,
+        },
+        "overlay": _overlay_payload(system.overlay),
+        "domains": [
+            _domain_payload(domain, snapshots) for domain in system.domains.values()
+        ],
+        "assignment": [[peer, sp] for peer, sp in system.assignment.items()],
+        "described": [
+            [sp_id, sorted(peers)] for sp_id, peers in system.described.items()
+        ],
+        "maintenance": {
+            "push_messages": system.maintenance.stats.push_messages,
+            "reconciliations": system.maintenance.stats.reconciliations,
+            "reconciliation_messages": system.maintenance.stats.reconciliation_messages,
+            "history": [
+                {
+                    "summary_peer_id": record.summary_peer_id,
+                    "time": record.time,
+                    "participants": list(record.participants),
+                    "removed_partners": list(record.removed_partners),
+                    "messages": record.messages,
+                }
+                for record in system.maintenance.stats.history
+            ],
+        },
+        "query_counter": system._query_counter,  # noqa: SLF001 - exact restore
+    }
+    if planned:
+        payload["content"] = content.state_payload()
+    else:
+        payload["databases"] = [
+            [peer_id, _database_payload(database)]
+            for peer_id, database in system.databases.items()
+        ]
+        payload["services"] = [
+            [peer_id, _service_payload(service, snapshots)]
+            for peer_id, service in system.services.items()
+        ]
+        payload["queries"] = [
+            [query_id, _query_payload(query)]
+            for query_id, query in system._queries.items()  # noqa: SLF001
+        ]
+    return payload, snapshots
+
+
+def save_session(
+    session: "NetworkSession",
+    target: Union[None, str, StoreBackend],
+    name: str = DEFAULT_CHECKPOINT_NAME,
+) -> str:
+    """Checkpoint ``session`` into ``target`` under ``name``; returns the name.
+
+    ``target`` is a backend or a path (see :func:`repro.store.open_store`).
+    Hierarchies are stored content-addressed alongside the checkpoint, so
+    checkpoints sharing hierarchies share their storage.
+    """
+    backend = open_store(target)
+    payload, staging = capture_session(session)
+    destination = SnapshotStore(backend)
+    for digest in staging.hashes():
+        if not destination.contains(digest):
+            destination.put_payload(staging.get_payload(digest))
+    backend.put(CHECKPOINT_KIND, name, payload)
+    return name
+
+
+# -- restore ----------------------------------------------------------------------
+
+
+def restore_session(
+    target: Union[None, str, StoreBackend],
+    name: str = DEFAULT_CHECKPOINT_NAME,
+    background: Optional[BackgroundKnowledge] = None,
+) -> "NetworkSession":
+    """Rebuild the checkpointed session from ``target``.
+
+    Real-content checkpoints (databases + summaries) need the common
+    ``background`` knowledge, exactly like the summary wire format; planned
+    content restores without one.
+    """
+    from repro.core.session import NetworkSession
+
+    backend = open_store(target)
+    if not backend.contains(CHECKPOINT_KIND, name):
+        known = ", ".join(backend.keys(CHECKPOINT_KIND)) or "<none>"
+        raise StoreError(
+            f"no checkpoint {name!r} in {backend.location()} "
+            f"(stored checkpoints: {known})"
+        )
+    payload = backend.get(CHECKPOINT_KIND, name)
+    if payload.get("format") != _CHECKPOINT_FORMAT:
+        raise StoreError(
+            f"unsupported checkpoint format: {payload.get('format')!r}"
+        )
+    snapshots = SnapshotStore(backend)
+    planned = payload["mode"] == "planned"
+
+    overlay = _overlay_from_payload(payload["overlay"])
+    config = _config_from_payload(payload["config"])
+    system = SummaryManagementSystem(
+        overlay, config=config, background=background, seed=0
+    )
+    _rng_restore(system.rng, payload["system_rng"])
+
+    # Message accounting: the counter instance is shared with the maintenance
+    # engine, churn handler and router, so it is rebuilt in place.
+    restored_counter = MessageCounter.from_state(payload["counter"])
+    counter = system.counter
+    counter.reset()
+    counter.merge(restored_counter)
+
+    # Maintenance statistics.
+    stats = system.maintenance.stats
+    maintenance_payload = payload["maintenance"]
+    stats.push_messages = int(maintenance_payload["push_messages"])
+    stats.reconciliations = int(maintenance_payload["reconciliations"])
+    stats.reconciliation_messages = int(maintenance_payload["reconciliation_messages"])
+    stats.history = [
+        ReconciliationRecord(
+            summary_peer_id=record["summary_peer_id"],
+            time=float(record["time"]),
+            participants=list(record["participants"]),
+            removed_partners=list(record["removed_partners"]),
+            messages=int(record["messages"]),
+        )
+        for record in maintenance_payload["history"]
+    ]
+
+    # Content model, databases and services.
+    if planned:
+        system._content = PlannedContentModel.from_state(  # noqa: SLF001
+            payload["content"]
+        )
+    else:
+        if background is None:
+            raise StoreError(
+                "this checkpoint was taken from a real-content session: "
+                "restoring it needs the common background knowledge "
+                "(pass background=...)"
+            )
+        for peer_id, database_payload in payload["databases"]:
+            database = _database_from_payload(database_payload, background)
+            system._databases[peer_id] = database  # noqa: SLF001
+            overlay.peer(peer_id).attach_database(database)
+        for peer_id, service_payload in payload["services"]:
+            summary = snapshots.get_hierarchy(service_payload["summary"], background)
+            service = LocalSummaryService(
+                peer_id,
+                background,
+                database=system._databases.get(peer_id),  # noqa: SLF001
+                attributes=summary.attributes,
+                parameters=summary._builder.parameters,  # noqa: SLF001
+            )
+            service._summary = summary  # noqa: SLF001 - exact restore
+            service._published_signature = frozenset(  # noqa: SLF001
+                Descriptor(attribute, label)
+                for attribute, label in service_payload["published_signature"]
+            )
+            service._database_version_summarized = int(  # noqa: SLF001
+                service_payload["database_version_summarized"]
+            )
+            system._services[peer_id] = service  # noqa: SLF001
+            overlay.peer(peer_id).attach_summary(summary)
+        for query_id, query_payload in payload.get("queries", []):
+            system._queries[int(query_id)] = _query_from_payload(  # noqa: SLF001
+                query_payload
+            )
+        system._content = SummaryContentModel(  # noqa: SLF001
+            system._queries, system._databases  # noqa: SLF001
+        )
+    system._query_counter = int(payload["query_counter"])  # noqa: SLF001
+
+    # Domains, assignment and described sets (insertion order preserved).
+    for domain_payload in payload["domains"]:
+        domain = _domain_from_payload(domain_payload, snapshots, background)
+        system._domains[domain.summary_peer_id] = domain  # noqa: SLF001
+    system._assignment.update(  # noqa: SLF001
+        {peer: sp for peer, sp in payload["assignment"]}
+    )
+    for sp_id, peers in payload["described"]:
+        system._described[sp_id] = set(peers)  # noqa: SLF001
+
+    # Simulator clock and pending events (original sequence numbers kept).
+    simulator_payload = payload["simulator"]
+    system.simulator.load_state(
+        now=float(simulator_payload["now"]),
+        processed=int(simulator_payload["processed"]),
+        next_sequence=int(simulator_payload["next_sequence"]),
+    )
+    for event in simulator_payload["events"]:
+        system.simulator.restore_event(
+            time=float(event["time"]),
+            sequence=int(event["sequence"]),
+            callback=system.event_callback_from_spec(event["spec"]),
+            label=event["label"],
+            spec=event["spec"],
+        )
+
+    return NetworkSession(
+        system, construction_report=None, horizon=payload["horizon"]
+    )
+
+
+def list_checkpoints(target: Union[None, str, StoreBackend]) -> List[str]:
+    """Names of the checkpoints stored in ``target``, sorted."""
+    return open_store(target).keys(CHECKPOINT_KIND)

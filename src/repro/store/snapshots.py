@@ -1,0 +1,108 @@
+"""Content-addressed snapshots of summary hierarchies.
+
+A snapshot is the canonical encoding of a :class:`SummaryHierarchy`, filed
+under its SHA-256 content hash.  Addressing by content gives deduplication
+for free: identical hierarchies — the same local summary held by a peer and
+shipped to its summary peer, or the same global summary reached by two
+simulation runs — occupy exactly one stored object, however many sessions or
+checkpoints reference them.  This mirrors how Υ-DB treats managed synopses as
+first-class stored objects rather than transient in-memory state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import StoreError
+from repro.fuzzy.background import BackgroundKnowledge
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.serialization import (
+    content_hash,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+)
+from repro.store.backend import StoreBackend, open_store
+
+#: The namespace snapshots are filed under in any backend.
+SNAPSHOT_KIND = "snapshot"
+
+
+class SnapshotStore:
+    """Content-addressed hierarchy storage over any :class:`StoreBackend`."""
+
+    def __init__(self, backend: Union[None, str, StoreBackend] = None) -> None:
+        self._backend = open_store(backend)
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    # -- writing ------------------------------------------------------------------
+
+    def put_hierarchy(self, hierarchy: SummaryHierarchy) -> str:
+        """Store a hierarchy; returns its content hash.
+
+        Re-storing an identical hierarchy is a no-op (dedup by address), so
+        callers can snapshot aggressively — per peer, per checkpoint, per
+        sweep iteration — and pay for each distinct hierarchy once.
+        """
+        payload = hierarchy_to_dict(hierarchy)
+        digest = content_hash(payload)
+        if not self._backend.contains(SNAPSHOT_KIND, digest):
+            self._backend.put(SNAPSHOT_KIND, digest, payload)
+        return digest
+
+    def put_payload(self, payload: Dict[str, object]) -> str:
+        """Store an already-encoded hierarchy payload (checkpoint internals)."""
+        digest = content_hash(payload)
+        if not self._backend.contains(SNAPSHOT_KIND, digest):
+            self._backend.put(SNAPSHOT_KIND, digest, payload)
+        return digest
+
+    # -- reading ------------------------------------------------------------------
+
+    def get_hierarchy(
+        self, digest: str, background: BackgroundKnowledge
+    ) -> SummaryHierarchy:
+        """Rehydrate the hierarchy stored under ``digest``.
+
+        The caller supplies the (common) background knowledge, exactly as for
+        the wire format; the restored hierarchy is byte-identical to the
+        stored one (its re-encoding hashes back to ``digest``).
+        """
+        payload = self._backend.get(SNAPSHOT_KIND, digest)
+        hierarchy = hierarchy_from_dict(payload, background)
+        return hierarchy
+
+    def get_payload(self, digest: str) -> Dict[str, object]:
+        return self._backend.get(SNAPSHOT_KIND, digest)
+
+    def contains(self, digest: str) -> bool:
+        return self._backend.contains(SNAPSHOT_KIND, digest)
+
+    def hashes(self) -> List[str]:
+        """All stored snapshot hashes, sorted."""
+        return self._backend.keys(SNAPSHOT_KIND)
+
+    def verify(self, digest: str) -> None:
+        """Check that the stored payload still hashes to its address."""
+        actual = content_hash(self._backend.get(SNAPSHOT_KIND, digest))
+        if actual != digest:
+            raise StoreError(
+                f"snapshot {digest} is corrupt: stored payload hashes to {actual}"
+            )
+
+    def size_bytes(self, digest: Optional[str] = None) -> int:
+        """Encoded size of one snapshot, or of every stored snapshot."""
+        if digest is not None:
+            return self._backend.size_bytes(SNAPSHOT_KIND, digest)
+        return sum(
+            self._backend.size_bytes(SNAPSHOT_KIND, stored)
+            for stored in self.hashes()
+        )
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SnapshotStore({len(self)} snapshots @ {self._backend.location()})"

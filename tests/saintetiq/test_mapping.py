@@ -88,3 +88,53 @@ class TestConfiguration:
         # The 0.3/adult combination is pruned by the 0.5 alpha-cut.
         labels = [frozenset(d.label for d in key) for key, _w, _g in results]
         assert frozenset({"adult", "normal"}) not in labels
+
+
+class TestBatchMapping:
+    """The memoized batch path of ``map_records`` matches per-record mapping."""
+
+    def test_batch_equals_per_record_on_generated_workload(self, background):
+        from repro.database.generator import PatientGenerator
+        from repro.saintetiq.mapping import map_records_reference
+
+        service = MappingService(background)
+        records = [r.as_dict() for r in PatientGenerator(seed=11).relation(300)]
+        batched = service.map_records(records, peer="p1")
+        reference = map_records_reference(service, records, peer="p1")
+        assert set(batched) == set(reference)
+        for key, cell in batched.items():
+            assert cell.tuple_count == pytest.approx(reference[key].tuple_count)
+            assert cell.grades == reference[key].grades
+            assert cell.statistics.get("age").total == pytest.approx(
+                reference[key].statistics.get("age").total
+            )
+            assert cell.peers == reference[key].peers
+
+    def test_repeated_values_hit_the_memo(self, mapping_service):
+        """Identical records fold into one cell set, fuzzified once per value."""
+        calls = {"count": 0}
+        original = mapping_service._fuzzify_attribute
+
+        def counting(variable, value):
+            calls["count"] += 1
+            return original(variable, value)
+
+        mapping_service._fuzzify_attribute = counting
+        try:
+            records = [{"age": 15, "bmi": 17}] * 50
+            cells = mapping_service.map_records(records)
+        finally:
+            del mapping_service._fuzzify_attribute
+        # Two attributes, one distinct value each: two fuzzifications total.
+        assert calls["count"] == 2
+        assert sum(cell.tuple_count for cell in cells.values()) == pytest.approx(50)
+
+    def test_unmappable_records_are_skipped_in_batch(self, mapping_service):
+        records = [
+            {"age": 15, "bmi": 17},
+            {"age": None, "bmi": 17},   # missing value
+            {"bmi": 17},                # missing attribute
+            {"age": 500, "bmi": 17},    # outside the BK support
+        ]
+        cells = mapping_service.map_records(records)
+        assert sum(cell.tuple_count for cell in cells.values()) == pytest.approx(1)

@@ -4,13 +4,20 @@ import json
 
 import pytest
 
+from repro.database.generator import PatientGenerator
 from repro.exceptions import SummaryError
 from repro.fuzzy.linguistic import Descriptor
 from repro.saintetiq.cell import Cell, make_cell_key
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.merging import merge_hierarchies
 from repro.saintetiq.serialization import (
+    canonical_encode,
+    canonical_json,
     cell_from_dict,
     cell_to_dict,
+    content_hash,
     encoded_size_bytes,
+    hierarchy_content_hash,
     hierarchy_from_dict,
     hierarchy_from_json,
     hierarchy_to_dict,
@@ -96,3 +103,120 @@ class TestHierarchySerialization:
         # A tiny 3-record hierarchy should stay within a few kilobytes — the
         # same order of magnitude as the 512-bytes-per-node model estimate.
         assert size < 16 * 1024
+
+
+class TestCanonicalEncoding:
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [True, None]}) == '{"a":[true,null],"b":1}'
+
+    def test_encoded_size_uses_the_canonical_encoding(self, example_hierarchy):
+        """Storage-cost figures and snapshot hashes measure the same bytes."""
+        payload = hierarchy_to_dict(example_hierarchy)
+        assert encoded_size_bytes(example_hierarchy) == len(canonical_encode(payload))
+        assert encoded_size_bytes(example_hierarchy) == len(
+            hierarchy_to_json(example_hierarchy).encode("utf-8")
+        )
+
+    def test_content_hash_keys_the_canonical_bytes(self, example_hierarchy):
+        payload = hierarchy_to_dict(example_hierarchy)
+        assert hierarchy_content_hash(example_hierarchy) == content_hash(payload)
+        assert len(hierarchy_content_hash(example_hierarchy)) == 64
+
+    def test_equal_hierarchies_hash_equal(self, numeric_background, paper_records):
+        def build():
+            hierarchy = SummaryHierarchy(
+                numeric_background, attributes=["age", "bmi"], owner="peer-a"
+            )
+            hierarchy.add_records(paper_records)
+            return hierarchy
+
+        assert hierarchy_content_hash(build()) == hierarchy_content_hash(build())
+
+
+def _grown_hierarchy(background, count=60, owner="peer-a"):
+    hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"], owner=owner)
+    records = [r.as_dict() for r in PatientGenerator(seed=9).relation(count)]
+    hierarchy.add_records(records)
+    return hierarchy
+
+
+class TestExactRehydration:
+    """Regression: rehydration restores caches, owners and the mutation counter.
+
+    The pre-store decoder re-clustered the leaf cells from scratch, which lost
+    the serialized structure and the copy-on-write/cache state of PRs 1–2.
+    """
+
+    def test_roundtrip_preserves_tree_structure(self, numeric_background):
+        original = _grown_hierarchy(numeric_background)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original), numeric_background
+        )
+        assert restored.node_count() == original.node_count()
+        assert restored.depth() == original.depth()
+        assert restored.leaf_count() == original.leaf_count()
+        assert hierarchy_to_dict(restored) == hierarchy_to_dict(original)
+
+    def test_restored_caches_survive_check(self, numeric_background):
+        original = _grown_hierarchy(numeric_background)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original), numeric_background
+        )
+        # validate() recomputes every cached aggregate from scratch and raises
+        # on divergence, and checks the structural invariants.
+        restored.validate()
+
+    def test_restored_cells_are_owned_by_their_nodes(self, numeric_background):
+        original = _grown_hierarchy(numeric_background)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original), numeric_background
+        )
+        for node in restored.root.iter_subtree():
+            for cell in node.cells.values():
+                assert cell.owner is node
+
+    def test_mutation_counter_resumes(self, numeric_background):
+        original = _grown_hierarchy(numeric_background)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original), numeric_background
+        )
+        assert (
+            restored._builder.mutation_count == original._builder.mutation_count
+        )
+
+    def test_roundtripped_hierarchy_absorbs_byte_identically(
+        self, numeric_background
+    ):
+        """The satellite's acceptance: absorb after a roundtrip == no roundtrip."""
+        original = _grown_hierarchy(numeric_background)
+        restored = hierarchy_from_dict(
+            hierarchy_to_dict(original), numeric_background
+        )
+        extra = [r.as_dict() for r in PatientGenerator(seed=31).relation(40)]
+        original.add_records(extra)
+        restored.add_records(extra)
+        assert hierarchy_content_hash(restored) == hierarchy_content_hash(original)
+        original.validate()
+        restored.validate()
+
+    def test_roundtripped_hierarchy_merges_byte_identically(self, numeric_background):
+        first = _grown_hierarchy(numeric_background, owner="peer-a")
+        second = _grown_hierarchy(numeric_background, count=30, owner="peer-b")
+        roundtrip = lambda h: hierarchy_from_dict(  # noqa: E731
+            hierarchy_to_dict(h), numeric_background
+        )
+        merged_original = merge_hierarchies([first, second], owner="sp")
+        merged_restored = merge_hierarchies(
+            [roundtrip(first), roundtrip(second)], owner="sp"
+        )
+        assert hierarchy_content_hash(merged_restored) == hierarchy_content_hash(
+            merged_original
+        )
+
+    def test_version_1_payloads_still_decode(self, numeric_background):
+        original = _grown_hierarchy(numeric_background)
+        payload = hierarchy_to_dict(original)
+        payload["version"] = 1
+        del payload["incorporated"]
+        restored = hierarchy_from_dict(payload, numeric_background)
+        assert hierarchy_to_dict(restored)["root"] == hierarchy_to_dict(original)["root"]

@@ -1,0 +1,114 @@
+"""Backend contract tests: the three implementations behave identically."""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import (
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SqliteBackend,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "json", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryBackend()
+    elif request.param == "json":
+        yield JsonDirectoryBackend(tmp_path / "store")
+    else:
+        store = SqliteBackend(tmp_path / "store.sqlite")
+        yield store
+        store.close()
+
+
+class TestContract:
+    def test_put_get_roundtrip(self, backend):
+        payload = {"alpha": 0.3, "nested": {"values": [1, 2.5, "x", None, True]}}
+        backend.put("checkpoint", "run-1", payload)
+        assert backend.get("checkpoint", "run-1") == payload
+
+    def test_overwrite_replaces(self, backend):
+        backend.put("snapshot", "k", {"v": 1})
+        backend.put("snapshot", "k", {"v": 2})
+        assert backend.get("snapshot", "k") == {"v": 2}
+
+    def test_contains_and_membership(self, backend):
+        assert not backend.contains("snapshot", "missing")
+        backend.put("snapshot", "present", {})
+        assert backend.contains("snapshot", "present")
+        assert ("snapshot", "present") in backend
+        assert ("snapshot", "missing") not in backend
+
+    def test_keys_and_kinds_sorted(self, backend):
+        backend.put("b-kind", "z", {})
+        backend.put("b-kind", "a", {})
+        backend.put("a-kind", "m", {})
+        assert backend.keys("b-kind") == ["a", "z"]
+        assert backend.kinds() == ["a-kind", "b-kind"]
+        assert backend.keys("no-such-kind") == []
+
+    def test_get_missing_raises(self, backend):
+        with pytest.raises(StoreError, match="no stored object"):
+            backend.get("checkpoint", "nope")
+
+    def test_delete(self, backend):
+        backend.put("snapshot", "k", {"v": 1})
+        backend.delete("snapshot", "k")
+        assert not backend.contains("snapshot", "k")
+        with pytest.raises(StoreError):
+            backend.delete("snapshot", "k")
+
+    def test_size_bytes_matches_canonical_encoding(self, backend):
+        payload = {"b": 1, "a": [1, 2]}
+        backend.put("snapshot", "k", payload)
+        assert backend.size_bytes("snapshot", "k") == len(b'{"a":[1,2],"b":1}')
+
+    def test_invalid_names_rejected(self, backend):
+        for bad in ("", "a/b", "a b", "x" * 201):
+            with pytest.raises(StoreError, match="invalid store"):
+                backend.put("snapshot", bad, {})
+            with pytest.raises(StoreError, match="invalid store"):
+                backend.put(bad, "key", {})
+
+    def test_non_json_payload_rejected(self, backend):
+        with pytest.raises(StoreError, match="not JSON-compatible"):
+            backend.put("snapshot", "k", {"bad": object()})
+
+
+class TestDurability:
+    def test_json_store_survives_reopen(self, tmp_path):
+        JsonDirectoryBackend(tmp_path / "s").put("checkpoint", "k", {"v": 7})
+        assert JsonDirectoryBackend(tmp_path / "s").get("checkpoint", "k") == {"v": 7}
+
+    def test_sqlite_store_survives_reopen(self, tmp_path):
+        first = SqliteBackend(tmp_path / "s.sqlite")
+        first.put("checkpoint", "k", {"v": 7})
+        first.close()
+        second = SqliteBackend(tmp_path / "s.sqlite")
+        assert second.get("checkpoint", "k") == {"v": 7}
+        second.close()
+
+    def test_json_files_are_one_per_object(self, tmp_path):
+        store = JsonDirectoryBackend(tmp_path / "s")
+        store.put("snapshot", "abc", {"v": 1})
+        assert (tmp_path / "s" / "snapshot" / "abc.json").is_file()
+
+
+class TestOpenStore:
+    def test_none_gives_memory(self):
+        assert isinstance(open_store(None), InMemoryBackend)
+
+    def test_sqlite_suffixes(self, tmp_path):
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            store = open_store(tmp_path / f"s{suffix}")
+            assert isinstance(store, SqliteBackend)
+            store.close()
+
+    def test_directory_gives_json(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "plain"), JsonDirectoryBackend)
+
+    def test_backend_passthrough(self):
+        backend = InMemoryBackend()
+        assert open_store(backend) is backend

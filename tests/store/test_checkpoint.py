@@ -1,0 +1,263 @@
+"""Session checkpoint/restore: byte-identical continuation guarantees.
+
+The acceptance bar of the store subsystem: a session checkpointed to any
+backend and restored via ``SystemBuilder.from_checkpoint`` answers queries
+with routing results, staleness snapshots and traffic reports *equal* to the
+never-persisted session — including checkpoints taken mid-simulation with
+churn and modification events still pending.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.session import SystemBuilder
+from repro.exceptions import StoreError
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.saintetiq.serialization import hierarchy_content_hash
+from repro.store import (
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SessionCache,
+    SqliteBackend,
+)
+from repro.store.checkpoint import list_checkpoints
+from repro.workloads.patients import MedicalWorkload, build_peer_databases
+from repro.workloads.queries import paper_example_query
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture(params=["memory", "json", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryBackend()
+    elif request.param == "json":
+        yield JsonDirectoryBackend(tmp_path / "store")
+    else:
+        store = SqliteBackend(tmp_path / "store.sqlite")
+        yield store
+        store.close()
+
+
+def _build(scenario_name, **overrides):
+    scenario = default_registry().scenario(scenario_name, **overrides)
+    return scenario.apply_dynamics(scenario.builder()).build()
+
+
+def _drive(session, queries=8, required=3):
+    """Run the session to its horizon and collect every observable output."""
+    session.run_until()
+    answers = [session.query(required_results=required) for _ in range(queries)]
+    return {
+        "routing": [answer.routing for answer in answers],
+        "staleness": [answer.staleness for answer in answers],
+        "traffic": session.traffic(),
+        "maintenance": session.maintenance_report(),
+        "final_staleness": session.staleness(),
+    }
+
+
+def _assert_identical(reference, restored):
+    assert restored["routing"] == reference["routing"]
+    assert restored["staleness"] == reference["staleness"]
+    assert restored["traffic"] == reference["traffic"]
+    assert restored["maintenance"] == reference["maintenance"]
+    assert restored["final_staleness"] == reference["final_staleness"]
+
+
+class TestTable3Scenarios:
+    """The named Table-3 scenarios restore byte-identically on every backend."""
+
+    @pytest.mark.parametrize(
+        "scenario_name", ["table3-default", "churn-heavy", "high-freshness"]
+    )
+    def test_fresh_checkpoint_continues_identically(self, backend, scenario_name):
+        reference = _drive(_build(scenario_name))
+
+        live = _build(scenario_name)
+        live.checkpoint(backend, name=scenario_name)
+        restored = SystemBuilder.from_checkpoint(backend, name=scenario_name)
+        _assert_identical(reference, _drive(restored))
+
+    def test_smoke_scenario_via_session_facade(self, backend):
+        reference = _drive(_build("smoke"), queries=5, required=2)
+        live = _build("smoke")
+        assert live.checkpoint(backend) == "session"
+        restored = SystemBuilder.from_checkpoint(backend)
+        _assert_identical(reference, _drive(restored, queries=5, required=2))
+
+    def test_restored_metadata_matches(self, backend):
+        live = _build("smoke")
+        live.checkpoint(backend)
+        restored = SystemBuilder.from_checkpoint(backend)
+        assert restored.horizon == live.horizon
+        assert restored.now == live.now
+        assert restored.overlay.peer_ids == live.overlay.peer_ids
+        assert list(restored.domains) == list(live.domains)
+        assert restored.config == live.config
+        assert restored.planned
+
+
+class TestCheckpointUnderChurn:
+    """Checkpoint mid-simulation, after departures/rejoins already happened."""
+
+    @pytest.mark.parametrize("when", [0.25, 0.5, 0.9])
+    def test_mid_simulation_checkpoint_continues_identically(self, tmp_path, when):
+        scenario_name = "churn-heavy"
+        store = SqliteBackend(tmp_path / "mid.sqlite")
+
+        reference_session = _build(scenario_name)
+        horizon = reference_session.horizon
+        reference_session.run_until(when * horizon)
+        reference = _drive(reference_session)
+
+        live = _build(scenario_name)
+        live.run_until(when * horizon)
+        # Real churn already executed and more events are still pending.
+        assert live.system.simulator.processed_events > 0
+        assert live.system.simulator.pending_events > 0
+        live.checkpoint(store, name="mid")
+
+        restored = SystemBuilder.from_checkpoint(store, name="mid")
+        assert restored.now == live.now
+        _assert_identical(reference, _drive(restored))
+        store.close()
+
+    def test_interleaved_queries_then_checkpoint(self, tmp_path):
+        """Queries before the checkpoint advance RNG/plan state that must persist."""
+        reference_session = _build("table3-default")
+        reference_session.run_until(3600.0)
+        early_reference = [reference_session.query() for _ in range(4)]
+        reference = _drive(reference_session)
+
+        live = _build("table3-default")
+        live.run_until(3600.0)
+        early_live = [live.query() for _ in range(4)]
+        assert [a.routing for a in early_live] == [a.routing for a in early_reference]
+        live.checkpoint(tmp_path / "store")
+
+        restored = SystemBuilder.from_checkpoint(tmp_path / "store")
+        _assert_identical(reference, _drive(restored))
+
+
+class TestRealContent:
+    @pytest.fixture
+    def real_session_factory(self):
+        def factory():
+            overlay = Overlay.generate(TopologyConfig(peer_count=16, seed=3))
+            background = medical_background_knowledge()
+            workload = MedicalWorkload(
+                records_per_peer=6, matching_fraction=0.25, seed=3
+            )
+            databases = build_peer_databases(overlay.peer_ids, workload)
+            session = (
+                SystemBuilder()
+                .topology(overlay)
+                .background(background)
+                .protocol(ProtocolConfig(superpeer_fraction=1 / 8, construction_ttl=3))
+                .real_content(databases)
+                .seed(3)
+                .build()
+            )
+            return background, session
+
+        return factory
+
+    def test_real_content_roundtrip(self, backend, real_session_factory):
+        query = paper_example_query()
+        _background, reference = real_session_factory()
+        reference_answers = [reference.query(query=query) for _ in range(3)]
+
+        background, live = real_session_factory()
+        live.checkpoint(backend, name="real")
+        restored = SystemBuilder.from_checkpoint(
+            backend, name="real", background=background
+        )
+        restored_answers = [restored.query(query=query) for _ in range(3)]
+
+        assert [a.routing for a in restored_answers] == [
+            a.routing for a in reference_answers
+        ]
+        for expected, actual in zip(reference_answers, restored_answers):
+            if expected.answer is None:
+                assert actual.answer is None
+                continue
+            assert [
+                (c.interpretation, c.tuple_count) for c in actual.answer.classes
+            ] == [(c.interpretation, c.tuple_count) for c in expected.answer.classes]
+        # Every local summary rehydrates byte-identically.
+        for peer_id, service in live.system.services.items():
+            assert hierarchy_content_hash(
+                restored.system.services[peer_id].summary
+            ) == hierarchy_content_hash(service.summary)
+
+    def test_real_restore_requires_background(self, backend, real_session_factory):
+        _background, live = real_session_factory()
+        live.checkpoint(backend, name="real")
+        with pytest.raises(StoreError, match="background"):
+            SystemBuilder.from_checkpoint(backend, name="real")
+
+    def test_snapshots_shared_across_checkpoints(self, backend, real_session_factory):
+        """Content addressing dedups hierarchies between two checkpoints."""
+        from repro.store import SnapshotStore
+
+        _background, live = real_session_factory()
+        live.checkpoint(backend, name="first")
+        count_after_first = len(SnapshotStore(backend).hashes())
+        live.checkpoint(backend, name="second")
+        assert len(SnapshotStore(backend).hashes()) == count_after_first
+        assert list_checkpoints(backend) == ["first", "second"]
+
+
+class TestSessionCache:
+    def test_warm_start_is_identical_and_skips_construction(self, tmp_path):
+        cache = SessionCache(tmp_path / "cache")
+        scenario = default_registry().scenario("smoke")
+        parameters = dict(dataclasses.asdict(scenario))
+
+        def factory():
+            return scenario.apply_dynamics(scenario.builder()).build()
+
+        cold, cold_warm = cache.get_or_build(parameters, factory)
+        assert not cold_warm and cache.misses == 1
+        warm, warm_hit = cache.get_or_build(parameters, factory)
+        assert warm_hit and cache.hits == 1
+        _assert_identical(_drive(cold, queries=5), _drive(warm, queries=5))
+
+    def test_different_parameters_miss(self, tmp_path):
+        cache = SessionCache(tmp_path / "cache")
+        scenario = default_registry().scenario("smoke")
+
+        def factory():
+            return scenario.apply_dynamics(scenario.builder()).build()
+
+        cache.get_or_build({"seed": 0}, factory)
+        cache.get_or_build({"seed": 1}, factory)
+        assert cache.misses == 2 and cache.hits == 0
+
+
+class TestErrors:
+    def test_missing_checkpoint_lists_known_names(self, backend):
+        _build("smoke").checkpoint(backend, name="known")
+        with pytest.raises(StoreError, match="known"):
+            SystemBuilder.from_checkpoint(backend, name="unknown")
+
+    def test_unspecced_pending_event_refuses_checkpoint(self, backend):
+        live = _build("smoke")
+        live.system.simulator.schedule(10.0, lambda: None, label="ad-hoc")
+        with pytest.raises(StoreError, match="ad-hoc"):
+            live.checkpoint(backend)
+
+    def test_checkpoint_without_content_refuses(self, backend):
+        session = (
+            SystemBuilder()
+            .topology(peer_count=8)
+            .planned_content(hit_rate=0.2)
+            .build()
+        )
+        session.system._content = None  # simulate a hand-wired system
+        with pytest.raises(StoreError, match="content"):
+            session.checkpoint(backend)

@@ -1,0 +1,80 @@
+"""Content-addressed snapshot store tests."""
+
+import pytest
+
+from repro.database.generator import PatientGenerator
+from repro.exceptions import StoreError
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.saintetiq.serialization import (
+    encoded_size_bytes,
+    hierarchy_content_hash,
+    hierarchy_to_dict,
+)
+from repro.store import InMemoryBackend, SnapshotStore
+from repro.store.snapshots import SNAPSHOT_KIND
+
+
+@pytest.fixture
+def store():
+    return SnapshotStore(InMemoryBackend())
+
+
+def _hierarchy(background, seed=1, count=20, owner="peer-a"):
+    hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"], owner=owner)
+    records = [r.as_dict() for r in PatientGenerator(seed=seed).relation(count)]
+    hierarchy.add_records(records)
+    return hierarchy
+
+
+class TestContentAddressing:
+    def test_put_returns_content_hash(self, store, numeric_background):
+        hierarchy = _hierarchy(numeric_background)
+        digest = store.put_hierarchy(hierarchy)
+        assert digest == hierarchy_content_hash(hierarchy)
+        assert store.contains(digest)
+
+    def test_identical_hierarchies_are_deduplicated(self, store, numeric_background):
+        first = _hierarchy(numeric_background, seed=4)
+        second = _hierarchy(numeric_background, seed=4)
+        assert first is not second
+        assert store.put_hierarchy(first) == store.put_hierarchy(second)
+        assert len(store) == 1
+
+    def test_distinct_hierarchies_get_distinct_addresses(
+        self, store, numeric_background
+    ):
+        store.put_hierarchy(_hierarchy(numeric_background, seed=4))
+        store.put_hierarchy(_hierarchy(numeric_background, seed=5))
+        assert len(store) == 2
+
+    def test_roundtrip_is_byte_identical(self, store, numeric_background):
+        hierarchy = _hierarchy(numeric_background)
+        digest = store.put_hierarchy(hierarchy)
+        restored = store.get_hierarchy(digest, numeric_background)
+        assert hierarchy_content_hash(restored) == digest
+        assert hierarchy_to_dict(restored) == hierarchy_to_dict(hierarchy)
+
+    def test_stored_size_equals_encoded_size_bytes(self, store, numeric_background):
+        """Fig-6/Table-2 storage figures and stored snapshot bytes agree."""
+        hierarchy = _hierarchy(numeric_background)
+        digest = store.put_hierarchy(hierarchy)
+        assert store.size_bytes(digest) == encoded_size_bytes(hierarchy)
+        assert store.size_bytes() == encoded_size_bytes(hierarchy)
+
+
+class TestIntegrity:
+    def test_verify_accepts_intact_snapshots(self, store, numeric_background):
+        digest = store.put_hierarchy(_hierarchy(numeric_background))
+        store.verify(digest)
+
+    def test_verify_detects_tampering(self, store, numeric_background):
+        digest = store.put_hierarchy(_hierarchy(numeric_background))
+        payload = store.backend.get(SNAPSHOT_KIND, digest)
+        payload["records_processed"] = 999
+        store.backend.put(SNAPSHOT_KIND, digest, payload)
+        with pytest.raises(StoreError, match="corrupt"):
+            store.verify(digest)
+
+    def test_missing_snapshot_raises(self, store, numeric_background):
+        with pytest.raises(StoreError):
+            store.get_hierarchy("0" * 64, numeric_background)

@@ -133,3 +133,113 @@ class TestScenarioCommands:
             main(["tables", "stray-arg"])
         captured = capsys.readouterr()
         assert "only run-scenario" in captured.err
+
+
+class TestStoreCommands:
+    def test_save_load_roundtrip_sqlite(self, tmp_path, capsys):
+        store = str(tmp_path / "runs.sqlite")
+        exit_code = main(
+            ["save-session", "smoke", "--store", store, "--name", "snap", "--json"]
+        )
+        saved = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert saved["rows"][0]["checkpoint"] == "snap"
+        assert saved["rows"][0]["bytes"] > 0
+
+        exit_code = main(
+            ["load-session", "--store", store, "--name", "snap",
+             "--queries", "2", "--json"]
+        )
+        loaded = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert loaded["rows"][0]["queries"] == 2
+        assert loaded["rows"][0]["peers"] == saved["rows"][0]["peers"]
+
+    def test_save_session_mid_run_and_inspect(self, tmp_path, capsys):
+        """--hours checkpoints *inside* the horizon; load-session continues it."""
+        store = str(tmp_path / "runs")
+        exit_code = main(
+            ["save-session", "smoke", "--store", store, "--hours", "0.5", "--json"]
+        )
+        saved = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert saved["rows"][0]["at_hours"] == pytest.approx(0.5)
+
+        exit_code = main(["inspect-store", "--store", store, "--json"])
+        inspected = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        kinds = {row["kind"] for row in inspected["rows"]}
+        assert "checkpoint" in kinds
+
+        # The interrupted-and-continued run matches the uninterrupted one:
+        # load-session resumes at 0.5 h, runs to the smoke horizon (1 h) and
+        # reports the same figures as a direct run-scenario.
+        exit_code = main(["run-scenario", "smoke", "--queries", "3", "--json"])
+        direct = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        exit_code = main(
+            ["load-session", "--store", store, "--queries", "3", "--json"]
+        )
+        continued = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert continued["rows"][0]["simulated_hours"] == pytest.approx(1.0)
+        for column in (
+            "mean_results",
+            "mean_query_messages",
+            "mean_worst_stale_fraction",
+            "push_messages",
+            "reconciliations",
+            "query_messages_total",
+        ):
+            assert continued["rows"][0][column] == direct["rows"][0][column]
+
+    def test_load_session_matches_run_scenario(self, tmp_path, capsys):
+        """A saved-then-loaded scenario reports the same figures as a direct run."""
+        exit_code = main(
+            ["run-scenario", "smoke", "--queries", "3", "--seed", "5", "--json"]
+        )
+        direct = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+
+        store = str(tmp_path / "runs.sqlite")
+        main(["save-session", "smoke", "--store", store, "--seed", "5", "--json"])
+        capsys.readouterr()
+        exit_code = main(
+            ["load-session", "--store", store, "--queries", "3", "--json"]
+        )
+        loaded = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        for column in (
+            "mean_results",
+            "mean_query_messages",
+            "mean_worst_stale_fraction",
+            "push_messages",
+            "reconciliations",
+            "query_messages_total",
+        ):
+            assert loaded["rows"][0][column] == direct["rows"][0][column]
+
+    def test_run_scenario_cache_dir_produces_identical_output(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["run-scenario", "smoke", "--queries", "2", "--json",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["rows"] == cold["rows"]
+
+    def test_store_commands_require_store_flag(self, capsys):
+        for command in (["save-session", "smoke"], ["load-session"],
+                        ["inspect-store"]):
+            with pytest.raises(SystemExit):
+                main(command)
+            assert "--store" in capsys.readouterr().err
+
+    def test_load_unknown_checkpoint_rejected(self, tmp_path, capsys):
+        store = str(tmp_path / "empty.sqlite")
+        main(["save-session", "smoke", "--store", store, "--name", "exists"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["load-session", "--store", store, "--name", "missing"])
+        assert "exists" in capsys.readouterr().err

@@ -46,6 +46,19 @@ class TestPublicSurface:
         assert answer.results >= 1
         assert answer.total_messages >= answer.results
         assert answer.staleness is not None
+        # ... and so does its persistence section.
+        store = repro.InMemoryBackend()
+        assert session.checkpoint(store) == "session"
+        resumed = repro.SystemBuilder.from_checkpoint(store)
+        assert resumed.query().routing == session.query().routing
+
+    def test_module_docstring_doctests_pass(self):
+        """The quick tour is a real doctest, executed verbatim."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 8
+        assert results.failed == 0
 
     def test_summarization_substrate_still_direct(self):
         """The low-level summarization engine remains usable on its own."""
