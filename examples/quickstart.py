@@ -35,6 +35,7 @@ from repro import (
     SummaryHierarchy,
     SystemBuilder,
     medical_background_knowledge,
+    open_store,
     reformulate,
 )
 from repro.network.overlay import Overlay
@@ -158,6 +159,40 @@ def main() -> None:
           f"in {restore_ms:.0f} ms (no summary reconstruction)")
     print(f"  resumed session answers identically: "
           f"{resumed_answer.routing == session.query(query=crisp).routing}")
+
+    # -- delta checkpoints, GC and domain cold starts ------------------------------
+    # A second checkpoint taken as a delta persists only what changed since
+    # the base (the two queries above advanced counters and RNG state); the
+    # chain restores transparently.  gc() reclaims snapshots nothing
+    # references any more.
+    with open_store(str(store_path)) as store:
+        session.checkpoint(store, name="quickstart-later", base="quickstart")
+        delta_bytes = store.size_bytes("checkpoint", "quickstart-later")
+        full_bytes = store.size_bytes("checkpoint", "quickstart")
+        print(f"delta checkpoint: {delta_bytes} B vs {full_bytes} B full "
+              f"({delta_bytes / full_bytes:.0%})")
+        report = store.gc()
+        print(f"gc: {report.deleted_count} unreachable snapshots reclaimed, "
+              f"{report.live} live")
+
+        # Store-backed cold start: with a store attached, reconciliations
+        # archive each domain's head; a restarted summary peer then installs
+        # its global summary by hash lookup and pulls only the partners that
+        # changed since, instead of re-merging every local summary.
+        session.attach_store(store)
+        system = session.system
+        for sp_id, domain in system.domains.items():
+            system.maintenance.reconcile(
+                domain, local_summaries=system.local_summaries()
+            )
+        sp_id = max(session.domains, key=lambda d: len(session.domains[d].partner_ids))
+        record = session.cold_start_domain(sp_id)
+        print(f"cold start of {sp_id}: restored from snapshot "
+              f"{str(record.restored_snapshot)[:12]}..., "
+              f"{record.messages} ring messages instead of {record.full_messages}")
+        # The session keeps using an attached store: detach before the
+        # with-block closes the backend.
+        session.detach_store()
 
 
 if __name__ == "__main__":

@@ -42,6 +42,24 @@ exactly as the original would have:
 >>> resumed.query().routing == session.query().routing
 True
 
+Checkpoints can be *incremental*: ``base=`` persists only what changed since
+an earlier checkpoint (a structural delta, restored transparently through
+its base chain), and ``store.gc()`` reclaims content-addressed snapshots no
+retained checkpoint or domain head references any more:
+
+>>> session.checkpoint(store, name="later", base="session")
+'later'
+>>> SystemBuilder.from_checkpoint(store, name="later").now == session.now
+True
+>>> store.gc().deleted_count  # everything is still referenced
+0
+
+Real-content sessions can additionally ``attach_store(...)``: every
+reconciliation then archives the domain's merged state, and a restarted
+summary peer *cold-starts* — ``cold_start_domain(sp_id)`` installs its global
+summary by snapshot-hash lookup and pulls only the partners that changed
+since, instead of re-reconciling the whole domain.
+
 Named parameter sets live in the scenario registry
 (``default_registry().session("table3-default")``); the low-level pieces —
 overlays, summaries, the :class:`SummaryManagementSystem` engine — remain
@@ -58,7 +76,7 @@ from repro.core.construction import DomainBuilder
 from repro.core.cooperation import CooperationList
 from repro.core.domain import Domain
 from repro.core.freshness import Freshness, FreshnessMode
-from repro.core.maintenance import MaintenanceEngine
+from repro.core.maintenance import ColdStartRecord, MaintenanceEngine
 from repro.core.protocol import SummaryManagementSystem
 from repro.core.routing import QueryRouter, QueryRoutingResult, RoutingPolicy
 from repro.core.service import LocalSummaryService
@@ -117,12 +135,15 @@ from repro.saintetiq.mapping import MappingService
 from repro.saintetiq.merging import merge_hierarchies
 from repro.saintetiq.summary import Summary
 from repro.store import (
+    DomainHeadArchive,
+    GcReport,
     InMemoryBackend,
     JsonDirectoryBackend,
     SessionCache,
     SnapshotStore,
     SqliteBackend,
     StoreBackend,
+    collect_garbage,
     open_store,
 )
 from repro.workloads.registry import ScenarioRegistry, default_registry
@@ -215,7 +236,11 @@ __all__ = [
     "SqliteBackend",
     "open_store",
     "SnapshotStore",
+    "DomainHeadArchive",
     "SessionCache",
+    "collect_garbage",
+    "GcReport",
+    "ColdStartRecord",
     # scenarios
     "SimulationScenario",
     "ScenarioRegistry",

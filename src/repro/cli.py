@@ -16,11 +16,15 @@ the terminal without going through pytest:
 * ``save-session``   — build a named scenario and checkpoint it into a store,
   optionally mid-simulation (``--hours`` picks the checkpoint time inside the
   scenario's horizon): ``python -m repro save-session smoke --store
-  runs.sqlite --hours 0.5``,
-* ``load-session``   — restore a checkpointed session, run it to its horizon
-  and pose a query batch (``python -m repro load-session --store runs.sqlite``),
-* ``inspect-store``  — list the checkpoints and content-addressed snapshots
-  of a store (``python -m repro inspect-store --store runs.sqlite``).
+  runs.sqlite --hours 0.5``; with ``--base <name>`` only the changes since an
+  earlier checkpoint are stored (a delta checkpoint),
+* ``load-session``   — restore a checkpointed session (delta chains resolve
+  transparently), run it to its horizon and pose a query batch
+  (``python -m repro load-session --store runs.sqlite``),
+* ``inspect-store``  — list the checkpoints (full or delta) and
+  content-addressed snapshots of a store; ``--gc`` reclaims snapshots no
+  checkpoint, delta chain or domain head references (``--gc-dry-run`` only
+  reports them).
 
 Every command accepts ``--sizes`` / ``--alphas`` / ``--hours`` / ``--seed``
 overrides and ``--json`` to emit machine-readable output; ``run-scenario``
@@ -105,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--name",
         default="session",
         help="checkpoint name inside the store (default: session)",
+    )
+    parser.add_argument(
+        "--base",
+        help="store a delta checkpoint against this earlier checkpoint "
+        "(save-session): only the changes since BASE are persisted",
+    )
+    parser.add_argument(
+        "--gc",
+        action="store_true",
+        help="collect unreachable snapshots while inspecting the store "
+        "(inspect-store); everything a checkpoint, delta chain or domain "
+        "head references is kept",
+    )
+    parser.add_argument(
+        "--gc-dry-run",
+        action="store_true",
+        help="like --gc but only report what a collection would reclaim",
     )
     parser.add_argument(
         "--cache-dir",
@@ -207,7 +228,8 @@ def _build_scenario_session(args: argparse.Namespace, scenario) -> "NetworkSessi
 
     key = dict(dataclasses.asdict(scenario))
     key["driver"] = "cli-run-scenario"
-    session, _warm = SessionCache(args.cache_dir).get_or_build(key, factory)
+    with SessionCache(args.cache_dir) as cache:
+        session, _warm = cache.get_or_build(key, factory)
     return session
 
 
@@ -306,24 +328,26 @@ def _save_session_table(args: argparse.Namespace) -> ExperimentTable:
         if session.horizon is not None:
             at = min(at, session.horizon)
         session.run_until(at)
-    backend = open_store(args.store)
-    session.checkpoint(backend, name=args.name)
+    kind = "Delta checkpoint" if args.base else "Checkpoint"
     table = ExperimentTable(
-        name=f"Checkpoint {args.name!r}",
-        columns=["store", "checkpoint", "peers", "domains", "at_hours", "bytes"],
+        name=f"{kind} {args.name!r}",
+        columns=["store", "checkpoint", "base", "peers", "domains", "at_hours", "bytes"],
         expectation="resume with: repro load-session --store "
         f"{args.store} --name {args.name}",
         parameters={"scenario": args.scenario, "seed": scenario.seed},
     )
-    table.add_row(
-        store=backend.location(),
-        checkpoint=args.name,
-        peers=session.overlay.size,
-        domains=len(session.domains),
-        at_hours=session.now / 3600.0,
-        bytes=backend.size_bytes(CHECKPOINT_KIND, args.name)
-        + SnapshotStore(backend).size_bytes(),
-    )
+    with open_store(args.store) as backend:
+        session.checkpoint(backend, name=args.name, base=args.base)
+        table.add_row(
+            store=backend.location(),
+            checkpoint=args.name,
+            base=args.base or "-",
+            peers=session.overlay.size,
+            domains=len(session.domains),
+            at_hours=session.now / 3600.0,
+            bytes=backend.size_bytes(CHECKPOINT_KIND, args.name)
+            + SnapshotStore(backend).size_bytes(),
+        )
     return table
 
 
@@ -341,18 +365,39 @@ def _load_session_table(args: argparse.Namespace) -> ExperimentTable:
 
 
 def _inspect_store_table(args: argparse.Namespace) -> ExperimentTable:
-    from repro.store import open_store
+    from repro.store import CHECKPOINT_KIND, collect_garbage, open_store
 
-    backend = open_store(args.store)
     table = ExperimentTable(
-        name=f"Store {backend.location()}",
-        columns=["kind", "key", "bytes"],
+        name=f"Store {args.store}",
+        columns=["kind", "key", "bytes", "details"],
         expectation="checkpoints restore with load-session; snapshots are "
-        "content-addressed summary hierarchies (shared across checkpoints)",
+        "content-addressed summary hierarchies (shared across checkpoints); "
+        "--gc reclaims snapshots nothing references",
     )
-    for kind in backend.kinds():
-        for key in backend.keys(kind):
-            table.add_row(kind=kind, key=key, bytes=backend.size_bytes(kind, key))
+    with open_store(args.store) as backend:
+        if args.gc or args.gc_dry_run:
+            report = collect_garbage(backend, dry_run=args.gc_dry_run)
+            action = "would reclaim" if report.dry_run else "reclaimed"
+            table.add_row(
+                kind="gc",
+                key="report",
+                bytes=report.reclaimed_bytes,
+                details=f"{action} {report.deleted_count} of {report.scanned} "
+                f"snapshots ({report.live} live)",
+            )
+        for kind in backend.kinds():
+            for key in backend.keys(kind):
+                details = ""
+                if kind == CHECKPOINT_KIND:
+                    document = backend.get(kind, key)
+                    base = document.get("base")
+                    details = f"delta of {base}" if base else "full checkpoint"
+                table.add_row(
+                    kind=kind,
+                    key=key,
+                    bytes=backend.size_bytes(kind, key),
+                    details=details,
+                )
     return table
 
 

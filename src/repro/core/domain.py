@@ -79,6 +79,25 @@ class Domain:
             return set()
         return self.global_summary.peer_extent()
 
+    # -- cold-start support -----------------------------------------------------------------
+
+    def changed_partners_since(self, known_partners: Set[str]) -> List[str]:
+        """Partners whose summary the stored head cannot vouch for.
+
+        A partner must re-ship its local summary during a cold start when it
+        is *new* (absent from the archived head) or *stale* (it pushed a
+        freshness update since the head was recorded); everyone else's
+        contribution is rehydrated from the store.  Order follows the current
+        partner list so a cold-start merge visits partners exactly like a
+        full reconciliation would.
+        """
+        return [
+            peer_id
+            for peer_id in self.partner_ids
+            if peer_id not in known_partners
+            or self.cooperation.freshness_of(peer_id) is not Freshness.FRESH
+        ]
+
     # -- freshness views --------------------------------------------------------------------
 
     def fresh_partners(self) -> List[str]:

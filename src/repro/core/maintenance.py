@@ -13,15 +13,21 @@ resets every freshness value.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
 
 from repro.core.config import ProtocolConfig
 from repro.core.domain import Domain
 from repro.core.freshness import Freshness
+from repro.exceptions import StoreError
 from repro.network.messages import MessageType
 from repro.network.metrics import MessageCounter
 from repro.saintetiq.hierarchy import SummaryHierarchy
 from repro.saintetiq.merging import merge_hierarchies
+from repro.saintetiq.serialization import hierarchy_content_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fuzzy.background import BackgroundKnowledge
+    from repro.store.snapshots import DomainHeadArchive, SnapshotStore
 
 
 @dataclass
@@ -36,12 +42,36 @@ class ReconciliationRecord:
 
 
 @dataclass
+class ColdStartRecord:
+    """One store-backed domain cold start (see :meth:`MaintenanceEngine.cold_start`)."""
+
+    summary_peer_id: str
+    time: float
+    #: Snapshot hash the global summary was installed from (``None`` when the
+    #: cold start fell back to a full reconciliation).
+    restored_snapshot: Optional[str]
+    #: Partners that had to re-ship their local summary (the delta since the head).
+    changed_partners: List[str]
+    removed_partners: List[str]
+    #: Ring messages actually spent.
+    messages: int
+    #: Ring messages a full reconciliation would have spent instead.
+    full_messages: int
+    fallback: bool = False
+
+    @property
+    def messages_saved(self) -> int:
+        return self.full_messages - self.messages
+
+
+@dataclass
 class MaintenanceStats:
     """Aggregate maintenance activity of one engine."""
 
     push_messages: int = 0
     reconciliations: int = 0
     reconciliation_messages: int = 0
+    cold_starts: int = 0
     history: List[ReconciliationRecord] = field(default_factory=list)
 
     def reconciliation_frequency(self, duration_seconds: float) -> float:
@@ -62,6 +92,9 @@ class MaintenanceEngine:
         self._config = config or ProtocolConfig()
         self._counter = counter if counter is not None else MessageCounter()
         self._stats = MaintenanceStats()
+        self._snapshots: Optional["SnapshotStore"] = None
+        self._archive: Optional["DomainHeadArchive"] = None
+        self._background: Optional["BackgroundKnowledge"] = None
 
     @property
     def config(self) -> ProtocolConfig:
@@ -74,6 +107,62 @@ class MaintenanceEngine:
     @property
     def stats(self) -> MaintenanceStats:
         return self._stats
+
+    # -- persistence hooks -------------------------------------------------------------------
+
+    def attach_store(
+        self,
+        snapshots: "SnapshotStore",
+        archive: "DomainHeadArchive",
+        background: Optional["BackgroundKnowledge"] = None,
+    ) -> None:
+        """Enable store-backed maintenance.
+
+        Once attached, every materialising reconciliation files its result in
+        the archive (global summary + per-partner local summaries, all
+        content-addressed), and :meth:`cold_start` can rebuild a restarted
+        summary peer's global summary from that head instead of pulling every
+        partner through a full ring.  ``background`` is needed to rehydrate
+        archived hierarchies during a cold start.
+
+        The engine holds the store for as long as it stays attached: call
+        :meth:`detach_store` before closing the underlying backend, or the
+        next materialising reconciliation will fail trying to archive its
+        head.
+        """
+        self._snapshots = snapshots
+        self._archive = archive
+        self._background = background
+
+    def detach_store(self) -> None:
+        """Stop archiving heads (call before closing the attached backend)."""
+        self._snapshots = None
+        self._archive = None
+        self._background = None
+
+    @property
+    def store_attached(self) -> bool:
+        return self._archive is not None and self._snapshots is not None
+
+    def _record_head(
+        self,
+        domain: Domain,
+        contributions: List[tuple],
+        now: float,
+    ) -> Optional[str]:
+        """Archive the domain's merged state; returns the global summary hash."""
+        assert self._snapshots is not None and self._archive is not None
+        if domain.global_summary is None:
+            return None
+        partner_hashes = [
+            [peer_id, self._snapshots.put_hierarchy(hierarchy)]
+            for peer_id, hierarchy in contributions
+        ]
+        digest = self._snapshots.put_hierarchy(domain.global_summary)
+        self._archive.record_head(
+            domain.summary_peer_id, digest, partner_hashes, time=now
+        )
+        return digest
 
     # -- push phase --------------------------------------------------------------------------
 
@@ -158,22 +247,16 @@ class MaintenanceEngine:
         domain.cooperation.reset_all(now=now)
 
         if local_summaries is not None:
-            hierarchies = [
-                local_summaries[peer_id]
-                for peer_id in available
-                if peer_id in local_summaries
-                and not local_summaries[peer_id].is_empty()
-            ]
-            if domain.summary_peer_id in local_summaries and (
-                domain.summary_peer_id not in available
-            ):
-                own = local_summaries[domain.summary_peer_id]
-                if not own.is_empty():
-                    hierarchies.append(own)
-            if hierarchies:
+            contributions = self._live_contributions(domain, local_summaries, available)
+            if contributions:
                 domain.install_global_summary(
-                    merge_hierarchies(hierarchies, owner=domain.summary_peer_id)
+                    merge_hierarchies(
+                        [hierarchy for _peer, hierarchy in contributions],
+                        owner=domain.summary_peer_id,
+                    )
                 )
+                if self.store_attached:
+                    self._record_head(domain, contributions, now)
 
         record = ReconciliationRecord(
             summary_peer_id=domain.summary_peer_id,
@@ -183,6 +266,192 @@ class MaintenanceEngine:
             messages=message_count,
         )
         self._stats.history.append(record)
+        return record
+
+    @staticmethod
+    def _live_contributions(
+        domain: Domain,
+        local_summaries: Mapping[str, SummaryHierarchy],
+        available: List[str],
+    ) -> List[tuple]:
+        """``(peer_id, hierarchy)`` pairs a full reconciliation merges, in order."""
+        contributions = [
+            (peer_id, local_summaries[peer_id])
+            for peer_id in available
+            if peer_id in local_summaries and not local_summaries[peer_id].is_empty()
+        ]
+        if domain.summary_peer_id in local_summaries and (
+            domain.summary_peer_id not in available
+        ):
+            own = local_summaries[domain.summary_peer_id]
+            if not own.is_empty():
+                contributions.append((domain.summary_peer_id, own))
+        return contributions
+
+    # -- cold start ---------------------------------------------------------------------------
+
+    def cold_start(
+        self,
+        domain: Domain,
+        local_summaries: Optional[Mapping[str, SummaryHierarchy]] = None,
+        available_partners: Optional[Set[str]] = None,
+        now: float = 0.0,
+    ) -> ColdStartRecord:
+        """Rebuild a restarted summary peer's global summary from the store.
+
+        Instead of the full ring reconciliation — one message through *every*
+        available partner, each re-shipping its local summary — the summary
+        peer looks up its archived head (:class:`DomainHeadArchive`), installs
+        the archived contributions by snapshot-hash lookup, and only contacts
+        the partners that *changed since*: new partners the head never saw and
+        partners whose freshness is no longer FRESH.  The merge visits
+        partners in exactly the order a full reconciliation would, so when
+        unchanged partners really are unchanged the installed global summary
+        is byte-identical to a full reconciliation's — at ``len(changed) + 1``
+        ring messages instead of ``len(available) + 1``.
+
+        Falls back to :meth:`reconcile` (and says so in the record) when no
+        head was ever archived for this domain, or when no local summaries
+        are supplied (planned-content mode has nothing to merge).
+        """
+        if not self.store_attached:
+            raise StoreError(
+                "cold_start needs an attached store: call attach_store(...) "
+                "with the snapshot store and domain-head archive first"
+            )
+        assert self._snapshots is not None and self._archive is not None
+        head = self._archive.head(domain.summary_peer_id)
+
+        partner_ids = list(domain.partner_ids)
+        if available_partners is None:
+            available = [
+                p for p in partner_ids
+                if domain.cooperation.freshness_of(p) is not Freshness.UNAVAILABLE
+            ]
+        else:
+            available = [p for p in partner_ids if p in available_partners]
+        # What the full reconciliation this replaces would have charged —
+        # honouring the same ring-hop accounting switch as reconcile().
+        if self._config.count_reconciliation_ring_hops:
+            full_messages = len(available) + 1 if available else 1
+        else:
+            full_messages = 1
+
+        if head is None or local_summaries is None:
+            fallback = self.reconcile(
+                domain,
+                local_summaries=local_summaries,
+                available_partners=available_partners,
+                now=now,
+            )
+            return ColdStartRecord(
+                summary_peer_id=domain.summary_peer_id,
+                time=now,
+                restored_snapshot=None,
+                changed_partners=list(fallback.participants),
+                removed_partners=list(fallback.removed_partners),
+                messages=fallback.messages,
+                full_messages=full_messages,
+                fallback=True,
+            )
+
+        if self._background is None:
+            raise StoreError(
+                "cold_start must rehydrate archived hierarchies: attach the "
+                "store with the common background knowledge"
+            )
+
+        stored_pairs = [(peer_id, digest) for peer_id, digest in head["partners"]]
+        stored_partners: Dict[str, str] = dict(stored_pairs)
+        changed = set(domain.changed_partners_since(set(stored_partners)))
+        removed = [p for p in partner_ids if p not in available]
+        sp_id = domain.summary_peer_id
+
+        # Plan the contributions in full-reconciliation order: ``None`` marks
+        # a live local summary (the partner must re-ship it), a digest marks a
+        # store rehydration (no message needed).
+        plan: List[tuple] = []
+        for peer_id in available:
+            if peer_id in changed:
+                live = local_summaries.get(peer_id)
+                if live is not None and not live.is_empty():
+                    plan.append((peer_id, None, live))
+            elif peer_id in stored_partners:
+                plan.append((peer_id, stored_partners[peer_id], None))
+        if sp_id in local_summaries and sp_id not in available:
+            own = local_summaries[sp_id]
+            if not own.is_empty():
+                # The summary peer's own contribution is local (never a ring
+                # message); when it still hashes to the archived digest it
+                # counts as unchanged, keeping the no-merge fast path
+                # reachable in the common nothing-changed restart.
+                own_digest = hierarchy_content_hash(own)
+                if stored_partners.get(sp_id) == own_digest:
+                    plan.append((sp_id, own_digest, None))
+                else:
+                    plan.append((sp_id, None, own))
+
+        changed_available = [p for p in available if p in changed]
+        if not changed_available:
+            message_count = 0
+        elif self._config.count_reconciliation_ring_hops:
+            message_count = len(changed_available) + 1
+        else:
+            message_count = 1
+        if message_count:
+            self._counter.record_type(MessageType.RECONCILIATION, message_count)
+            self._stats.reconciliation_messages += message_count
+        self._stats.cold_starts += 1
+
+        for peer_id in removed:
+            domain.remove_partner(peer_id)
+        domain.cooperation.reset_all(now=now)
+
+        restored_snapshot: Optional[str] = None
+        planned_pairs = [(peer_id, digest) for peer_id, digest, _live in plan]
+        if plan and planned_pairs == stored_pairs:
+            # Fast path: nothing changed since the head — install the archived
+            # global summary directly by hash lookup, no merge at all.
+            domain.install_global_summary(
+                self._snapshots.get_hierarchy(head["global_summary"], self._background)
+            )
+            restored_snapshot = head["global_summary"]
+        elif plan:
+            contributions = [
+                (
+                    peer_id,
+                    live
+                    if digest is None
+                    else self._snapshots.get_hierarchy(digest, self._background),
+                )
+                for peer_id, digest, live in plan
+            ]
+            domain.install_global_summary(
+                merge_hierarchies(
+                    [hierarchy for _peer, hierarchy in contributions],
+                    owner=sp_id,
+                )
+            )
+            restored_snapshot = self._record_head(domain, contributions, now)
+
+        record = ColdStartRecord(
+            summary_peer_id=sp_id,
+            time=now,
+            restored_snapshot=restored_snapshot,
+            changed_partners=changed_available,
+            removed_partners=removed,
+            messages=message_count,
+            full_messages=full_messages,
+        )
+        self._stats.history.append(
+            ReconciliationRecord(
+                summary_peer_id=sp_id,
+                time=now,
+                participants=changed_available,
+                removed_partners=removed,
+                messages=message_count,
+            )
+        )
         return record
 
     def maybe_reconcile(

@@ -24,7 +24,7 @@ from repro.core.construction import ConstructionReport, DomainBuilder
 from repro.core.content import ContentModel, PlannedContentModel, SummaryContentModel
 from repro.core.domain import Domain
 from repro.core.dynamicity import ChurnHandler
-from repro.core.maintenance import MaintenanceEngine
+from repro.core.maintenance import ColdStartRecord, MaintenanceEngine
 from repro.core.routing import (
     DomainQueryOutcome,
     QueryRouter,
@@ -234,6 +234,66 @@ class SummaryManagementSystem:
         return {
             peer_id: service.summary for peer_id, service in self._services.items()
         }
+
+    # -- persistence hooks ---------------------------------------------------------------------
+
+    def attach_store(self, target: object) -> None:
+        """Point the maintenance engine at a persistent store.
+
+        ``target`` is a store path or an opened
+        :class:`~repro.store.StoreBackend`.  Reconciliations then archive
+        each domain's head (global summary + per-partner local summaries,
+        content-addressed) and :meth:`cold_start_domain` can rebuild a
+        restarted summary peer from it.  Attachment itself sends no messages
+        and draws no randomness, so it never perturbs a running simulation.
+        Note that checkpoints do not capture the attachment: re-attach after
+        ``SystemBuilder.from_checkpoint``, exactly like the background
+        knowledge.  The system keeps using the backend until
+        :meth:`detach_store` — detach before closing a backend you opened,
+        or the next materialising reconciliation will fail archiving its
+        head.
+        """
+        from repro.store.backend import open_store
+        from repro.store.snapshots import DomainHeadArchive, SnapshotStore
+
+        backend = open_store(target)
+        self._maintenance.attach_store(
+            SnapshotStore(backend),
+            DomainHeadArchive(backend),
+            background=self._background,
+        )
+
+    def detach_store(self) -> None:
+        """Stop archiving reconciliation heads (see :meth:`attach_store`)."""
+        self._maintenance.detach_store()
+
+    def cold_start_domain(self, sp_id: str) -> ColdStartRecord:
+        """Store-backed cold start of one domain's restarted summary peer.
+
+        The domain's global summary is installed from the archived head
+        (snapshot-hash lookup) and only the partners that changed since —
+        new joiners and stale pushers — are pulled, instead of re-reconciling
+        every partner from scratch.  See
+        :meth:`repro.core.maintenance.MaintenanceEngine.cold_start`.
+        """
+        domain = self._domains.get(sp_id)
+        if domain is None:
+            raise ProtocolError(f"{sp_id!r} is not a live summary peer")
+        online = {
+            peer_id
+            for peer_id in domain.partner_ids
+            if self._overlay.peer(peer_id).online
+            and self._assignment.get(peer_id) == sp_id
+        }
+        local = self.local_summaries() if self._services else None
+        record = self._maintenance.cold_start(
+            domain,
+            local_summaries=local,
+            available_partners=online,
+            now=self._simulator.now,
+        )
+        self._described[sp_id] = set(domain.partner_ids)
+        return record
 
     # -- construction --------------------------------------------------------------------------
 

@@ -728,6 +728,7 @@ class NetworkSession:
         self,
         target: Union[None, str, "StoreBackend"],
         name: str = "session",
+        base: Optional[str] = None,
     ) -> str:
         """Persist this session's full state into a store.
 
@@ -736,10 +737,36 @@ class NetworkSession:
         modification event; hierarchies are stored content-addressed so
         identical summaries are persisted once.  Resume with
         :meth:`SystemBuilder.from_checkpoint`.  Returns the checkpoint name.
+
+        ``base=<earlier checkpoint name>`` stores a *delta* checkpoint: only
+        the structural diff against the base's payload, a small fraction of
+        the full document for nearby simulation times.  Delta chains restore
+        transparently, but the base checkpoint must stay in the store.
         """
         from repro.store.checkpoint import save_session
 
-        return save_session(self, target, name=name)
+        return save_session(self, target, name=name, base=base)
+
+    def attach_store(self, target: Union[None, str, "StoreBackend"]) -> None:
+        """Archive reconciliation heads in a store (enables domain cold starts).
+
+        The session keeps using the store until :meth:`detach_store`; detach
+        before closing a backend you opened yourself.
+        """
+        self._system.attach_store(target)
+
+    def detach_store(self) -> None:
+        """Stop archiving reconciliation heads (see :meth:`attach_store`)."""
+        self._system.detach_store()
+
+    def cold_start_domain(self, sp_id: str):
+        """Store-backed cold start of one restarted summary peer's domain.
+
+        Returns the :class:`~repro.core.maintenance.ColdStartRecord` saying
+        what was restored by hash lookup and which partners had to re-ship
+        their local summaries.
+        """
+        return self._system.cold_start_domain(sp_id)
 
     # -- simulation --------------------------------------------------------------------
 

@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import CacheTarget, run_maintenance_simulation
+from repro.experiments.runner import (
+    CacheTarget,
+    run_maintenance_simulation,
+    shared_session_cache,
+)
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import DEFAULT_ALPHAS, DEFAULT_DOMAIN_SIZES
 
@@ -44,22 +48,24 @@ def run_figure4(
         },
     )
     registry = default_registry()
-    for alpha in alphas:
-        for size in domain_sizes:
-            scenario = registry.scenario(
-                "maintenance",
-                peer_count=size,
-                alpha=alpha,
-                duration_seconds=duration_seconds,
-                seed=seed,
-            )
-            run = run_maintenance_simulation(scenario, cache=cache)
-            table.add_row(
-                domain_size=size,
-                alpha=alpha,
-                stale_fraction=run.mean_worst_stale_fraction,
-                real_stale_fraction=run.mean_real_stale_fraction,
-            )
+    # One cache for the α × size sweep (opened/closed once, shared restores).
+    with shared_session_cache(cache) as sweep_cache:
+        for alpha in alphas:
+            for size in domain_sizes:
+                scenario = registry.scenario(
+                    "maintenance",
+                    peer_count=size,
+                    alpha=alpha,
+                    duration_seconds=duration_seconds,
+                    seed=seed,
+                )
+                run = run_maintenance_simulation(scenario, cache=sweep_cache)
+                table.add_row(
+                    domain_size=size,
+                    alpha=alpha,
+                    stale_fraction=run.mean_worst_stale_fraction,
+                    real_stale_fraction=run.mean_real_stale_fraction,
+                )
     return table
 
 

@@ -12,7 +12,11 @@ from typing import List, Optional, Sequence
 
 from repro.costmodel.update_cost import UpdateCostModel
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import CacheTarget, run_maintenance_simulation
+from repro.experiments.runner import (
+    CacheTarget,
+    run_maintenance_simulation,
+    shared_session_cache,
+)
 from repro.workloads.registry import default_registry
 from repro.workloads.scenarios import DEFAULT_DOMAIN_SIZES
 
@@ -47,30 +51,32 @@ def run_figure6(
         parameters={"duration_seconds": duration_seconds, "seed": seed},
     )
     registry = default_registry()
-    for alpha in alphas:
-        for size in domain_sizes:
-            scenario = registry.scenario(
-                "maintenance",
-                peer_count=size,
-                alpha=alpha,
-                duration_seconds=duration_seconds,
-                seed=seed,
-            )
-            run = run_maintenance_simulation(scenario, cache=cache)
-            model = UpdateCostModel(
-                domain_size=size,
-                lifetime_seconds=scenario.lifetime_mean_seconds,
-                alpha=alpha,
-            )
-            table.add_row(
-                domain_size=size,
-                alpha=alpha,
-                total_messages=run.update_messages,
-                messages_per_node=run.messages_per_node,
-                push_messages=run.push_messages,
-                reconciliations=run.reconciliations,
-                model_messages_per_node=model.messages_per_node(duration_seconds),
-            )
+    # One cache for the α × size sweep (opened/closed once, shared restores).
+    with shared_session_cache(cache) as sweep_cache:
+        for alpha in alphas:
+            for size in domain_sizes:
+                scenario = registry.scenario(
+                    "maintenance",
+                    peer_count=size,
+                    alpha=alpha,
+                    duration_seconds=duration_seconds,
+                    seed=seed,
+                )
+                run = run_maintenance_simulation(scenario, cache=sweep_cache)
+                model = UpdateCostModel(
+                    domain_size=size,
+                    lifetime_seconds=scenario.lifetime_mean_seconds,
+                    alpha=alpha,
+                )
+                table.add_row(
+                    domain_size=size,
+                    alpha=alpha,
+                    total_messages=run.update_messages,
+                    messages_per_node=run.messages_per_node,
+                    push_messages=run.push_messages,
+                    reconciliations=run.reconciliations,
+                    model_messages_per_node=model.messages_per_node(duration_seconds),
+                )
     return table
 
 

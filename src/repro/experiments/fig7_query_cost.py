@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import ExperimentTable
-from repro.experiments.runner import CacheTarget, run_query_cost_comparison
+from repro.experiments.runner import (
+    CacheTarget,
+    run_query_cost_comparison,
+    shared_session_cache,
+)
 from repro.workloads.scenarios import DEFAULT_NETWORK_SIZES
 
 PAPER_EXPECTATION = (
@@ -50,29 +54,31 @@ def run_figure7(
             "seed": seed,
         },
     )
-    for size in network_sizes:
-        run = run_query_cost_comparison(
-            peer_count=size,
-            query_count=queries_per_size,
-            hit_rate=hit_rate,
-            flooding_ttl=flooding_ttl,
-            seed=seed,
-            cache=cache,
-        )
-        ratio = (
-            run.flooding_messages / run.summary_querying_messages
-            if run.summary_querying_messages > 0
-            else float("inf")
-        )
-        table.add_row(
-            peers=size,
-            sq_messages=run.summary_querying_messages,
-            flooding_messages=run.flooding_messages,
-            centralized_messages=run.centralized_messages,
-            sq_model=run.model_summary_querying_messages,
-            centralized_model=run.model_centralized_messages,
-            flooding_over_sq=ratio,
-        )
+    # One cache for the whole size sweep (opened/closed once).
+    with shared_session_cache(cache) as sweep_cache:
+        for size in network_sizes:
+            run = run_query_cost_comparison(
+                peer_count=size,
+                query_count=queries_per_size,
+                hit_rate=hit_rate,
+                flooding_ttl=flooding_ttl,
+                seed=seed,
+                cache=sweep_cache,
+            )
+            ratio = (
+                run.flooding_messages / run.summary_querying_messages
+                if run.summary_querying_messages > 0
+                else float("inf")
+            )
+            table.add_row(
+                peers=size,
+                sq_messages=run.summary_querying_messages,
+                flooding_messages=run.flooding_messages,
+                centralized_messages=run.centralized_messages,
+                sq_model=run.model_summary_querying_messages,
+                centralized_model=run.model_centralized_messages,
+                flooding_over_sq=ratio,
+            )
     return table
 
 

@@ -9,8 +9,9 @@ figure modules turn them into :class:`ExperimentTable` rows.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.backend import StoreBackend
@@ -49,9 +50,39 @@ def _cached_session(
         return factory()
     from repro.store.cache import SessionCache
 
-    session_cache = cache if isinstance(cache, SessionCache) else SessionCache(cache)
-    session, _warm = session_cache.get_or_build(key_parameters, factory)
-    return session
+    if isinstance(cache, SessionCache):
+        session, _warm = cache.get_or_build(key_parameters, factory)
+        return session
+    # Opened here, closed here; sweeps should pass one SessionCache (see
+    # shared_session_cache) to also amortise the open across points.
+    with SessionCache(cache) as session_cache:
+        session, _warm = session_cache.get_or_build(key_parameters, factory)
+        return session
+
+
+@contextmanager
+def shared_session_cache(cache: CacheTarget) -> Iterator[CacheTarget]:
+    """Normalise a cache target to one :class:`SessionCache` for a whole sweep.
+
+    A sweep that passes a path to every simulation would otherwise open (and,
+    for SQLite, leak) one backend per swept point; this opens the cache once,
+    hands the same instance to every point, and closes it — only if it was
+    opened here — when the sweep finishes.  ``None`` and already-open caches
+    pass through untouched.
+    """
+    if cache is None:
+        yield None
+        return
+    from repro.store.cache import SessionCache
+
+    if isinstance(cache, SessionCache):
+        yield cache
+        return
+    opened = SessionCache(cache)
+    try:
+        yield opened
+    finally:
+        opened.close()
 
 
 def _scenario_key(scenario: SimulationScenario, **extra: object) -> Dict[str, object]:

@@ -23,13 +23,18 @@ from repro.network.topology import TopologyConfig, power_law_topology
 class Overlay:
     """A topology graph plus the per-node protocol-visible state."""
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(self, graph: nx.Graph, rng: Optional[random.Random] = None) -> None:
         if graph.number_of_nodes() == 0:
             raise NetworkError("cannot build an overlay over an empty graph")
         self._graph = graph
         self._peers: Dict[str, PeerNode] = {
             node: PeerNode(peer_id=node) for node in graph.nodes
         }
+        # The overlay's own tie-breaking RNG: selective walks invoked without
+        # an explicit rng draw from this shared, advancing stream instead of a
+        # fresh Random(0) per call (which replayed identical tie-breaks and
+        # biased repeated walks on regular graphs).
+        self._rng = rng if rng is not None else random.Random(0)
         # Latency queries to a same destination (typically a summary peer) are
         # frequent; cache single-source shortest-path distances per destination.
         self._latency_cache: Dict[str, Dict[str, float]] = {}
@@ -45,6 +50,11 @@ class Overlay:
     @property
     def graph(self) -> nx.Graph:
         return self._graph
+
+    @property
+    def rng(self) -> random.Random:
+        """The overlay's default tie-breaking RNG (checkpointed with sessions)."""
+        return self._rng
 
     @property
     def peer_ids(self) -> List[str]:
@@ -192,9 +202,11 @@ class Overlay:
         Stops when ``stop_condition(peer_id)`` holds (returning that peer and
         the number of hops walked) or when ``max_hops`` is exhausted (returning
         ``(None, hops)``).  Ties on degree are broken at random to avoid
-        pathological loops on regular graphs.
+        pathological loops on regular graphs; without an explicit ``rng`` the
+        overlay's own advancing RNG is used, so repeated default walks from
+        the same origin explore different tie-breaks instead of replaying one.
         """
-        rng = rng or random.Random(0)
+        rng = rng if rng is not None else self._rng
         if stop_condition(origin):
             return origin, 0
         visited: Set[str] = {origin}

@@ -13,12 +13,22 @@ matching persistence layer:
 * **Checkpoints** (:mod:`repro.store.checkpoint`) — capture/restore of a full
   :class:`~repro.core.session.NetworkSession`; the restored session's query
   routing, staleness and traffic output is byte-identical to the original.
+  ``save_session(..., base=...)`` stores *delta* checkpoints — structural
+  patches (:mod:`repro.store.deltas`) against an earlier checkpoint — that
+  restore transparently through their base chain.
+* **Garbage collection** (:mod:`repro.store.gc`) — ``collect_garbage`` (also
+  reachable as ``backend.gc()``) reclaims snapshots no retained checkpoint,
+  delta chain or domain head references.
+* **Domain heads** (:class:`~repro.store.snapshots.DomainHeadArchive`) — the
+  per-domain summary state the maintenance engine archives at each
+  reconciliation, enabling store-backed summary-peer cold starts.
 * **Warm-start cache** (:mod:`repro.store.cache`) — experiment drivers reuse
   built sessions across sweeps instead of reconstructing them.
 
 The high-level entry points live on the session façade:
-``NetworkSession.checkpoint(target)`` and
-``SystemBuilder.from_checkpoint(target)``.
+``NetworkSession.checkpoint(target, base=...)``,
+``SystemBuilder.from_checkpoint(target)``,
+``NetworkSession.attach_store(target)`` / ``cold_start_domain(sp_id)``.
 """
 
 from repro.store.backend import (
@@ -32,11 +42,19 @@ from repro.store.cache import SessionCache
 from repro.store.checkpoint import (
     CHECKPOINT_KIND,
     DEFAULT_CHECKPOINT_NAME,
+    checkpoint_base_chain,
     list_checkpoints,
     restore_session,
     save_session,
 )
-from repro.store.snapshots import SNAPSHOT_KIND, SnapshotStore
+from repro.store.deltas import apply_patch, diff_documents
+from repro.store.gc import GcReport, collect_garbage, snapshot_refcounts
+from repro.store.snapshots import (
+    DOMAIN_HEAD_KIND,
+    SNAPSHOT_KIND,
+    DomainHeadArchive,
+    SnapshotStore,
+)
 
 __all__ = [
     "StoreBackend",
@@ -46,10 +64,18 @@ __all__ = [
     "open_store",
     "SnapshotStore",
     "SNAPSHOT_KIND",
+    "DomainHeadArchive",
+    "DOMAIN_HEAD_KIND",
     "SessionCache",
     "save_session",
     "restore_session",
     "list_checkpoints",
+    "checkpoint_base_chain",
     "CHECKPOINT_KIND",
     "DEFAULT_CHECKPOINT_NAME",
+    "diff_documents",
+    "apply_patch",
+    "collect_garbage",
+    "snapshot_refcounts",
+    "GcReport",
 ]

@@ -13,18 +13,30 @@ a content hash or a user-chosen name.  Three implementations ship:
 
 :func:`open_store` picks a backend from a path: ``None`` → memory, a
 ``.sqlite``/``.db``/``.sqlite3`` suffix → SQLite, anything else → directory.
+
+Lifecycle: every backend is a context manager.  ``close()`` releases held
+resources (the SQLite connection, most importantly) and flips the backend
+into a closed state in which **every** operation raises :class:`StoreError`
+— uniformly across the three implementations, so code that accidentally uses
+a store after closing it fails the same way everywhere instead of only under
+SQLite.
 """
 
 from __future__ import annotations
 
 import abc
 import json
+import os
 import re
 import sqlite3
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.exceptions import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.gc import GcReport
 
 #: Payloads are canonicalised on write: sorted keys, compact separators.
 _ENCODER = {"sort_keys": True, "separators": (",", ":")}
@@ -43,6 +55,9 @@ def _check_names(kind: str, key: str) -> None:
 
 class StoreBackend(abc.ABC):
     """The persistence contract: a namespaced JSON document store."""
+
+    def __init__(self) -> None:
+        self._closed = False
 
     @abc.abstractmethod
     def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
@@ -79,8 +94,41 @@ class StoreBackend(abc.ABC):
     def location(self) -> str:
         """Human-readable description of where the data lives."""
 
-    def close(self) -> None:  # pragma: no cover - only SQLite overrides
-        """Release any held resources (connections, file handles)."""
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError(
+                f"store {self.location()} is closed: reopen it before use"
+            )
+
+    def close(self) -> None:
+        """Release any held resources; further operations raise :class:`StoreError`."""
+        self._closed = True
+
+    def __enter__(self) -> "StoreBackend":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- conveniences ------------------------------------------------------------
+
+    def gc(self, dry_run: bool = False) -> "GcReport":
+        """Collect content-addressed snapshots unreachable from any checkpoint.
+
+        Delegates to :func:`repro.store.gc.collect_garbage`; see there for the
+        reachability rules (retained checkpoints, delta chains and recorded
+        domain heads all pin their snapshots).
+        """
+        from repro.store.gc import collect_garbage
+
+        return collect_garbage(self, dry_run=dry_run)
 
     def __contains__(self, kind_key: object) -> bool:
         if not (isinstance(kind_key, tuple) and len(kind_key) == 2):
@@ -93,9 +141,11 @@ class InMemoryBackend(StoreBackend):
     """Objects live in a process-local dict (no durability)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._objects: Dict[str, Dict[str, str]] = {}
 
     def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        self._ensure_open()
         _check_names(kind, key)
         try:
             encoded = json.dumps(payload, **_ENCODER)
@@ -104,6 +154,7 @@ class InMemoryBackend(StoreBackend):
         self._objects.setdefault(kind, {})[key] = encoded
 
     def get(self, kind: str, key: str) -> Dict[str, Any]:
+        self._ensure_open()
         _check_names(kind, key)
         try:
             return json.loads(self._objects[kind][key])
@@ -111,16 +162,20 @@ class InMemoryBackend(StoreBackend):
             raise StoreError(f"no stored object {kind}/{key}") from None
 
     def contains(self, kind: str, key: str) -> bool:
+        self._ensure_open()
         _check_names(kind, key)
         return key in self._objects.get(kind, {})
 
     def keys(self, kind: str) -> List[str]:
+        self._ensure_open()
         return sorted(self._objects.get(kind, {}))
 
     def kinds(self) -> List[str]:
+        self._ensure_open()
         return sorted(kind for kind, objects in self._objects.items() if objects)
 
     def delete(self, kind: str, key: str) -> None:
+        self._ensure_open()
         _check_names(kind, key)
         try:
             del self._objects[kind][key]
@@ -128,6 +183,7 @@ class InMemoryBackend(StoreBackend):
             raise StoreError(f"no stored object {kind}/{key}") from None
 
     def size_bytes(self, kind: str, key: str) -> int:
+        self._ensure_open()
         _check_names(kind, key)
         try:
             return len(self._objects[kind][key].encode("utf-8"))
@@ -146,6 +202,7 @@ class JsonDirectoryBackend(StoreBackend):
     """One ``<root>/<kind>/<key>.json`` file per object."""
 
     def __init__(self, root: Union[str, Path]) -> None:
+        super().__init__()
         self._root = Path(root)
         if self._root.exists() and not self._root.is_dir():
             raise StoreError(
@@ -162,18 +219,34 @@ class JsonDirectoryBackend(StoreBackend):
         return self._root / kind / f"{key}.json"
 
     def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        self._ensure_open()
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         try:
             encoded = json.dumps(payload, **_ENCODER)
         except (TypeError, ValueError) as exc:
             raise StoreError(f"payload for {kind}/{key} is not JSON-compatible: {exc}")
-        # Write-then-rename keeps readers from ever seeing a half-written file.
-        temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(encoded, encoding="utf-8")
-        temporary.replace(path)
+        # Atomic publish: the document is written to a uniquely named temp
+        # file in the same directory, then renamed over the target.  Readers
+        # (and the `*.json` key listing) never observe a half-written file —
+        # a crash mid-write leaves only an orphaned `*.tmp` the next `put`
+        # ignores, and the previously stored document stays intact.
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(encoded)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
 
     def get(self, kind: str, key: str) -> Dict[str, Any]:
+        self._ensure_open()
         path = self._path(kind, key)
         if not path.is_file():
             raise StoreError(f"no stored object {kind}/{key} under {self._root}")
@@ -183,15 +256,18 @@ class JsonDirectoryBackend(StoreBackend):
             raise StoreError(f"corrupt stored object {kind}/{key}: {exc}") from exc
 
     def contains(self, kind: str, key: str) -> bool:
+        self._ensure_open()
         return self._path(kind, key).is_file()
 
     def keys(self, kind: str) -> List[str]:
+        self._ensure_open()
         directory = self._root / kind
         if not directory.is_dir():
             return []
         return sorted(path.stem for path in directory.glob("*.json"))
 
     def kinds(self) -> List[str]:
+        self._ensure_open()
         return sorted(
             path.name
             for path in self._root.iterdir()
@@ -199,12 +275,14 @@ class JsonDirectoryBackend(StoreBackend):
         )
 
     def delete(self, kind: str, key: str) -> None:
+        self._ensure_open()
         path = self._path(kind, key)
         if not path.is_file():
             raise StoreError(f"no stored object {kind}/{key} under {self._root}")
         path.unlink()
 
     def size_bytes(self, kind: str, key: str) -> int:
+        self._ensure_open()
         path = self._path(kind, key)
         if not path.is_file():
             raise StoreError(f"no stored object {kind}/{key} under {self._root}")
@@ -221,6 +299,7 @@ class SqliteBackend(StoreBackend):
     """All objects in one SQLite file (table ``objects(kind, key, payload)``)."""
 
     def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
         self._path = Path(path)
         if self._path.parent and not self._path.parent.exists():
             self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -242,6 +321,7 @@ class SqliteBackend(StoreBackend):
         return self._path
 
     def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        self._ensure_open()
         _check_names(kind, key)
         try:
             encoded = json.dumps(payload, **_ENCODER)
@@ -254,6 +334,7 @@ class SqliteBackend(StoreBackend):
             )
 
     def _fetch(self, kind: str, key: str) -> Optional[str]:
+        self._ensure_open()
         _check_names(kind, key)
         row = self._connection.execute(
             "SELECT payload FROM objects WHERE kind = ? AND key = ?", (kind, key)
@@ -273,18 +354,22 @@ class SqliteBackend(StoreBackend):
         return self._fetch(kind, key) is not None
 
     def keys(self, kind: str) -> List[str]:
+        self._ensure_open()
         rows = self._connection.execute(
             "SELECT key FROM objects WHERE kind = ? ORDER BY key", (kind,)
         ).fetchall()
         return [row[0] for row in rows]
 
     def kinds(self) -> List[str]:
+        self._ensure_open()
         rows = self._connection.execute(
             "SELECT DISTINCT kind FROM objects ORDER BY kind"
         ).fetchall()
         return [row[0] for row in rows]
 
     def delete(self, kind: str, key: str) -> None:
+        self._ensure_open()
+        _check_names(kind, key)
         with self._connection:
             cursor = self._connection.execute(
                 "DELETE FROM objects WHERE kind = ? AND key = ?", (kind, key)
@@ -302,7 +387,9 @@ class SqliteBackend(StoreBackend):
         return str(self._path)
 
     def close(self) -> None:
-        self._connection.close()
+        if not self._closed:
+            self._connection.close()
+        super().close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SqliteBackend({self._path})"
@@ -326,3 +413,13 @@ def open_store(target: Union[None, str, Path, StoreBackend]) -> StoreBackend:
     if path.suffix.lower() in _SQLITE_SUFFIXES:
         return SqliteBackend(path)
     return JsonDirectoryBackend(path)
+
+
+def owns_backend(target: Union[None, str, Path, StoreBackend]) -> bool:
+    """Whether :func:`open_store` on ``target`` would *create* a backend.
+
+    Callers that open a store from a path are responsible for closing it;
+    callers handed an already-open :class:`StoreBackend` must leave its
+    lifecycle to whoever opened it.
+    """
+    return not isinstance(target, StoreBackend)

@@ -15,24 +15,49 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.fuzzy.background import BackgroundKnowledge
 from repro.saintetiq.serialization import content_hash
-from repro.store.backend import StoreBackend, open_store
+from repro.store.backend import StoreBackend, open_store, owns_backend
 from repro.store.checkpoint import CHECKPOINT_KIND, restore_session, save_session
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.session import NetworkSession
+    from repro.store.gc import GcReport
 
 
 class SessionCache:
-    """Content-keyed cache of built sessions over any store backend."""
+    """Content-keyed cache of built sessions over any store backend.
+
+    A cache opened from a path owns its backend: ``close()`` (or leaving a
+    ``with SessionCache(...) as cache:`` block) releases it.  A cache wrapped
+    around an already-open backend leaves that backend's lifecycle to whoever
+    opened it.
+    """
 
     def __init__(self, target: Union[None, str, StoreBackend]) -> None:
         self._backend = open_store(target)
+        self._owns_backend = owns_backend(target)
         self._hits = 0
         self._misses = 0
 
     @property
     def backend(self) -> StoreBackend:
         return self._backend
+
+    def close(self) -> None:
+        """Release the backend if this cache opened it."""
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "SessionCache":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def gc(self, dry_run: bool = False) -> "GcReport":
+        """Reclaim snapshots no cached checkpoint references any more."""
+        from repro.store.gc import collect_garbage
+
+        return collect_garbage(self._backend, dry_run=dry_run)
 
     @property
     def hits(self) -> int:

@@ -14,6 +14,18 @@ filed in the same backend's content-addressed :class:`SnapshotStore` and the
 checkpoint references them by hash, so identical hierarchies are stored once
 across peers, checkpoints and runs.
 
+Delta checkpoints
+-----------------
+``save_session(..., base=<name>)`` persists a *delta*: a structural patch
+(:mod:`repro.store.deltas`) against the resolved payload of the ``base``
+checkpoint, instead of the full document.  Between two nearby simulation
+times most of a checkpoint — the overlay adjacency, peer states, domains —
+is unchanged, so the delta is a small fraction of the full size.  Restoring
+a delta resolves its base chain first (a delta may build on another delta)
+and replays the patches; the resolved payload is byte-identical to what a
+full checkpoint at the same moment would have stored, so every continuation
+guarantee below applies unchanged.
+
 Determinism notes
 -----------------
 * Pending simulator events carry declarative specs (see
@@ -63,7 +75,8 @@ from repro.network.metrics import MessageCounter
 from repro.network.overlay import Overlay
 from repro.network.peer import PeerRole
 from repro.saintetiq.clustering import ClusteringParameters
-from repro.store.backend import StoreBackend, open_store
+from repro.store.backend import StoreBackend, open_store, owns_backend
+from repro.store.deltas import apply_patch, diff_documents
 from repro.store.snapshots import SnapshotStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,6 +118,10 @@ def _overlay_payload(overlay: Overlay) -> Dict[str, Any]:
     graph = overlay.graph
     return {
         "nodes": list(graph.nodes),
+        # The overlay's own tie-breaking RNG (used when a selective walk is
+        # invoked without an explicit one): its state must survive restore or
+        # post-restore default walks would diverge from the live session.
+        "rng": _rng_payload(overlay.rng),
         # Per-node adjacency in its exact iteration order (see module notes).
         "adjacency": [
             [node, [[nbr, graph.edges[node, nbr]["latency"]] for nbr in graph.adj[node]]]
@@ -139,6 +156,8 @@ def _overlay_from_payload(payload: Dict[str, Any]) -> Overlay:
             neighbour: adjacency[neighbour] for neighbour, _latency in neighbours
         }
     overlay = Overlay(graph)
+    if "rng" in payload:
+        _rng_restore(overlay.rng, payload["rng"])
     for state in payload["peers"]:
         peer = overlay.peer(state["peer_id"])
         peer.role = PeerRole(state["role"])
@@ -386,6 +405,7 @@ def capture_session(session: "NetworkSession") -> Tuple[Dict[str, Any], Snapshot
             "push_messages": system.maintenance.stats.push_messages,
             "reconciliations": system.maintenance.stats.reconciliations,
             "reconciliation_messages": system.maintenance.stats.reconciliation_messages,
+            "cold_starts": system.maintenance.stats.cold_starts,
             "history": [
                 {
                     "summary_peer_id": record.summary_peer_id,
@@ -421,21 +441,163 @@ def save_session(
     session: "NetworkSession",
     target: Union[None, str, StoreBackend],
     name: str = DEFAULT_CHECKPOINT_NAME,
+    base: Optional[str] = None,
 ) -> str:
     """Checkpoint ``session`` into ``target`` under ``name``; returns the name.
 
     ``target`` is a backend or a path (see :func:`repro.store.open_store`).
     Hierarchies are stored content-addressed alongside the checkpoint, so
     checkpoints sharing hierarchies share their storage.
+
+    With ``base=<existing checkpoint name>`` a *delta* checkpoint is stored
+    instead: only the structural patch against the base's resolved payload
+    (plus whatever new snapshots the session references).  The base — and,
+    transitively, its own base chain — must stay in the store for the delta
+    to restore; :func:`repro.store.gc.collect_garbage` treats the whole chain
+    as live.
     """
     backend = open_store(target)
-    payload, staging = capture_session(session)
-    destination = SnapshotStore(backend)
-    for digest in staging.hashes():
-        if not destination.contains(digest):
-            destination.put_payload(staging.get_payload(digest))
-    backend.put(CHECKPOINT_KIND, name, payload)
-    return name
+    try:
+        payload, staging = capture_session(session)
+        destination = SnapshotStore(backend)
+        for digest in staging.hashes():
+            if not destination.contains(digest):
+                destination.put_payload(staging.get_payload(digest))
+        if base is not None:
+            if base == name:
+                raise StoreError(
+                    f"a delta checkpoint cannot use itself as base ({name!r})"
+                )
+            # Guard indirect cycles too: overwriting a checkpoint with a
+            # delta whose base chain runs back through it (a → b → a) would
+            # destroy the full payload and leave both unrestorable.
+            base_chain = checkpoint_base_chain(backend, base)
+            if name in base_chain:
+                raise StoreError(
+                    f"a delta checkpoint cannot use itself as base: {base!r} "
+                    f"resolves through {name!r} "
+                    f"({' -> '.join(base_chain)})"
+                )
+            base_payload = resolve_checkpoint_payload(backend, base)
+            patch = diff_documents(base_payload, payload)
+            backend.put(
+                CHECKPOINT_KIND,
+                name,
+                {"format": _CHECKPOINT_FORMAT, "base": base, "patch": patch},
+            )
+        else:
+            backend.put(CHECKPOINT_KIND, name, payload)
+        return name
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
+# -- delta-chain resolution --------------------------------------------------------
+
+
+def _get_link(
+    backend: StoreBackend, name: str, referrer: Optional[str] = None
+) -> Dict[str, Any]:
+    """Fetch one chain link, turning a miss into a chain-context error.
+
+    One ``get`` per link on the common path; ``contains`` runs only on the
+    error path to distinguish a missing document from a corrupt one.
+    """
+    try:
+        return backend.get(CHECKPOINT_KIND, name)
+    except StoreError:
+        if backend.contains(CHECKPOINT_KIND, name):
+            raise  # stored but unreadable: surface the original error
+        suffix = "" if referrer is None else f" (base of {referrer!r})"
+        known = ", ".join(backend.keys(CHECKPOINT_KIND)) or "<none>"
+        raise StoreError(
+            f"no checkpoint {name!r}{suffix} in {backend.location()} "
+            f"(stored checkpoints: {known})"
+        ) from None
+
+
+def _walk_chain(
+    backend: StoreBackend,
+    name: str,
+    _cache: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Tuple[List[Tuple[str, Dict[str, Any]]], Optional[Dict[str, Any]]]:
+    """Fetch the chain links from ``name`` down, each document exactly once.
+
+    Returns ``(links, seed)`` where ``links`` is ``[(name, document), ...]``
+    ordered from ``name`` toward its base, and ``seed`` is the already
+    resolved payload of the first cached link met (the walk stops there), or
+    ``None`` when the walk reached the full base.
+    """
+    links: List[Tuple[str, Dict[str, Any]]] = []
+    seen: set = set()
+    current, referrer = name, None
+    while True:
+        if current in seen:
+            raise StoreError(
+                f"cyclic delta-checkpoint chain at {current!r}: "
+                f"{' -> '.join([link for link, _doc in links] + [current])}"
+            )
+        if _cache is not None and current in _cache:
+            return links, _cache[current]
+        document = _get_link(backend, current, referrer)
+        _check_format(document, current)
+        seen.add(current)
+        links.append((current, document))
+        base = document.get("base")
+        if base is None:
+            return links, None
+        referrer, current = current, base
+
+
+def checkpoint_base_chain(
+    target: Union[None, str, StoreBackend], name: str
+) -> List[str]:
+    """The chain ``[name, base, base-of-base, ...]`` ending at a full checkpoint.
+
+    A full checkpoint is its own one-element chain.  Raises :class:`StoreError`
+    on a missing link or a cyclic chain.
+    """
+    backend = open_store(target)
+    try:
+        links, _seed = _walk_chain(backend, name)
+        return [link for link, _document in links]
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
+def resolve_checkpoint_payload(
+    backend: StoreBackend,
+    name: str,
+    _cache: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """The full payload of a checkpoint, replaying its delta chain if any.
+
+    ``_cache`` (name → resolved payload) lets a caller resolving *many*
+    checkpoints — the GC resolves every stored one — replay each chain link
+    once instead of re-resolving shared prefixes per checkpoint; treat the
+    cached payloads as read-only.
+    """
+    if _cache is not None and name in _cache:
+        return _cache[name]
+    links, payload = _walk_chain(backend, name, _cache)
+    for link, document in reversed(links):
+        if "base" in document:
+            payload = apply_patch(payload, document["patch"])
+        else:
+            payload = document
+        if _cache is not None:
+            _cache[link] = payload
+    assert payload is not None  # a chain always ends in a full checkpoint
+    return payload
+
+
+def _check_format(document: Dict[str, Any], name: str) -> None:
+    if document.get("format") != _CHECKPOINT_FORMAT:
+        raise StoreError(
+            f"unsupported checkpoint format in {name!r}: {document.get('format')!r}"
+        )
 
 
 # -- restore ----------------------------------------------------------------------
@@ -450,22 +612,25 @@ def restore_session(
 
     Real-content checkpoints (databases + summaries) need the common
     ``background`` knowledge, exactly like the summary wire format; planned
-    content restores without one.
+    content restores without one.  Delta checkpoints are resolved through
+    their base chain transparently.
     """
+    backend = open_store(target)
+    try:
+        return _restore_session(backend, name, background)
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
+def _restore_session(
+    backend: StoreBackend,
+    name: str,
+    background: Optional[BackgroundKnowledge],
+) -> "NetworkSession":
     from repro.core.session import NetworkSession
 
-    backend = open_store(target)
-    if not backend.contains(CHECKPOINT_KIND, name):
-        known = ", ".join(backend.keys(CHECKPOINT_KIND)) or "<none>"
-        raise StoreError(
-            f"no checkpoint {name!r} in {backend.location()} "
-            f"(stored checkpoints: {known})"
-        )
-    payload = backend.get(CHECKPOINT_KIND, name)
-    if payload.get("format") != _CHECKPOINT_FORMAT:
-        raise StoreError(
-            f"unsupported checkpoint format: {payload.get('format')!r}"
-        )
+    payload = resolve_checkpoint_payload(backend, name)
     snapshots = SnapshotStore(backend)
     planned = payload["mode"] == "planned"
 
@@ -489,6 +654,7 @@ def restore_session(
     stats.push_messages = int(maintenance_payload["push_messages"])
     stats.reconciliations = int(maintenance_payload["reconciliations"])
     stats.reconciliation_messages = int(maintenance_payload["reconciliation_messages"])
+    stats.cold_starts = int(maintenance_payload.get("cold_starts", 0))
     stats.history = [
         ReconciliationRecord(
             summary_peer_id=record["summary_peer_id"],
@@ -577,4 +743,9 @@ def restore_session(
 
 def list_checkpoints(target: Union[None, str, StoreBackend]) -> List[str]:
     """Names of the checkpoints stored in ``target``, sorted."""
-    return open_store(target).keys(CHECKPOINT_KIND)
+    backend = open_store(target)
+    try:
+        return backend.keys(CHECKPOINT_KIND)
+    finally:
+        if owns_backend(target):
+            backend.close()

@@ -1,0 +1,215 @@
+"""Structural JSON diff/patch: the encoding of delta checkpoints.
+
+The paper's maintenance protocol is incremental — peers push summary *deltas*,
+not full rebuilds — and checkpoints follow suit: a delta checkpoint persists
+only what changed since a *base* checkpoint.  Because summary hierarchies are
+already content-addressed (identical snapshots are stored once, see
+:mod:`repro.store.snapshots`), the remaining redundancy between two nearby
+checkpoints lives in the checkpoint *document* itself: the overlay adjacency,
+the per-peer states, the protocol configuration and most domain entries are
+unchanged between two nearby simulation times, while the RNG state, the
+message counters and the pending event queue differ.
+
+:func:`diff_documents` computes a structural patch between two JSON-compatible
+documents and :func:`apply_patch` replays it; the round trip is exact::
+
+    apply_patch(base, diff_documents(base, new)) == new
+
+Patch encoding (one node per changed subtree):
+
+* ``{"$set": value}`` — replace the subtree wholesale (type changes,
+  different-length lists, scalars);
+* ``{"$dict": {key: patch, ...}, "$drop": [removed keys]}`` — merge into a
+  dict: patch changed keys, drop removed ones, keep the rest;
+* ``{"$list": [[index, patch], ...]}`` — sparse per-index patches into a
+  same-length list (the common case for the 2000-entry overlay peer list
+  where a handful of peers flipped online state);
+* ``{"$splice": [[start, delete_count, [items...]], ...]}`` — sequence edits
+  into a length-changed list, aligned with :class:`difflib.SequenceMatcher`
+  (the pending-event queue between two checkpoint times is mostly the same
+  events with a consumed prefix and a few insertions; the reconciliation
+  history is append-only).
+
+Unchanged subtrees produce no entry at all, which is where the size win
+comes from.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from typing import Any, Dict, List
+
+from repro.exceptions import StoreError
+
+#: Patches never pay for a sparse list encoding when more than this fraction
+#: of the entries changed — a wholesale ``$set`` is smaller and simpler.
+_SPARSE_LIST_THRESHOLD = 0.75
+
+
+def canonical_roundtrip(payload: Any) -> Any:
+    """Normalise a payload to its stored (JSON round-tripped) form.
+
+    Diffing itself never needs this — :func:`diff_documents` compares nodes
+    by their canonical *text*, so an in-memory payload diffs correctly
+    against a parsed stored document (a tuple that encodes like an equal
+    stored list simply produces a ``$set`` whose stored form is that list).
+    Tests use it to phrase exact stored-form expectations.
+    """
+    return json.loads(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+
+
+def diff_documents(base: Any, new: Any) -> Dict[str, Any]:
+    """A patch turning ``base`` into ``new`` (see module docstring).
+
+    Both documents must already be in stored form (plain dict/list/scalar
+    trees as returned by a backend); run :func:`canonical_roundtrip` first
+    when diffing freshly captured payloads.
+    """
+    if isinstance(base, dict) and isinstance(new, dict):
+        changed: Dict[str, Any] = {}
+        dropped: List[str] = []
+        for key in base:
+            if key not in new:
+                dropped.append(key)
+        for key, value in new.items():
+            if key not in base:
+                changed[key] = {"$set": value}
+            elif not _equal(base[key], value):
+                changed[key] = diff_documents(base[key], value)
+        patch: Dict[str, Any] = {"$dict": changed}
+        if dropped:
+            patch["$drop"] = sorted(dropped)
+        return patch
+    if isinstance(base, list) and isinstance(new, list):
+        if len(base) == len(new):
+            edits = [
+                [index, diff_documents(base[index], new[index])]
+                for index in range(len(new))
+                if not _equal(base[index], new[index])
+            ]
+            if len(edits) <= _SPARSE_LIST_THRESHOLD * len(new):
+                return {"$list": edits}
+        else:
+            patch = _splice_patch(base, new)
+            if patch is not None:
+                return patch
+    return {"$set": new}
+
+
+def _splice_patch(base: List[Any], new: List[Any]) -> Dict[str, Any] | None:
+    """Sequence-align two lists; ``None`` when a wholesale ``$set`` is cheaper.
+
+    Common prefix/suffix runs are trimmed first (append-only lists like the
+    reconciliation history then need no alignment at all); only the differing
+    middle goes through :class:`difflib.SequenceMatcher`.  Alignment keys are
+    the canonical JSON encodings of the items, so matcher equality is exactly
+    stored-text equality (1 vs 1.0 and True vs 1 stay distinct).
+    """
+    prefix = 0
+    limit = min(len(base), len(new))
+    while prefix < limit and _equal(base[prefix], new[prefix]):
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < limit - prefix
+        and _equal(base[len(base) - 1 - suffix], new[len(new) - 1 - suffix])
+    ):
+        suffix += 1
+    base_middle = base[prefix : len(base) - suffix]
+    new_middle = new[prefix : len(new) - suffix]
+
+    matcher = difflib.SequenceMatcher(
+        a=[_encode(item) for item in base_middle],
+        b=[_encode(item) for item in new_middle],
+        autojunk=False,
+    )
+    operations: List[List[Any]] = []
+    inserted = 0
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        items = new_middle[j1:j2]
+        inserted += len(items)
+        operations.append([prefix + i1, i2 - i1, items])
+    if new and inserted > _SPARSE_LIST_THRESHOLD * len(new):
+        return None
+    return {"$splice": operations}
+
+
+#: A single reusable encoder: ``json.dumps`` pays an encoder construction per
+#: call, and the diff encodes tens of thousands of small nodes.
+_CANONICAL_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+_encode = _CANONICAL_ENCODER.encode
+
+
+def _equal(left: Any, right: Any) -> bool:
+    """Stored-form equality: the canonical JSON texts must match exactly.
+
+    Python's ``==`` is a fast C-level pre-check but too lax for stored text
+    (``1 == True`` and ``1 == 1.0`` yet they serialize differently), so an
+    ``==``-equal pair is confirmed against its canonical encoding.
+    """
+    if left is right:
+        return True
+    if left != right:
+        return False
+    return _encode(left) == _encode(right)
+
+
+def apply_patch(base: Any, patch: Dict[str, Any]) -> Any:
+    """Replay a :func:`diff_documents` patch onto ``base``.
+
+    ``base`` is not mutated; shared unchanged subtrees are referenced, not
+    copied (callers treat resolved checkpoint payloads as read-only).
+    """
+    if not isinstance(patch, dict):
+        raise StoreError(f"malformed checkpoint patch node: {patch!r}")
+    if "$set" in patch:
+        return patch["$set"]
+    if "$dict" in patch:
+        if not isinstance(base, dict):
+            raise StoreError(
+                "checkpoint patch expects an object but the base holds "
+                f"{type(base).__name__}"
+            )
+        result = dict(base)
+        for key in patch.get("$drop", []):
+            result.pop(key, None)
+        for key, child in patch["$dict"].items():
+            result[key] = apply_patch(base.get(key), child)
+        return result
+    if "$list" in patch:
+        if not isinstance(base, list):
+            raise StoreError(
+                "checkpoint patch expects an array but the base holds "
+                f"{type(base).__name__}"
+            )
+        result = list(base)
+        for entry in patch["$list"]:
+            try:
+                index, child = entry
+                result[index] = apply_patch(base[index], child)
+            except (ValueError, TypeError, IndexError) as exc:
+                raise StoreError(f"malformed list patch entry {entry!r}") from exc
+        return result
+    if "$splice" in patch:
+        if not isinstance(base, list):
+            raise StoreError(
+                "checkpoint patch expects an array but the base holds "
+                f"{type(base).__name__}"
+            )
+        result = list(base)
+        # Operations come in ascending, non-overlapping base order; applying
+        # them back-to-front keeps earlier offsets valid.
+        for entry in reversed(patch["$splice"]):
+            try:
+                start, delete_count, items = entry
+                result[start : start + delete_count] = items
+            except (ValueError, TypeError) as exc:
+                raise StoreError(f"malformed splice patch entry {entry!r}") from exc
+        return result
+    raise StoreError(
+        f"unknown checkpoint patch operation: {sorted(patch)!r} "
+        "(expected $set, $dict, $list or $splice)"
+    )

@@ -1,0 +1,134 @@
+"""Snapshot garbage collection: reclaim unreachable content-addressed objects.
+
+Content addressing makes writes cheap — re-storing an identical hierarchy is
+a no-op — but it also means nothing ever *deletes* a snapshot: overwriting a
+checkpoint, re-running a sweep with a new seed, or letting a session cache
+churn all leave dead hierarchies behind.  This module implements the matching
+collector.
+
+Reachability is computed from scratch on every collection (no persistent
+refcounts to corrupt): the roots are
+
+* every retained checkpoint — delta checkpoints are resolved through their
+  whole base chain first, so a delta pins the snapshots of every checkpoint
+  it builds on;
+* every recorded domain head (:class:`~repro.store.snapshots.DomainHeadArchive`)
+  — both its global summary and the archived per-partner local summaries,
+  which the cold-start path rehydrates by hash.
+
+A snapshot referenced by no root is garbage.  :func:`collect_garbage` deletes
+it (or only reports it with ``dry_run=True``); :func:`snapshot_refcounts`
+exposes the per-hash reference counts for diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from repro.store.backend import StoreBackend, open_store, owns_backend
+from repro.store.snapshots import DOMAIN_HEAD_KIND, SNAPSHOT_KIND
+
+
+@dataclass
+class GcReport:
+    """What one collection saw and did."""
+
+    location: str
+    dry_run: bool
+    #: Snapshots present before the collection.
+    scanned: int = 0
+    #: Snapshots reachable from at least one root (never deleted).
+    live: int = 0
+    #: Hashes that were (or, under ``dry_run``, would be) deleted, sorted.
+    deleted: List[str] = field(default_factory=list)
+    #: Encoded bytes those deletions reclaim.
+    reclaimed_bytes: int = 0
+    #: References per snapshot hash, summed over every root document.
+    refcounts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def deleted_count(self) -> int:
+        return len(self.deleted)
+
+
+def _checkpoint_snapshot_hashes(payload: Dict[str, Any]) -> List[str]:
+    """Every snapshot hash a resolved (full) checkpoint payload references."""
+    hashes: List[str] = []
+    for domain in payload.get("domains", []):
+        digest = domain.get("global_summary")
+        if digest is not None:
+            hashes.append(digest)
+    for _peer_id, service in payload.get("services", []):
+        hashes.append(service["summary"])
+    return hashes
+
+
+def _head_snapshot_hashes(head: Dict[str, Any]) -> List[str]:
+    hashes = [head["global_summary"]]
+    hashes.extend(digest for _peer_id, digest in head.get("partners", []))
+    return hashes
+
+
+def snapshot_refcounts(
+    target: Union[None, str, StoreBackend]
+) -> Dict[str, int]:
+    """Reference counts over stored snapshots, from every root document.
+
+    Keys are snapshot hashes that exist in the store; hashes referenced by a
+    root but missing from the store are *not* invented (a dangling reference
+    is a store-integrity problem, not a refcount of a stored object).  Stored
+    snapshots nothing references count zero.
+    """
+    from repro.store.checkpoint import CHECKPOINT_KIND, resolve_checkpoint_payload
+
+    backend = open_store(target)
+    try:
+        counts: Dict[str, int] = {digest: 0 for digest in backend.keys(SNAPSHOT_KIND)}
+        # One shared resolution cache: every delta-chain link is replayed at
+        # most once per collection, however many checkpoints build on it.
+        resolved_cache: Dict[str, Dict[str, Any]] = {}
+        for name in backend.keys(CHECKPOINT_KIND):
+            payload = resolve_checkpoint_payload(backend, name, _cache=resolved_cache)
+            for digest in _checkpoint_snapshot_hashes(payload):
+                if digest in counts:
+                    counts[digest] += 1
+        for sp_id in backend.keys(DOMAIN_HEAD_KIND):
+            for digest in _head_snapshot_hashes(backend.get(DOMAIN_HEAD_KIND, sp_id)):
+                if digest in counts:
+                    counts[digest] += 1
+        return counts
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
+def collect_garbage(
+    target: Union[None, str, StoreBackend], dry_run: bool = False
+) -> GcReport:
+    """Delete every snapshot unreachable from a checkpoint or domain head.
+
+    Anything reachable from a retained checkpoint — including through a delta
+    chain — or from a recorded domain head is never touched.  With
+    ``dry_run=True`` the report lists what a collection would reclaim without
+    deleting anything.
+    """
+    backend = open_store(target)
+    close_after = owns_backend(target)
+    try:
+        counts = snapshot_refcounts(backend)
+        report = GcReport(location=backend.location(), dry_run=dry_run)
+        report.scanned = len(counts)
+        report.refcounts = counts
+        for digest in sorted(counts):
+            if counts[digest] > 0:
+                report.live += 1
+                continue
+            report.reclaimed_bytes += backend.size_bytes(SNAPSHOT_KIND, digest)
+            report.deleted.append(digest)
+            if not dry_run:
+                backend.delete(SNAPSHOT_KIND, digest)
+        return report
+    finally:
+        if close_after:
+            backend.close()

@@ -25,6 +25,9 @@ from repro.store.backend import StoreBackend, open_store
 
 #: The namespace snapshots are filed under in any backend.
 SNAPSHOT_KIND = "snapshot"
+#: The namespace per-domain head records are filed under (see
+#: :class:`DomainHeadArchive`).
+DOMAIN_HEAD_KIND = "domain-head"
 
 
 class SnapshotStore:
@@ -80,6 +83,10 @@ class SnapshotStore:
     def contains(self, digest: str) -> bool:
         return self._backend.contains(SNAPSHOT_KIND, digest)
 
+    def delete(self, digest: str) -> None:
+        """Remove one snapshot (the GC's reclamation primitive)."""
+        self._backend.delete(SNAPSHOT_KIND, digest)
+
     def hashes(self) -> List[str]:
         """All stored snapshot hashes, sorted."""
         return self._backend.keys(SNAPSHOT_KIND)
@@ -106,3 +113,68 @@ class SnapshotStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SnapshotStore({len(self)} snapshots @ {self._backend.location()})"
+
+
+class DomainHeadArchive:
+    """Last-known summary state of each domain, keyed by summary peer.
+
+    The maintenance engine records a *head* whenever a reconciliation installs
+    a new global summary: the snapshot hash of the installed summary, the
+    snapshot hash of every participant's local summary at that moment, and
+    the reconciliation time.  A summary peer that restarts later *cold-starts*
+    from its head — it installs the archived global summary by hash lookup
+    and re-merges only the partners that changed since — instead of pulling
+    every partner's local summary through a full ring reconciliation (see
+    :meth:`repro.core.maintenance.MaintenanceEngine.cold_start`).
+
+    Heads are GC roots: every snapshot a head references stays live (see
+    :mod:`repro.store.gc`).
+    """
+
+    def __init__(self, backend: Union[None, str, StoreBackend] = None) -> None:
+        self._backend = open_store(backend)
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    def record_head(
+        self,
+        summary_peer_id: str,
+        global_summary_hash: str,
+        partner_hashes: List[List[str]],
+        time: float,
+    ) -> None:
+        """File the domain's post-reconciliation state under its summary peer.
+
+        ``partner_hashes`` is an *ordered* ``[[peer_id, snapshot_hash], ...]``
+        list — merge order is part of the head, because merging the same
+        local summaries in a different order can produce a different (if
+        equivalent) hierarchy and the cold-start fast path relies on exact
+        reproducibility.
+        """
+        self._backend.put(
+            DOMAIN_HEAD_KIND,
+            summary_peer_id,
+            {
+                "global_summary": global_summary_hash,
+                "partners": [list(pair) for pair in partner_hashes],
+                "time": float(time),
+            },
+        )
+
+    def head(self, summary_peer_id: str) -> Optional[Dict[str, object]]:
+        """The recorded head of one domain, or ``None`` when never recorded."""
+        if not self._backend.contains(DOMAIN_HEAD_KIND, summary_peer_id):
+            return None
+        return self._backend.get(DOMAIN_HEAD_KIND, summary_peer_id)
+
+    def summary_peer_ids(self) -> List[str]:
+        """Summary peers with a recorded head, sorted."""
+        return self._backend.keys(DOMAIN_HEAD_KIND)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DomainHeadArchive({len(self.summary_peer_ids())} heads @ "
+            f"{self._backend.location()})"
+        )

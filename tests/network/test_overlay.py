@@ -144,6 +144,54 @@ class TestSelectiveWalk:
         assert found is None
         assert hops == 5
 
+    def test_default_walks_can_diverge_on_ties(self):
+        """Regression: default-RNG walks used to replay identical tie-breaks.
+
+        On a regular graph every hop is a degree tie.  With a fresh
+        ``Random(0)`` per call, two default walks from the same origin were
+        forced down the same path forever; drawing from the overlay's shared,
+        advancing RNG lets repeated walks explore different tie-breaks.
+        """
+        import networkx as nx
+
+        graph = nx.complete_graph(8)
+        for edge in graph.edges:
+            graph.edges[edge]["latency"] = 10.0
+        overlay = Overlay(
+            nx.relabel_nodes(graph, {n: f"p{n}" for n in graph.nodes})
+        )
+
+        def traced_walk():
+            path = []
+
+            def record(peer_id):
+                path.append(peer_id)
+                return False
+
+            overlay.selective_walk("p0", record, max_hops=6)
+            return path
+
+        first, second = traced_walk(), traced_walk()
+        assert first[0] == second[0] == "p0"
+        assert first != second
+
+    def test_explicit_rng_still_reproducible(self):
+        import networkx as nx
+
+        graph = nx.complete_graph(8)
+        for edge in graph.edges:
+            graph.edges[edge]["latency"] = 10.0
+        overlay = Overlay(
+            nx.relabel_nodes(graph, {n: f"p{n}" for n in graph.nodes})
+        )
+        walks = [
+            overlay.selective_walk(
+                "p0", lambda p: False, max_hops=6, rng=random.Random(7)
+            )
+            for _ in range(2)
+        ]
+        assert walks[0] == walks[1]
+
     def test_walk_prefers_high_degree_neighbours(self, medium_overlay):
         origin = min(medium_overlay.peer_ids, key=medium_overlay.degree)
         rng = random.Random(1)

@@ -1,5 +1,7 @@
 """Backend contract tests: the three implementations behave identically."""
 
+import os
+
 import pytest
 
 from repro.exceptions import StoreError
@@ -75,6 +77,78 @@ class TestContract:
     def test_non_json_payload_rejected(self, backend):
         with pytest.raises(StoreError, match="not JSON-compatible"):
             backend.put("snapshot", "k", {"bad": object()})
+
+
+class TestAtomicJsonWrites:
+    """A crash mid-`put` must never poison a previously stored document."""
+
+    def test_torn_temp_write_leaves_previous_document_intact(
+        self, tmp_path, monkeypatch
+    ):
+        store = JsonDirectoryBackend(tmp_path / "s")
+        store.put("checkpoint", "k", {"v": 1})
+
+        real_fdopen = os.fdopen
+
+        class TornStream:
+            """Writes half the payload, then dies — a simulated crash."""
+
+            def __init__(self, stream):
+                self._stream = stream
+
+            def write(self, text):
+                self._stream.write(text[: len(text) // 2])
+                self._stream.flush()
+                raise OSError("simulated crash mid-write")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                self._stream.close()
+
+        monkeypatch.setattr(
+            "repro.store.backend.os.fdopen",
+            lambda fd, *args, **kwargs: TornStream(real_fdopen(fd, *args, **kwargs)),
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            store.put("checkpoint", "k", {"v": 2, "payload": "x" * 4096})
+        monkeypatch.undo()
+
+        # The torn write is invisible: the old document reads back whole and
+        # no half-written file pollutes the key listing.
+        assert store.get("checkpoint", "k") == {"v": 1}
+        assert store.keys("checkpoint") == ["k"]
+        assert store.kinds() == ["checkpoint"]
+
+    def test_crash_before_publish_leaves_previous_document_intact(
+        self, tmp_path, monkeypatch
+    ):
+        store = JsonDirectoryBackend(tmp_path / "s")
+        store.put("checkpoint", "k", {"v": 1})
+
+        def refuse_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.store.backend.os.replace", refuse_replace)
+        with pytest.raises(OSError, match="before rename"):
+            store.put("checkpoint", "k", {"v": 2})
+        monkeypatch.undo()
+
+        assert store.get("checkpoint", "k") == {"v": 1}
+        assert store.keys("checkpoint") == ["k"]
+        # The failed attempt cleaned its temp file up.
+        leftovers = list((tmp_path / "s" / "checkpoint").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_orphaned_temp_file_is_ignored(self, tmp_path):
+        store = JsonDirectoryBackend(tmp_path / "s")
+        store.put("checkpoint", "k", {"v": 1})
+        # A temp file left behind by a crash elsewhere must not surface as a
+        # stored object or corrupt reads.
+        (tmp_path / "s" / "checkpoint" / ".k.deadbeef.tmp").write_text("{tor")
+        assert store.keys("checkpoint") == ["k"]
+        assert store.get("checkpoint", "k") == {"v": 1}
 
 
 class TestDurability:

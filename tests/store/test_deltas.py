@@ -1,0 +1,276 @@
+"""Delta checkpoints: structural diff/patch and delta-chain restore.
+
+The acceptance bar: a session checkpointed as a delta chain — full base, then
+deltas on top, taken mid-simulation under churn — restores byte-identically
+on every backend, and the delta documents are materially smaller than full
+checkpoints.
+"""
+
+import random
+
+import pytest
+
+from repro.core.session import SystemBuilder
+from repro.exceptions import StoreError
+from repro.store import (
+    CHECKPOINT_KIND,
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SqliteBackend,
+    apply_patch,
+    checkpoint_base_chain,
+    diff_documents,
+    list_checkpoints,
+)
+from repro.store.deltas import canonical_roundtrip
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture(params=["memory", "json", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryBackend()
+    elif request.param == "json":
+        yield JsonDirectoryBackend(tmp_path / "store")
+    else:
+        store = SqliteBackend(tmp_path / "store.sqlite")
+        yield store
+        store.close()
+
+
+def _build(scenario_name, **overrides):
+    scenario = default_registry().scenario(scenario_name, **overrides)
+    return scenario.apply_dynamics(scenario.builder()).build()
+
+
+def _drive(session, queries=8, required=3):
+    session.run_until()
+    answers = [session.query(required_results=required) for _ in range(queries)]
+    return {
+        "routing": [answer.routing for answer in answers],
+        "staleness": [answer.staleness for answer in answers],
+        "traffic": session.traffic(),
+        "maintenance": session.maintenance_report(),
+    }
+
+
+class TestDiffPatch:
+    """apply_patch(base, diff_documents(base, new)) == new, exactly."""
+
+    CASES = [
+        ({}, {}),
+        ({"a": 1}, {"a": 1}),
+        ({"a": 1}, {"a": 2}),
+        ({"a": 1}, {"b": 2}),
+        ({"a": 1, "b": 2}, {"a": 1}),
+        ({"a": [1, 2, 3]}, {"a": [1, 9, 3]}),
+        ({"a": [1, 2]}, {"a": [1, 2, 3]}),
+        ({"a": {"b": {"c": [0] * 50}}}, {"a": {"b": {"c": [0] * 49 + [1]}}}),
+        ({"a": 1}, {"a": 1.0}),
+        ({"a": True}, {"a": 1}),
+        ({"a": None}, {"a": 0}),
+        ({"a": [{"x": 1}, {"y": 2}]}, {"a": [{"x": 1}, {"y": 3}]}),
+        ({"a": "text"}, {"a": ["now", "a", "list"]}),
+    ]
+
+    @pytest.mark.parametrize("base,new", CASES)
+    def test_roundtrip_exact(self, base, new):
+        patch = diff_documents(base, new)
+        assert apply_patch(base, patch) == new
+
+    @pytest.mark.parametrize("base,new", CASES)
+    def test_roundtrip_preserves_scalar_types(self, base, new):
+        result = apply_patch(base, diff_documents(base, new))
+        assert canonical_roundtrip(result) == canonical_roundtrip(new)
+        # Stricter than ==: the canonical JSON text must match too (1 vs 1.0,
+        # True vs 1), or a resolved delta would not be byte-identical.
+        import json
+
+        assert json.dumps(result, sort_keys=True) == json.dumps(new, sort_keys=True)
+
+    def test_random_documents_roundtrip(self):
+        rng = random.Random(42)
+
+        def random_document(depth=0):
+            kind = rng.random()
+            if depth >= 3 or kind < 0.3:
+                return rng.choice(
+                    [None, True, False, rng.randint(-5, 5), rng.random(), "s"]
+                )
+            if kind < 0.65:
+                return [random_document(depth + 1) for _ in range(rng.randint(0, 5))]
+            return {
+                f"k{i}": random_document(depth + 1) for i in range(rng.randint(0, 5))
+            }
+
+        def mutate(document):
+            if isinstance(document, dict) and document and rng.random() < 0.7:
+                key = rng.choice(sorted(document))
+                copy = dict(document)
+                copy[key] = mutate(copy[key])
+                return copy
+            if isinstance(document, list) and document and rng.random() < 0.7:
+                copy = list(document)
+                copy[rng.randrange(len(copy))] = random_document(2)
+                return copy
+            return random_document(1)
+
+        for _ in range(200):
+            base = canonical_roundtrip({"doc": random_document()})
+            new = canonical_roundtrip(mutate(base))
+            assert apply_patch(base, diff_documents(base, new)) == new
+
+    def test_unchanged_subtrees_are_absent_from_patch(self):
+        base = {"big": list(range(1000)), "small": 1}
+        new = {"big": list(range(1000)), "small": 2}
+        patch = diff_documents(base, new)
+        assert "big" not in patch["$dict"]
+
+    def test_malformed_patch_raises(self):
+        with pytest.raises(StoreError, match="patch"):
+            apply_patch({"a": 1}, {"$bogus": 1})
+        with pytest.raises(StoreError, match="expects an object"):
+            apply_patch([1], {"$dict": {"a": {"$set": 1}}})
+        with pytest.raises(StoreError, match="expects an array"):
+            apply_patch({"a": 1}, {"$list": [[0, {"$set": 1}]]})
+
+
+class TestDeltaCheckpoints:
+    def test_delta_chain_restores_byte_identically_under_churn(self, backend):
+        """Full base → delta → delta, all mid-simulation; restore == live."""
+        scenario_name = "churn-heavy"
+        reference_session = _build(scenario_name)
+        horizon = reference_session.horizon
+        reference_session.run_until(0.8 * horizon)
+        reference = _drive(reference_session)
+
+        live = _build(scenario_name)
+        live.run_until(0.3 * horizon)
+        live.checkpoint(backend, name="base")
+        live.run_until(0.6 * horizon)
+        live.checkpoint(backend, name="mid", base="base")
+        live.run_until(0.8 * horizon)
+        assert live.system.simulator.pending_events > 0
+        live.checkpoint(backend, name="late", base="mid")
+
+        assert checkpoint_base_chain(backend, "late") == ["late", "mid", "base"]
+        restored = SystemBuilder.from_checkpoint(backend, name="late")
+        assert restored.now == live.now
+        result = _drive(restored)
+        assert result == reference
+
+    def test_delta_resolves_to_full_payload(self, backend):
+        """A delta's resolved payload equals the full checkpoint's document."""
+        from repro.store.checkpoint import resolve_checkpoint_payload
+
+        live = _build("smoke")
+        live.run_until(0.5 * live.horizon)
+        live.checkpoint(backend, name="base")
+        live.run_until()
+        live.checkpoint(backend, name="tip", base="base")
+        live.checkpoint(backend, name="tip-full")
+
+        assert resolve_checkpoint_payload(backend, "tip") == backend.get(
+            CHECKPOINT_KIND, "tip-full"
+        )
+
+    def test_delta_is_smaller_than_full(self, backend):
+        live = _build("table3-default")
+        live.run_until(0.4 * live.horizon)
+        live.checkpoint(backend, name="base")
+        live.run_until(0.5 * live.horizon)
+        live.checkpoint(backend, name="delta", base="base")
+        live.checkpoint(backend, name="full")
+
+        delta_bytes = backend.size_bytes(CHECKPOINT_KIND, "delta")
+        full_bytes = backend.size_bytes(CHECKPOINT_KIND, "full")
+        # "Materially smaller": the topology/peer bulk must not be re-stored.
+        assert delta_bytes < 0.5 * full_bytes
+
+    def test_restore_from_intermediate_link_works(self, backend):
+        live = _build("smoke")
+        live.run_until(0.5 * live.horizon)
+        live.checkpoint(backend, name="base")
+        reference = _drive(_restored_clone(backend, "base"))
+        live.run_until()
+        live.checkpoint(backend, name="tip", base="base")
+        # The base link is still a valid checkpoint of the earlier moment.
+        assert _drive(SystemBuilder.from_checkpoint(backend, name="base")) == reference
+        assert list_checkpoints(backend) == ["base", "tip"]
+
+    def test_missing_base_raises_with_chain_context(self, backend):
+        live = _build("smoke")
+        live.checkpoint(backend, name="base")
+        live.checkpoint(backend, name="tip", base="base")
+        backend.delete(CHECKPOINT_KIND, "base")
+        with pytest.raises(StoreError, match="base of 'tip'"):
+            SystemBuilder.from_checkpoint(backend, name="tip")
+
+    def test_delta_against_unknown_base_refuses(self, backend):
+        live = _build("smoke")
+        with pytest.raises(StoreError, match="no checkpoint 'nope'"):
+            live.checkpoint(backend, name="tip", base="nope")
+        assert not backend.contains(CHECKPOINT_KIND, "tip")
+
+    def test_delta_of_itself_refuses(self, backend):
+        live = _build("smoke")
+        live.checkpoint(backend, name="self")
+        with pytest.raises(StoreError, match="itself"):
+            live.checkpoint(backend, name="self", base="self")
+
+    def test_indirect_cycle_refused_at_save(self, backend):
+        """Overwriting a base with a delta of its own descendant must refuse."""
+        live = _build("smoke")
+        live.checkpoint(backend, name="a")
+        live.checkpoint(backend, name="b", base="a")
+        with pytest.raises(StoreError, match="resolves through"):
+            live.checkpoint(backend, name="a", base="b")
+        # The full checkpoint survived the refused save; both still restore.
+        SystemBuilder.from_checkpoint(backend, name="a")
+        SystemBuilder.from_checkpoint(backend, name="b")
+
+    def test_cyclic_chain_detected(self, backend):
+        backend.put(
+            CHECKPOINT_KIND, "a", {"format": 1, "base": "b", "patch": {"$dict": {}}}
+        )
+        backend.put(
+            CHECKPOINT_KIND, "b", {"format": 1, "base": "a", "patch": {"$dict": {}}}
+        )
+        with pytest.raises(StoreError, match="cyclic"):
+            SystemBuilder.from_checkpoint(backend, name="a")
+
+    def test_delta_on_delta_of_real_content(self, backend):
+        """Real-content sessions (with snapshots) delta just as well."""
+        from repro.core.config import ProtocolConfig
+        from repro.fuzzy.vocabularies import medical_background_knowledge
+        from repro.network.overlay import Overlay
+        from repro.network.topology import TopologyConfig
+        from repro.saintetiq.serialization import hierarchy_content_hash
+        from repro.workloads.patients import MedicalWorkload, build_peer_databases
+
+        overlay = Overlay.generate(TopologyConfig(peer_count=12, seed=5))
+        background = medical_background_knowledge()
+        workload = MedicalWorkload(records_per_peer=5, matching_fraction=0.25, seed=5)
+        databases = build_peer_databases(overlay.peer_ids, workload)
+        live = (
+            SystemBuilder()
+            .topology(overlay)
+            .background(background)
+            .protocol(ProtocolConfig(superpeer_fraction=1 / 6, construction_ttl=3))
+            .real_content(databases)
+            .seed(5)
+            .build()
+        )
+        live.checkpoint(backend, name="base")
+        live.checkpoint(backend, name="tip", base="base")
+        restored = SystemBuilder.from_checkpoint(
+            backend, name="tip", background=background
+        )
+        for peer_id, service in live.system.services.items():
+            assert hierarchy_content_hash(
+                restored.system.services[peer_id].summary
+            ) == hierarchy_content_hash(service.summary)
+
+
+def _restored_clone(backend, name):
+    return SystemBuilder.from_checkpoint(backend, name=name)

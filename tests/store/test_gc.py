@@ -1,0 +1,174 @@
+"""Snapshot garbage collection: refcounts and reachability guarantees.
+
+The invariant under test: ``gc`` reclaims exactly the snapshots no retained
+checkpoint (resolved through its delta chain) and no domain head references —
+and provably never one that *is* referenced, however the reference arrives.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.session import SystemBuilder
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.store import (
+    CHECKPOINT_KIND,
+    DomainHeadArchive,
+    InMemoryBackend,
+    JsonDirectoryBackend,
+    SnapshotStore,
+    SqliteBackend,
+    collect_garbage,
+    snapshot_refcounts,
+)
+from repro.workloads.patients import MedicalWorkload, build_peer_databases
+
+
+@pytest.fixture(params=["memory", "json", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryBackend()
+    elif request.param == "json":
+        yield JsonDirectoryBackend(tmp_path / "store")
+    else:
+        store = SqliteBackend(tmp_path / "store.sqlite")
+        yield store
+        store.close()
+
+
+def _hierarchy(tag: str) -> SummaryHierarchy:
+    background = medical_background_knowledge()
+    hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"], owner=tag)
+    hierarchy.add_records(
+        [{"age": 30 + len(tag), "bmi": 22.0, "sex": "F", "disease": "asthma"}]
+    )
+    return hierarchy
+
+
+def _real_session(seed=3):
+    overlay = Overlay.generate(TopologyConfig(peer_count=12, seed=seed))
+    background = medical_background_knowledge()
+    workload = MedicalWorkload(records_per_peer=5, matching_fraction=0.25, seed=seed)
+    databases = build_peer_databases(overlay.peer_ids, workload)
+    session = (
+        SystemBuilder()
+        .topology(overlay)
+        .background(background)
+        .protocol(ProtocolConfig(superpeer_fraction=1 / 6, construction_ttl=3))
+        .real_content(databases)
+        .seed(seed)
+        .build()
+    )
+    return background, session
+
+
+class TestRefcounts:
+    def test_orphan_snapshot_counts_zero(self, backend):
+        snapshots = SnapshotStore(backend)
+        digest = snapshots.put_hierarchy(_hierarchy("orphan"))
+        assert snapshot_refcounts(backend) == {digest: 0}
+
+    def test_checkpoint_references_count(self, backend):
+        _background, session = _real_session()
+        session.checkpoint(backend, name="first")
+        session.checkpoint(backend, name="second")
+        counts = snapshot_refcounts(backend)
+        assert counts
+        # Two checkpoints of the same state: every snapshot referenced twice.
+        assert all(count == 2 for count in counts.values())
+
+    def test_head_references_count(self, backend):
+        snapshots = SnapshotStore(backend)
+        archive = DomainHeadArchive(backend)
+        gs = snapshots.put_hierarchy(_hierarchy("global"))
+        local = snapshots.put_hierarchy(_hierarchy("local"))
+        archive.record_head("p1", gs, [["p2", local]], time=0.0)
+        assert snapshot_refcounts(backend) == {gs: 1, local: 1}
+
+
+class TestCollection:
+    def test_reclaims_unreachable_only(self, backend):
+        _background, session = _real_session()
+        session.checkpoint(backend, name="keep")
+        snapshots = SnapshotStore(backend)
+        orphan = snapshots.put_hierarchy(_hierarchy("orphan"))
+        live_before = {d for d, c in snapshot_refcounts(backend).items() if c > 0}
+
+        report = collect_garbage(backend)
+        assert report.deleted == [orphan]
+        assert report.scanned == len(live_before) + 1
+        assert report.live == len(live_before)
+        assert report.reclaimed_bytes > 0
+        assert not snapshots.contains(orphan)
+        for digest in live_before:
+            assert snapshots.contains(digest)
+        # The retained checkpoint still restores.
+        background = medical_background_knowledge()
+        SystemBuilder.from_checkpoint(backend, name="keep", background=background)
+
+    def test_never_collects_through_a_delta_chain(self, backend):
+        """Snapshots only the *base* references stay live while a delta is retained."""
+        background, session = _real_session()
+        session.checkpoint(backend, name="base")
+        session.checkpoint(backend, name="tip", base="base")
+        # Each snapshot is counted once per referencing checkpoint: once for
+        # the base document and once for the resolved tip.
+        counts = snapshot_refcounts(backend)
+        assert all(count == 2 for count in counts.values())
+        report = collect_garbage(backend)
+        assert report.deleted == []
+        restored = SystemBuilder.from_checkpoint(
+            backend, name="tip", background=background
+        )
+        assert restored.now == session.now
+
+    def test_deleting_tip_then_gc_reclaims_its_extra_snapshots(self, backend):
+        background, session = _real_session()
+        session.checkpoint(backend, name="keep")
+        snapshots_before = set(SnapshotStore(backend).hashes())
+        # Drive the session into a different summary state and checkpoint it.
+        session.system.services[session.overlay.peer_ids[0]].summary.add_records(
+            [{"age": 61, "bmi": 31.0, "sex": "M", "disease": "diabetes"}]
+        )
+        session.checkpoint(backend, name="drop")
+        extra = set(SnapshotStore(backend).hashes()) - snapshots_before
+        assert extra  # the modified summary produced at least one new snapshot
+
+        backend.delete(CHECKPOINT_KIND, "drop")
+        report = collect_garbage(backend)
+        assert set(report.deleted) == extra
+        # Everything the kept checkpoint needs survived.
+        SystemBuilder.from_checkpoint(backend, name="keep", background=background)
+
+    def test_dry_run_deletes_nothing(self, backend):
+        snapshots = SnapshotStore(backend)
+        orphan = snapshots.put_hierarchy(_hierarchy("orphan"))
+        report = collect_garbage(backend, dry_run=True)
+        assert report.dry_run
+        assert report.deleted == [orphan]
+        assert snapshots.contains(orphan)
+
+    def test_backend_gc_convenience(self, backend):
+        snapshots = SnapshotStore(backend)
+        orphan = snapshots.put_hierarchy(_hierarchy("orphan"))
+        report = backend.gc()
+        assert report.deleted == [orphan]
+        assert report.location == backend.location()
+
+    def test_head_pins_cold_start_material(self, backend):
+        snapshots = SnapshotStore(backend)
+        archive = DomainHeadArchive(backend)
+        gs = snapshots.put_hierarchy(_hierarchy("global"))
+        local = snapshots.put_hierarchy(_hierarchy("local"))
+        orphan = snapshots.put_hierarchy(_hierarchy("orphan"))
+        archive.record_head("p1", gs, [["p2", local]], time=42.0)
+        report = collect_garbage(backend)
+        assert report.deleted == [orphan]
+        assert snapshots.contains(gs) and snapshots.contains(local)
+
+    def test_empty_store_collection_is_clean(self, backend):
+        report = collect_garbage(backend)
+        assert report.scanned == 0
+        assert report.deleted == [] and report.live == 0

@@ -193,6 +193,74 @@ class TestStoreCommands:
         ):
             assert continued["rows"][0][column] == direct["rows"][0][column]
 
+    def test_delta_checkpoint_gc_restore_roundtrip(self, tmp_path, capsys):
+        """checkpoint → delta → gc → restore, end to end through the CLI."""
+        store = str(tmp_path / "runs.sqlite")
+        main(
+            ["save-session", "smoke", "--store", store, "--name", "base",
+             "--hours", "0.25", "--json"]
+        )
+        capsys.readouterr()
+
+        exit_code = main(
+            ["save-session", "smoke", "--store", store, "--name", "tip",
+             "--base", "base", "--hours", "0.5", "--json"]
+        )
+        tip = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert tip["rows"][0]["base"] == "base"
+        assert tip["rows"][0]["at_hours"] == pytest.approx(0.5)
+        # The delta document itself is smaller than the full base document.
+        from repro.store import CHECKPOINT_KIND, SqliteBackend
+
+        with SqliteBackend(store) as backend:
+            assert backend.size_bytes(CHECKPOINT_KIND, "tip") < backend.size_bytes(
+                CHECKPOINT_KIND, "base"
+            )
+
+        exit_code = main(["inspect-store", "--store", store, "--gc", "--json"])
+        inspected = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        by_key = {(row["kind"], row["key"]): row for row in inspected["rows"]}
+        assert by_key[("checkpoint", "tip")]["details"] == "delta of base"
+        assert by_key[("checkpoint", "base")]["details"] == "full checkpoint"
+        assert "reclaimed 0" in by_key[("gc", "report")]["details"]
+
+        exit_code = main(
+            ["load-session", "--store", store, "--name", "tip",
+             "--queries", "3", "--json"]
+        )
+        continued = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        # The restored delta continues to the smoke horizon like a direct run.
+        exit_code = main(["run-scenario", "smoke", "--queries", "3", "--json"])
+        direct = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        for column in ("mean_results", "push_messages", "reconciliations"):
+            assert continued["rows"][0][column] == direct["rows"][0][column]
+
+    def test_delta_against_missing_base_is_a_clean_error(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        with pytest.raises(SystemExit):
+            main(
+                ["save-session", "smoke", "--store", store, "--name", "tip",
+                 "--base", "never-saved"]
+            )
+        assert "no checkpoint 'never-saved'" in capsys.readouterr().err
+
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        main(["save-session", "smoke", "--store", store, "--name", "keep"])
+        capsys.readouterr()
+        exit_code = main(
+            ["inspect-store", "--store", store, "--gc-dry-run", "--json"]
+        )
+        inspected = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        gc_rows = [row for row in inspected["rows"] if row["kind"] == "gc"]
+        assert len(gc_rows) == 1
+        assert "would reclaim" in gc_rows[0]["details"]
+
     def test_load_session_matches_run_scenario(self, tmp_path, capsys):
         """A saved-then-loaded scenario reports the same figures as a direct run."""
         exit_code = main(
