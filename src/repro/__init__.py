@@ -28,6 +28,18 @@ True
 >>> answer.staleness is not None  # planned mode bundles staleness accounting
 True
 
+Heavy query traffic goes through the **batched query engine**:
+``query_batch`` shares the per-query derivation work — domain visit orders,
+the incrementally tracked online-peer set, the hierarchies' inverted-index
+selection caches — across a whole batch, while staying byte-identical to
+posing the queries one by one:
+
+>>> answers = session.query_batch(count=3, required_results=2)
+>>> [a.results >= 2 for a in answers]
+[True, True, True]
+>>> answers[0].query_id + 1 == answers[1].query_id  # ids allocated in order
+True
+
 Sessions persist through the ``repro.store`` subsystem: ``checkpoint()``
 captures the full session state (a store is a directory of JSON files, a
 single SQLite file, or in-memory), and ``SystemBuilder.from_checkpoint``
@@ -78,7 +90,12 @@ from repro.core.domain import Domain
 from repro.core.freshness import Freshness, FreshnessMode
 from repro.core.maintenance import ColdStartRecord, MaintenanceEngine
 from repro.core.protocol import SummaryManagementSystem
-from repro.core.routing import QueryRouter, QueryRoutingResult, RoutingPolicy
+from repro.core.routing import (
+    QueryRequest,
+    QueryRouter,
+    QueryRoutingResult,
+    RoutingPolicy,
+)
 from repro.core.service import LocalSummaryService
 from repro.core.session import (
     MaintenanceReport,
@@ -125,6 +142,7 @@ from repro.network.overlay import Overlay
 from repro.network.simulator import Simulator
 from repro.network.topology import TopologyConfig, power_law_topology
 from repro.querying.aggregation import ApproximateAnswer, approximate_answer
+from repro.querying.engine import HierarchyQueryIndex
 from repro.querying.proposition import Clause, Proposition
 from repro.querying.reformulation import reformulate
 from repro.querying.selection import QuerySelection, select_summaries
@@ -144,6 +162,8 @@ from repro.store import (
     SqliteBackend,
     StoreBackend,
     collect_garbage,
+    compact_checkpoint,
+    compact_checkpoints,
     open_store,
 )
 from repro.workloads.registry import ScenarioRegistry, default_registry
@@ -200,6 +220,7 @@ __all__ = [
     "Proposition",
     "QuerySelection",
     "select_summaries",
+    "HierarchyQueryIndex",
     "ApproximateAnswer",
     "approximate_answer",
     # network substrate
@@ -219,6 +240,7 @@ __all__ = [
     "LocalSummaryService",
     "RoutingPolicy",
     "QueryRouter",
+    "QueryRequest",
     "QueryRoutingResult",
     "SummaryManagementSystem",
     "answer_in_domain",
@@ -239,6 +261,8 @@ __all__ = [
     "DomainHeadArchive",
     "SessionCache",
     "collect_garbage",
+    "compact_checkpoint",
+    "compact_checkpoints",
     "GcReport",
     "ColdStartRecord",
     # scenarios

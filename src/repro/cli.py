@@ -22,9 +22,14 @@ the terminal without going through pytest:
   transparently), run it to its horizon and pose a query batch
   (``python -m repro load-session --store runs.sqlite``),
 * ``inspect-store``  — list the checkpoints (full or delta) and
-  content-addressed snapshots of a store; ``--gc`` reclaims snapshots no
-  checkpoint, delta chain or domain head references (``--gc-dry-run`` only
-  reports them).
+  content-addressed snapshots of a store; ``--compact`` folds delta
+  checkpoint chains into fresh full checkpoints; ``--gc`` reclaims snapshots
+  no checkpoint, delta chain or domain head references (``--gc-dry-run``
+  only reports them).
+
+Query batches (``run-scenario``/``load-session`` ``--queries N``) run through
+``NetworkSession.query_batch`` — the indexed, memoized, shared-work query
+path, byte-identical to posing the queries one by one.
 
 Every command accepts ``--sizes`` / ``--alphas`` / ``--hours`` / ``--seed``
 overrides and ``--json`` to emit machine-readable output; ``run-scenario``
@@ -114,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--base",
         help="store a delta checkpoint against this earlier checkpoint "
         "(save-session): only the changes since BASE are persisted",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold every delta checkpoint's chain into a fresh full "
+        "checkpoint (inspect-store); restores are unchanged, the chain's "
+        "earlier links become GC-reclaimable",
     )
     parser.add_argument(
         "--gc",
@@ -246,7 +258,7 @@ def _session_report_table(
     if session.planned:
         fraction = session.content.matching_fraction  # type: ignore[union-attr]
         required = max(1, round(fraction * session.overlay.size))
-    answers = session.query_many(count=query_count, required_results=required)
+    answers = session.query_batch(count=query_count, required_results=required)
     maintenance = session.maintenance_report()
     traffic = session.traffic()
 
@@ -375,6 +387,19 @@ def _inspect_store_table(args: argparse.Namespace) -> ExperimentTable:
         "--gc reclaims snapshots nothing references",
     )
     with open_store(args.store) as backend:
+        if args.compact:
+            from repro.store import compact_checkpoints
+
+            compacted = compact_checkpoints(backend)
+            table.add_row(
+                kind="compact",
+                key="report",
+                bytes=0,
+                details=(
+                    f"compacted {len(compacted)} delta checkpoint(s): "
+                    + (", ".join(compacted) or "-")
+                ),
+            )
         if args.gc or args.gc_dry_run:
             report = collect_garbage(backend, dry_run=args.gc_dry_run)
             action = "would reclaim" if report.dry_run else "reclaimed"

@@ -48,11 +48,16 @@ def answer_in_domain(
     query: SelectionQuery,
     background: BackgroundKnowledge,
     already_flexible: bool = False,
+    use_selection_cache: bool = True,
 ) -> DomainAnswer:
     """Evaluate ``query`` against ``domain``'s global summary.
 
     Raises :class:`ProtocolError` if the domain has no global summary yet and
     :class:`QueryError` if the query cannot be reformulated under ``background``.
+    ``use_selection_cache=False`` forces the pure tree-walk selection (the
+    uncached reference path); the default goes through the hierarchy's
+    indexed, memoized engine — node-for-node identical, and the returned
+    ``selection`` is then a shared cached instance (treat it as read-only).
     """
     if not domain.has_global_summary():
         raise ProtocolError(
@@ -78,7 +83,10 @@ def answer_in_domain(
         )
     )
     assert domain.global_summary is not None  # has_global_summary() checked above
-    selection = select_summaries(domain.global_summary, proposition)
+    if use_selection_cache:
+        selection = domain.global_summary.select(proposition)
+    else:
+        selection = select_summaries(domain.global_summary, proposition)
     answer = approximate_answer(selection, proposition, flexible.select)
     return DomainAnswer(
         domain_id=domain.summary_peer_id,

@@ -48,11 +48,24 @@ class ContentModel(abc.ABC):
 
 
 class SummaryContentModel(ContentModel):
-    """Relevance from real summaries, ground truth from real databases."""
+    """Relevance from real summaries, ground truth from real databases.
 
-    def __init__(self, queries: Dict[int, SelectionQuery], databases: Dict[str, object]) -> None:
+    ``use_selection_cache`` picks how the global summary is explored: the
+    indexed + memoized engine path (:meth:`SummaryHierarchy.select`, the
+    default) or the pure tree walk (:func:`select_summaries`).  Both produce
+    node-for-node identical selections; the pure path is retained as the
+    uncached reference for equivalence tests and A/B benchmarks.
+    """
+
+    def __init__(
+        self,
+        queries: Dict[int, SelectionQuery],
+        databases: Dict[str, object],
+        use_selection_cache: bool = True,
+    ) -> None:
         self._queries = queries
         self._databases = databases
+        self.use_selection_cache = use_selection_cache
 
     def register_query(self, query_id: int, query: SelectionQuery) -> None:
         self._queries[query_id] = query
@@ -66,8 +79,11 @@ class SummaryContentModel(ContentModel):
     ) -> Set[str]:
         if global_summary is None or proposition is None:
             return set()
-        selection = select_summaries(global_summary, proposition)
-        return selection.peer_extent().intersection(domain_partners)
+        if self.use_selection_cache:
+            selection = global_summary.select(proposition)
+        else:
+            selection = select_summaries(global_summary, proposition)
+        return selection.peer_extent_view().intersection(domain_partners)
 
     def truly_matching(self, query_id: int, peer_id: str) -> bool:
         database = self._databases.get(peer_id)
@@ -112,14 +128,23 @@ class PlannedContentModel(ContentModel):
 
     def plan_query(self, query_id: int) -> Set[str]:
         """Choose the matching peers for a query (10 % of the network by default)."""
-        if query_id in self._matching:
-            return set(self._matching[query_id])
+        return set(self._plan(query_id))
+
+    def _plan(self, query_id: int) -> Set[str]:
+        """The stored plan itself (drawn on first use) — internal, no copy.
+
+        The hot per-peer ``truly_matching`` membership tests run against this
+        set directly; :meth:`plan_query` hands out defensive copies.
+        """
+        plan = self._matching.get(query_id)
+        if plan is not None:
+            return plan
         population = [p for p in self._peer_ids if p not in self._departed_peers]
         target = round(self._matching_fraction * len(self._peer_ids))
         target = min(max(target, 1 if self._matching_fraction > 0 else 0), len(population))
         chosen = set(self._rng.sample(population, target)) if target else set()
         self._matching[query_id] = chosen
-        return set(chosen)
+        return chosen
 
     def matching_peers(self, query_id: int) -> Set[str]:
         return self.plan_query(query_id)
@@ -192,10 +217,10 @@ class PlannedContentModel(ContentModel):
         # peer is designated relevant if it matched the query according to the
         # descriptions recorded then.  Peers that departed or modified their
         # data since then are exactly the ones whose designation may be stale.
-        matching = self.plan_query(query_id)
+        matching = self._plan(query_id)
         return matching & set(domain_partners)
 
     def truly_matching(self, query_id: int, peer_id: str) -> bool:
         if peer_id in self._departed_peers:
             return False
-        return peer_id in self.plan_query(query_id)
+        return peer_id in self._plan(query_id)

@@ -16,8 +16,9 @@ through this class, in one of two content modes:
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.config import ProtocolConfig
 from repro.core.construction import ConstructionReport, DomainBuilder
@@ -27,6 +28,7 @@ from repro.core.dynamicity import ChurnHandler
 from repro.core.maintenance import ColdStartRecord, MaintenanceEngine
 from repro.core.routing import (
     DomainQueryOutcome,
+    QueryRequest,
     QueryRouter,
     QueryRoutingResult,
     RoutingPolicy,
@@ -97,6 +99,26 @@ class StalenessSnapshot:
         ) / self.relevant_count
 
 
+class _QueryBatchState:
+    """Derived state shared by the queries of one batch.
+
+    Nothing in here is protocol state: it only memoizes values that are
+    *recomputed identically* for every query of a batch (no simulation event
+    can run between batched queries, so domains, described sets and
+    cooperation lists cannot change mid-batch).
+    """
+
+    __slots__ = ("visit_orders", "staleness_scaffold")
+
+    def __init__(self) -> None:
+        #: home summary-peer id (or None) -> ordered domain visit list.
+        self.visit_orders: Dict[Optional[str], List[Domain]] = {}
+        #: Per-domain (partners, described, stale, online) tuples.
+        self.staleness_scaffold: Optional[
+            List[Tuple[Set[str], Set[str], Set[str], Set[str]]]
+        ] = None
+
+
 class SummaryManagementSystem:
     """Top-level orchestrator of the summary-management protocols."""
 
@@ -129,6 +151,8 @@ class SummaryManagementSystem:
         self._content: Optional[ContentModel] = None
         self._query_counter = 0
         self._query_results: List[QueryRoutingResult] = []
+        self._batch_state: Optional[_QueryBatchState] = None
+        self._query_engine_enabled = True
 
     # -- accessors ---------------------------------------------------------------------------
 
@@ -178,6 +202,25 @@ class SummaryManagementSystem:
         return self._rng
 
     @property
+    def query_engine_enabled(self) -> bool:
+        """Whether queries run through the indexed/memoized fast path.
+
+        On by default.  Disabling it falls back to the legacy per-query
+        work — a full online-peer scan per domain and pure tree-walk
+        selection — which is byte-identical in every protocol-visible
+        outcome (routing sets, message counts, staleness) and is retained as
+        the uncached reference for equivalence tests and the
+        ``bench_query_engine`` A/B guard.
+        """
+        return self._query_engine_enabled
+
+    @query_engine_enabled.setter
+    def query_engine_enabled(self, enabled: bool) -> None:
+        self._query_engine_enabled = bool(enabled)
+        if isinstance(self._content, SummaryContentModel):
+            self._content.use_selection_cache = self._query_engine_enabled
+
+    @property
     def services(self) -> Dict[str, "LocalSummaryService"]:
         """Per-peer local summary services (real-content mode)."""
         return dict(self._services)
@@ -218,7 +261,11 @@ class SummaryManagementSystem:
                 service.rebuild_from_database()
             self._services[peer_id] = service
             peer.attach_summary(service.summary)
-        self._content = SummaryContentModel(self._queries, self._databases)
+        self._content = SummaryContentModel(
+            self._queries,
+            self._databases,
+            use_selection_cache=self._query_engine_enabled,
+        )
 
     def use_planned_content(
         self, matching_fraction: float = 0.1, seed: int = 0
@@ -617,6 +664,7 @@ class SummaryManagementSystem:
 
         previous_outcome: Optional[DomainQueryOutcome] = None
         previous: Optional[Domain] = None
+        results_gathered = 0  # running count: avoids re-summing per domain
         for index, domain in enumerate(ordered_domains):
             if max_domains is not None and index >= max_domains:
                 break
@@ -635,9 +683,10 @@ class SummaryManagementSystem:
                 result.flooding_messages += flooding
             outcome = self._route_in_domain(query_id, domain, proposition, policy)
             result.domain_outcomes.append(outcome)
+            results_gathered += outcome.results
             previous = domain
             previous_outcome = outcome
-            if required_results is not None and result.results >= required_results:
+            if required_results is not None and results_gathered >= required_results:
                 break
 
         result.total_messages = (
@@ -655,11 +704,16 @@ class SummaryManagementSystem:
         policy: RoutingPolicy,
     ) -> DomainQueryOutcome:
         assert self._content is not None
-        online = {
-            peer_id
-            for peer_id in self._overlay.peer_ids
-            if self._overlay.peer(peer_id).online
-        }
+        if self._query_engine_enabled:
+            # The incrementally tracked set: identical to the scan below but
+            # O(1) to obtain (maintained by join/leave/churn events).
+            online = self._overlay.online_ids
+        else:
+            online = {
+                peer_id
+                for peer_id in self._overlay.peer_ids
+                if self._overlay.peer(peer_id).online
+            }
         described = self._described.get(domain.summary_peer_id)
         return self._router.route_in_domain(
             query_id,
@@ -672,12 +726,60 @@ class SummaryManagementSystem:
         )
 
     def _domain_visit_order(self, home: Optional[Domain]) -> List[Domain]:
+        state = self._batch_state
+        key = home.summary_peer_id if home is not None else None
+        if state is not None:
+            cached = state.visit_orders.get(key)
+            if cached is not None:
+                return cached
         domains = list(self._domains.values())
         if home is None:
-            return domains
-        ordered = [home]
-        ordered.extend(domain for domain in domains if domain is not home)
+            ordered = domains
+        else:
+            ordered = [home]
+            ordered.extend(domain for domain in domains if domain is not home)
+        if state is not None:
+            state.visit_orders[key] = ordered
         return ordered
+
+    @contextmanager
+    def shared_query_state(self) -> Iterator[None]:
+        """Share per-batch derived state across consecutive ``pose_query`` calls.
+
+        Inside the block, domain visit orders and staleness scaffolding are
+        computed once and reused — safe because no simulation event can run
+        between the queries of a batch, and byte-identical to recomputing
+        them per query.  Nestable (the outermost block owns the state).
+        """
+        if self._batch_state is not None:
+            yield
+            return
+        self._batch_state = _QueryBatchState()
+        try:
+            yield
+        finally:
+            self._batch_state = None
+
+    def pose_queries(self, requests: Iterable[QueryRequest]) -> List[QueryRoutingResult]:
+        """Pose a batch of queries, sharing derived state across the batch.
+
+        Results are byte-identical to calling :meth:`pose_query` once per
+        request in the same order (same routing sets, message counters, RNG
+        draws and query ids); only the repeated per-query derivation work is
+        shared.
+        """
+        with self.shared_query_state():
+            return [
+                self.pose_query(
+                    request.originator,
+                    query=request.query,
+                    query_id=request.query_id,
+                    policy=request.policy,
+                    required_results=request.required_results,
+                    max_domains=request.max_domains,
+                )
+                for request in requests
+            ]
 
     # -- staleness measurement (Figures 4 and 5) -------------------------------------------------------
 
@@ -690,22 +792,72 @@ class SummaryManagementSystem:
         """
         if not isinstance(self._content, PlannedContentModel):
             raise ProtocolError("staleness_snapshot requires planned content")
-        content = self._content
         if query_id is None:
             query_id = self.next_query_id()
+        return self._staleness_from_scaffold(query_id, self._staleness_scaffold())
+
+    def staleness_snapshots(self, count: int) -> List[StalenessSnapshot]:
+        """Sample ``count`` staleness snapshots, sharing the per-domain scans.
+
+        Byte-identical to calling :meth:`staleness_snapshot` ``count`` times
+        back to back (same query ids, same plan draws): the per-domain
+        partner/described/stale/online sets cannot change between the
+        samples, so they are derived once for the whole batch.
+        """
+        if not isinstance(self._content, PlannedContentModel):
+            raise ProtocolError("staleness_snapshot requires planned content")
+        with self.shared_query_state():
+            scaffold = self._staleness_scaffold()
+            return [
+                self._staleness_from_scaffold(self.next_query_id(), scaffold)
+                for _sample in range(count)
+            ]
+
+    def _staleness_scaffold(
+        self,
+    ) -> List[Tuple[Set[str], Set[str], Set[str], Set[str]]]:
+        """Per-domain ``(partners, described, stale, online)`` sets.
+
+        Memoized on the active batch state, if any (see
+        :meth:`shared_query_state`).
+        """
+        state = self._batch_state
+        if state is not None and state.staleness_scaffold is not None:
+            return state.staleness_scaffold
+        online_ids = self._overlay.online_ids
+        scaffold = []
+        for sp_id, domain in self._domains.items():
+            partners = set(domain.partner_ids)
+            described = self._described.get(sp_id, partners)
+            stale = set(domain.old_partners())
+            if self._query_engine_enabled:
+                online = partners & online_ids
+            else:
+                # Legacy reference path: scan the per-peer flags directly.
+                online = {
+                    peer_id
+                    for peer_id in partners
+                    if self._overlay.peer(peer_id).online
+                }
+            scaffold.append((partners, described, stale, online))
+        if state is not None:
+            state.staleness_scaffold = scaffold
+        return scaffold
+
+    def _staleness_from_scaffold(
+        self,
+        query_id: int,
+        scaffold: List[Tuple[Set[str], Set[str], Set[str], Set[str]]],
+    ) -> StalenessSnapshot:
+        assert isinstance(self._content, PlannedContentModel)
+        content = self._content
         plan = content.matching_peers(query_id)
 
         relevant_count = 0
         worst_fp = worst_fn = real_fp = real_fn = 0
         p_mod = self._config.modification_probability
 
-        for sp_id, domain in self._domains.items():
-            partners = set(domain.partner_ids)
-            described = self._described.get(sp_id, partners)
-            stale = set(domain.old_partners())
-            online = {
-                peer_id for peer_id in partners if self._overlay.peer(peer_id).online
-            }
+        for partners, described, stale, online in scaffold:
             relevant = plan & described
             relevant_count += len(relevant)
 

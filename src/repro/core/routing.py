@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.core.config import ProtocolConfig
 from repro.core.content import ContentModel
 from repro.core.domain import Domain
+from repro.database.query import SelectionQuery
 from repro.network.messages import MessageType
 from repro.network.metrics import MessageCounter
 from repro.network.overlay import Overlay
@@ -69,6 +70,23 @@ class DomainQueryOutcome:
         if denominator == 0:
             return 0.0
         return len(self.false_negatives) / denominator
+
+
+@dataclass
+class QueryRequest:
+    """One query of a batch posed through ``pose_queries`` / ``query_batch``.
+
+    Mirrors the parameters of ``SummaryManagementSystem.pose_query``: a real
+    query (``query``), an already-allocated planned id (``query_id``), or
+    neither (an id is allocated when the request is posed).
+    """
+
+    originator: str
+    query: Optional[SelectionQuery] = None
+    query_id: Optional[int] = None
+    policy: RoutingPolicy = RoutingPolicy.ALL
+    required_results: Optional[int] = None
+    max_domains: Optional[int] = None
 
 
 @dataclass

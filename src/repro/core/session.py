@@ -58,7 +58,7 @@ from repro.core.protocol import (
     StalenessSnapshot,
     SummaryManagementSystem,
 )
-from repro.core.routing import QueryRoutingResult, RoutingPolicy
+from repro.core.routing import QueryRequest, QueryRoutingResult, RoutingPolicy
 from repro.database.engine import LocalDatabase
 from repro.database.query import SelectionQuery
 from repro.exceptions import ConfigurationError, QueryError
@@ -665,7 +665,11 @@ class NetworkSession:
                 continue
             try:
                 result = answer_in_domain(
-                    domain, flexible, background, already_flexible=True
+                    domain,
+                    flexible,
+                    background,
+                    already_flexible=True,
+                    use_selection_cache=self._system.query_engine_enabled,
                 )
             except QueryError:
                 # The query constrains attributes outside the background
@@ -721,6 +725,65 @@ class NetworkSession:
                 )
             )
         return answers
+
+    def query_batch(
+        self,
+        count: Optional[int] = None,
+        queries: Optional[Iterable[SelectionQuery]] = None,
+        originators: Optional[Sequence[str]] = None,
+        *,
+        requests: Optional[Sequence[QueryRequest]] = None,
+        policy: RoutingPolicy = RoutingPolicy.ALL,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+        include_staleness: Optional[bool] = None,
+        include_answer: Optional[bool] = None,
+    ) -> List[QueryAnswer]:
+        """Pose a batch of queries through the shared-work fast path.
+
+        The batch shares the per-query derivation work — domain visit orders,
+        staleness scaffolding, the hierarchy selection caches — across its
+        queries, while producing answers **byte-identical** to posing the
+        same queries one by one with :meth:`query` (same routing sets, query
+        ids, message counters, staleness figures and RNG state).
+
+        Queries are given either like :meth:`query_many` (``count`` planned
+        queries or an iterable of real ``queries``, with originators cycled
+        over the population) or as explicit
+        :class:`~repro.core.routing.QueryRequest` values via ``requests``
+        (each request then carries its own originator/policy/limits).
+        """
+        if requests is not None:
+            if count is not None or queries is not None or originators:
+                raise ConfigurationError(
+                    "query_batch takes either requests or the query_many-style "
+                    "count/queries/originators arguments, not both"
+                )
+            with self._system.shared_query_state():
+                return [
+                    self.query(
+                        request.originator,
+                        query=request.query,
+                        query_id=request.query_id,
+                        policy=request.policy,
+                        required_results=request.required_results,
+                        max_domains=request.max_domains,
+                        include_staleness=include_staleness,
+                        include_answer=include_answer,
+                    )
+                    for request in requests
+                ]
+        with self._system.shared_query_state():
+            return self.query_many(
+                count=count,
+                queries=queries,
+                originators=originators,
+                policy=policy,
+                required_results=required_results,
+                max_domains=max_domains,
+                include_staleness=include_staleness,
+                include_answer=include_answer,
+            )
 
     # -- persistence -------------------------------------------------------------------
 
@@ -782,6 +845,15 @@ class NetworkSession:
     def staleness(self, query_id: Optional[int] = None) -> StalenessSnapshot:
         """Sample current answer staleness (planned content only)."""
         return self._system.staleness_snapshot(query_id=query_id)
+
+    def staleness_batch(self, count: int) -> List[StalenessSnapshot]:
+        """Sample ``count`` staleness snapshots sharing the per-domain scans.
+
+        Byte-identical to ``[self.staleness() for _ in range(count)]`` (same
+        query ids and plan draws); the fig4/fig5 sweeps sample several
+        snapshots per simulation tick through this.
+        """
+        return self._system.staleness_snapshots(count)
 
     # -- reporting ---------------------------------------------------------------------
 

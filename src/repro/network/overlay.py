@@ -30,6 +30,15 @@ class Overlay:
         self._peers: Dict[str, PeerNode] = {
             node: PeerNode(peer_id=node) for node in graph.nodes
         }
+        # Incrementally tracked set of online peer ids.  Maintained by a
+        # status listener on every node (join/leave/churn/restore all funnel
+        # through ``PeerNode.online``), so per-query "who is reachable"
+        # questions stop scanning the whole population.  Like the latency
+        # cache it is derived state: checkpoints persist the per-peer flags
+        # and the set re-derives itself on restore.
+        self._online_ids: Set[str] = set()
+        for peer in self._peers.values():
+            peer.bind_status_listener(self._track_status)
         # The overlay's own tie-breaking RNG: selective walks invoked without
         # an explicit rng draw from this shared, advancing stream instead of a
         # fresh Random(0) per call (which replayed identical tie-breaks and
@@ -72,6 +81,22 @@ class Overlay:
 
     def peers(self) -> List[PeerNode]:
         return list(self._peers.values())
+
+    def _track_status(self, peer_id: str, online: bool) -> None:
+        if online:
+            self._online_ids.add(peer_id)
+        else:
+            self._online_ids.discard(peer_id)
+
+    @property
+    def online_ids(self) -> Set[str]:
+        """The ids of the currently online peers, tracked incrementally.
+
+        This is the live set (O(1) to obtain, updated by join/leave/churn
+        events as they happen) — treat it as read-only and do not hold it
+        across simulation events; copy it if you need a stable snapshot.
+        """
+        return self._online_ids
 
     def online_peers(self) -> List[PeerNode]:
         return [peer for peer in self._peers.values() if peer.online]
@@ -248,11 +273,13 @@ class Overlay:
             self._graph.add_edge(peer_id, neighbour, latency=latency_ms)
         node = PeerNode(peer_id=peer_id)
         self._peers[peer_id] = node
+        node.bind_status_listener(self._track_status)
         return node
 
     def remove_peer(self, peer_id: str) -> None:
         """Remove a node entirely (used to model permanent departures)."""
-        self.peer(peer_id)  # raises on unknown peer
+        self.peer(peer_id).bind_status_listener(None)  # raises on unknown peer
+        self._online_ids.discard(peer_id)
         self._latency_cache.clear()
         self._graph.remove_node(peer_id)
         del self._peers[peer_id]

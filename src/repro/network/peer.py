@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.database.engine import LocalDatabase
 from repro.saintetiq.hierarchy import SummaryHierarchy
@@ -41,6 +41,29 @@ class PeerNode:
     #: Other summary peers this node knows about (superpeers use this to
     #: accelerate inter-domain flooding, Section 5.2.2).
     known_summary_peers: Set[str] = field(default_factory=set)
+
+    #: Connectivity listener installed by the owning :class:`Overlay` so it
+    #: can track the online-peer set incrementally.  Every write to
+    #: ``online`` — ``go_offline``/``go_online`` as well as direct
+    #: assignment (e.g. checkpoint restore) — is reported through it.
+    _status_listener: Optional[Callable[[str, bool], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name == "online":
+            listener = getattr(self, "_status_listener", None)
+            if listener is not None:
+                listener(self.peer_id, bool(value))
+
+    def bind_status_listener(
+        self, listener: Optional[Callable[[str, bool], None]]
+    ) -> None:
+        """Install (or, with ``None``, remove) the overlay's status listener."""
+        self._status_listener = listener
+        if listener is not None:
+            listener(self.peer_id, self.online)
 
     @property
     def is_superpeer(self) -> bool:

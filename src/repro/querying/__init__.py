@@ -11,11 +11,15 @@ references):
   query (:mod:`repro.querying.valuation`),
 * the *selection algorithm* returning the most abstract summaries that
   satisfy the query (:mod:`repro.querying.selection`),
+* the *indexed query engine* answering repeated selections from an inverted
+  descriptor index, byte-identically to the pure walk
+  (:mod:`repro.querying.engine`),
 * *approximate answering* by aggregating the selected summaries into
   interpretation classes (:mod:`repro.querying.aggregation`).
 """
 
 from repro.querying.aggregation import ApproximateAnswer, approximate_answer
+from repro.querying.engine import HierarchyQueryIndex, proposition_key
 from repro.querying.proposition import Clause, Proposition
 from repro.querying.reformulation import reformulate
 from repro.querying.selection import QuerySelection, select_summaries
@@ -29,6 +33,8 @@ __all__ = [
     "valuate",
     "QuerySelection",
     "select_summaries",
+    "HierarchyQueryIndex",
+    "proposition_key",
     "ApproximateAnswer",
     "approximate_answer",
 ]

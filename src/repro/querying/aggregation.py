@@ -78,9 +78,11 @@ def approximate_answer(
     select:
         Projection attributes of the query (the paper's ``age`` in its example).
     """
+    # A read-only pass: iterate the live cells instead of deep-copying every
+    # matching cell up front (the selection may be a shared cached instance).
     cells = [
         cell
-        for cell in selection.matching_cells()
+        for cell in selection.iter_matching_cells()
         if cell_satisfies(cell, proposition)
     ]
     grouped: Dict[Interpretation, List[Cell]] = {}

@@ -1,0 +1,186 @@
+"""The indexed query engine: fast, byte-identical summary selection.
+
+The pure selection algorithm (:func:`repro.querying.selection.select_summaries`)
+valuates every visited node against the proposition by scanning the node's
+intent label sets — O(intent size) per node per query.  Under heavy query
+traffic (the fig4/5/7 sweeps pose the same query classes hundreds of times
+against an unchanged hierarchy) that per-visit work dominates.
+
+:class:`HierarchyQueryIndex` inverts the hierarchy once per *version* (the
+builder's mutation counter, the same key the ``signature``/``depth`` caches
+use): a descriptor → summary-node postings map plus per-node intent label
+counts.  A proposition is then answered from candidate node-id sets —
+
+* ``satisfying(clause)`` — nodes carrying at least one admitted label
+  (valuation ≥ ``PARTIAL``),
+* ``fully(clause)`` — nodes whose *every* label on the clause's attribute is
+  admitted (valuation ``FULL``),
+
+intersected across clauses — and the exploration replays the exact pruned
+tree walk of the pure algorithm with O(1) membership tests instead of
+per-node valuations.  The result is **node-for-node identical** to
+``select_summaries``: same ``Z_Q`` summaries in the same order, same partial
+cells, same ``visited_nodes`` figure (NONE-valued children of PARTIAL nodes
+are still *visited*, they are just recognised in O(1)).
+
+Per-clause candidate sets are memoized inside the index (query classes share
+clauses), and :meth:`repro.saintetiq.hierarchy.SummaryHierarchy.select`
+additionally memoizes whole :class:`QuerySelection` results per canonical
+proposition, so a repeated query against an unchanged hierarchy costs one
+dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.selection import QuerySelection
+from repro.querying.valuation import cell_satisfies
+from repro.saintetiq.summary import Summary
+
+#: Canonical form of a proposition: clauses keyed (and ordered) by attribute.
+#: Selection is clause-order independent, so propositions that differ only in
+#: clause order share one cache entry.
+PropositionKey = Tuple[Tuple[str, FrozenSet[str]], ...]
+
+
+def proposition_key(proposition: Proposition) -> PropositionKey:
+    """A hashable, clause-order-independent key for a proposition."""
+    return tuple(
+        sorted(
+            ((clause.attribute, clause.labels) for clause in proposition.clauses),
+            key=lambda item: item[0],
+        )
+    )
+
+
+class HierarchyQueryIndex:
+    """Descriptor → summary-node inverted index over one hierarchy version.
+
+    Built from the current tree in one traversal; valid only as long as the
+    hierarchy does not mutate (the owner re-builds it when the builder's
+    mutation counter moves — see ``SummaryHierarchy.query_index``).
+    """
+
+    def __init__(self, root: Summary) -> None:
+        self._root = root
+        #: (attribute, label) -> ids of nodes whose intent carries the label.
+        self._postings: Dict[Tuple[str, str], Set[int]] = {}
+        #: node id -> attribute -> number of labels the intent carries.
+        self._label_counts: Dict[int, Dict[str, int]] = {}
+        #: Per-clause candidate sets, memoized across propositions.
+        self._clause_cache: Dict[
+            Tuple[str, FrozenSet[str]], Tuple[Set[int], Set[int]]
+        ] = {}
+        postings = self._postings
+        for node in root.iter_subtree():
+            node_id = node.node_id
+            counts: Dict[str, int] = {}
+            for attribute, labels in node.intent.items():
+                counts[attribute] = len(labels)
+                for label in labels:
+                    bucket = postings.get((attribute, label))
+                    if bucket is None:
+                        postings[(attribute, label)] = {node_id}
+                    else:
+                        bucket.add(node_id)
+            self._label_counts[node_id] = counts
+
+    # -- candidate sets ---------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self._label_counts)
+
+    def clause_candidates(self, clause: Clause) -> Tuple[Set[int], Set[int]]:
+        """``(satisfying, fully)`` node-id sets for one clause.
+
+        ``satisfying`` holds the nodes valuating ``PARTIAL`` or ``FULL`` on
+        the clause (≥ 1 admitted label); ``fully`` the subset valuating
+        ``FULL`` (every intent label on the attribute admitted).  Treat both
+        as read-only: they are memoized and shared between queries.
+        """
+        key = (clause.attribute, clause.labels)
+        cached = self._clause_cache.get(key)
+        if cached is not None:
+            return cached
+        admitted: Dict[int, int] = {}
+        for label in clause.labels:
+            for node_id in self._postings.get((clause.attribute, label), ()):
+                admitted[node_id] = admitted.get(node_id, 0) + 1
+        satisfying = set(admitted)
+        label_counts = self._label_counts
+        fully = {
+            node_id
+            for node_id, count in admitted.items()
+            if count == label_counts[node_id][clause.attribute]
+        }
+        result = (satisfying, fully)
+        self._clause_cache[key] = result
+        return result
+
+    def candidates(self, proposition: Proposition) -> Tuple[Set[int], Set[int]]:
+        """``(satisfying, fully)`` node-id sets for a whole proposition.
+
+        A node is *satisfying* when every clause admits at least one of its
+        labels (valuation ≥ ``PARTIAL``), *fully* satisfying when every
+        clause admits all of them (valuation ``FULL``).
+        """
+        satisfying: Optional[Set[int]] = None
+        fully: Optional[Set[int]] = None
+        for clause in proposition.clauses:
+            clause_satisfying, clause_fully = self.clause_candidates(clause)
+            if satisfying is None:
+                satisfying = set(clause_satisfying)
+                fully = set(clause_fully)
+            else:
+                satisfying &= clause_satisfying
+                fully &= clause_fully  # type: ignore[operator]
+        assert satisfying is not None and fully is not None
+        return satisfying, fully
+
+    # -- selection --------------------------------------------------------------------
+
+    def select(self, proposition: Proposition) -> QuerySelection:
+        """Run the selection algorithm through the index.
+
+        Node-for-node identical to
+        :func:`repro.querying.selection.select_summaries` on the same tree:
+        same exploration order, same ``Z_Q``, same partial cells, same
+        ``visited_nodes``.
+        """
+        selection = QuerySelection()
+        root = self._root
+        if proposition.is_empty():
+            selection.summaries.append(root)
+            selection.visited_nodes = 1
+            return selection
+        satisfying, fully = self.candidates(proposition)
+        self._explore(root, proposition, satisfying, fully, selection)
+        return selection
+
+    def _explore(
+        self,
+        node: Summary,
+        proposition: Proposition,
+        satisfying: Set[int],
+        fully: Set[int],
+        selection: QuerySelection,
+    ) -> None:
+        # The pure walk counts every node it valuates, including the
+        # NONE-valued children of PARTIAL parents — so does this one; only
+        # the per-node cost changes (set membership instead of a valuation).
+        selection.visited_nodes += 1
+        node_id = node.node_id
+        if node_id not in satisfying:
+            return
+        if node_id in fully:
+            selection.summaries.append(node)
+            return
+        if node.is_leaf:
+            for cell in node.cells.values():
+                if cell_satisfies(cell, proposition):
+                    selection.partial_cells.append(cell)
+            return
+        for child in node.children:
+            self._explore(child, proposition, satisfying, fully, selection)

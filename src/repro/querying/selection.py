@@ -11,7 +11,7 @@ matching cells.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import FrozenSet, Iterator, List, Optional, Set
 
 from repro.querying.proposition import Proposition
 from repro.querying.valuation import Valuation, cell_satisfies, valuate
@@ -38,18 +38,35 @@ class QuerySelection:
     summaries: List[Summary] = field(default_factory=list)
     partial_cells: List[Cell] = field(default_factory=list)
     visited_nodes: int = 0
+    # P_Q, computed once per selection: cached selections (see
+    # ``SummaryHierarchy.select``) serve many routing calls, each asking for
+    # the same peer-extent union.
+    _peer_extent: Optional[FrozenSet[str]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_empty(self) -> bool:
         return not self.summaries and not self.partial_cells
 
     def matching_cells(self) -> List[Cell]:
-        """All matching cells: those of Z_Q summaries plus the partial ones."""
-        cells: List[Cell] = []
+        """All matching cells: those of Z_Q summaries plus the partial ones.
+
+        Every cell is returned as a private copy, safe to mutate.  Read-only
+        consumers should prefer :meth:`iter_matching_cells`.
+        """
+        return [cell.copy() for cell in self.iter_matching_cells()]
+
+    def iter_matching_cells(self) -> Iterator[Cell]:
+        """Iterate the matching cells *without* copying them.
+
+        Yields the live cells of the Z_Q summaries followed by the partial
+        ones, in the same order as :meth:`matching_cells` — treat them as
+        read-only.
+        """
         for summary in self.summaries:
-            cells.extend(cell.copy() for cell in summary.cells.values())
-        cells.extend(cell.copy() for cell in self.partial_cells)
-        return cells
+            yield from summary.cells.values()
+        yield from self.partial_cells
 
     def matching_tuple_count(self) -> float:
         """Estimated number of records satisfying the query.
@@ -63,13 +80,24 @@ class QuerySelection:
     def peer_extent(self) -> Set[str]:
         """Relevant peers ``P_Q`` — the union of peer-extents of Z_Q (and
 
-        of the matching partial cells)."""
-        peers: Set[str] = set()
-        for summary in self.summaries:
-            peers |= summary.peer_extent
-        for cell in self.partial_cells:
-            peers |= cell.peers
-        return peers
+        of the matching partial cells).  Returns a private mutable copy;
+        read-only consumers should prefer :meth:`peer_extent_view`."""
+        return set(self.peer_extent_view())
+
+    def peer_extent_view(self) -> FrozenSet[str]:
+        """``P_Q`` as the cached frozenset — no per-call copy.
+
+        Computed once per selection; cached selections (see
+        ``SummaryHierarchy.select``) serve many routing calls against it.
+        """
+        if self._peer_extent is None:
+            peers: Set[str] = set()
+            for summary in self.summaries:
+                peers |= summary.peer_extent
+            for cell in self.partial_cells:
+                peers |= cell.peers
+            self._peer_extent = frozenset(peers)
+        return self._peer_extent
 
 
 def select_summaries(

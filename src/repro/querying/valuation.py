@@ -62,19 +62,26 @@ def valuate(summary: Summary, proposition: Proposition) -> SummaryValuation:
     intent = summary.intent
     for clause in proposition.clauses:
         labels = intent.get(clause.attribute, frozenset())
-        if not labels:
-            outcome = Valuation.NONE
-        else:
-            admitted_count = sum(1 for label in labels if clause.admits(label))
-            if not admitted_count:
-                outcome = Valuation.NONE
-            elif admitted_count == len(labels):
-                outcome = Valuation.FULL
+        # One pass over the labels, stopping as soon as both an admitted and a
+        # non-admitted label have been seen: the outcome is then PARTIAL no
+        # matter what the remaining labels say.
+        admitted = rejected = False
+        for label in labels:
+            if clause.admits(label):
+                admitted = True
             else:
-                outcome = Valuation.PARTIAL
+                rejected = True
+            if admitted and rejected:
+                break
+        if not admitted:
+            outcome = Valuation.NONE
+        elif not rejected:
+            outcome = Valuation.FULL
+        else:
+            outcome = Valuation.PARTIAL
         per_attribute[clause.attribute] = outcome
         overall = min(overall, outcome)
-    return SummaryValuation(overall=overall, per_attribute=dict(per_attribute))
+    return SummaryValuation(overall=overall, per_attribute=per_attribute)
 
 
 def cell_satisfies(cell: Cell, proposition: Proposition) -> bool:

@@ -15,7 +15,22 @@ the P2P layer relies on:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.querying.engine import HierarchyQueryIndex, PropositionKey
+    from repro.querying.proposition import Proposition
+    from repro.querying.selection import QuerySelection
 
 from repro.exceptions import SummaryError
 from repro.fuzzy.background import BackgroundKnowledge
@@ -49,6 +64,8 @@ class SummaryHierarchy:
         # a matching counter proves the cached value is still current.
         self._depth_cache: Optional[Tuple[int, int]] = None
         self._signature_cache: Optional[Tuple[int, FrozenSet[Descriptor]]] = None
+        self._index_cache: Optional[Tuple[int, "HierarchyQueryIndex"]] = None
+        self._selection_cache: Dict["PropositionKey", "QuerySelection"] = {}
 
     # -- accessors -----------------------------------------------------------------
 
@@ -149,6 +166,49 @@ class SummaryHierarchy:
     def peer_extent(self) -> Set[str]:
         """All peers contributing data to this hierarchy (Definition 4)."""
         return self.root.peer_extent
+
+    # -- query engine ------------------------------------------------------------------
+
+    def query_index(self) -> "HierarchyQueryIndex":
+        """The descriptor → summary-node inverted index for the current tree.
+
+        Memoized against the builder's mutation counter, exactly like
+        :meth:`signature` and :meth:`depth`: the index (and the selection
+        cache riding on it) is rebuilt lazily after the next mutation.
+        """
+        from repro.querying.engine import HierarchyQueryIndex
+
+        version = self._builder.mutation_count
+        if self._index_cache is None or self._index_cache[0] != version:
+            self._index_cache = (version, HierarchyQueryIndex(self.root))
+            self._selection_cache = {}
+        return self._index_cache[1]
+
+    def select(self, proposition: "Proposition") -> "QuerySelection":
+        """Indexed + memoized selection: the fast path of ``select_summaries``.
+
+        Node-for-node identical to
+        :func:`repro.querying.selection.select_summaries` on this hierarchy
+        (same ``Z_Q`` order, partial cells and ``visited_nodes``), but the
+        exploration runs over the inverted index and whole
+        :class:`~repro.querying.selection.QuerySelection` results are cached
+        per canonical proposition until the next mutation.  The returned
+        selection is shared between callers — treat it as read-only
+        (``matching_cells`` hands out copies; ``iter_matching_cells`` does
+        not).
+        """
+        from repro.querying.engine import proposition_key
+        from repro.querying.selection import QuerySelection
+
+        if self.is_empty():
+            return QuerySelection()
+        index = self.query_index()  # refreshes the selection cache on mutation
+        key = proposition_key(proposition)
+        selection = self._selection_cache.get(key)
+        if selection is None:
+            selection = index.select(proposition)
+            self._selection_cache[key] = selection
+        return selection
 
     # -- drift detection ---------------------------------------------------------------
 

@@ -15,7 +15,8 @@ matching persistence layer:
   routing, staleness and traffic output is byte-identical to the original.
   ``save_session(..., base=...)`` stores *delta* checkpoints — structural
   patches (:mod:`repro.store.deltas`) against an earlier checkpoint — that
-  restore transparently through their base chain.
+  restore transparently through their base chain; ``compact_checkpoint``
+  folds a long chain back into a fresh full checkpoint.
 * **Garbage collection** (:mod:`repro.store.gc`) — ``collect_garbage`` (also
   reachable as ``backend.gc()``) reclaims snapshots no retained checkpoint,
   delta chain or domain head references.
@@ -43,6 +44,8 @@ from repro.store.checkpoint import (
     CHECKPOINT_KIND,
     DEFAULT_CHECKPOINT_NAME,
     checkpoint_base_chain,
+    compact_checkpoint,
+    compact_checkpoints,
     list_checkpoints,
     restore_session,
     save_session,
@@ -71,6 +74,8 @@ __all__ = [
     "restore_session",
     "list_checkpoints",
     "checkpoint_base_chain",
+    "compact_checkpoint",
+    "compact_checkpoints",
     "CHECKPOINT_KIND",
     "DEFAULT_CHECKPOINT_NAME",
     "diff_documents",

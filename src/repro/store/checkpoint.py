@@ -593,6 +593,59 @@ def resolve_checkpoint_payload(
     return payload
 
 
+def compact_checkpoint(
+    target: Union[None, str, StoreBackend], name: str = DEFAULT_CHECKPOINT_NAME
+) -> bool:
+    """Fold a delta checkpoint's chain into a fresh full checkpoint.
+
+    A long ``full → delta → … → delta`` chain keeps every link restore-time
+    relevant (and GC-live).  Compaction resolves ``name`` through its chain
+    and overwrites it with the resolved payload — byte-identical to what a
+    full checkpoint taken at the same moment would have stored, so restores
+    are unaffected while the chain's earlier links become reclaimable (once
+    no *other* delta still bases on them).
+
+    Returns ``True`` when the checkpoint was a delta and got compacted,
+    ``False`` when it already was a full checkpoint (a no-op).
+    """
+    backend = open_store(target)
+    try:
+        document = _get_link(backend, name)
+        _check_format(document, name)
+        if "base" not in document:
+            return False
+        payload = resolve_checkpoint_payload(backend, name)
+        backend.put(CHECKPOINT_KIND, name, payload)
+        return True
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
+def compact_checkpoints(target: Union[None, str, StoreBackend]) -> List[str]:
+    """Compact every delta checkpoint of a store; returns the compacted names.
+
+    Each chain link is resolved at most once (shared resolution cache), so
+    compacting a store full of stacked deltas costs one chain replay.
+    """
+    backend = open_store(target)
+    try:
+        compacted: List[str] = []
+        resolved_cache: Dict[str, Dict[str, Any]] = {}
+        for name in backend.keys(CHECKPOINT_KIND):
+            document = _get_link(backend, name)
+            _check_format(document, name)
+            if "base" not in document:
+                continue
+            payload = resolve_checkpoint_payload(backend, name, _cache=resolved_cache)
+            backend.put(CHECKPOINT_KIND, name, payload)
+            compacted.append(name)
+        return compacted
+    finally:
+        if owns_backend(target):
+            backend.close()
+
+
 def _check_format(document: Dict[str, Any], name: str) -> None:
     if document.get("format") != _CHECKPOINT_FORMAT:
         raise StoreError(

@@ -1,0 +1,235 @@
+"""Batched querying: byte-identical to the sequential per-query path.
+
+The acceptance bar of the batched query engine: ``pose_queries`` /
+``query_batch`` / ``staleness_snapshots`` must produce exactly the results
+of their sequential counterparts — same routing sets, query ids, message
+counters, staleness figures and RNG evolution — and the indexed fast path
+(``query_engine_enabled``) must be indistinguishable from the legacy
+full-scan path in every protocol-visible outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.routing import QueryRequest, RoutingPolicy
+from repro.core.session import SystemBuilder
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.workloads.patients import MedicalWorkload, build_peer_databases
+from repro.workloads.queries import paper_example_query
+
+
+def _planned_session(seed: int = 3, peer_count: int = 64, churn: bool = False):
+    builder = (
+        SystemBuilder()
+        .topology(peer_count=peer_count, average_degree=4)
+        .planned_content(hit_rate=0.1)
+        .seed(seed)
+    )
+    if churn:
+        builder = builder.churn(duration_seconds=2 * 3600.0)
+    return builder.build()
+
+
+def _real_session(seed: int = 5, peer_count: int = 16):
+    background = medical_background_knowledge()
+    overlay = Overlay.generate(
+        TopologyConfig(peer_count=peer_count, average_degree=4, seed=seed)
+    )
+    workload = MedicalWorkload(records_per_peer=8, matching_fraction=0.25, seed=seed)
+    databases = build_peer_databases(overlay.peer_ids, workload)
+    return (
+        SystemBuilder()
+        .topology(overlay)
+        .background(background)
+        .protocol(superpeer_fraction=1 / 8, construction_ttl=3)
+        .real_content(databases)
+        .seed(seed)
+        .build()
+    )
+
+
+class TestPoseQueriesEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_batched_matches_sequential_planned(self, seed):
+        batched = _planned_session(seed=seed)
+        sequential = _planned_session(seed=seed)
+        originators = batched.partner_ids()[:6]
+        requests = [
+            QueryRequest(originator=originator, required_results=required)
+            for originator in originators
+            for required in (None, 3)
+        ]
+
+        batch_results = batched.system.pose_queries(requests)
+        seq_results = [
+            sequential.system.pose_query(
+                request.originator,
+                required_results=request.required_results,
+            )
+            for request in requests
+        ]
+        assert batch_results == seq_results
+        assert (
+            batched.system.counter.by_type() == sequential.system.counter.by_type()
+        ), "message accounting diverged between batched and sequential posing"
+        # Follow-up state is indistinguishable too.
+        assert batched.staleness() == sequential.staleness()
+
+    def test_mixed_policies_and_limits(self):
+        batched = _planned_session(seed=11)
+        sequential = _planned_session(seed=11)
+        partner = batched.partner_ids()[0]
+        requests = [
+            QueryRequest(originator=partner, policy=RoutingPolicy.ALL),
+            QueryRequest(originator=partner, policy=RoutingPolicy.PRECISION),
+            QueryRequest(originator=partner, policy=RoutingPolicy.RECALL, max_domains=1),
+        ]
+        batch_results = batched.system.pose_queries(requests)
+        seq_results = [
+            sequential.system.pose_query(
+                request.originator,
+                policy=request.policy,
+                max_domains=request.max_domains,
+            )
+            for request in requests
+        ]
+        assert batch_results == seq_results
+
+    def test_batch_state_is_torn_down(self):
+        session = _planned_session(seed=2)
+        session.system.pose_queries(
+            [QueryRequest(originator=session.default_originator())]
+        )
+        assert session.system._batch_state is None  # noqa: SLF001
+
+
+class TestQueryBatchFacade:
+    def test_query_batch_matches_query_many(self):
+        batched = _planned_session(seed=9)
+        sequential = _planned_session(seed=9)
+        a = batched.query_batch(count=8, required_results=2)
+        b = sequential.query_many(count=8, required_results=2)
+        assert [answer.routing for answer in a] == [answer.routing for answer in b]
+        assert [answer.staleness for answer in a] == [answer.staleness for answer in b]
+        assert [answer.query_messages for answer in a] == [
+            answer.query_messages for answer in b
+        ]
+
+    def test_query_batch_with_explicit_requests(self):
+        batched = _planned_session(seed=4)
+        sequential = _planned_session(seed=4)
+        partners = batched.partner_ids()[:3]
+        requests = [
+            QueryRequest(originator=partner, required_results=2)
+            for partner in partners
+        ]
+        a = batched.query_batch(requests=requests)
+        b = [
+            sequential.query(partner, required_results=2) for partner in partners
+        ]
+        assert [answer.routing for answer in a] == [answer.routing for answer in b]
+        assert [answer.staleness for answer in a] == [answer.staleness for answer in b]
+
+    def test_requests_and_count_are_mutually_exclusive(self):
+        from repro.exceptions import ConfigurationError
+
+        session = _planned_session(seed=1)
+        with pytest.raises(ConfigurationError):
+            session.query_batch(
+                count=3,
+                requests=[QueryRequest(originator=session.default_originator())],
+            )
+
+    def test_query_batch_real_content_answers(self):
+        batched = _real_session(seed=5)
+        sequential = _real_session(seed=5)
+        query = paper_example_query()
+        a = batched.query_batch(queries=[query, query])
+        b = sequential.query_many(queries=[query, query])
+        assert [answer.routing for answer in a] == [answer.routing for answer in b]
+        for answer_a, answer_b in zip(a, b):
+            if answer_a.answer is None:
+                assert answer_b.answer is None
+            else:
+                assert answer_a.answer.classes == answer_b.answer.classes
+
+
+class TestStalenessBatch:
+    def test_staleness_batch_matches_sequential(self):
+        batched = _planned_session(seed=17, churn=True)
+        sequential = _planned_session(seed=17, churn=True)
+        batched.run_until(3600.0)
+        sequential.run_until(3600.0)
+        assert batched.staleness_batch(4) == [
+            sequential.staleness() for _ in range(4)
+        ]
+        # Query-id allocation advanced identically.
+        assert batched.next_query_id() == sequential.next_query_id()
+
+    def test_staleness_batch_requires_planned_content(self):
+        from repro.exceptions import ProtocolError
+
+        session = _real_session()
+        with pytest.raises(ProtocolError):
+            session.staleness_batch(2)
+
+
+class TestQueryEngineToggle:
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_engine_off_is_byte_identical_planned(self, seed):
+        fast = _planned_session(seed=seed, churn=True)
+        legacy = _planned_session(seed=seed, churn=True)
+        legacy.system.query_engine_enabled = False
+        assert not legacy.system.query_engine_enabled
+
+        fast.run_until(1800.0)
+        legacy.run_until(1800.0)
+        fast_answers = fast.query_batch(count=6, required_results=3)
+        legacy_answers = legacy.query_many(count=6, required_results=3)
+        assert [a.routing for a in fast_answers] == [
+            a.routing for a in legacy_answers
+        ]
+        assert [a.staleness for a in fast_answers] == [
+            a.staleness for a in legacy_answers
+        ]
+        assert fast.system.counter.by_type() == legacy.system.counter.by_type()
+
+    def test_engine_off_is_byte_identical_real(self):
+        fast = _real_session(seed=8)
+        legacy = _real_session(seed=8)
+        legacy.system.query_engine_enabled = False
+        assert legacy.content.use_selection_cache is False
+        assert fast.content.use_selection_cache is True
+
+        query = paper_example_query()
+        for _round in range(3):
+            a = fast.query(query=query)
+            b = legacy.query(query=query)
+            assert a.routing == b.routing
+        assert fast.system.counter.by_type() == legacy.system.counter.by_type()
+
+    def test_toggle_reaches_existing_content_model(self):
+        session = _real_session(seed=8)
+        session.system.query_engine_enabled = False
+        assert session.content.use_selection_cache is False
+        session.system.query_engine_enabled = True
+        assert session.content.use_selection_cache is True
+
+
+class TestLegacyConstructionUnaffected:
+    def test_raw_system_pose_queries(self):
+        overlay = Overlay.generate(TopologyConfig(peer_count=32, seed=7))
+        from repro.core.protocol import SummaryManagementSystem
+
+        system = SummaryManagementSystem(overlay, config=ProtocolConfig(), seed=7)
+        system.use_planned_content(matching_fraction=0.1, seed=7)
+        system.build_domains()
+        partner = next(p for p in overlay.peer_ids if p not in system.domains)
+        results = system.pose_queries(
+            [QueryRequest(originator=partner), QueryRequest(originator=partner)]
+        )
+        assert [result.query_id for result in results] == [0, 1]

@@ -1,0 +1,115 @@
+"""Equivalence suite: the query engine across the figure scenarios.
+
+Runs miniature fig4/fig5 (single-domain maintenance + staleness sampling)
+and fig7 (multi-domain query cost) flows twice — once through the indexed,
+memoized, batched fast path and once through the legacy per-query path
+(``query_engine_enabled = False``, sequential posing) — and asserts every
+protocol-visible outcome is byte-identical: routing sets, message counts,
+flooding figures and staleness snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import QueryRequest, RoutingPolicy
+from repro.experiments.runner import run_maintenance_simulation
+from repro.workloads.registry import default_registry
+
+
+def _maintenance_session(seed: int, engine: bool):
+    scenario = default_registry().scenario(
+        "maintenance", peer_count=32, duration_seconds=2 * 3600.0, seed=seed
+    )
+    session = scenario.apply_dynamics(scenario.single_domain_builder()).build()
+    session.system.query_engine_enabled = engine
+    return session
+
+
+def _query_cost_session(seed: int, engine: bool):
+    scenario = default_registry().scenario("query-cost", peer_count=64, seed=seed)
+    session = scenario.session()
+    session.system.query_engine_enabled = engine
+    return session
+
+
+class TestFig4Fig5Staleness:
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_staleness_sampling_identical(self, seed):
+        fast = _maintenance_session(seed, engine=True)
+        legacy = _maintenance_session(seed, engine=False)
+
+        time = 1200.0
+        while time <= 2 * 3600.0:
+            fast.run_until(time)
+            legacy.run_until(time)
+            batched = fast.staleness_batch(3)
+            sequential = [legacy.staleness() for _ in range(3)]
+            assert batched == sequential, f"staleness diverged at t={time:.0f}s"
+            time += 1200.0
+
+        assert fast.system.counter.by_type() == legacy.system.counter.by_type()
+        assert fast.maintenance_report().push_messages == (
+            legacy.maintenance_report().push_messages
+        )
+
+    def test_runner_driver_matches_manual_sampling(self):
+        """The fig4/fig5 driver (batched staleness) reproduces itself exactly."""
+        scenario = default_registry().scenario(
+            "maintenance", peer_count=32, duration_seconds=3600.0, seed=4
+        )
+        a = run_maintenance_simulation(scenario)
+        b = run_maintenance_simulation(scenario)
+        assert a.snapshots == b.snapshots
+        assert a.update_messages == b.update_messages
+
+
+class TestFig7QueryCost:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_batched_fast_path_matches_legacy_sequential(self, seed):
+        fast = _query_cost_session(seed, engine=True)
+        legacy = _query_cost_session(seed, engine=False)
+        required = max(1, round(0.1 * 64))
+
+        originators = fast.partner_ids()
+        requests = [
+            QueryRequest(
+                originator=originators[(7 * index) % len(originators)],
+                query_id=fast.next_query_id(),
+                policy=RoutingPolicy.ALL,
+                required_results=required,
+            )
+            for index in range(10)
+        ]
+        fast_answers = fast.query_batch(requests=requests, include_staleness=False)
+
+        legacy_answers = []
+        legacy_originators = legacy.partner_ids()
+        for index in range(10):
+            originator = legacy_originators[(7 * index) % len(legacy_originators)]
+            legacy_answers.append(
+                legacy.query(
+                    originator,
+                    query_id=legacy.next_query_id(),
+                    policy=RoutingPolicy.ALL,
+                    required_results=required,
+                    include_staleness=False,
+                )
+            )
+
+        assert [a.routing for a in fast_answers] == [
+            a.routing for a in legacy_answers
+        ]
+        assert [a.routing.flooding_messages for a in fast_answers] == [
+            a.routing.flooding_messages for a in legacy_answers
+        ]
+        assert fast.system.counter.by_type() == legacy.system.counter.by_type()
+
+    def test_fig7_driver_deterministic(self):
+        from repro.experiments.runner import run_query_cost_comparison
+
+        a = run_query_cost_comparison(peer_count=64, query_count=8, seed=2)
+        b = run_query_cost_comparison(peer_count=64, query_count=8, seed=2)
+        assert a.summary_querying_messages == b.summary_querying_messages
+        assert a.flooding_messages == b.flooding_messages
+        assert a.centralized_messages == b.centralized_messages

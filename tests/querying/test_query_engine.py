@@ -1,0 +1,208 @@
+"""The indexed query engine: equivalence with the pure tree walk.
+
+The acceptance bar of the query-engine fast path: ``SummaryHierarchy.select``
+(inverted index + per-proposition memo) must be **node-for-node identical**
+to :func:`repro.querying.selection.select_summaries` — same ``Z_Q`` summaries
+in the same order, same partial cells, same ``visited_nodes`` — on any
+hierarchy at any version, including mid-build and after structural
+merge/split operators ran.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.vocabularies import medical_background_knowledge
+from repro.querying.engine import HierarchyQueryIndex, proposition_key
+from repro.querying.proposition import Clause, Proposition
+from repro.querying.selection import QuerySelection, select_summaries
+from repro.saintetiq.clustering import ClusteringParameters
+from repro.saintetiq.hierarchy import SummaryHierarchy
+
+AGE_LABELS = ["child", "young", "adult", "old"]
+BMI_LABELS = ["underweight", "normal", "overweight", "obese"]
+
+
+def _build_hierarchy(seed: int, record_count: int, max_children: int) -> SummaryHierarchy:
+    """A randomized hierarchy over the age/bmi grid (merges/splits included)."""
+    background = medical_background_knowledge(include_categorical=False)
+    hierarchy = SummaryHierarchy(
+        background,
+        attributes=["age", "bmi"],
+        parameters=ClusteringParameters(max_children=max_children),
+        owner=f"peer-{seed}",
+    )
+    rng = random.Random(seed)
+    hierarchy.add_records(
+        {"age": rng.uniform(0, 100), "bmi": rng.uniform(10, 45)}
+        for _ in range(record_count)
+    )
+    return hierarchy
+
+
+def _random_proposition(rng: random.Random) -> Proposition:
+    clauses = []
+    if rng.random() < 0.85:
+        clauses.append(
+            Clause("age", rng.sample(AGE_LABELS, rng.randint(1, len(AGE_LABELS))))
+        )
+    if rng.random() < 0.85:
+        clauses.append(
+            Clause("bmi", rng.sample(BMI_LABELS, rng.randint(1, len(BMI_LABELS))))
+        )
+    return Proposition(clauses)
+
+
+def assert_node_for_node_identical(
+    pure: QuerySelection, fast: QuerySelection
+) -> None:
+    # Same Z_Q nodes, same order, same *instances* (not equal copies).
+    assert [id(s) for s in pure.summaries] == [id(s) for s in fast.summaries]
+    assert [id(c) for c in pure.partial_cells] == [id(c) for c in fast.partial_cells]
+    assert pure.visited_nodes == fast.visited_nodes
+    assert pure.peer_extent() == fast.peer_extent()
+    assert pure.matching_tuple_count() == fast.matching_tuple_count()
+
+
+class TestIndexedSelectionEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        record_count=st.integers(min_value=0, max_value=120),
+        max_children=st.integers(min_value=2, max_value=6),
+        proposition_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_on_randomized_hierarchies(
+        self, seed, record_count, max_children, proposition_seed
+    ):
+        hierarchy = _build_hierarchy(seed, record_count, max_children)
+        rng = random.Random(proposition_seed)
+        for _ in range(5):
+            proposition = _random_proposition(rng)
+            pure = select_summaries(hierarchy, proposition)
+            fast = hierarchy.select(proposition)
+            if hierarchy.is_empty():
+                assert fast.is_empty and pure.is_empty
+                continue
+            assert_node_for_node_identical(pure, fast)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_children=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_identical_mid_build_across_versions(self, seed, max_children):
+        """The caches must refresh across mutations (mid-build, post-merge)."""
+        background = medical_background_knowledge(include_categorical=False)
+        hierarchy = SummaryHierarchy(
+            background,
+            attributes=["age", "bmi"],
+            parameters=ClusteringParameters(max_children=max_children),
+        )
+        rng = random.Random(seed)
+        proposition = _random_proposition(random.Random(seed + 1))
+        for _round in range(4):
+            hierarchy.add_records(
+                {"age": rng.uniform(0, 100), "bmi": rng.uniform(10, 45)}
+                for _ in range(rng.randint(1, 30))
+            )
+            pure = select_summaries(hierarchy, proposition)
+            fast = hierarchy.select(proposition)
+            assert_node_for_node_identical(pure, fast)
+            # The cached selection must be served as long as nothing mutates.
+            assert hierarchy.select(proposition) is fast
+
+    def test_empty_proposition_matches_root(self):
+        hierarchy = _build_hierarchy(seed=5, record_count=40, max_children=3)
+        proposition = Proposition([])
+        pure = select_summaries(hierarchy, proposition)
+        fast = hierarchy.select(proposition)
+        assert fast.summaries == [hierarchy.root]
+        assert_node_for_node_identical(pure, fast)
+
+    def test_empty_hierarchy_selects_nothing(self):
+        background = medical_background_knowledge(include_categorical=False)
+        hierarchy = SummaryHierarchy(background, attributes=["age", "bmi"])
+        proposition = Proposition([Clause("age", ["young"])])
+        assert hierarchy.select(proposition).is_empty
+        assert select_summaries(hierarchy, proposition).is_empty
+
+
+class TestIndexInternals:
+    def test_index_memoized_on_version(self):
+        hierarchy = _build_hierarchy(seed=2, record_count=30, max_children=4)
+        index = hierarchy.query_index()
+        assert hierarchy.query_index() is index  # same version, same index
+        hierarchy.add_records([{"age": 33.0, "bmi": 22.0}])
+        rebuilt = hierarchy.query_index()
+        assert rebuilt is not index  # mutation invalidated it
+
+    def test_selection_cache_dropped_on_mutation(self):
+        hierarchy = _build_hierarchy(seed=2, record_count=30, max_children=4)
+        proposition = Proposition([Clause("age", ["young", "adult"])])
+        first = hierarchy.select(proposition)
+        hierarchy.add_records([{"age": 70.0, "bmi": 31.0}])
+        second = hierarchy.select(proposition)
+        assert second is not first
+        assert_node_for_node_identical(select_summaries(hierarchy, proposition), second)
+
+    def test_clause_candidates_match_valuation_semantics(self):
+        from repro.querying.valuation import Valuation, valuate
+
+        hierarchy = _build_hierarchy(seed=9, record_count=60, max_children=3)
+        index = hierarchy.query_index()
+        clause = Clause("bmi", ["normal", "obese"])
+        satisfying, fully = index.clause_candidates(clause)
+        assert fully <= satisfying
+        proposition = Proposition([clause])
+        for node in hierarchy.root.iter_subtree():
+            valuation = valuate(node, proposition)
+            assert (node.node_id in satisfying) == (
+                valuation.overall is not Valuation.NONE
+            )
+            assert (node.node_id in fully) == (valuation.overall is Valuation.FULL)
+
+    def test_proposition_key_is_clause_order_independent(self):
+        a = Proposition([Clause("age", ["young"]), Clause("bmi", ["obese", "normal"])])
+        b = Proposition([Clause("bmi", ["normal", "obese"]), Clause("age", ["young"])])
+        assert proposition_key(a) == proposition_key(b)
+        hierarchy = _build_hierarchy(seed=4, record_count=50, max_children=4)
+        assert hierarchy.select(a) is hierarchy.select(b)
+
+    def test_standalone_index_select(self):
+        hierarchy = _build_hierarchy(seed=11, record_count=45, max_children=3)
+        index = HierarchyQueryIndex(hierarchy.root)
+        assert index.node_count() == hierarchy.node_count()
+        proposition = Proposition([Clause("age", ["old"])])
+        assert_node_for_node_identical(
+            select_summaries(hierarchy, proposition), index.select(proposition)
+        )
+
+
+class TestValuationFastPaths:
+    @pytest.mark.parametrize(
+        "labels, expected",
+        [
+            (["adult", "old"], "full"),
+            (["adult"], "partial"),
+            (["child"], "none"),
+        ],
+    )
+    def test_early_exit_preserves_outcomes(self, labels, expected):
+        from repro.querying.valuation import valuate
+
+        hierarchy = SummaryHierarchy(
+            medical_background_knowledge(include_categorical=False),
+            attributes=["age", "bmi"],
+        )
+        hierarchy.add_records(
+            [{"age": 25.0, "bmi": 22.0}, {"age": 80.0, "bmi": 22.0}]
+        )
+        root = hierarchy.root
+        assert root.labels_of("age") == frozenset({"adult", "old"})
+        valuation = valuate(root, Proposition([Clause("age", labels)]))
+        assert valuation.overall.name.lower() == expected

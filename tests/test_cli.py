@@ -239,6 +239,37 @@ class TestStoreCommands:
         for column in ("mean_results", "push_messages", "reconciliations"):
             assert continued["rows"][0][column] == direct["rows"][0][column]
 
+    def test_inspect_store_compact_folds_delta_chains(self, tmp_path, capsys):
+        store = str(tmp_path / "runs.sqlite")
+        main(
+            ["save-session", "smoke", "--store", store, "--name", "base",
+             "--hours", "0.25", "--json"]
+        )
+        main(
+            ["save-session", "smoke", "--store", store, "--name", "tip",
+             "--base", "base", "--hours", "0.5", "--json"]
+        )
+        capsys.readouterr()
+
+        exit_code = main(["inspect-store", "--store", store, "--compact", "--json"])
+        inspected = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        by_key = {(row["kind"], row["key"]): row for row in inspected["rows"]}
+        assert "tip" in by_key[("compact", "report")]["details"]
+        assert by_key[("checkpoint", "tip")]["details"] == "full checkpoint"
+
+        # The compacted tip still loads (now without its former base).
+        from repro.store import CHECKPOINT_KIND, SqliteBackend
+
+        with SqliteBackend(store) as backend:
+            backend.delete(CHECKPOINT_KIND, "base")
+        exit_code = main(
+            ["load-session", "--store", store, "--name", "tip",
+             "--queries", "2", "--json"]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
     def test_delta_against_missing_base_is_a_clean_error(self, tmp_path, capsys):
         store = str(tmp_path / "runs")
         with pytest.raises(SystemExit):
