@@ -66,6 +66,34 @@ True
 >>> store.gc().deleted_count  # everything is still referenced
 0
 
+Networks fail; the protocol answers anyway.  A seeded :class:`FaultPlan`
+injects partitions, link loss, duplicates and mass departures into the run
+(the empty plan is byte-identical to no plan at all), and every answer
+carries a :class:`DegradationReport` stating exactly which domains could not
+be reached — a partial answer is always *marked*, never silently incomplete:
+
+>>> from repro import FaultPlan, PartitionEvent
+>>> plan = FaultPlan(
+...     seed=5,
+...     partitions=[PartitionEvent(at=60.0, fraction=0.5, heal_at=600.0)],
+... )
+>>> stormy = (
+...     SystemBuilder()
+...     .topology(peer_count=32, average_degree=4)
+...     .planned_content(hit_rate=0.25)
+...     .faults(plan)
+...     .seed(7)
+...     .build()
+... )
+>>> _ = stormy.run_until(120.0)  # mid-partition
+>>> report = stormy.query().degradation
+>>> visited = set(stormy.system.domains) - set(report.unreachable_domains)
+>>> visited | set(report.unreachable_domains) == set(stormy.system.domains)
+True
+>>> _ = stormy.run_until(700.0)  # healed
+>>> stormy.query().degradation.complete
+True
+
 Real-content sessions can additionally ``attach_store(...)``: every
 reconciliation then archives the domain's merged state, and a restarted
 summary peer *cold-starts* — ``cold_start_domain(sp_id)`` installs its global
@@ -98,6 +126,7 @@ from repro.core.routing import (
 )
 from repro.core.service import LocalSummaryService
 from repro.core.session import (
+    DegradationReport,
     MaintenanceReport,
     NetworkSession,
     QueryAnswer,
@@ -138,6 +167,15 @@ from repro.fuzzy.vocabularies import (
     uniform_numeric_background_knowledge,
 )
 from repro.network.churn import LifetimeDistribution
+from repro.network.faults import (
+    DomainFailureEvent,
+    FaultInjector,
+    FaultPlan,
+    FlashCrowdEvent,
+    LinkFaults,
+    MassacreEvent,
+    PartitionEvent,
+)
 from repro.network.overlay import Overlay
 from repro.network.simulator import Simulator
 from repro.network.topology import TopologyConfig, power_law_topology
@@ -249,8 +287,17 @@ __all__ = [
     "SystemBuilder",
     "NetworkSession",
     "QueryAnswer",
+    "DegradationReport",
     "MaintenanceReport",
     "SessionTraffic",
+    # fault injection and resilience
+    "FaultPlan",
+    "FaultInjector",
+    "LinkFaults",
+    "PartitionEvent",
+    "DomainFailureEvent",
+    "MassacreEvent",
+    "FlashCrowdEvent",
     # persistence (repro.store)
     "StoreBackend",
     "InMemoryBackend",

@@ -8,6 +8,9 @@ the terminal without going through pytest:
 * ``fig5``           — false negatives vs. domain size,
 * ``fig6``           — update messages vs. domain size,
 * ``fig7``           — query cost vs. number of peers,
+* ``fault-sweep``    — answer quality and overhead vs. injected fault
+  intensity (``--intensities 0,0.05,0.1,0.2``): per-link loss plus a growing
+  partition window; the zero column is the fault-free baseline,
 * ``all``            — everything above,
 * ``list-scenarios`` — the named scenarios of the registry,
 * ``run-scenario``   — build a named scenario through ``SystemBuilder``,
@@ -51,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.experiments.fig4_stale_answers import run_figure4
 from repro.experiments.fig5_false_negatives import run_figure5
 from repro.experiments.fig6_update_cost import run_figure6
+from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.fig7_query_cost import run_figure7
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.tables import run_table1_table2, run_table3
@@ -91,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig5",
             "fig6",
             "fig7",
+            "fault-sweep",
             "all",
             "list-scenarios",
             "run-scenario",
@@ -158,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--hit-rate",
         type=float,
         help="override the scenario's query hit rate (run-scenario)",
+    )
+    parser.add_argument(
+        "--intensities",
+        help="comma-separated fault intensities for fault-sweep "
+        "(default: 0,0.05,0.1,0.2)",
     )
     parser.add_argument(
         "--sizes",
@@ -505,11 +515,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache=cache,
             )
         ],
+        "fault-sweep": lambda: [
+            run_fault_sweep(
+                intensities=_parse_alphas(
+                    args.intensities, [0.0, 0.05, 0.1, 0.2]
+                ),
+                seed=args.seed,
+            )
+        ],
     }
 
     if args.command == "all":
         tables: List[ExperimentTable] = []
-        for name in ("tables", "fig4", "fig5", "fig6", "fig7"):
+        for name in ("tables", "fig4", "fig5", "fig6", "fig7", "fault-sweep"):
             tables.extend(commands[name]())
     else:
         tables = commands[args.command]()

@@ -43,6 +43,16 @@ class ProtocolConfig:
         one message per partner plus the return hop; when False the circulating
         reconciliation message is counted once, which is the accounting the
         paper's Figure 6 appears to use ("only one message is propagated").
+    push_max_retries / reconciliation_max_retries / query_max_retries:
+        Bounded retransmission budgets used when a fault plan is active: how
+        many times a lost push, reconciliation ring hop or query probe is
+        retried before the sender gives up.  Irrelevant (and unused) on the
+        zero-fault path.
+    retry_backoff_seconds / retry_backoff_factor:
+        Exponential backoff between retransmissions: the n-th retry waits
+        ``retry_backoff_seconds * retry_backoff_factor**n``.  The waits are
+        accounted (``FaultStats.backoff_seconds``), not simulated as extra
+        events, so retries never reorder the event schedule.
     """
 
     construction_ttl: int = 2
@@ -55,6 +65,11 @@ class ProtocolConfig:
     modification_probability: float = 1.0 / 4.5
     superpeer_fraction: float = 1.0 / 16.0
     count_reconciliation_ring_hops: bool = True
+    push_max_retries: int = 3
+    reconciliation_max_retries: int = 2
+    query_max_retries: int = 2
+    retry_backoff_seconds: float = 2.0
+    retry_backoff_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.construction_ttl < 1:
@@ -73,6 +88,13 @@ class ProtocolConfig:
             raise ConfigurationError("modification_probability must lie in [0, 1]")
         if not 0.0 < self.superpeer_fraction <= 1.0:
             raise ConfigurationError("superpeer_fraction must lie in (0, 1]")
+        for name in ("push_max_retries", "reconciliation_max_retries", "query_max_retries"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError("retry_backoff_seconds must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError("retry_backoff_factor must be at least 1")
 
     def with_threshold(self, alpha: float) -> "ProtocolConfig":
         """A copy of this configuration with a different α threshold."""
@@ -87,4 +109,9 @@ class ProtocolConfig:
             modification_probability=self.modification_probability,
             superpeer_fraction=self.superpeer_fraction,
             count_reconciliation_ring_hops=self.count_reconciliation_ring_hops,
+            push_max_retries=self.push_max_retries,
+            reconciliation_max_retries=self.reconciliation_max_retries,
+            query_max_retries=self.query_max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            retry_backoff_factor=self.retry_backoff_factor,
         )

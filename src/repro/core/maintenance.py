@@ -144,6 +144,31 @@ class MaintenanceEngine:
     def store_attached(self) -> bool:
         return self._archive is not None and self._snapshots is not None
 
+    def archived_head(self, summary_peer_id: str) -> Optional[Dict[str, object]]:
+        """The archived head of one domain, or None (no store / never recorded)."""
+        if self._archive is None:
+            return None
+        return self._archive.head(summary_peer_id)
+
+    def record_metadata_head(self, domain: Domain, now: float = 0.0) -> None:
+        """Archive a partner-list-only head (planned-content mode).
+
+        Planned simulations carry no hierarchies, so reconciliations normally
+        leave the archive empty — and a summary peer restarting after a crash
+        would have nothing to reclaim its domain from.  A metadata head (the
+        partner roster with no snapshot digests) is enough for the churn
+        handler to rebuild the cooperation list; the subsequent cold start
+        then falls back to a metadata reconciliation.
+        """
+        if self._archive is None:
+            return
+        self._archive.record_head(
+            domain.summary_peer_id,
+            None,
+            [[peer_id, None] for peer_id in domain.partner_ids],
+            time=now,
+        )
+
     def _record_head(
         self,
         domain: Domain,
@@ -187,6 +212,22 @@ class MaintenanceEngine:
         self._stats.push_messages += 1
         domain.cooperation.mark_departed(peer_id, now=now)
         return domain.needs_reconciliation(self._config.freshness_threshold)
+
+    def record_failed_attempts(self, message_type: MessageType, count: int) -> None:
+        """Charge transmissions that were sent but never arrived.
+
+        Lost pushes and reconciliation hops (and their retransmissions) still
+        cost bandwidth; the fault-aware protocol paths charge them here so the
+        per-type counters and the maintenance statistics reflect the real
+        wire traffic, not just the successful deliveries.
+        """
+        if count <= 0:
+            return
+        self._counter.record_type(message_type, count)
+        if message_type is MessageType.PUSH:
+            self._stats.push_messages += count
+        elif message_type is MessageType.RECONCILIATION:
+            self._stats.reconciliation_messages += count
 
     def register_silent_failure(self, domain: Domain, peer_id: str) -> None:
         """A partner failed without notification: nothing happens immediately.

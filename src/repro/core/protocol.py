@@ -33,14 +33,17 @@ from repro.core.routing import (
     QueryRoutingResult,
     RoutingPolicy,
 )
+from repro.core.freshness import Freshness
 from repro.database.engine import LocalDatabase
 from repro.database.query import SelectionQuery
-from repro.exceptions import ProtocolError
+from repro.exceptions import NetworkError, ProtocolError
 from repro.fuzzy.background import BackgroundKnowledge
 from repro.network.churn import LifetimeDistribution
+from repro.network.faults import FaultInjector, FaultPlan, backoff_total
 from repro.network.messages import MessageType
 from repro.network.metrics import MessageCounter, TrafficReport
 from repro.network.overlay import Overlay
+from repro.network.peer import PeerRole
 from repro.network.simulator import Simulator
 from repro.core.service import LocalSummaryService
 from repro.querying.proposition import Proposition
@@ -153,6 +156,9 @@ class SummaryManagementSystem:
         self._query_results: List[QueryRoutingResult] = []
         self._batch_state: Optional[_QueryBatchState] = None
         self._query_engine_enabled = True
+        # The fault layer is opt-in: None means every protocol path runs its
+        # historical, infallible-network code byte for byte.
+        self._faults: Optional[FaultInjector] = None
 
     # -- accessors ---------------------------------------------------------------------------
 
@@ -342,6 +348,69 @@ class SummaryManagementSystem:
         self._described[sp_id] = set(domain.partner_ids)
         return record
 
+    # -- fault injection -----------------------------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The installed fault injector, or None (infallible network)."""
+        return self._faults
+
+    def install_fault_plan(self, plan: FaultPlan) -> FaultInjector:
+        """Install a fault plan: create the injector and schedule its events.
+
+        Every scheduled adversity (partition, heal, domain failure, massacre,
+        flash crowd) goes through the same declarative event specs as churn
+        and modifications, so pending fault events checkpoint and restore like
+        any other.  The injector draws from its own seeded RNG; installing a
+        plan with no faults leaves every run byte-identical to an uninstalled
+        one.
+        """
+        injector = FaultInjector(plan)
+        self._faults = injector
+        for partition in plan.partitions:
+            spec: Dict[str, object] = {
+                "kind": "partition",
+                "fraction": partition.fraction,
+            }
+            if partition.groups is not None:
+                spec["groups"] = [list(group) for group in partition.groups]
+            self.schedule_event_from_spec(spec, at=partition.at)
+            if partition.heal_at is not None:
+                self.schedule_event_from_spec({"kind": "heal"}, at=partition.heal_at)
+        for failure in plan.domain_failures:
+            self.schedule_event_from_spec(
+                {"kind": "domain_failure", "count": failure.count}, at=failure.at
+            )
+        for massacre in plan.massacres:
+            spec = {
+                "kind": "massacre",
+                "fraction": massacre.fraction,
+                "graceful": massacre.graceful,
+            }
+            if massacre.rejoin_after is not None:
+                spec["rejoin_after"] = massacre.rejoin_after
+            self.schedule_event_from_spec(spec, at=massacre.at)
+        for crowd in plan.flash_crowds:
+            spec = {"kind": "flash_crowd"}
+            if crowd.rejoin_count is not None:
+                spec["rejoin_count"] = crowd.rejoin_count
+            self.schedule_event_from_spec(spec, at=crowd.at)
+        return injector
+
+    def attach_fault_state(self, injector: FaultInjector) -> None:
+        """Adopt an already-live injector (checkpoint restore).
+
+        Unlike :meth:`install_fault_plan` this schedules nothing: the pending
+        fault events travel in the checkpoint's event queue and are restored
+        with it.
+        """
+        self._faults = injector
+
+    def _ensure_faults(self) -> FaultInjector:
+        if self._faults is None:
+            self._faults = FaultInjector(FaultPlan())
+        return self._faults
+
     # -- construction --------------------------------------------------------------------------
 
     def build_domains(
@@ -450,6 +519,16 @@ class SummaryManagementSystem:
             return lambda: self._handle_rejoin(str(spec["peer_id"]))
         if kind == "modification":
             return lambda: self._handle_modification(str(spec["peer_id"]))
+        if kind == "partition":
+            return lambda: self._handle_partition(spec)
+        if kind == "heal":
+            return lambda: self._handle_heal()
+        if kind == "domain_failure":
+            return lambda: self._handle_domain_failure(spec)
+        if kind == "massacre":
+            return lambda: self._handle_massacre(spec)
+        if kind == "flash_crowd":
+            return lambda: self._handle_flash_crowd(spec)
         raise ProtocolError(f"unknown scheduled-event kind: {kind!r}")
 
     def schedule_event_from_spec(self, spec: Dict[str, object], at: float) -> None:
@@ -515,14 +594,172 @@ class SummaryManagementSystem:
     def _handle_rejoin(self, peer_id: str) -> None:
         if self._overlay.peer(peer_id).online:
             return
-        now = self._simulator.now
         if isinstance(self._content, PlannedContentModel):
             self._content.mark_rejoined(peer_id)
+        if self._try_reclaim_domain(peer_id):
+            return
         outcome = self._churn.peer_join(
-            self._overlay, self._domains, self._assignment, peer_id, now=now
+            self._overlay, self._domains, self._assignment, peer_id, now=self._simulator.now
         )
         if outcome.reconciliation_due and outcome.domain_id is not None:
             self._run_reconciliation(outcome.domain_id)
+
+    def _try_reclaim_domain(self, peer_id: str) -> bool:
+        """A restarted summary peer reclaims its archived domain from the store.
+
+        When a store is attached and the rejoining peer has an archived head
+        (it was a summary peer before it died), it comes back *as* a summary
+        peer: its former partners that are online and not otherwise engaged
+        re-attach (one ``sumpeer`` announcement each), and the domain state is
+        rebuilt through the store-backed cold start — the PR 4 fast path —
+        instead of the peer rejoining someone else's domain and the archived
+        domain staying dead.  Returns False (caller falls through to the
+        normal join) when there is nothing to reclaim.
+        """
+        if not self._maintenance.store_attached or peer_id in self._domains:
+            return False
+        head = self._maintenance.archived_head(peer_id)
+        if head is None:
+            return False
+        now = self._simulator.now
+        peer = self._overlay.peer(peer_id)
+        peer.role = PeerRole.SUPERPEER
+        peer.go_online()
+        domain = Domain.create(peer_id, mode=self._config.freshness_mode)
+        self._domains[peer_id] = domain
+        self._described[peer_id] = set()
+        peer.join_domain(peer_id, 0.0)
+        peer.known_summary_peers = set(self._domains) - {peer_id}
+        for other_sp in self._domains:
+            if other_sp != peer_id:
+                self._overlay.peer(other_sp).known_summary_peers.add(peer_id)
+
+        former = [pid for pid, _digest in head["partners"] if pid != peer_id]
+        reclaimed = 0
+        for partner_id in former:
+            partner = self._overlay.peer(partner_id)
+            if not partner.online or partner_id in self._domains:
+                continue
+            try:
+                distance = self._overlay.latency(partner_id, peer_id)
+            except NetworkError:
+                continue  # no longer connected to its old summary peer
+            old_sp = self._assignment.get(partner_id)
+            if old_sp is not None:
+                old_domain = self._domains.get(old_sp)
+                if old_domain is not None and old_domain.is_partner(partner_id):
+                    old_domain.remove_partner(partner_id)
+            domain.add_partner(
+                partner_id, distance=distance, freshness=Freshness.STALE, now=now
+            )
+            self._assignment[partner_id] = peer_id
+            partner.join_domain(peer_id, distance)
+            reclaimed += 1
+        # The returning summary peer announces itself (one sumpeer message per
+        # reclaimed partner; a lone announcement when nobody was reclaimable).
+        self._counter.record_type(MessageType.SUMPEER, max(1, reclaimed))
+        self.cold_start_domain(peer_id)
+        return True
+
+    # -- fault events --------------------------------------------------------------------------
+
+    def _handle_partition(self, spec: Mapping[str, object]) -> None:
+        """Split the overlay into isolated groups (explicit or by fraction)."""
+        faults = self._ensure_faults()
+        groups = spec.get("groups")
+        if groups:
+            faults.set_partition([list(group) for group in groups])  # type: ignore[union-attr]
+            return
+        fraction = float(spec.get("fraction", 0.5))  # type: ignore[arg-type]
+        peers = sorted(self._overlay.peer_ids)
+        faults.rng.shuffle(peers)
+        cut = max(1, min(len(peers) - 1, round(fraction * len(peers))))
+        faults.set_partition([peers[:cut], peers[cut:]])
+
+    def _handle_heal(self) -> None:
+        """Re-merge the partition and repair the orphans it left behind.
+
+        While split, reconciliations drop unreachable partners from their
+        domains ("descriptions of unavailable data will be then omitted"),
+        leaving those peers online but domainless.  After the merge each
+        orphan re-joins through the normal churn path — charged like any
+        late join.
+        """
+        faults = self._ensure_faults()
+        faults.clear_partition()
+        now = self._simulator.now
+        for peer_id in self._overlay.peer_ids:
+            if peer_id in self._domains:
+                continue
+            peer = self._overlay.peer(peer_id)
+            if not peer.online:
+                continue
+            sp_id = self._assignment.get(peer_id)
+            if (
+                sp_id is not None
+                and sp_id in self._domains
+                and self._domains[sp_id].is_partner(peer_id)
+            ):
+                continue  # still validly attached
+            self._assignment.pop(peer_id, None)
+            peer.leave_domain()
+            outcome = self._churn.peer_join(
+                self._overlay, self._domains, self._assignment, peer_id, now=now
+            )
+            if outcome.reconciliation_due and outcome.domain_id is not None:
+                self._run_reconciliation(outcome.domain_id)
+
+    def _handle_domain_failure(self, spec: Mapping[str, object]) -> None:
+        """Correlated failure: whole domains (partners + summary peer) die silently."""
+        faults = self._ensure_faults()
+        count = max(1, int(spec.get("count", 1)))  # type: ignore[arg-type]
+        summary_peers = sorted(self._domains)
+        if not summary_peers:
+            return
+        chosen = faults.rng.sample(summary_peers, min(count, len(summary_peers)))
+        for sp_id in sorted(chosen):
+            domain = self._domains.get(sp_id)
+            if domain is None:
+                continue
+            for peer_id in list(domain.partner_ids):
+                if peer_id != sp_id and self._overlay.peer(peer_id).online:
+                    self._handle_departure(peer_id, graceful=False)
+            if sp_id in self._domains and self._overlay.peer(sp_id).online:
+                self._handle_departure(sp_id, graceful=False)
+
+    def _handle_massacre(self, spec: Mapping[str, object]) -> None:
+        """A fraction of all summary peers dies in the same instant."""
+        faults = self._ensure_faults()
+        fraction = float(spec.get("fraction", 0.5))  # type: ignore[arg-type]
+        graceful = bool(spec.get("graceful", False))
+        rejoin_after = spec.get("rejoin_after")
+        summary_peers = sorted(self._domains)
+        if not summary_peers:
+            return
+        count = max(1, min(len(summary_peers), round(fraction * len(summary_peers))))
+        chosen = sorted(faults.rng.sample(summary_peers, count))
+        now = self._simulator.now
+        for sp_id in chosen:
+            if sp_id in self._domains and self._overlay.peer(sp_id).online:
+                self._handle_departure(sp_id, graceful=graceful)
+                if rejoin_after is not None:
+                    self.schedule_event_from_spec(
+                        {"kind": "rejoin", "peer_id": sp_id},
+                        at=now + float(rejoin_after),  # type: ignore[arg-type]
+                    )
+
+    def _handle_flash_crowd(self, spec: Mapping[str, object]) -> None:
+        """Every offline peer (or the first ``rejoin_count``) rejoins at once."""
+        limit = spec.get("rejoin_count")
+        offline = [
+            peer_id
+            for peer_id in self._overlay.peer_ids
+            if not self._overlay.peer(peer_id).online
+        ]
+        if limit is not None:
+            offline = offline[: max(0, int(limit))]  # type: ignore[arg-type]
+        for peer_id in offline:
+            self._handle_rejoin(peer_id)
 
     def schedule_modifications(
         self, duration_seconds: float, rate_per_peer_per_second: float
@@ -557,6 +794,33 @@ class SummaryManagementSystem:
         if sp_id is None or sp_id not in self._domains:
             return
         domain = self._domains[sp_id]
+        faults = self._faults
+        if faults is not None and faults.disrupts_link(peer_id, sp_id):
+            # The push can fail: retry with exponential backoff, bounded by
+            # push_max_retries.  An exhausted budget means the summary peer
+            # never learns of the modification — the description simply stays
+            # stale until the next reconciliation, exactly the degradation
+            # the staleness metrics measure.
+            delivered, retries = faults.attempt_delivery(
+                peer_id, sp_id, self._config.push_max_retries
+            )
+            lost = retries + (0 if delivered else 1)
+            if lost:
+                self._maintenance.record_failed_attempts(MessageType.PUSH, lost)
+                reason = (
+                    "link loss" if faults.reachable(peer_id, sp_id) else "partitioned"
+                )
+                self._counter.record_dropped(reason, lost)
+            if retries:
+                self._counter.record_retry(retries)
+                faults.stats.backoff_seconds += backoff_total(
+                    self._config.retry_backoff_seconds,
+                    self._config.retry_backoff_factor,
+                    retries,
+                )
+            if not delivered:
+                faults.stats.failed_pushes += 1
+                return
         due = self._maintenance.push_stale(domain, peer_id, now=now)
         if due:
             self._run_reconciliation(sp_id)
@@ -574,17 +838,73 @@ class SummaryManagementSystem:
             if self._overlay.peer(peer_id).online
             and self._assignment.get(peer_id) == sp_id
         }
+        faults = self._faults
+        if faults is not None and faults.partitioned:
+            # Partition-separated partners cannot take the ring message; they
+            # are treated as unavailable and their descriptions omitted (the
+            # paper's rule) — the post-heal repair re-joins them.
+            cut = {p for p in online if not faults.reachable(sp_id, p)}
+            if cut:
+                online -= cut
+                self._counter.record_dropped("partitioned", len(cut))
+        missed_ring: Dict[str, float] = {}
+        if faults is not None and faults.lossy and online:
+            # Each ring hop can be lost and is retried with backoff; a partner
+            # whose hop never arrives misses this round (it is re-added below
+            # as stale — described by nothing until the next round reaches it).
+            surviving = set()
+            retransmissions = 0
+            lost_hops = 0
+            budget = self._config.reconciliation_max_retries
+            for peer_id in sorted(online):
+                delivered, retries = faults.attempt_delivery(sp_id, peer_id, budget)
+                retransmissions += retries
+                lost_hops += retries + (0 if delivered else 1)
+                if delivered:
+                    surviving.add(peer_id)
+                else:
+                    missed_ring[peer_id] = domain.distance_to(peer_id)
+            if lost_hops:
+                self._maintenance.record_failed_attempts(
+                    MessageType.RECONCILIATION, lost_hops
+                )
+                self._counter.record_dropped("link loss", lost_hops)
+            if retransmissions:
+                self._counter.record_retry(retransmissions)
+                faults.stats.backoff_seconds += backoff_total(
+                    self._config.retry_backoff_seconds,
+                    self._config.retry_backoff_factor,
+                    retransmissions,
+                )
+            online = surviving
         local = self.local_summaries() if self._services else None
+        now = self._simulator.now
         self._maintenance.reconcile(
             domain,
             local_summaries=local,
             available_partners=online,
-            now=self._simulator.now,
+            now=now,
         )
         self._described[sp_id] = set(domain.partner_ids)
         if isinstance(self._content, PlannedContentModel):
+            # Only the partners that actually took the ring message had their
+            # modifications incorporated; a partner whose hop was lost keeps
+            # its modified flag (and its stale freshness, re-added below).
             for peer_id in domain.partner_ids:
                 self._content.clear_modification(peer_id)
+        for peer_id, distance in sorted(missed_ring.items()):
+            # Still online and assigned here — it only missed the ring message.
+            domain.add_partner(
+                peer_id, distance=distance, freshness=Freshness.STALE, now=now
+            )
+        if isinstance(self._content, PlannedContentModel):
+            if self._maintenance.store_attached:
+                # Planned runs have no hierarchies to archive, but a metadata
+                # head (the partner roster) is what lets a crashed summary
+                # peer reclaim its domain on rejoin.
+                self._maintenance.record_metadata_head(
+                    domain, now=self._simulator.now
+                )
 
     def run(self, until: Optional[float] = None) -> int:
         """Advance the simulation (process scheduled churn/modification events)."""
@@ -662,12 +982,39 @@ class SummaryManagementSystem:
         if not ordered_domains:
             return result
 
+        faults = self._faults
+        partition_active = faults is not None and faults.partitioned
         previous_outcome: Optional[DomainQueryOutcome] = None
         previous: Optional[Domain] = None
         results_gathered = 0  # running count: avoids re-summing per domain
-        for index, domain in enumerate(ordered_domains):
-            if max_domains is not None and index >= max_domains:
+        visited = 0  # domains actually reached (equals the index when merged)
+        for domain in ordered_domains:
+            if max_domains is not None and visited >= max_domains:
                 break
+            if partition_active and not faults.reachable(
+                originator, domain.summary_peer_id
+            ):
+                # The summary peer sits across the partition: the probe (and
+                # its bounded retries) go unanswered, the domain contributes
+                # nothing, and the answer is marked degraded instead of the
+                # query wedging or failing.
+                attempts = 1 + self._config.query_max_retries
+                self._counter.record_type(MessageType.QUERY, attempts)
+                if attempts > 1:
+                    self._counter.record_retry(attempts - 1)
+                self._counter.record_dropped("partitioned", attempts)
+                faults.stats.messages_dropped += attempts
+                faults.stats.retries += attempts - 1
+                faults.stats.unreachable_probes += 1
+                faults.stats.backoff_seconds += backoff_total(
+                    self._config.retry_backoff_seconds,
+                    self._config.retry_backoff_factor,
+                    attempts - 1,
+                )
+                result.unreachable_probe_messages += attempts
+                result.unreachable_domains.append(domain.summary_peer_id)
+                continue
+            visited += 1
             if previous is not None and previous_outcome is not None:
                 # Moving past the previous domain requires an inter-domain
                 # flooding round started from it (its responders, the
@@ -692,6 +1039,7 @@ class SummaryManagementSystem:
         result.total_messages = (
             sum(outcome.messages for outcome in result.domain_outcomes)
             + result.flooding_messages
+            + result.unreachable_probe_messages
         )
         self._query_results.append(result)
         return result
@@ -715,6 +1063,9 @@ class SummaryManagementSystem:
                 if self._overlay.peer(peer_id).online
             }
         described = self._described.get(domain.summary_peer_id)
+        faults = self._faults
+        if faults is not None and not (faults.partitioned or faults.lossy):
+            faults = None  # nothing can disturb this hop: keep the clean path
         return self._router.route_in_domain(
             query_id,
             domain,
@@ -723,6 +1074,8 @@ class SummaryManagementSystem:
             policy=policy,
             online_peers=online,
             described_partners=described,
+            faults=faults,
+            max_retries=self._config.query_max_retries,
         )
 
     def _domain_visit_order(self, home: Optional[Domain]) -> List[Domain]:

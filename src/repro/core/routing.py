@@ -100,6 +100,11 @@ class QueryRoutingResult:
     flooding_messages: int = 0
     total_messages: int = 0
     required_results: Optional[int] = None
+    #: Domains whose summary peer could not be reached (network partition):
+    #: their probes went unanswered and they contributed no outcome.
+    unreachable_domains: List[str] = field(default_factory=list)
+    #: Query messages spent probing (and re-probing) unreachable domains.
+    unreachable_probe_messages: int = 0
 
     @property
     def results(self) -> int:
@@ -172,6 +177,8 @@ class QueryRouter:
         online_peers: Optional[Set[str]] = None,
         charge_summary_peer_hop: bool = True,
         described_partners: Optional[Set[str]] = None,
+        faults: Optional[object] = None,
+        max_retries: int = 0,
     ) -> DomainQueryOutcome:
         """Process a query inside ``domain`` and account for its messages.
 
@@ -182,6 +189,13 @@ class QueryRouter:
         partner that joined after the last reconciliation is not yet described
         by the global summary, so it cannot appear in ``P_Q`` even though it
         sits in the cooperation list.
+
+        ``faults`` (a :class:`~repro.network.faults.FaultInjector`) makes the
+        summary-peer → partner hops fallible: a contacted partner on a lossy
+        link is retried up to ``max_retries`` times (each retransmission is a
+        charged QUERY message); a partner the faults keep unreachable never
+        responds and becomes a false positive.  Partition-separated partners
+        are cut deterministically without consuming randomness.
         """
         outcome = DomainQueryOutcome(domain_id=domain.summary_peer_id)
 
@@ -208,6 +222,36 @@ class QueryRouter:
         # One query message per contacted peer.
         self._counter.record_type(MessageType.QUERY, len(contacted))
         outcome.messages += len(contacted)
+
+        if faults is not None:
+            sp_id = domain.summary_peer_id
+            if faults.partitioned:
+                # Partners on the far side of a partition cannot be reached:
+                # deterministic cut, no randomness consumed.
+                cut = {p for p in reachable if not faults.reachable(sp_id, p)}
+                if cut:
+                    reachable -= cut
+                    self._counter.record_dropped("partitioned", len(cut))
+            if faults.lossy and reachable:
+                lost: Set[str] = set()
+                retransmissions = 0
+                dropped = 0
+                for peer_id in sorted(reachable):
+                    delivered, retries = faults.attempt_delivery(
+                        sp_id, peer_id, max_retries
+                    )
+                    retransmissions += retries
+                    dropped += retries + (0 if delivered else 1)
+                    if not delivered:
+                        lost.add(peer_id)
+                if retransmissions:
+                    # Each retry is one more QUERY on the wire.
+                    self._counter.record_type(MessageType.QUERY, retransmissions)
+                    self._counter.record_retry(retransmissions)
+                    outcome.messages += retransmissions
+                if dropped:
+                    self._counter.record_dropped("link loss", dropped)
+                reachable -= lost
 
         for peer_id in sorted(reachable):
             if content.truly_matching(query_id, peer_id):

@@ -31,7 +31,7 @@ the CLI all construct networks through this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -64,11 +64,41 @@ from repro.database.query import SelectionQuery
 from repro.exceptions import ConfigurationError, QueryError
 from repro.fuzzy.background import BackgroundKnowledge
 from repro.network.churn import LifetimeDistribution
+from repro.network.faults import FaultPlan
 from repro.network.metrics import TrafficReport
 from repro.network.overlay import Overlay
 from repro.network.simulator import Simulator
 from repro.network.topology import TopologyConfig
 from repro.querying.aggregation import ApproximateAnswer
+
+
+@dataclass
+class DegradationReport:
+    """How incomplete or stale one answer is *known* to be.
+
+    A query posed under adverse conditions (partition, heavy loss, massacre)
+    still returns a :class:`QueryAnswer` — but a marked one: this report says
+    which domains could not be reached at all and how many of the described
+    peers per visited domain were known-stale at answer time.  An empty
+    report (``complete`` and not ``degraded``) is the healthy-network case.
+    """
+
+    #: Domains whose summary peer was unreachable from the originator.
+    unreachable_domains: List[str] = field(default_factory=list)
+    #: Per visited domain: how many described partners were known-stale.
+    stale_described: Dict[str, int] = field(default_factory=dict)
+    #: Query messages burnt probing (and re-probing) unreachable domains.
+    probe_messages: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every domain of the network was reachable."""
+        return not self.unreachable_domains
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is known to be partial or partly stale."""
+        return bool(self.unreachable_domains) or any(self.stale_described.values())
 
 
 @dataclass
@@ -90,6 +120,9 @@ class QueryAnswer:
     answer: Optional[ApproximateAnswer] = None
     #: Staleness accounting for this query (planned content only).
     staleness: Optional[StalenessSnapshot] = None
+    #: What this answer is known to be missing (always present on session
+    #: queries; ``complete`` and un-``degraded`` on a healthy network).
+    degradation: Optional[DegradationReport] = None
     #: Query-side messages (query/response/flooding) this call added.
     query_messages: int = 0
     #: Update-side messages (push/reconciliation) this call added — normally 0.
@@ -227,6 +260,7 @@ class SystemBuilder:
         self._summary_peers: Optional[List[str]] = None
         self._churn: Optional[_ChurnPlan] = None
         self._modifications: Optional[_ModificationPlan] = None
+        self._fault_plan: Optional[FaultPlan] = None
 
     # -- declarative configuration -----------------------------------------------------
 
@@ -354,6 +388,19 @@ class SystemBuilder:
             duration_seconds=duration_seconds,
             rate_per_peer_per_second=rate_per_peer_per_second,
         )
+        return self
+
+    def faults(self, plan: FaultPlan) -> "SystemBuilder":
+        """Declare a seeded fault plan (partitions, loss, massacres...).
+
+        The plan's scheduled adversities are installed after churn and
+        modifications, so the event order at equal timestamps is fixed; its
+        link faults activate the retry/backoff machinery of the protocol.
+        A plan with no faults changes nothing, byte for byte.
+        """
+        if not isinstance(plan, FaultPlan):
+            raise ConfigurationError("faults(...) takes a FaultPlan")
+        self._fault_plan = plan
         return self
 
     def seed(self, seed: int) -> "SystemBuilder":
@@ -500,6 +547,11 @@ class SystemBuilder:
                 self._modifications.rate_per_peer_per_second,
             )
             horizon = max(horizon or 0.0, self._modifications.duration_seconds)
+        if self._fault_plan is not None:
+            # Installed last so fault events at equal timestamps sort after the
+            # churn/modification events scheduled above.  The horizon is left
+            # alone: adversities only matter inside the window the caller runs.
+            system.install_fault_plan(self._fault_plan)
         return NetworkSession(system, construction_report=report, horizon=horizon)
 
 
@@ -642,9 +694,29 @@ class NetworkSession:
             routing=routing,
             answer=answer,
             staleness=staleness,
+            degradation=self._degradation_report(routing),
             query_messages=query_delta,
             update_messages=update_delta,
             posed_at=system.simulator.now,
+        )
+
+    def _degradation_report(self, routing: QueryRoutingResult) -> DegradationReport:
+        """Derive the completeness report of one answer (pure reads only)."""
+        system = self._system
+        described_map = system.described
+        stale_described: Dict[str, int] = {}
+        for outcome in routing.domain_outcomes:
+            domain = system.domains.get(outcome.domain_id)
+            if domain is None:
+                continue
+            described = described_map.get(outcome.domain_id, set())
+            stale = set(domain.old_partners()) & described
+            if stale:
+                stale_described[outcome.domain_id] = len(stale)
+        return DegradationReport(
+            unreachable_domains=list(routing.unreachable_domains),
+            stale_described=stale_described,
+            probe_messages=routing.unreachable_probe_messages,
         )
 
     def _approximate_answer(

@@ -6,6 +6,7 @@ Every module exposes a ``run_*`` function returning an
 ``examples/`` scripts share the exact same code paths.
 """
 
+from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.fig4_stale_answers import run_figure4
 from repro.experiments.fig5_false_negatives import run_figure5
 from repro.experiments.fig6_update_cost import run_figure6
@@ -15,6 +16,7 @@ from repro.experiments.tables import run_table1_table2, run_table3
 
 __all__ = [
     "ExperimentTable",
+    "run_fault_sweep",
     "run_figure4",
     "run_figure5",
     "run_figure6",

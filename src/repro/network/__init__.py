@@ -11,10 +11,23 @@ here; this package provides functionally equivalent substitutes:
   superpeer-overlay models,
 * :mod:`repro.network.churn` — the skewed node-lifetime model of Table 3,
 * :mod:`repro.network.messages` / :mod:`repro.network.metrics` — message
-  accounting, the primary metric of the evaluation.
+  accounting, the primary metric of the evaluation,
+* :mod:`repro.network.faults` — seeded fault injection (partitions, message
+  loss, duplicates, correlated failures) for the robustness scenarios.
 """
 
 from repro.network.churn import LifetimeDistribution
+from repro.network.faults import (
+    DomainFailureEvent,
+    ExpiringSet,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FlashCrowdEvent,
+    LinkFaults,
+    MassacreEvent,
+    PartitionEvent,
+)
 from repro.network.messages import Message, MessageType
 from repro.network.metrics import MessageCounter, TrafficReport
 from repro.network.overlay import Overlay
@@ -37,4 +50,13 @@ __all__ = [
     "MessageCounter",
     "TrafficReport",
     "MessageBus",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "LinkFaults",
+    "PartitionEvent",
+    "DomainFailureEvent",
+    "MassacreEvent",
+    "FlashCrowdEvent",
+    "ExpiringSet",
 ]

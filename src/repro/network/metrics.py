@@ -16,6 +16,11 @@ class MessageCounter:
         self._by_type: Counter = Counter()
         self._by_sender: Counter = Counter()
         self._bytes = 0
+        # Fault-layer accounting (PRs past the benign-churn era): how many
+        # messages never arrived, arrived twice, or had to be retransmitted.
+        self._dropped: Counter = Counter()
+        self._duplicates = 0
+        self._retries = 0
 
     def record(self, message: Message) -> None:
         self._by_type[message.type] += 1
@@ -25,6 +30,18 @@ class MessageCounter:
     def record_type(self, message_type: MessageType, count: int = 1) -> None:
         """Account for messages without materialising :class:`Message` objects."""
         self._by_type[message_type] += count
+
+    def record_dropped(self, reason: str = "", count: int = 1) -> None:
+        """Account for messages that were sent but never delivered."""
+        self._dropped[reason or "unspecified"] += count
+
+    def record_duplicate(self, count: int = 1) -> None:
+        """Account for fault-injected duplicate deliveries."""
+        self._duplicates += count
+
+    def record_retry(self, count: int = 1) -> None:
+        """Account for retransmissions (each is also counted by its type)."""
+        self._retries += count
 
     def count(self, message_type: Optional[MessageType] = None) -> int:
         if message_type is None:
@@ -48,25 +65,57 @@ class MessageCounter:
     def total_bytes(self) -> int:
         return self._bytes
 
+    @property
+    def dropped_total(self) -> int:
+        return sum(self._dropped.values())
+
+    @property
+    def duplicate_total(self) -> int:
+        return self._duplicates
+
+    @property
+    def retry_total(self) -> int:
+        return self._retries
+
+    def dropped_by_reason(self) -> Dict[str, int]:
+        return dict(self._dropped)
+
     def merge(self, other: "MessageCounter") -> None:
         self._by_type.update(other._by_type)
         self._by_sender.update(other._by_sender)
         self._bytes += other._bytes
+        self._dropped.update(other._dropped)
+        self._duplicates += other._duplicates
+        self._retries += other._retries
 
     def reset(self) -> None:
         self._by_type.clear()
         self._by_sender.clear()
         self._bytes = 0
+        self._dropped.clear()
+        self._duplicates = 0
+        self._retries = 0
 
     # -- checkpoint state ---------------------------------------------------------
 
     def state_payload(self) -> Dict[str, object]:
-        """JSON-compatible snapshot (message types keyed by their value)."""
-        return {
+        """JSON-compatible snapshot (message types keyed by their value).
+
+        The fault-layer keys are included only when non-zero, so zero-fault
+        payloads stay byte-identical to those of earlier checkpoints.
+        """
+        payload: Dict[str, object] = {
             "by_type": {mt.value: count for mt, count in self._by_type.items()},
             "by_sender": dict(self._by_sender),
             "bytes": self._bytes,
         }
+        if self._dropped:
+            payload["dropped"] = dict(self._dropped)
+        if self._duplicates:
+            payload["duplicates"] = self._duplicates
+        if self._retries:
+            payload["retries"] = self._retries
+        return payload
 
     @classmethod
     def from_state(cls, payload: Mapping[str, object]) -> "MessageCounter":
@@ -76,6 +125,10 @@ class MessageCounter:
         for sender, count in payload.get("by_sender", {}).items():  # type: ignore[union-attr]
             counter._by_sender[sender] = int(count)
         counter._bytes = int(payload.get("bytes", 0))  # type: ignore[arg-type]
+        for reason, count in payload.get("dropped", {}).items():  # type: ignore[union-attr]
+            counter._dropped[reason] = int(count)
+        counter._duplicates = int(payload.get("duplicates", 0))  # type: ignore[arg-type]
+        counter._retries = int(payload.get("retries", 0))  # type: ignore[arg-type]
         return counter
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import NetworkError
+from repro.network.faults import ExpiringSet, FaultInjector
 from repro.network.messages import Message, MessageType
 from repro.network.metrics import MessageCounter
 from repro.network.overlay import Overlay
@@ -43,6 +44,8 @@ class MessageBus:
         simulator: Optional[Simulator] = None,
         counter: Optional[MessageCounter] = None,
         default_latency_ms: float = 50.0,
+        faults: Optional[FaultInjector] = None,
+        duplicate_ttl_seconds: float = 30.0,
     ) -> None:
         self._overlay = overlay
         self._simulator = simulator if simulator is not None else Simulator()
@@ -51,6 +54,13 @@ class MessageBus:
         self._handlers: Dict[Tuple[str, MessageType], MessageHandler] = {}
         self._catch_all: Dict[str, MessageHandler] = {}
         self._log: List[DeliveryRecord] = []
+        self._faults = faults
+        # Receiver-side duplicate suppression: fault-injected duplicates (and
+        # retransmissions of an already-delivered message) are delivered at
+        # most once per (destination, message_id) within the TTL window.  Only
+        # consulted while faults are installed, so the zero-fault bus behaves
+        # exactly as before.
+        self._seen = ExpiringSet(ttl_seconds=duplicate_ttl_seconds)
 
     # -- accessors -----------------------------------------------------------------
 
@@ -65,6 +75,14 @@ class MessageBus:
     @property
     def deliveries(self) -> List[DeliveryRecord]:
         return list(self._log)
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self._faults
+
+    def install_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Attach (or detach, with ``None``) a fault injector to every link."""
+        self._faults = injector
 
     def delivered_count(self) -> int:
         return sum(1 for record in self._log if not record.dropped)
@@ -109,23 +127,66 @@ class MessageBus:
         record = DeliveryRecord(message=message, sent_at=sent_at, delivered_at=None)
         self._log.append(record)
 
-        def deliver() -> None:
-            destination = self._overlay.peer(message.destination)
-            if not destination.online:
-                record.dropped = True
-                record.reason = "destination offline"
-                return
-            record.delivered_at = self._simulator.now
-            handler = self._handlers.get((message.destination, message.type))
-            if handler is None:
-                handler = self._catch_all.get(message.destination)
-            if handler is None:
-                record.dropped = True
-                record.reason = "no handler"
-                return
-            handler(message, self._simulator.now)
+        faults = self._faults
+        if faults is not None:
+            if not faults.reachable(message.source, message.destination):
+                # Partition cuts are deterministic: no randomness consumed.
+                self._drop(record, "partitioned", fault=True)
+                return record
+            if faults.lossy and faults.draw_loss():
+                self._drop(record, "message loss", fault=True)
+                return record
+            if faults.jittery:
+                latency_ms += faults.draw_jitter_ms()
+            if faults.duplicating and faults.draw_duplicate():
+                dup_record = DeliveryRecord(
+                    message=message, sent_at=sent_at, delivered_at=None
+                )
+                self._log.append(dup_record)
+                self._counter.record_duplicate()
+                faults.stats.messages_duplicated += 1
+                # The copy trails the original by at least the link latency, so
+                # the original wins the duplicate-suppression race.
+                self._schedule_delivery(
+                    message, dup_record, latency_ms + max(latency_ms, 1.0)
+                )
+        self._schedule_delivery(message, record, latency_ms)
+        return record
 
-        self._simulator.schedule(latency_ms / 1000.0, deliver, label=message.type.value)
+    def send_with_retry(
+        self,
+        message: Message,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.2,
+        backoff_factor: float = 2.0,
+    ) -> DeliveryRecord:
+        """Send ``message``, retransmitting on fault-injected send failures.
+
+        A transmission the fault injector kills at send time (link loss or a
+        partition cut) is retried up to ``max_retries`` times with exponential
+        backoff; each wait is folded into the retransmission's delivery delay,
+        so the schedule never reorders.  Retransmissions reuse the original
+        ``message_id`` — if several copies get through, receiver-side duplicate
+        suppression delivers only the first.  Returns the last attempt's
+        record; without faults installed this is exactly :meth:`send`.
+        """
+        record = self.send(message)
+        if self._faults is None:
+            return record
+        delay = backoff_seconds
+        retries = 0
+        while (
+            record.dropped
+            and record.reason in ("partitioned", "message loss")
+            and retries < max_retries
+        ):
+            retries += 1
+            self._counter.record_retry()
+            self._faults.stats.retries += 1
+            self._faults.stats.backoff_seconds += delay
+            latency = self._latency(message.source, message.destination) + delay * 1000.0
+            record = self.send(message, latency_ms=latency)
+            delay *= backoff_factor
         return record
 
     def broadcast(
@@ -174,6 +235,37 @@ class MessageBus:
         return self._simulator.run(until=until)
 
     # -- helpers -------------------------------------------------------------------------
+
+    def _schedule_delivery(
+        self, message: Message, record: DeliveryRecord, latency_ms: float
+    ) -> None:
+        def deliver() -> None:
+            destination = self._overlay.peer(message.destination)
+            if not destination.online:
+                self._drop(record, "destination offline")
+                return
+            if self._faults is not None:
+                key = (message.destination, message.message_id)
+                if not self._seen.add_if_new(key, self._simulator.now):
+                    self._drop(record, "duplicate suppressed")
+                    return
+            record.delivered_at = self._simulator.now
+            handler = self._handlers.get((message.destination, message.type))
+            if handler is None:
+                handler = self._catch_all.get(message.destination)
+            if handler is None:
+                self._drop(record, "no handler")
+                return
+            handler(message, self._simulator.now)
+
+        self._simulator.schedule(latency_ms / 1000.0, deliver, label=message.type.value)
+
+    def _drop(self, record: DeliveryRecord, reason: str, fault: bool = False) -> None:
+        record.dropped = True
+        record.reason = reason
+        self._counter.record_dropped(reason)
+        if fault and self._faults is not None:
+            self._faults.stats.messages_dropped += 1
 
     def _latency(self, source: str, destination: str) -> float:
         try:

@@ -71,6 +71,7 @@ from repro.database.schema import Attribute, AttributeType, Schema
 from repro.exceptions import StoreError
 from repro.fuzzy.background import BackgroundKnowledge
 from repro.fuzzy.linguistic import Descriptor
+from repro.network.faults import FaultInjector
 from repro.network.metrics import MessageCounter
 from repro.network.overlay import Overlay
 from repro.network.peer import PeerRole
@@ -183,6 +184,11 @@ def _config_payload(config: ProtocolConfig) -> Dict[str, Any]:
         "modification_probability": config.modification_probability,
         "superpeer_fraction": config.superpeer_fraction,
         "count_reconciliation_ring_hops": config.count_reconciliation_ring_hops,
+        "push_max_retries": config.push_max_retries,
+        "reconciliation_max_retries": config.reconciliation_max_retries,
+        "query_max_retries": config.query_max_retries,
+        "retry_backoff_seconds": config.retry_backoff_seconds,
+        "retry_backoff_factor": config.retry_backoff_factor,
     }
 
 
@@ -419,6 +425,11 @@ def capture_session(session: "NetworkSession") -> Tuple[Dict[str, Any], Snapshot
         },
         "query_counter": system._query_counter,  # noqa: SLF001 - exact restore
     }
+    if system.faults is not None:
+        # The injector travels whole: plan, RNG mid-stream state, current
+        # partition and accumulated statistics.  Its *scheduled* adversities
+        # need no re-scheduling — they ride in the pending-event specs above.
+        payload["faults"] = system.faults.state_payload()
     if planned:
         payload["content"] = content.state_payload()
     else:
@@ -762,6 +773,8 @@ def _restore_session(
             system._queries, system._databases  # noqa: SLF001
         )
     system._query_counter = int(payload["query_counter"])  # noqa: SLF001
+    if payload.get("faults") is not None:
+        system.attach_fault_state(FaultInjector.from_state(payload["faults"]))
 
     # Domains, assignment and described sets (insertion order preserved).
     for domain_payload in payload["domains"]:

@@ -23,6 +23,14 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.session import NetworkSession
 from repro.exceptions import ConfigurationError
+from repro.network.faults import (
+    DomainFailureEvent,
+    FaultPlan,
+    FlashCrowdEvent,
+    LinkFaults,
+    MassacreEvent,
+    PartitionEvent,
+)
 from repro.workloads.scenarios import SimulationScenario
 
 #: A registered scenario is a zero-argument factory of its base parameters.
@@ -175,3 +183,94 @@ def _register_builtin_scenarios(registry: ScenarioRegistry) -> None:
         description="Lazy reconciliation (α=0.8): cheap maintenance, more "
         "stale answers.",
     )
+    _register_adversity_scenarios(registry)
+
+
+#: Shared sizing of the named adversity scenarios: big enough for several
+#: domains, small enough for CI's chaos matrix.
+_ADVERSITY_PEERS = 96
+_ADVERSITY_DURATION = 2 * 3600.0
+_ADVERSITY_QUERIES = 30
+
+
+def _adversity_scenario(plan: FaultPlan) -> SimulationScenario:
+    return SimulationScenario(
+        peer_count=_ADVERSITY_PEERS,
+        duration_seconds=_ADVERSITY_DURATION,
+        query_count=_ADVERSITY_QUERIES,
+        fault_plan=plan,
+    )
+
+
+def _register_adversity_scenarios(registry: ScenarioRegistry) -> None:
+    """The named adversity scenarios of the robustness evaluation.
+
+    Each bundles the Table 3 style workload with one seeded
+    :class:`~repro.network.faults.FaultPlan`; the protocol must keep returning
+    (possibly degraded, always *marked*) answers under every one of them.
+    """
+    registry.register(
+        "partition-heal",
+        lambda: _adversity_scenario(
+            FaultPlan(
+                seed=1,
+                partitions=[PartitionEvent(at=1800.0, fraction=0.5, heal_at=4800.0)],
+            )
+        ),
+        description="The network splits in half after 30 min and re-merges "
+        "50 min later: queries on either side must come back marked partial.",
+    )
+    registry.register(
+        "flash-crowd",
+        lambda: _adversity_scenario(
+            FaultPlan(seed=2, flash_crowds=[FlashCrowdEvent(at=3600.0)])
+        ),
+        description="Every offline peer rejoins at once after 1 h: stresses "
+        "join handling and domain (re)construction.",
+    )
+    registry.register(
+        "massacre",
+        lambda: _adversity_scenario(
+            FaultPlan(
+                seed=3,
+                massacres=[
+                    MassacreEvent(at=1800.0, fraction=0.5, rejoin_after=1200.0)
+                ],
+            )
+        ),
+        description="Half the summary peers fail silently at 30 min and "
+        "rejoin 20 min later: exercises store-backed domain reclamation.",
+    )
+    registry.register(
+        "lossy-network",
+        lambda: _adversity_scenario(
+            FaultPlan(
+                seed=4,
+                link=LinkFaults(
+                    drop_probability=0.1,
+                    duplicate_probability=0.02,
+                    delay_jitter_ms=25.0,
+                ),
+            )
+        ),
+        description="Every link drops 10 % of messages (plus duplicates and "
+        "jitter): retries/backoff must bound the overhead.",
+    )
+    registry.register(
+        "domain-collapse",
+        lambda: _adversity_scenario(
+            FaultPlan(seed=5, domain_failures=[DomainFailureEvent(at=1800.0, count=2)])
+        ),
+        description="Two whole domains fail at 30 min (summary peer and "
+        "partners together): correlated failure, not independent churn.",
+    )
+
+
+#: Names of the built-in adversity scenarios (the CI chaos matrix runs these).
+ADVERSITY_SCENARIOS = [
+    "partition-heal",
+    "flash-crowd",
+    "massacre",
+    "lossy-network",
+    "domain-collapse",
+]

@@ -22,6 +22,7 @@ from repro.core.protocol import SummaryManagementSystem
 from repro.core.session import NetworkSession, SystemBuilder
 from repro.exceptions import ConfigurationError
 from repro.network.churn import LifetimeDistribution
+from repro.network.faults import FaultPlan
 from repro.network.overlay import Overlay
 from repro.network.topology import TopologyConfig
 
@@ -73,6 +74,9 @@ class SimulationScenario:
     graceful_fraction: float = 0.9
     seed: int = 0
     extra_config: Dict[str, object] = field(default_factory=dict)
+    #: Optional adversity: a seeded fault plan (partitions, loss, massacres).
+    #: ``None`` keeps the scenario byte-identical to its pre-fault behaviour.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.peer_count < 2:
@@ -119,6 +123,8 @@ class SimulationScenario:
         )
         if summary_peers is not None:
             builder.domains(summary_peers=summary_peers)
+        if self.fault_plan is not None:
+            builder.faults(self.fault_plan)
         return builder
 
     def single_domain_builder(self) -> SystemBuilder:
@@ -138,7 +144,7 @@ class SimulationScenario:
             **self.extra_config,  # type: ignore[arg-type]
         )
         hub = max(overlay.peer_ids, key=overlay.degree)
-        return (
+        builder = (
             SystemBuilder()
             .topology(overlay)
             .protocol(config)
@@ -146,6 +152,9 @@ class SimulationScenario:
             .domains(summary_peers=[hub])
             .seed(self.seed)
         )
+        if self.fault_plan is not None:
+            builder.faults(self.fault_plan)
+        return builder
 
     def apply_dynamics(
         self,

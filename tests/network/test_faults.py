@@ -1,0 +1,336 @@
+"""Unit tests for repro.network.faults and the MessageBus fault hooks."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.faults import (
+    DomainFailureEvent,
+    ExpiringSet,
+    FaultInjector,
+    FaultPlan,
+    FlashCrowdEvent,
+    LinkFaults,
+    MassacreEvent,
+    PartitionEvent,
+    backoff_total,
+)
+from repro.network.messages import Message, MessageType
+from repro.network.overlay import Overlay
+from repro.network.topology import TopologyConfig
+from repro.network.transport import MessageBus
+
+
+class TestExpiringSet:
+    def test_add_if_new_and_duplicate(self):
+        seen = ExpiringSet(ttl_seconds=10.0)
+        assert seen.add_if_new("a", now=0.0) is True
+        assert seen.add_if_new("a", now=5.0) is False
+        assert "a" in seen
+        assert len(seen) == 1
+
+    def test_members_lapse_after_ttl(self):
+        seen = ExpiringSet(ttl_seconds=10.0)
+        seen.add_if_new("a", now=0.0)
+        assert seen.add_if_new("a", now=20.0) is True
+
+    def test_duplicate_refreshes_window(self):
+        seen = ExpiringSet(ttl_seconds=10.0)
+        seen.add_if_new("a", now=0.0)
+        seen.add_if_new("a", now=8.0)  # refresh
+        assert seen.add_if_new("a", now=15.0) is False  # still inside window
+
+    def test_prune_drops_old_members(self):
+        seen = ExpiringSet(ttl_seconds=5.0)
+        seen.add_if_new("a", now=0.0)
+        seen.add_if_new("b", now=4.0)
+        seen.prune(now=7.0)
+        assert "a" not in seen
+        assert "b" in seen
+
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(ConfigurationError):
+            ExpiringSet(ttl_seconds=0.0)
+
+
+class TestPlanValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            LinkFaults(duplicate_probability=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinkFaults(delay_jitter_ms=-1.0)
+
+    def test_rejects_heal_before_split(self):
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(at=100.0, heal_at=50.0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            DomainFailureEvent(at=0.0, count=0)
+        with pytest.raises(ConfigurationError):
+            MassacreEvent(at=0.0, rejoin_after=0.0)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdEvent(at=0.0, rejoin_count=-1)
+
+    def test_any_faults(self):
+        assert FaultPlan().any_faults() is False
+        assert FaultPlan(link=LinkFaults(drop_probability=0.1)).any_faults()
+        assert FaultPlan(partitions=[PartitionEvent(at=1.0)]).any_faults()
+
+    def test_lists_are_normalised_to_tuples(self):
+        plan = FaultPlan(
+            partitions=[PartitionEvent(at=1.0, groups=[["a"], ["b", "c"]])],
+            massacres=[MassacreEvent(at=2.0)],
+        )
+        assert isinstance(plan.partitions, tuple)
+        assert isinstance(plan.partitions[0].groups[0], tuple)
+        # asdict-able: session caches key scenarios by dataclasses.asdict.
+        payload = dataclasses.asdict(plan)
+        assert payload["partitions"][0]["at"] == 1.0
+
+
+class TestPlanPayload:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            seed=7,
+            link=LinkFaults(
+                drop_probability=0.1, duplicate_probability=0.05, delay_jitter_ms=20.0
+            ),
+            partitions=[
+                PartitionEvent(at=10.0, fraction=0.3, heal_at=50.0),
+                PartitionEvent(at=60.0, groups=[["a", "b"], ["c"]]),
+            ],
+            domain_failures=[DomainFailureEvent(at=5.0, count=2)],
+            massacres=[MassacreEvent(at=9.0, fraction=0.25, rejoin_after=30.0)],
+            flash_crowds=[FlashCrowdEvent(at=99.0, rejoin_count=4)],
+        )
+        assert FaultPlan.from_payload(plan.to_payload()) == plan
+
+    def test_empty_roundtrip(self):
+        assert FaultPlan.from_payload(FaultPlan().to_payload()) == FaultPlan()
+
+
+class TestFaultInjector:
+    def test_partition_reachability(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.partitioned is False
+        injector.set_partition([["a", "b"], ["c"]])
+        assert injector.partitioned
+        assert injector.reachable("a", "b")
+        assert not injector.reachable("a", "c")
+        # Peers outside every group (joined after the split) reach everyone.
+        assert injector.reachable("a", "newcomer")
+        injector.clear_partition()
+        assert injector.reachable("a", "c")
+
+    def test_partition_groups_sorted(self):
+        injector = FaultInjector(FaultPlan())
+        injector.set_partition([["b", "a"], ["c"]])
+        assert injector.partition_groups() == [["a", "b"], ["c"]]
+
+    def test_partitioned_delivery_draws_nothing(self):
+        injector = FaultInjector(FaultPlan(seed=3))
+        injector.set_partition([["a"], ["b"]])
+        before = injector.rng.getstate()
+        delivered, retries = injector.attempt_delivery("a", "b", max_retries=2)
+        assert delivered is False
+        assert retries == 2
+        assert injector.rng.getstate() == before
+        assert injector.stats.messages_dropped == 3
+        assert injector.stats.retries == 2
+
+    def test_clean_link_delivery_draws_nothing(self):
+        injector = FaultInjector(FaultPlan(seed=3))
+        before = injector.rng.getstate()
+        assert injector.attempt_delivery("a", "b", max_retries=5) == (True, 0)
+        assert injector.rng.getstate() == before
+        assert injector.stats.messages_dropped == 0
+
+    def test_lossy_delivery_retries_deterministically(self):
+        plan = FaultPlan(seed=11, link=LinkFaults(drop_probability=0.5))
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        outcomes_a = [first.attempt_delivery("a", "b", 3) for _ in range(50)]
+        outcomes_b = [second.attempt_delivery("a", "b", 3) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+        assert any(retries for _ok, retries in outcomes_a)
+
+    def test_certain_loss_exhausts_budget(self):
+        injector = FaultInjector(FaultPlan(link=LinkFaults(drop_probability=1.0)))
+        delivered, retries = injector.attempt_delivery("a", "b", max_retries=4)
+        assert delivered is False
+        assert retries == 4
+        assert injector.stats.messages_dropped == 5
+
+    def test_state_roundtrip_mid_stream(self):
+        plan = FaultPlan(seed=5, link=LinkFaults(drop_probability=0.3))
+        injector = FaultInjector(plan)
+        for _ in range(7):
+            injector.attempt_delivery("a", "b", 2)
+        injector.set_partition([["a"], ["b"]])
+        restored = FaultInjector.from_state(injector.state_payload())
+        assert restored.plan == injector.plan
+        assert restored.partition_groups() == injector.partition_groups()
+        assert restored.stats == injector.stats
+        # Continuation draws match exactly.
+        assert [restored.rng.random() for _ in range(5)] == [
+            injector.rng.random() for _ in range(5)
+        ]
+
+    def test_backoff_total(self):
+        assert backoff_total(2.0, 2.0, 0) == 0.0
+        assert backoff_total(2.0, 2.0, 3) == 2.0 + 4.0 + 8.0
+        assert backoff_total(1.0, 1.0, 2) == 2.0
+
+
+def _bus(faults=None, peer_count=8, seed=0):
+    overlay = Overlay.generate(
+        TopologyConfig(peer_count=peer_count, average_degree=3.0, seed=seed)
+    )
+    bus = MessageBus(overlay, faults=faults)
+    return overlay, bus
+
+
+def _message(source, destination):
+    return Message(
+        type=MessageType.PUSH, source=source, destination=destination, payload={}
+    )
+
+
+class TestMessageBusFaults:
+    def test_zero_fault_bus_unchanged(self):
+        overlay, bus = _bus()
+        ids = overlay.peer_ids
+        received = []
+        bus.register(ids[1], lambda message, now: received.append(message))
+        record = bus.send(_message(ids[0], ids[1]))
+        bus.run()
+        assert not record.dropped
+        assert received
+        assert bus.counter.dropped_total == 0
+        assert bus.counter.duplicate_total == 0
+
+    def test_partitioned_send_dropped_with_reason(self):
+        injector = FaultInjector(FaultPlan())
+        overlay, bus = _bus(faults=injector)
+        ids = overlay.peer_ids
+        injector.set_partition([[ids[0]], ids[1:]])
+        record = bus.send(_message(ids[0], ids[1]))
+        assert record.dropped
+        assert record.reason == "partitioned"
+        assert record.delivered_at is None
+        assert bus.counter.dropped_by_reason() == {"partitioned": 1}
+        assert injector.stats.messages_dropped == 1
+
+    def test_certain_loss_dropped_with_reason(self):
+        injector = FaultInjector(FaultPlan(link=LinkFaults(drop_probability=1.0)))
+        overlay, bus = _bus(faults=injector)
+        ids = overlay.peer_ids
+        record = bus.send(_message(ids[0], ids[1]))
+        assert record.dropped
+        assert record.reason == "message loss"
+        assert bus.counter.dropped_by_reason() == {"message loss": 1}
+
+    def test_offline_destination_counted(self):
+        overlay, bus = _bus()
+        ids = overlay.peer_ids
+        overlay.peer(ids[1]).go_offline()
+        record = bus.send(_message(ids[0], ids[1]))
+        bus.run()
+        assert record.dropped
+        assert record.reason == "destination offline"
+        assert bus.counter.dropped_by_reason() == {"destination offline": 1}
+
+    def test_duplicates_are_delivered_once(self):
+        injector = FaultInjector(
+            FaultPlan(seed=1, link=LinkFaults(duplicate_probability=1.0))
+        )
+        overlay, bus = _bus(faults=injector)
+        ids = overlay.peer_ids
+        received = []
+        bus.register(ids[1], lambda message, now: received.append(message))
+        bus.send(_message(ids[0], ids[1]))
+        bus.run()
+        assert len(received) == 1  # the copy was suppressed at the receiver
+        assert bus.counter.duplicate_total == 1
+        assert injector.stats.messages_duplicated == 1
+        duplicates = [r for r in bus.deliveries if r.reason == "duplicate suppressed"]
+        assert len(duplicates) == 1
+
+    def test_jitter_delays_delivery(self):
+        injector = FaultInjector(
+            FaultPlan(seed=2, link=LinkFaults(delay_jitter_ms=500.0))
+        )
+        overlay, jittered = _bus(faults=injector)
+        _overlay2, plain = _bus()
+        ids = overlay.peer_ids
+        jit = jittered.send(_message(ids[0], ids[1]))
+        base = plain.send(_message(ids[0], ids[1]))
+        jittered.run()
+        plain.run()
+        assert jit.delivered_at > base.delivered_at
+
+    def test_send_with_retry_eventually_delivers(self):
+        injector = FaultInjector(
+            FaultPlan(seed=4, link=LinkFaults(drop_probability=0.6))
+        )
+        overlay, bus = _bus(faults=injector)
+        ids = overlay.peer_ids
+        received = []
+        bus.register(ids[1], lambda message, now: received.append(message))
+        delivered = 0
+        for _ in range(20):
+            record = bus.send_with_retry(
+                _message(ids[0], ids[1]), max_retries=6, backoff_seconds=0.1
+            )
+            if not record.dropped:
+                delivered += 1
+        bus.run()
+        assert delivered == 20  # p_fail = 0.6**7 per message: all get through
+        assert bus.counter.retry_total > 0
+        assert injector.stats.backoff_seconds > 0
+        assert len(received) == 20  # retransmissions never double-deliver
+
+    def test_send_with_retry_gives_up_on_partition(self):
+        injector = FaultInjector(FaultPlan())
+        overlay, bus = _bus(faults=injector)
+        ids = overlay.peer_ids
+        injector.set_partition([[ids[0]], ids[1:]])
+        record = bus.send_with_retry(_message(ids[0], ids[1]), max_retries=2)
+        assert record.dropped
+        assert record.reason == "partitioned"
+        assert bus.counter.retry_total == 2
+
+    def test_send_with_retry_without_faults_is_plain_send(self):
+        overlay, bus = _bus()
+        ids = overlay.peer_ids
+        record = bus.send_with_retry(_message(ids[0], ids[1]))
+        assert not record.dropped
+        assert bus.counter.retry_total == 0
+
+
+class TestCounterFaultColumns:
+    def test_state_payload_omits_zero_fault_keys(self):
+        overlay, bus = _bus()
+        payload = bus.counter.state_payload()
+        assert "dropped" not in payload
+        assert "duplicates" not in payload
+        assert "retries" not in payload
+
+    def test_state_payload_roundtrips_fault_keys(self):
+        from repro.network.metrics import MessageCounter
+
+        counter = MessageCounter()
+        counter.record_dropped("message loss", 3)
+        counter.record_dropped("partitioned")
+        counter.record_duplicate(2)
+        counter.record_retry(5)
+        restored = MessageCounter.from_state(counter.state_payload())
+        assert restored.dropped_total == 4
+        assert restored.dropped_by_reason() == {"message loss": 3, "partitioned": 1}
+        assert restored.duplicate_total == 2
+        assert restored.retry_total == 5
