@@ -18,7 +18,10 @@ Walks the paper's running example end to end:
    single SQLite file and resumed with ``SystemBuilder.from_checkpoint`` —
    the resumed session answers the same query byte-identically, and repeated
    runs warm-start from the checkpoint instead of rebuilding summaries,
-7. fault injection: a seeded ``FaultPlan`` partitions the network mid-run;
+7. serving: the checkpoint is opened *read-only* with lazy hierarchy loading
+   and served over HTTP/JSON (``repro serve`` / ``start_server``); a client
+   query comes back byte-identical to a local restore of the same checkpoint,
+8. fault injection: a seeded ``FaultPlan`` partitions the network mid-run;
    queries keep working and come back *marked* — every answer carries a
    ``DegradationReport`` naming the domains that could not be reached, and
    after the scheduled heal answers are complete again.
@@ -213,6 +216,33 @@ def main() -> None:
         # The session keeps using an attached store: detach before the
         # with-block closes the backend.
         session.detach_store()
+    print()
+
+    # -- serve a checkpoint over HTTP ----------------------------------------------
+    # `repro serve` (or start_server, in-process) opens the checkpoint
+    # *read-only*: one shared session answers query/staleness requests from
+    # many concurrent clients, rolling its bookkeeping back after each request
+    # so every answer is byte-identical to a fresh restore.  Hierarchies load
+    # lazily — only the domains the queries touch are materialized.
+    from repro import open_readonly_session
+    from repro.serve import ServeClient, start_server
+
+    readonly = open_readonly_session(
+        str(store_path), name="quickstart", background=background
+    )
+    server = start_server(readonly, close_session_on_stop=True)
+    client = ServeClient(server.url)
+    served = client.query(query=crisp)
+    fresh = SystemBuilder.from_checkpoint(
+        str(store_path), name="quickstart", background=background
+    )
+    lazy_stats = client.stats()["lazy"]
+    print(f"serve: daemon on {server.url} answering from the checkpoint")
+    print(f"  served answer == local restore : {served == fresh.query(query=crisp)}")
+    print(f"  hierarchies materialized       : {lazy_stats['fetches']} "
+          f"(lazy; only what the query touched)")
+    client.shutdown()   # responds, then stops the daemon cleanly
+    server.join(timeout=10.0)
     print()
 
     # -- fault injection: partitions, degraded-but-marked answers ------------------

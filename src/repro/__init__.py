@@ -94,6 +94,24 @@ True
 >>> stormy.query().degradation.complete
 True
 
+A checkpoint can also be **served**: :func:`open_readonly_session` opens it
+as one shared read-only session (mutations raise, hierarchies load lazily
+from the snapshot store on first touch), and the ``repro.serve`` daemon
+answers query and staleness requests over HTTP/JSON byte-identically to a
+local restore of the same checkpoint:
+
+>>> from repro import open_readonly_session
+>>> from repro.serve import ServeClient, start_server
+>>> server = start_server(open_readonly_session(store), close_session_on_stop=True)
+>>> client = ServeClient(server.url)
+>>> client.health()["status"]
+'ok'
+>>> client.query_batch(count=2) == SystemBuilder.from_checkpoint(store).query_batch(count=2)
+True
+>>> client.shutdown()["status"]
+'shutting down'
+>>> server.join(timeout=10.0)
+
 Real-content sessions can additionally ``attach_store(...)``: every
 reconciliation then archives the domain's merged state, and a restarted
 summary peer *cold-starts* — ``cold_start_domain(sp_id)`` installs its global
@@ -130,6 +148,7 @@ from repro.core.session import (
     MaintenanceReport,
     NetworkSession,
     QueryAnswer,
+    ReadOnlyNetworkSession,
     SessionTraffic,
     SystemBuilder,
 )
@@ -149,8 +168,10 @@ from repro.exceptions import (
     NetworkError,
     ProtocolError,
     QueryError,
+    ReadOnlySessionError,
     ReproError,
     SchemaError,
+    ServeError,
     StoreError,
     SummaryError,
 )
@@ -193,6 +214,7 @@ from repro.saintetiq.summary import Summary
 from repro.store import (
     DomainHeadArchive,
     GcReport,
+    HierarchySource,
     InMemoryBackend,
     JsonDirectoryBackend,
     SessionCache,
@@ -202,6 +224,7 @@ from repro.store import (
     collect_garbage,
     compact_checkpoint,
     compact_checkpoints,
+    open_readonly_session,
     open_store,
 )
 from repro.workloads.registry import ScenarioRegistry, default_registry
@@ -221,6 +244,8 @@ __all__ = [
     "ProtocolError",
     "ConfigurationError",
     "StoreError",
+    "ReadOnlySessionError",
+    "ServeError",
     # fuzzy substrate
     "TrapezoidalMembership",
     "TriangularMembership",
@@ -286,6 +311,7 @@ __all__ = [
     # declarative session façade
     "SystemBuilder",
     "NetworkSession",
+    "ReadOnlyNetworkSession",
     "QueryAnswer",
     "DegradationReport",
     "MaintenanceReport",
@@ -310,6 +336,8 @@ __all__ = [
     "collect_garbage",
     "compact_checkpoint",
     "compact_checkpoints",
+    "open_readonly_session",
+    "HierarchySource",
     "GcReport",
     "ColdStartRecord",
     # scenarios

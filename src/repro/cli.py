@@ -24,6 +24,10 @@ the terminal without going through pytest:
 * ``load-session``   — restore a checkpointed session (delta chains resolve
   transparently), run it to its horizon and pose a query batch
   (``python -m repro load-session --store runs.sqlite``),
+* ``serve``          — open a checkpoint read-only and answer query/staleness
+  requests over HTTP/JSON until stopped (``python -m repro serve --store
+  runs.sqlite --name session --port 8123``); hierarchies load lazily, answers
+  are byte-identical to a local restore of the same checkpoint,
 * ``inspect-store``  — list the checkpoints (full or delta) and
   content-addressed snapshots of a store; ``--compact`` folds delta
   checkpoint chains into fresh full checkpoints; ``--gc`` reclaims snapshots
@@ -102,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
             "save-session",
             "load-session",
             "inspect-store",
+            "serve",
         ],
         help="which table/figure to regenerate, or a scenario/store command",
     )
@@ -195,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="simulation seed (figures default: 0; run-scenario defaults to "
         "the scenario's own seed)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for serve (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="bind port for serve (default: 8123; 0 picks an ephemeral port)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text tables"
@@ -436,6 +452,33 @@ def _inspect_store_table(args: argparse.Namespace) -> ExperimentTable:
     return table
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import SummaryQueryServer
+    from repro.store.checkpoint import open_readonly_session
+
+    session = open_readonly_session(args.store, name=args.name)
+    server = SummaryQueryServer(
+        (args.host, args.port),
+        session,
+        checkpoint_name=args.name,
+        quiet=False,
+        close_session_on_stop=True,
+    )
+    print(
+        f"serving checkpoint {args.name!r} from {args.store} on {server.url} "
+        f"({session.overlay.size} peers, {len(session.domains)} domains; "
+        "Ctrl-C or POST /shutdown to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        session.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -446,10 +489,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"unexpected argument {args.scenario!r}: only run-scenario and "
             "save-session take a scenario name"
         )
-    if args.command in {"save-session", "load-session", "inspect-store"} and (
+    if args.command in {"save-session", "load-session", "inspect-store", "serve"} and (
         not args.store
     ):
         parser.error(f"{args.command} requires --store PATH")
+    if args.command == "serve":
+        from repro.exceptions import ConfigurationError, StoreError
+
+        try:
+            return _serve(args)
+        except (ConfigurationError, StoreError) as exc:
+            parser.error(str(exc))
     if args.command == "list-scenarios":
         _emit([_list_scenarios_table()], args.json)
         return 0

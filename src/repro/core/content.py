@@ -46,6 +46,17 @@ class ContentModel(abc.ABC):
     def truly_matching(self, query_id: int, peer_id: str) -> bool:
         """Ground truth: does ``peer_id`` currently hold data matching the query?"""
 
+    def matching_among(self, query_id: int, peers: Iterable[str]) -> Set[str]:
+        """Subset of ``peers`` that truly match the query.
+
+        The default implementation is the per-peer ``truly_matching`` loop;
+        models that hold their ground truth as a set override it with a set
+        intersection (same result, no per-peer call overhead).
+        """
+        return {
+            peer_id for peer_id in peers if self.truly_matching(query_id, peer_id)
+        }
+
 
 class SummaryContentModel(ContentModel):
     """Relevance from real summaries, ground truth from real databases.
@@ -224,3 +235,12 @@ class PlannedContentModel(ContentModel):
         if peer_id in self._departed_peers:
             return False
         return peer_id in self._plan(query_id)
+
+    def matching_among(self, query_id: int, peers: Iterable[str]) -> Set[str]:
+        # Set-intersection form of the truly_matching loop: the plan is a set
+        # already, so "which of these peers match" is one intersection and one
+        # difference instead of len(peers) membership-test calls.
+        plan = self._plan(query_id)
+        if not isinstance(peers, (set, frozenset)):
+            peers = set(peers)
+        return (peers & plan) - self._departed_peers

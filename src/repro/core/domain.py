@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.cooperation import CooperationList
 from repro.core.freshness import Freshness, FreshnessMode
@@ -22,10 +22,16 @@ class Domain:
 
     summary_peer_id: str
     cooperation: CooperationList = field(default_factory=CooperationList)
-    global_summary: Optional[SummaryHierarchy] = None
     #: Distance (latency) from each partner to the summary peer, filled by the
     #: construction protocol and used for partnership-switch decisions.
     partner_distances: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._global_summary: Optional[SummaryHierarchy] = None
+        self._summary_loader: Optional[Callable[[], SummaryHierarchy]] = None
+        # Bumped on every partner add/remove; lets per-peer caches keyed on
+        # domain membership (e.g. the flooding-cost cache) invalidate cheaply.
+        self._membership_version = 0
 
     @classmethod
     def create(
@@ -48,6 +54,11 @@ class Domain:
     def is_partner(self, peer_id: str) -> bool:
         return self.cooperation.is_partner(peer_id)
 
+    @property
+    def membership_version(self) -> int:
+        """Monotonic counter bumped whenever the partner set changes."""
+        return self._membership_version
+
     def add_partner(
         self,
         peer_id: str,
@@ -57,15 +68,45 @@ class Domain:
     ) -> None:
         self.cooperation.add_partner(peer_id, freshness=freshness, now=now)
         self.partner_distances[peer_id] = distance
+        self._membership_version += 1
 
     def remove_partner(self, peer_id: str) -> None:
         self.cooperation.remove_partner(peer_id)
         self.partner_distances.pop(peer_id, None)
+        self._membership_version += 1
 
     def distance_to(self, peer_id: str) -> float:
         return self.partner_distances.get(peer_id, float("inf"))
 
     # -- global summary -------------------------------------------------------------------
+
+    @property
+    def global_summary(self) -> Optional[SummaryHierarchy]:
+        """The domain's merged global summary ``GS``.
+
+        When the domain was restored lazily (read-only serving), the first
+        access pulls the hierarchy from the snapshot store via the bound
+        loader; subsequent accesses return the materialized object.
+        """
+        if self._global_summary is None and self._summary_loader is not None:
+            self._global_summary = self._summary_loader()
+            self._summary_loader = None
+        return self._global_summary
+
+    @global_summary.setter
+    def global_summary(self, summary: Optional[SummaryHierarchy]) -> None:
+        self._global_summary = summary
+        self._summary_loader = None
+
+    def bind_summary_loader(self, loader: Callable[[], SummaryHierarchy]) -> None:
+        """Defer materialization of the global summary to first access."""
+        self._global_summary = None
+        self._summary_loader = loader
+
+    @property
+    def summary_pending(self) -> bool:
+        """True while a bound loader has not been materialized yet."""
+        return self._summary_loader is not None
 
     def has_global_summary(self) -> bool:
         return self.global_summary is not None and not self.global_summary.is_empty()

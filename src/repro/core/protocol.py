@@ -225,6 +225,8 @@ class SummaryManagementSystem:
         self._query_engine_enabled = bool(enabled)
         if isinstance(self._content, SummaryContentModel):
             self._content.use_selection_cache = self._query_engine_enabled
+        self._router.use_set_matching = self._query_engine_enabled
+        self._router.flooding_cache_enabled = self._query_engine_enabled
 
     @property
     def services(self) -> Dict[str, "LocalSummaryService"]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import ProtocolConfig
 from repro.core.content import ContentModel
@@ -160,6 +160,16 @@ class QueryRouter:
     ) -> None:
         self._config = config or ProtocolConfig()
         self._counter = counter if counter is not None else MessageCounter()
+        #: Answer "which contacted peers truly match" with one set operation
+        #: (``ContentModel.matching_among``) instead of a per-peer
+        #: ``truly_matching`` loop.  The loop is retained as the equivalence
+        #: reference; both produce identical sets.
+        self.use_set_matching = True
+        #: Memoize each initiator's extra-domain neighbour count for
+        #: ``flooding_cost``, keyed on (overlay version, domain membership
+        #: version) so any overlay or partner-set mutation invalidates.
+        self.flooding_cache_enabled = True
+        self._flood_cache: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
 
     @property
     def counter(self) -> MessageCounter:
@@ -253,9 +263,14 @@ class QueryRouter:
                     self._counter.record_dropped("link loss", dropped)
                 reachable -= lost
 
-        for peer_id in sorted(reachable):
-            if content.truly_matching(query_id, peer_id):
-                outcome.responding_peers.add(peer_id)
+        if self.use_set_matching:
+            outcome.responding_peers = content.matching_among(query_id, reachable)
+        else:
+            # Reference path: per-peer ground-truth loop (kept for
+            # equivalence tests against the set-intersection fast path).
+            for peer_id in sorted(reachable):
+                if content.truly_matching(query_id, peer_id):
+                    outcome.responding_peers.add(peer_id)
         outcome.false_positives = outcome.contacted_peers - outcome.responding_peers
 
         # One response message per matching peer.
@@ -264,9 +279,13 @@ class QueryRouter:
 
         # False negatives: partners holding matching data that were not contacted.
         candidates = partners if online_peers is None else partners & online_peers
-        for peer_id in candidates - outcome.contacted_peers:
-            if content.truly_matching(query_id, peer_id):
-                outcome.false_negatives.add(peer_id)
+        uncontacted = candidates - outcome.contacted_peers
+        if self.use_set_matching:
+            outcome.false_negatives = content.matching_among(query_id, uncontacted)
+        else:
+            for peer_id in sorted(uncontacted):
+                if content.truly_matching(query_id, peer_id):
+                    outcome.false_negatives.add(peer_id)
         return outcome
 
     def _routing_set(
@@ -309,10 +328,21 @@ class QueryRouter:
         self._counter.record_type(MessageType.FLOOD_REQUEST, request_messages)
 
         flood_messages = 0
-        domain_members = set(domain.partner_ids) | {domain.summary_peer_id}
+        domain_members: Optional[Set[str]] = None
+        cache_tag = (overlay.version, domain.membership_version)
         for peer_id in sorted(initiators):
+            if self.flooding_cache_enabled:
+                key = (domain.summary_peer_id, peer_id)
+                entry = self._flood_cache.get(key)
+                if entry is not None and entry[:2] == cache_tag:
+                    flood_messages += entry[2]
+                    continue
             if peer_id not in overlay.graph:
+                if self.flooding_cache_enabled:
+                    self._flood_cache[key] = cache_tag + (0,)
                 continue
+            if domain_members is None:
+                domain_members = set(domain.partner_ids) | {domain.summary_peer_id}
             outside = [
                 neighbour
                 for neighbour in overlay.neighbors(peer_id)
@@ -321,6 +351,8 @@ class QueryRouter:
             # One hop per extra-domain neighbour: the probe stops as soon as it
             # lands in another domain, and with high-degree superpeers almost
             # every extra-domain neighbour already belongs to one.
+            if self.flooding_cache_enabled:
+                self._flood_cache[key] = cache_tag + (len(outside),)
             flood_messages += len(outside)
         known = [sp for sp in known_summary_peers if sp != domain.summary_peer_id]
         flood_messages += min(len(known), max(0, target_domains))

@@ -9,7 +9,7 @@ summary is considered modified enough, flags its cooperation-list entry.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Mapping, Optional
+from typing import Callable, FrozenSet, Iterable, Mapping, Optional
 
 from repro.database.engine import LocalDatabase
 from repro.exceptions import ProtocolError
@@ -35,12 +35,13 @@ class LocalSummaryService:
         self._database = database
         self._attributes = list(attributes) if attributes is not None else None
         self._parameters = parameters
-        self._summary = SummaryHierarchy(
+        self._summary: Optional[SummaryHierarchy] = SummaryHierarchy(
             background,
             attributes=self._attributes,
             parameters=parameters,
             owner=peer_id,
         )
+        self._summary_loader: Optional[Callable[[], SummaryHierarchy]] = None
         #: Signature of the local summary at the last publication (the version
         #: merged into the domain's global summary).
         self._published_signature: FrozenSet[Descriptor] = frozenset()
@@ -54,7 +55,29 @@ class LocalSummaryService:
 
     @property
     def summary(self) -> SummaryHierarchy:
+        """The live local summary, materializing a pending lazy loader."""
+        if self._summary is None and self._summary_loader is not None:
+            summary = self._summary_loader()
+            self._summary_loader = None
+            self._summary = summary
+            # A lazily restored service learns its clustering setup from the
+            # rehydrated hierarchy instead of a payload peek at open time.
+            if self._attributes is None:
+                self._attributes = list(summary.attributes)
+            if self._parameters is None:
+                self._parameters = summary._builder.parameters
+        assert self._summary is not None
         return self._summary
+
+    def bind_summary_loader(self, loader: Callable[[], SummaryHierarchy]) -> None:
+        """Defer materialization of the local summary to first access."""
+        self._summary = None
+        self._summary_loader = loader
+
+    @property
+    def summary_pending(self) -> bool:
+        """True while a bound lazy loader has not been materialized yet."""
+        return self._summary_loader is not None
 
     @property
     def background(self) -> BackgroundKnowledge:
@@ -77,6 +100,11 @@ class LocalSummaryService:
             raise ProtocolError(
                 f"peer {self._peer_id!r} has no database to summarize"
             )
+        if self._summary_loader is not None and self._attributes is None:
+            # Materialize once so the rebuilt hierarchy keeps the restored
+            # attribute selection and clustering parameters.
+            _ = self.summary
+        self._summary_loader = None
         self._summary = SummaryHierarchy(
             self._background,
             attributes=self._attributes,
@@ -99,7 +127,7 @@ class LocalSummaryService:
 
     def add_record(self, record: Mapping[str, object]) -> int:
         """Incrementally incorporate one new record (push-mode DBMS exchange)."""
-        return self._summary.add_record(record)
+        return self.summary.add_record(record)
 
     def refresh_incremental(self) -> int:
         """Incorporate records inserted since the last (re)build.
@@ -121,19 +149,22 @@ class LocalSummaryService:
 
     def publish(self) -> SummaryHierarchy:
         """Snapshot the local summary as the version shipped to the superpeer."""
-        snapshot = self._summary.snapshot()
-        self._published_signature = self._summary.signature()
+        summary = self.summary
+        snapshot = summary.snapshot()
+        self._published_signature = summary.signature()
         return snapshot
 
     def drift_since_publication(self) -> float:
         """Descriptor-level drift between the live summary and the published one."""
-        return self._summary.drift_from(self._published_signature)
+        return self.summary.drift_from(self._published_signature)
 
     def should_push(self, drift_threshold: float) -> bool:
         """Whether the peer should send a ``push`` message (Section 4.2.1)."""
         return self.drift_since_publication() > drift_threshold
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self._summary is None:
+            return f"LocalSummaryService(peer={self._peer_id!r}, summary=<lazy>)"
         return (
             f"LocalSummaryService(peer={self._peer_id!r}, "
             f"records={self._summary.records_processed})"

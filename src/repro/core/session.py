@@ -31,11 +31,15 @@ the CLI all construct networks through this module.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -47,6 +51,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.backend import StoreBackend
+    from repro.store.lazy import HierarchySource
 
 from repro.core.config import ProtocolConfig
 from repro.core.construction import ConstructionReport
@@ -61,11 +66,11 @@ from repro.core.protocol import (
 from repro.core.routing import QueryRequest, QueryRoutingResult, RoutingPolicy
 from repro.database.engine import LocalDatabase
 from repro.database.query import SelectionQuery
-from repro.exceptions import ConfigurationError, QueryError
+from repro.exceptions import ConfigurationError, QueryError, ReadOnlySessionError
 from repro.fuzzy.background import BackgroundKnowledge
 from repro.network.churn import LifetimeDistribution
-from repro.network.faults import FaultPlan
-from repro.network.metrics import TrafficReport
+from repro.network.faults import FaultPlan, FaultStats
+from repro.network.metrics import MessageCounter, TrafficReport
 from repro.network.overlay import Overlay
 from repro.network.simulator import Simulator
 from repro.network.topology import TopologyConfig
@@ -962,4 +967,203 @@ class NetworkSession:
         return (
             f"NetworkSession(peers={self._system.overlay.size}, "
             f"domains={len(self._system.domains)}, now={self.now:.0f}s)"
+        )
+
+
+class ReadOnlyNetworkSession(NetworkSession):
+    """One restored session shared, read-only, across many worker threads.
+
+    Obtained from :func:`repro.store.checkpoint.open_readonly_session`; it is
+    the session shape ``repro serve`` runs on.  Three guarantees:
+
+    * **Shared without copying.**  Every thread answers against the same
+      restored system.  Request execution is serialized on an internal lock
+      (the protocol engine is single-threaded by design — plan draws,
+      message counters and query ids are global state), so concurrency buys
+      I/O and encoding overlap, never interleaved protocol state.
+    * **Frozen at the checkpoint.**  Posing a query mutates protocol
+      bookkeeping (query counter, result history, message counters, plan
+      RNG, fault stats).  Each outermost request captures that volatile
+      state up front and rolls it back on exit, so every request — from any
+      thread, in any order — answers exactly like the first request after a
+      fresh :func:`~repro.store.checkpoint.restore_session`.  Derived memo
+      caches (hierarchy selection caches, lazily materialized summaries)
+      deliberately stay warm: they are content-addressed derived state and
+      cannot alter protocol-visible outcomes.
+    * **Mutation rejected.**  Simulation, store attachment and cold starts
+      raise :class:`~repro.exceptions.ReadOnlySessionError`.
+
+    The session may own the store backend it was opened from (lazy hierarchy
+    loads read it on demand); :meth:`close` — or leaving a ``with`` block —
+    releases it.
+    """
+
+    def __init__(
+        self,
+        system: SummaryManagementSystem,
+        construction_report: Optional[ConstructionReport] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        super().__init__(system, construction_report, horizon)
+        self._lock = threading.RLock()
+        self._frozen_depth = 0
+        self._volatile: Optional[Dict[str, Any]] = None
+        self._backend: Optional["StoreBackend"] = None
+        self._owns_backend = False
+        self._hierarchy_source: Optional["HierarchySource"] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def bind_store(
+        self,
+        backend: "StoreBackend",
+        owns_backend: bool = False,
+        hierarchy_source: Optional["HierarchySource"] = None,
+    ) -> None:
+        """Tie the session to the backend its lazy loads read from."""
+        self._backend = backend
+        self._owns_backend = owns_backend
+        self._hierarchy_source = hierarchy_source
+
+    @property
+    def hierarchy_source(self) -> Optional["HierarchySource"]:
+        """The lazy loader (fetch/hit counters), when opened lazily."""
+        return self._hierarchy_source
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session (closes the backend it owns). Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._backend is not None and self._owns_backend:
+                self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "ReadOnlyNetworkSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the frozen-state discipline ---------------------------------------------------
+
+    @contextmanager
+    def _frozen(self) -> Iterator[None]:
+        """Serialize a request and roll back its protocol bookkeeping."""
+        with self._lock:
+            if self._closed:
+                raise ReadOnlySessionError("this read-only session is closed")
+            self._frozen_depth += 1
+            if self._frozen_depth == 1:
+                self._volatile = self._capture_volatile()
+            try:
+                yield
+            finally:
+                self._frozen_depth -= 1
+                if self._frozen_depth == 0:
+                    assert self._volatile is not None
+                    self._restore_volatile(self._volatile)
+                    self._volatile = None
+
+    def _capture_volatile(self) -> Dict[str, Any]:
+        system = self._system
+        content = system.content
+        saved: Dict[str, Any] = {
+            "query_counter": system._query_counter,  # noqa: SLF001
+            "results_len": len(system._query_results),  # noqa: SLF001
+            "counter": system.counter.state_payload(),
+        }
+        if isinstance(content, PlannedContentModel):
+            saved["content_rng"] = content._rng.getstate()  # noqa: SLF001
+            saved["plan_ids"] = set(content._matching)  # noqa: SLF001
+        else:
+            # Real content: registered queries live in one dict shared by
+            # reference between the system and its SummaryContentModel.
+            saved["query_ids"] = set(system._queries)  # noqa: SLF001
+        faults = system.faults
+        if faults is not None:
+            saved["faults_rng"] = faults.rng.getstate()
+            saved["faults_stats"] = faults.stats.state_payload()
+        return saved
+
+    def _restore_volatile(self, saved: Dict[str, Any]) -> None:
+        system = self._system
+        content = system.content
+        system._query_counter = saved["query_counter"]  # noqa: SLF001
+        del system._query_results[saved["results_len"]:]  # noqa: SLF001
+        counter = system.counter
+        counter.reset()
+        counter.merge(MessageCounter.from_state(saved["counter"]))
+        if isinstance(content, PlannedContentModel):
+            for query_id in set(content._matching) - saved["plan_ids"]:  # noqa: SLF001
+                del content._matching[query_id]  # noqa: SLF001
+            content._rng.setstate(saved["content_rng"])  # noqa: SLF001
+        else:
+            for query_id in set(system._queries) - saved["query_ids"]:  # noqa: SLF001
+                del system._queries[query_id]  # noqa: SLF001
+        faults = system.faults
+        if faults is not None and "faults_rng" in saved:
+            faults.rng.setstate(saved["faults_rng"])
+            faults.stats = FaultStats.from_state(saved["faults_stats"])
+
+    # -- read surface (serialized + rolled back) ---------------------------------------
+
+    def query(self, *args: Any, **kwargs: Any) -> QueryAnswer:
+        with self._frozen():
+            return super().query(*args, **kwargs)
+
+    def query_many(self, *args: Any, **kwargs: Any) -> List[QueryAnswer]:
+        with self._frozen():
+            return super().query_many(*args, **kwargs)
+
+    def query_batch(self, *args: Any, **kwargs: Any) -> List[QueryAnswer]:
+        with self._frozen():
+            return super().query_batch(*args, **kwargs)
+
+    def staleness(self, query_id: Optional[int] = None) -> StalenessSnapshot:
+        with self._frozen():
+            return super().staleness(query_id=query_id)
+
+    def staleness_batch(self, count: int) -> List[StalenessSnapshot]:
+        with self._frozen():
+            return super().staleness_batch(count)
+
+    # -- mutation surface: rejected ----------------------------------------------------
+
+    def _read_only(self, operation: str) -> ReadOnlySessionError:
+        return ReadOnlySessionError(
+            f"{operation} is not available on a read-only serving session; "
+            "restore the checkpoint with SystemBuilder.from_checkpoint for a "
+            "mutable session"
+        )
+
+    def run_until(self, time: Optional[float] = None) -> int:
+        raise self._read_only("run_until (advancing the simulation)")
+
+    def attach_store(self, target: Union[None, str, "StoreBackend"]) -> None:
+        raise self._read_only("attach_store")
+
+    def detach_store(self) -> None:
+        raise self._read_only("detach_store")
+
+    def cold_start_domain(self, sp_id: str):
+        raise self._read_only("cold_start_domain")
+
+    def next_query_id(self) -> int:
+        raise self._read_only(
+            "next_query_id (allocating query ids mutates the counter; pass "
+            "count=... or queries=... and let each request allocate its own)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else "open"
+        return (
+            f"ReadOnlyNetworkSession(peers={self._system.overlay.size}, "
+            f"domains={len(self._system.domains)}, {state})"
         )

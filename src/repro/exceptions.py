@@ -43,3 +43,11 @@ class ConfigurationError(ReproError):
 class StoreError(ReproError):
     """A persistence-store operation failed (backend I/O, missing object,
     malformed payload, or an attempt to checkpoint non-checkpointable state)."""
+
+
+class ReadOnlySessionError(ReproError):
+    """A mutation was attempted on a session opened read-only for serving."""
+
+
+class ServeError(ReproError):
+    """A query-service request failed (bad wire payload, server-side error)."""

@@ -37,6 +37,11 @@ class Overlay:
         # cache it is derived state: checkpoints persist the per-peer flags
         # and the set re-derives itself on restore.
         self._online_ids: Set[str] = set()
+        # Bumped on every structural or online-status change; caches derived
+        # from the overlay (e.g. per-peer extra-domain neighbour counts for
+        # flooding-cost accounting) key their entries on it to invalidate
+        # without listeners of their own.
+        self._version = 0
         for peer in self._peers.values():
             peer.bind_status_listener(self._track_status)
         # The overlay's own tie-breaking RNG: selective walks invoked without
@@ -83,10 +88,16 @@ class Overlay:
         return list(self._peers.values())
 
     def _track_status(self, peer_id: str, online: bool) -> None:
+        self._version += 1
         if online:
             self._online_ids.add(peer_id)
         else:
             self._online_ids.discard(peer_id)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on any membership or status change."""
+        return self._version
 
     @property
     def online_ids(self) -> Set[str]:
@@ -265,6 +276,7 @@ class Overlay:
         """Add a brand-new node connected to ``neighbors``."""
         if peer_id in self._peers:
             raise NetworkError(f"peer {peer_id!r} already exists")
+        self._version += 1
         self._latency_cache.clear()
         self._graph.add_node(peer_id)
         for neighbour in neighbors:
@@ -279,6 +291,7 @@ class Overlay:
     def remove_peer(self, peer_id: str) -> None:
         """Remove a node entirely (used to model permanent departures)."""
         self.peer(peer_id).bind_status_listener(None)  # raises on unknown peer
+        self._version += 1
         self._online_ids.discard(peer_id)
         self._latency_cache.clear()
         self._graph.remove_node(peer_id)

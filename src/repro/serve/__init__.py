@@ -1,0 +1,51 @@
+"""``repro.serve``: an always-on query service over store-backed sessions.
+
+The store can checkpoint and restore a whole session; this package serves
+queries straight from such a checkpoint instead of rebuilding a network per
+process.  Three layers:
+
+* :mod:`repro.serve.wire` — the thin JSON wire schema: requests and typed
+  answers (:class:`~repro.core.session.QueryAnswer`, staleness snapshots,
+  degradation reports, approximate answers) encode to JSON and decode back to
+  the same dataclasses, so a client-side ``==`` against a locally computed
+  answer holds.
+* :mod:`repro.serve.server` — a stdlib :class:`http.server.ThreadingHTTPServer`
+  daemon over one shared
+  :class:`~repro.core.session.ReadOnlyNetworkSession` (lazy hierarchy
+  loading, per-request state rollback), answering ``/query``,
+  ``/query_batch``, ``/staleness``, ``/health``, ``/stats`` and
+  ``/shutdown``.
+* :mod:`repro.serve.client` — a small urllib-based client reused by the CLI,
+  the tests and the load benchmark.
+
+Start one from the command line::
+
+    repro serve --store run.sqlite --name session --port 8123
+
+or in-process (tests, benchmarks)::
+
+    from repro.serve import start_server, ServeClient
+    server = start_server(session)                 # ephemeral port
+    client = ServeClient(server.url)
+    answers = client.query_batch(count=8)
+    client.shutdown(); server.join()
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import SummaryQueryServer, start_server
+from repro.serve.wire import (
+    decode_answer,
+    decode_staleness,
+    encode_answer,
+    encode_staleness,
+)
+
+__all__ = [
+    "ServeClient",
+    "SummaryQueryServer",
+    "start_server",
+    "encode_answer",
+    "decode_answer",
+    "encode_staleness",
+    "decode_staleness",
+]

@@ -1,0 +1,169 @@
+"""A small urllib client for the query service.
+
+:class:`ServeClient` is the single HTTP surface shared by the CLI, the
+concurrency tests and the load benchmark.  Every method mirrors one session
+call (`query`, ``query_batch``, ``staleness``...) and decodes the JSON body
+back into the session's typed results via :mod:`repro.serve.wire`, so calling
+code can compare a served answer with ``==`` against one computed locally.
+
+Server-side failures (bad payloads, library errors) surface as
+:class:`~repro.exceptions.ServeError` carrying the server's message and the
+original exception type name.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.routing import RoutingPolicy
+from repro.core.session import QueryAnswer
+from repro.core.protocol import StalenessSnapshot
+from repro.database.query import SelectionQuery
+from repro.exceptions import ServeError
+from repro.serve import wire
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeClient:
+    """Talk to one :class:`~repro.serve.server.SummaryQueryServer`."""
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if method == "POST":
+            data = json.dumps(payload or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            raise self._server_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach query service at {url}: {exc.reason}") from exc
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"query service returned invalid JSON: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise ServeError("query service returned a non-object JSON body")
+        return decoded
+
+    @staticmethod
+    def _server_error(exc: urllib.error.HTTPError) -> ServeError:
+        message = f"query service returned HTTP {exc.code}"
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+        except Exception:  # noqa: BLE001 - error bodies are best-effort
+            detail = None
+        if isinstance(detail, dict) and "error" in detail:
+            kind = detail.get("type")
+            suffix = f" [{kind}]" if kind else ""
+            message = f"{message}: {detail['error']}{suffix}"
+        return ServeError(message)
+
+    # -- request helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _query_options(
+        policy: Optional[RoutingPolicy],
+        required_results: Optional[int],
+        max_domains: Optional[int],
+        include_staleness: Optional[bool],
+        include_answer: Optional[bool],
+    ) -> Dict[str, Any]:
+        options: Dict[str, Any] = {}
+        if policy is not None:
+            options["policy"] = policy.value
+        if required_results is not None:
+            options["required_results"] = required_results
+        if max_domains is not None:
+            options["max_domains"] = max_domains
+        if include_staleness is not None:
+            options["include_staleness"] = include_staleness
+        if include_answer is not None:
+            options["include_answer"] = include_answer
+        return options
+
+    # -- service surface ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def query(
+        self,
+        originator: Optional[str] = None,
+        query: Optional[SelectionQuery] = None,
+        query_id: Optional[int] = None,
+        *,
+        policy: Optional[RoutingPolicy] = None,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+        include_staleness: Optional[bool] = None,
+        include_answer: Optional[bool] = None,
+    ) -> QueryAnswer:
+        payload = self._query_options(
+            policy, required_results, max_domains, include_staleness, include_answer
+        )
+        if originator is not None:
+            payload["originator"] = originator
+        if query is not None:
+            payload["query"] = wire.encode_query(query)
+        if query_id is not None:
+            payload["query_id"] = query_id
+        body = self._request("POST", "/query", payload)
+        return wire.decode_answer(body["answer"])
+
+    def query_batch(
+        self,
+        count: Optional[int] = None,
+        queries: Optional[Sequence[SelectionQuery]] = None,
+        originators: Optional[Sequence[str]] = None,
+        *,
+        policy: Optional[RoutingPolicy] = None,
+        required_results: Optional[int] = None,
+        max_domains: Optional[int] = None,
+        include_staleness: Optional[bool] = None,
+        include_answer: Optional[bool] = None,
+    ) -> List[QueryAnswer]:
+        payload = self._query_options(
+            policy, required_results, max_domains, include_staleness, include_answer
+        )
+        if count is not None:
+            payload["count"] = count
+        if queries is not None:
+            payload["queries"] = [wire.encode_query(q) for q in queries]
+        if originators is not None:
+            payload["originators"] = list(originators)
+        body = self._request("POST", "/query_batch", payload)
+        return wire.decode_answers(body["answers"])
+
+    def staleness(self, query_id: Optional[int] = None) -> StalenessSnapshot:
+        payload: Dict[str, Any] = {}
+        if query_id is not None:
+            payload["query_id"] = query_id
+        body = self._request("POST", "/staleness", payload)
+        return wire.decode_staleness(body["staleness"])
+
+    def staleness_batch(self, count: int) -> List[StalenessSnapshot]:
+        body = self._request("POST", "/staleness", {"count": count})
+        return [wire.decode_staleness(s) for s in body["snapshots"]]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,323 @@
+"""The query-service daemon: HTTP/JSON over one shared read-only session.
+
+A :class:`SummaryQueryServer` is a stdlib
+:class:`~http.server.ThreadingHTTPServer` whose worker threads all answer
+against the same :class:`~repro.core.session.ReadOnlyNetworkSession`.  The
+session serializes protocol execution and rolls its bookkeeping back after
+every request (see its docstring), so the daemon's answers are byte-identical
+to a fresh restore of the checkpoint no matter how many clients hammer it or
+in what order requests land.  Hierarchies are materialized lazily from the
+snapshot store on first touch; ``/stats`` exposes the fetch/hit counters.
+
+Endpoints (all JSON):
+
+========  =============== ====================================================
+method    path            body / answer
+========  =============== ====================================================
+GET       ``/health``     ``{"status": "ok", "peers": ..., "domains": ...}``
+GET       ``/stats``      request counters + lazy-loading counters
+POST      ``/query``      one query -> one encoded ``QueryAnswer``
+POST      ``/query_batch``  ``{"count": N}`` or ``{"queries": [...]}`` ->
+                          ``{"answers": [...]}``
+POST      ``/staleness``  ``{"query_id": id}`` or ``{"count": N}``
+POST      ``/shutdown``   acknowledges, then stops the server cleanly
+========  =============== ====================================================
+
+Library errors surface as ``400`` with ``{"error": ..., "type": ...}``;
+anything unexpected is a ``500``.  Use :func:`start_server` for an in-process
+daemon on an ephemeral port (tests, benchmarks) and the ``repro serve`` CLI
+command for a long-running one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.routing import RoutingPolicy
+from repro.core.session import ReadOnlyNetworkSession
+from repro.exceptions import ReproError, ServeError
+from repro.serve import wire
+
+#: Largest request body the daemon accepts (a query batch of thousands of
+#: encoded queries fits comfortably; anything bigger is a client bug).
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+class SummaryQueryServer(ThreadingHTTPServer):
+    """HTTP daemon over one shared read-only session."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        session: ReadOnlyNetworkSession,
+        checkpoint_name: str = "session",
+        quiet: bool = True,
+        close_session_on_stop: bool = False,
+    ) -> None:
+        super().__init__(address, _RequestHandler)
+        self.session = session
+        self.checkpoint_name = checkpoint_name
+        self.quiet = quiet
+        self.close_session_on_stop = close_session_on_stop
+        self._stats_lock = threading.Lock()
+        self._request_counts: Dict[str, int] = {}
+        self._queries_answered = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_thread: Optional[threading.Thread] = None
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def record_request(self, endpoint: str, queries_answered: int = 0) -> None:
+        with self._stats_lock:
+            self._request_counts[endpoint] = self._request_counts.get(endpoint, 0) + 1
+            self._queries_answered += queries_answered
+
+    def stats_payload(self) -> Dict[str, Any]:
+        session = self.session
+        with self._stats_lock:
+            counts = dict(self._request_counts)
+            answered = self._queries_answered
+        source = session.hierarchy_source
+        return {
+            "requests": counts,
+            "queries_answered": answered,
+            "peers": session.overlay.size,
+            "domains": len(session.domains),
+            "planned": session.planned,
+            "lazy": None if source is None else source.stats_payload(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> "SummaryQueryServer":
+        """Run ``serve_forever`` on a daemon thread (in-process serving)."""
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for serving — and any in-flight teardown — to finish."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        stopper = self._stop_thread
+        if stopper is not None and stopper is not threading.current_thread():
+            stopper.join(timeout)
+
+    def stop(self) -> None:
+        """Shut the daemon down cleanly and release its resources."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.server_close()
+        if self.close_session_on_stop:
+            self.session.close()
+
+    def request_shutdown(self) -> None:
+        """Asynchronous shutdown (used by the ``/shutdown`` endpoint)."""
+        self._stop_thread = threading.Thread(target=self.stop, daemon=True)
+        self._stop_thread.start()
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: SummaryQueryServer
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_REQUEST_BYTES:
+            raise ServeError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            result = handler()
+        except ReproError as exc:
+            self._respond(400, {"error": str(exc), "type": type(exc).__name__})
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            self._respond(500, {"error": str(exc), "type": type(exc).__name__})
+        else:
+            # A handler that already wrote its response (shutdown must flush
+            # the acknowledgement before stopping the server) returns None.
+            if result is not None:
+                status, payload = result
+                self._respond(status, payload)
+
+    # -- HTTP verbs --------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/health":
+            self._dispatch(self._handle_health)
+        elif self.path == "/stats":
+            self._dispatch(self._handle_stats)
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        routes = {
+            "/query": self._handle_query,
+            "/query_batch": self._handle_query_batch,
+            "/staleness": self._handle_staleness,
+            "/shutdown": self._handle_shutdown,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def _handle_health(self) -> Tuple[int, Dict[str, Any]]:
+        session = self.server.session
+        self.server.record_request("health")
+        return 200, {
+            "status": "ok",
+            "checkpoint": self.server.checkpoint_name,
+            "peers": session.overlay.size,
+            "domains": len(session.domains),
+            "planned": session.planned,
+            "now": session.now,
+        }
+
+    def _handle_stats(self) -> Tuple[int, Dict[str, Any]]:
+        self.server.record_request("stats")
+        return 200, self.server.stats_payload()
+
+    @staticmethod
+    def _query_options(payload: Dict[str, Any]) -> Dict[str, Any]:
+        options: Dict[str, Any] = {}
+        if "policy" in payload and payload["policy"] is not None:
+            try:
+                options["policy"] = RoutingPolicy(payload["policy"])
+            except ValueError as exc:
+                raise ServeError(f"unknown routing policy: {payload['policy']!r}") from exc
+        for knob in ("required_results", "max_domains"):
+            if payload.get(knob) is not None:
+                options[knob] = int(payload[knob])
+        for knob in ("include_staleness", "include_answer"):
+            if payload.get(knob) is not None:
+                options[knob] = bool(payload[knob])
+        return options
+
+    def _handle_query(self) -> Tuple[int, Dict[str, Any]]:
+        payload = self._read_body()
+        session = self.server.session
+        options = self._query_options(payload)
+        query = (
+            None if payload.get("query") is None else wire.decode_query(payload["query"])
+        )
+        answer = session.query(
+            payload.get("originator"),
+            query=query,
+            query_id=payload.get("query_id"),
+            **options,
+        )
+        self.server.record_request("query", queries_answered=1)
+        return 200, {"answer": wire.encode_answer(answer)}
+
+    def _handle_query_batch(self) -> Tuple[int, Dict[str, Any]]:
+        payload = self._read_body()
+        session = self.server.session
+        options = self._query_options(payload)
+        count = payload.get("count")
+        queries: Optional[List[Any]] = None
+        if payload.get("queries") is not None:
+            queries = [wire.decode_query(q) for q in payload["queries"]]
+        originators = payload.get("originators") or None
+        answers = session.query_batch(
+            count=None if count is None else int(count),
+            queries=queries,
+            originators=originators,
+            **options,
+        )
+        self.server.record_request("query_batch", queries_answered=len(answers))
+        return 200, {"answers": [wire.encode_answer(a) for a in answers]}
+
+    def _handle_staleness(self) -> Tuple[int, Dict[str, Any]]:
+        payload = self._read_body()
+        session = self.server.session
+        if payload.get("count") is not None:
+            snapshots = session.staleness_batch(int(payload["count"]))
+            self.server.record_request("staleness")
+            return 200, {
+                "snapshots": [wire.encode_staleness(s) for s in snapshots]
+            }
+        snapshot = session.staleness(query_id=payload.get("query_id"))
+        self.server.record_request("staleness")
+        return 200, {"staleness": wire.encode_staleness(snapshot)}
+
+    def _handle_shutdown(self) -> None:
+        self.server.record_request("shutdown")
+        # Flush the acknowledgement before stopping: in CLI mode the main
+        # thread exits serve_forever (and may exit the process) as soon as
+        # shutdown lands, which would otherwise race the response write.
+        self._respond(200, {"status": "shutting down"})
+        self.wfile.flush()
+        self.server.request_shutdown()
+        return None
+
+
+def start_server(
+    session: ReadOnlyNetworkSession,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    checkpoint_name: str = "session",
+    quiet: bool = True,
+    close_session_on_stop: bool = False,
+) -> SummaryQueryServer:
+    """Serve ``session`` on a background thread; returns the running server.
+
+    ``port=0`` binds an ephemeral port — read the actual address off
+    ``server.url``.  Stop with ``server.stop()`` (or a client-side
+    ``/shutdown`` request, which triggers the same clean teardown).
+    """
+    server = SummaryQueryServer(
+        (host, port),
+        session,
+        checkpoint_name=checkpoint_name,
+        quiet=quiet,
+        close_session_on_stop=close_session_on_stop,
+    )
+    return server.start_background()

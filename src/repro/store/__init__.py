@@ -17,6 +17,10 @@ matching persistence layer:
   patches (:mod:`repro.store.deltas`) against an earlier checkpoint — that
   restore transparently through their base chain; ``compact_checkpoint``
   folds a long chain back into a fresh full checkpoint.
+* **Read-only serving** (:func:`open_readonly_session`) — open a checkpoint
+  as one shared :class:`~repro.core.session.ReadOnlyNetworkSession` with
+  lazy, content-addressed hierarchy loading (:mod:`repro.store.lazy`); this
+  is the session mode behind the ``repro serve`` daemon.
 * **Garbage collection** (:mod:`repro.store.gc`) — ``collect_garbage`` (also
   reachable as ``backend.gc()``) reclaims snapshots no retained checkpoint,
   delta chain or domain head references.
@@ -47,11 +51,13 @@ from repro.store.checkpoint import (
     compact_checkpoint,
     compact_checkpoints,
     list_checkpoints,
+    open_readonly_session,
     restore_session,
     save_session,
 )
 from repro.store.deltas import apply_patch, diff_documents
 from repro.store.gc import GcReport, collect_garbage, snapshot_refcounts
+from repro.store.lazy import HierarchySource
 from repro.store.snapshots import (
     DOMAIN_HEAD_KIND,
     SNAPSHOT_KIND,
@@ -72,6 +78,8 @@ __all__ = [
     "SessionCache",
     "save_session",
     "restore_session",
+    "open_readonly_session",
+    "HierarchySource",
     "list_checkpoints",
     "checkpoint_base_chain",
     "compact_checkpoint",

@@ -298,13 +298,18 @@ class JsonDirectoryBackend(StoreBackend):
 class SqliteBackend(StoreBackend):
     """All objects in one SQLite file (table ``objects(kind, key, payload)``)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], check_same_thread: bool = True) -> None:
         super().__init__()
         self._path = Path(path)
         if self._path.parent and not self._path.parent.exists():
             self._path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            self._connection = sqlite3.connect(str(self._path))
+            # check_same_thread=False lets the read-only serving path touch
+            # the connection from worker threads; every such caller must
+            # serialize access itself (sqlite connections are not re-entrant).
+            self._connection = sqlite3.connect(
+                str(self._path), check_same_thread=check_same_thread
+            )
         except sqlite3.Error as exc:  # pragma: no cover - filesystem dependent
             raise StoreError(f"cannot open SQLite store {self._path}: {exc}") from exc
         self._connection.execute(
@@ -398,12 +403,19 @@ class SqliteBackend(StoreBackend):
 _SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
 
 
-def open_store(target: Union[None, str, Path, StoreBackend]) -> StoreBackend:
+def open_store(
+    target: Union[None, str, Path, StoreBackend],
+    check_same_thread: bool = True,
+) -> StoreBackend:
     """Open (or pass through) a store backend.
 
     ``None`` opens an in-memory store; a path with a ``.sqlite``/``.sqlite3``/
     ``.db`` suffix opens the single-file SQLite backend; any other path opens
     a JSON directory; an existing backend is returned unchanged.
+
+    ``check_same_thread=False`` opens a SQLite backend whose connection may be
+    used from threads other than the opening one (the caller must serialize
+    access); other backends are thread-agnostic and ignore the flag.
     """
     if target is None:
         return InMemoryBackend()
@@ -411,7 +423,7 @@ def open_store(target: Union[None, str, Path, StoreBackend]) -> StoreBackend:
         return target
     path = Path(target)
     if path.suffix.lower() in _SQLITE_SUFFIXES:
-        return SqliteBackend(path)
+        return SqliteBackend(path, check_same_thread=check_same_thread)
     return JsonDirectoryBackend(path)
 
 

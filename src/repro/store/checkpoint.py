@@ -78,10 +78,11 @@ from repro.network.peer import PeerRole
 from repro.saintetiq.clustering import ClusteringParameters
 from repro.store.backend import StoreBackend, open_store, owns_backend
 from repro.store.deltas import apply_patch, diff_documents
+from repro.store.lazy import DEFAULT_CACHE_SIZE, HierarchySource
 from repro.store.snapshots import SnapshotStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.session import NetworkSession
+    from repro.core.session import NetworkSession, ReadOnlyNetworkSession
 
 #: The namespace checkpoints are filed under in any backend.
 CHECKPOINT_KIND = "checkpoint"
@@ -224,6 +225,7 @@ def _domain_from_payload(
     payload: Dict[str, Any],
     snapshots: SnapshotStore,
     background: Optional[BackgroundKnowledge],
+    lazy: Optional[HierarchySource] = None,
 ) -> Domain:
     cooperation = CooperationList(FreshnessMode(payload["mode"]))
     for peer_id, freshness, updated_at in payload["entries"]:
@@ -243,7 +245,10 @@ def _domain_from_payload(
                 "this checkpoint carries global summaries: restoring it needs "
                 "the common background knowledge (pass background=...)"
             )
-        domain.global_summary = snapshots.get_hierarchy(summary_hash, background)
+        if lazy is not None:
+            domain.bind_summary_loader(lazy.loader(summary_hash))
+        else:
+            domain.global_summary = snapshots.get_hierarchy(summary_hash, background)
     return domain
 
 
@@ -687,12 +692,73 @@ def restore_session(
             backend.close()
 
 
+def open_readonly_session(
+    target: Union[None, str, StoreBackend],
+    name: str = DEFAULT_CHECKPOINT_NAME,
+    background: Optional[BackgroundKnowledge] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> "ReadOnlyNetworkSession":
+    """Open a checkpoint as a shared, read-only serving session.
+
+    Differences from :func:`restore_session`:
+
+    * **Lazy hierarchy loading** — global summaries and per-peer local
+      summaries are *not* materialized up front; each is pulled from the
+      content-addressed snapshot store on first touch through a
+      :class:`~repro.store.lazy.HierarchySource` (LRU keyed by snapshot hash,
+      shared across all consumers).  Opening a large checkpoint therefore
+      costs the structural payload only, and a query workload materializes
+      exactly the hierarchies it touches.
+    * **Read-only** — the returned
+      :class:`~repro.core.session.ReadOnlyNetworkSession` answers queries and
+      staleness requests (concurrently, from many threads) but rejects every
+      mutating operation with
+      :class:`~repro.exceptions.ReadOnlySessionError`, and rolls back all
+      protocol-visible query bookkeeping after each request so answers stay
+      byte-identical to a fresh restore regardless of request order.
+    * **Backend lifetime** — when ``target`` is a path the opened backend
+      stays open for the session's lifetime (lazy loads need it); the session
+      owns it and closes it in :meth:`ReadOnlyNetworkSession.close` (or on
+      ``with`` exit).  A caller-provided backend is left open as usual.
+    """
+    from repro.core.session import ReadOnlyNetworkSession
+
+    # check_same_thread=False: server worker threads fetch lazy hierarchies
+    # and close the session; the HierarchySource and session locks serialize
+    # every post-open touch of the connection.
+    backend = open_store(target, check_same_thread=False)
+    owns = owns_backend(target)
+    try:
+        source = HierarchySource(
+            SnapshotStore(backend), background, cache_size=cache_size
+        )
+        session = _restore_session(
+            backend,
+            name,
+            background,
+            lazy=source,
+            session_cls=ReadOnlyNetworkSession,
+        )
+        assert isinstance(session, ReadOnlyNetworkSession)
+        session.bind_store(backend, owns_backend=owns, hierarchy_source=source)
+        return session
+    except Exception:
+        if owns:
+            backend.close()
+        raise
+
+
 def _restore_session(
     backend: StoreBackend,
     name: str,
     background: Optional[BackgroundKnowledge],
+    lazy: Optional[HierarchySource] = None,
+    session_cls: Optional[type] = None,
 ) -> "NetworkSession":
     from repro.core.session import NetworkSession
+
+    if session_cls is None:
+        session_cls = NetworkSession
 
     payload = resolve_checkpoint_payload(backend, name)
     snapshots = SnapshotStore(backend)
@@ -747,15 +813,29 @@ def _restore_session(
             system._databases[peer_id] = database  # noqa: SLF001
             overlay.peer(peer_id).attach_database(database)
         for peer_id, service_payload in payload["services"]:
-            summary = snapshots.get_hierarchy(service_payload["summary"], background)
-            service = LocalSummaryService(
-                peer_id,
-                background,
-                database=system._databases.get(peer_id),  # noqa: SLF001
-                attributes=summary.attributes,
-                parameters=summary._builder.parameters,  # noqa: SLF001
-            )
-            service._summary = summary  # noqa: SLF001 - exact restore
+            if lazy is not None:
+                # Lazy open: the service learns attributes/parameters from the
+                # hierarchy when (if ever) it is materialized; the peer's
+                # cosmetic ``local_summary`` reference is skipped entirely.
+                service = LocalSummaryService(
+                    peer_id,
+                    background,
+                    database=system._databases.get(peer_id),  # noqa: SLF001
+                )
+                service.bind_summary_loader(lazy.loader(service_payload["summary"]))
+            else:
+                summary = snapshots.get_hierarchy(
+                    service_payload["summary"], background
+                )
+                service = LocalSummaryService(
+                    peer_id,
+                    background,
+                    database=system._databases.get(peer_id),  # noqa: SLF001
+                    attributes=summary.attributes,
+                    parameters=summary._builder.parameters,  # noqa: SLF001
+                )
+                service._summary = summary  # noqa: SLF001 - exact restore
+                overlay.peer(peer_id).attach_summary(summary)
             service._published_signature = frozenset(  # noqa: SLF001
                 Descriptor(attribute, label)
                 for attribute, label in service_payload["published_signature"]
@@ -764,7 +844,6 @@ def _restore_session(
                 service_payload["database_version_summarized"]
             )
             system._services[peer_id] = service  # noqa: SLF001
-            overlay.peer(peer_id).attach_summary(summary)
         for query_id, query_payload in payload.get("queries", []):
             system._queries[int(query_id)] = _query_from_payload(  # noqa: SLF001
                 query_payload
@@ -778,7 +857,7 @@ def _restore_session(
 
     # Domains, assignment and described sets (insertion order preserved).
     for domain_payload in payload["domains"]:
-        domain = _domain_from_payload(domain_payload, snapshots, background)
+        domain = _domain_from_payload(domain_payload, snapshots, background, lazy)
         system._domains[domain.summary_peer_id] = domain  # noqa: SLF001
     system._assignment.update(  # noqa: SLF001
         {peer: sp for peer, sp in payload["assignment"]}
@@ -802,7 +881,7 @@ def _restore_session(
             spec=event["spec"],
         )
 
-    return NetworkSession(
+    return session_cls(
         system, construction_report=None, horizon=payload["horizon"]
     )
 

@@ -145,3 +145,111 @@ class TestFloodingCost:
             overlay, domain, responding_peers=[], originator=overlay.peer_ids[1]
         )
         assert cost >= 1
+
+
+class TestSetMatchingEquivalence:
+    """Set-intersection responding peers == the per-peer reference loop."""
+
+    def test_matching_among_equals_reference_loop(self, domain_and_content):
+        _domain, content, peer_ids = domain_and_content
+        content.mark_departed(peer_ids[3])
+        subset = set(peer_ids[::2])
+        for query_id in range(4):
+            expected = {
+                peer_id
+                for peer_id in subset
+                if content.truly_matching(query_id, peer_id)
+            }
+            assert content.matching_among(query_id, subset) == expected
+
+    @pytest.mark.parametrize("policy", list(RoutingPolicy))
+    def test_route_outcomes_identical_across_paths(self, domain_and_content, policy):
+        domain, content, peer_ids = domain_and_content
+        content.mark_departed(peer_ids[3])
+        domain.cooperation.mark_stale(peer_ids[7])
+        online = set(peer_ids) - {peer_ids[5]}
+
+        fast = QueryRouter()
+        reference = QueryRouter()
+        reference.use_set_matching = False
+        for query_id in range(5):
+            via_sets = fast.route_in_domain(
+                query_id, domain, content, policy=policy, online_peers=online
+            )
+            via_loop = reference.route_in_domain(
+                query_id, domain, content, policy=policy, online_peers=online
+            )
+            assert via_sets == via_loop
+        assert fast.counter.state_payload() == reference.counter.state_payload()
+
+
+class TestFloodingCostCache:
+    """Cached extra-domain neighbour counts == the uncached reference."""
+
+    def _setup(self):
+        overlay = Overlay.generate(TopologyConfig(peer_count=30, seed=2))
+        domain = Domain.create(overlay.peer_ids[0])
+        for peer_id in overlay.peer_ids[1:6]:
+            domain.add_partner(peer_id, distance=1.0)
+        kwargs = dict(
+            responding_peers=overlay.peer_ids[1:4],
+            originator=overlay.peer_ids[10],
+            known_summary_peers=["spX", "spY"],
+            target_domains=1,
+        )
+        return overlay, domain, kwargs
+
+    def test_cached_cost_equals_reference(self):
+        overlay, domain, kwargs = self._setup()
+        cached = QueryRouter()
+        reference = QueryRouter()
+        reference.flooding_cache_enabled = False
+        for _ in range(3):
+            assert cached.flooding_cost(
+                overlay, domain, **kwargs
+            ) == reference.flooding_cost(overlay, domain, **kwargs)
+        assert cached.counter.state_payload() == reference.counter.state_payload()
+
+    def test_repeat_calls_hit_the_cache(self):
+        overlay, domain, kwargs = self._setup()
+        router = QueryRouter()
+        first = router.flooding_cost(overlay, domain, **kwargs)
+        entries = dict(router._flood_cache)
+        assert entries, "the first call must populate the cache"
+        assert router.flooding_cost(overlay, domain, **kwargs) == first
+        assert router._flood_cache == entries, "a repeat call must not recompute"
+
+    def test_overlay_mutation_invalidates(self):
+        overlay, domain, kwargs = self._setup()
+        router = QueryRouter()
+        router.flooding_cost(overlay, domain, **kwargs)
+        version = overlay.version
+        # Removing a peer rewires neighbourhoods: cached counts are stale now.
+        overlay.remove_peer(overlay.peer_ids[-1])
+        assert overlay.version > version
+        reference = QueryRouter()
+        reference.flooding_cache_enabled = False
+        assert router.flooding_cost(
+            overlay, domain, **kwargs
+        ) == reference.flooding_cost(overlay, domain, **kwargs)
+
+    def test_status_flip_invalidates(self):
+        overlay, domain, kwargs = self._setup()
+        router = QueryRouter()
+        router.flooding_cost(overlay, domain, **kwargs)
+        version = overlay.version
+        peer = overlay.peer(overlay.peer_ids[10])
+        peer.online = not peer.online
+        assert overlay.version > version
+
+    def test_domain_membership_mutation_invalidates(self):
+        overlay, domain, kwargs = self._setup()
+        router = QueryRouter()
+        router.flooding_cost(overlay, domain, **kwargs)
+        # Absorbing the originator into the domain shrinks its outside set.
+        domain.add_partner(kwargs["originator"], distance=1.0)
+        reference = QueryRouter()
+        reference.flooding_cache_enabled = False
+        assert router.flooding_cost(
+            overlay, domain, **kwargs
+        ) == reference.flooding_cost(overlay, domain, **kwargs)

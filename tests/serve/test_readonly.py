@@ -1,0 +1,123 @@
+"""Read-only serving sessions: concurrency, rollback, mutation rejection.
+
+The acceptance bar for sharing one restored session across worker threads:
+every request answers byte-identically to the first request after a fresh
+restore — regardless of how many threads race, in what order requests land,
+or how many requests came before — and every mutating operation raises the
+typed :class:`ReadOnlySessionError`.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ReadOnlySessionError
+from repro.store.checkpoint import open_readonly_session, restore_session
+
+REQUIRED = 5
+
+
+def _expected(planned_store):
+    fresh = restore_session(planned_store)
+    return {
+        "batch": fresh.query_batch(
+            count=4, required_results=REQUIRED, include_staleness=True
+        ),
+        "staleness": restore_session(planned_store).staleness_batch(3),
+        "single": restore_session(planned_store).query(required_results=REQUIRED),
+    }
+
+
+def test_threads_hammering_one_session_stay_byte_identical(planned_store):
+    expected = _expected(planned_store)
+    with open_readonly_session(planned_store) as session:
+        results = {}
+        errors = []
+
+        def hammer(thread_id):
+            try:
+                seen = []
+                for _ in range(5):
+                    seen.append(
+                        (
+                            "batch",
+                            session.query_batch(
+                                count=4,
+                                required_results=REQUIRED,
+                                include_staleness=True,
+                            ),
+                        )
+                    )
+                    seen.append(("staleness", session.staleness_batch(3)))
+                    seen.append(("single", session.query(required_results=REQUIRED)))
+                results[thread_id] = seen
+            except Exception as exc:  # noqa: BLE001 - surfaced via the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert len(results) == 8
+        for seen in results.values():
+            for kind, value in seen:
+                assert value == expected[kind]
+
+
+def test_sequential_requests_equal_fresh_restore(planned_store):
+    expected = _expected(planned_store)
+    with open_readonly_session(planned_store) as session:
+        first = session.query_batch(
+            count=4, required_results=REQUIRED, include_staleness=True
+        )
+        second = session.query_batch(
+            count=4, required_results=REQUIRED, include_staleness=True
+        )
+        assert first == expected["batch"]
+        assert second == first, "rollback must erase the first request"
+        assert session.staleness_batch(3) == expected["staleness"]
+        assert session.query(required_results=REQUIRED) == expected["single"]
+
+
+def test_mutations_raise_typed_error(planned_store):
+    with open_readonly_session(planned_store) as session:
+        mutations = [
+            lambda: session.run_until(10.0),
+            lambda: session.attach_store(None),
+            lambda: session.detach_store(),
+            lambda: session.cold_start_domain("sp-0"),
+            lambda: session.next_query_id(),
+        ]
+        for mutate in mutations:
+            with pytest.raises(ReadOnlySessionError):
+                mutate()
+
+
+def test_closed_session_rejects_requests(planned_store):
+    session = open_readonly_session(planned_store)
+    assert not session.closed
+    session.close()
+    assert session.closed
+    session.close()  # idempotent
+    with pytest.raises(ReadOnlySessionError):
+        session.query_batch(count=1)
+
+
+def test_context_manager_closes(planned_store):
+    with open_readonly_session(planned_store) as session:
+        session.query(required_results=REQUIRED)
+    assert session.closed
+
+
+def test_matches_mutable_restore_after_close(planned_store):
+    """Opening read-only must not disturb the stored checkpoint."""
+    with open_readonly_session(planned_store) as session:
+        served = session.query_batch(count=3, required_results=REQUIRED)
+    assert served == restore_session(planned_store).query_batch(
+        count=3, required_results=REQUIRED
+    )

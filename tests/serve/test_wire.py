@@ -1,0 +1,65 @@
+"""Wire codec: lossless-for-equality round trips through real JSON."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import wire
+from repro.store.checkpoint import restore_session
+from repro.workloads.queries import paper_example_query
+
+
+def _json_trip(payload):
+    """Force an actual JSON round trip (tuples -> lists, key stringification)."""
+    return json.loads(json.dumps(payload))
+
+
+def test_planned_answer_round_trip(planned_store):
+    answers = restore_session(planned_store).query_batch(
+        count=4, required_results=5, include_staleness=True
+    )
+    for answer in answers:
+        payload = _json_trip(wire.encode_answer(answer))
+        assert wire.decode_answer(payload) == answer
+
+
+def test_real_answer_with_approximate_round_trip(real_store):
+    path, background = real_store
+    query = paper_example_query()
+    answer = restore_session(path, background=background).query(
+        query=query, include_answer=True
+    )
+    assert answer.answer is not None, "the paper query must produce an answer"
+    payload = _json_trip(wire.encode_answer(answer))
+    decoded = wire.decode_answer(payload)
+    assert decoded == answer
+    # frozenset-typed labels must survive: equality on AnswerClass depends on it
+    first = decoded.answer.classes[0]
+    assert all(isinstance(labels, frozenset) for _, labels in first.interpretation)
+
+
+def test_query_round_trip(real_store):
+    query = paper_example_query()
+    assert wire.decode_query(_json_trip(wire.encode_query(query))) == query
+
+
+def test_staleness_round_trip(planned_store):
+    snapshot = restore_session(planned_store).staleness()
+    assert wire.decode_staleness(_json_trip(wire.encode_staleness(snapshot))) == snapshot
+
+
+def test_batch_decode_helper(planned_store):
+    answers = restore_session(planned_store).query_batch(count=3, required_results=5)
+    payloads = _json_trip([wire.encode_answer(a) for a in answers])
+    assert wire.decode_answers(payloads) == answers
+
+
+def test_malformed_answer_payload_raises_serve_error():
+    with pytest.raises(ServeError):
+        wire.decode_answer({"routing": {}})
+
+
+def test_malformed_query_payload_raises_serve_error():
+    with pytest.raises(ServeError):
+        wire.decode_query({"not": "a query"})

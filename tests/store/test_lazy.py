@@ -1,0 +1,94 @@
+"""Lazy hierarchy loading: first-touch fetches, LRU bounds, dedup sharing."""
+
+import pytest
+
+from repro.database.generator import PatientGenerator
+from repro.saintetiq.hierarchy import SummaryHierarchy
+from repro.store import InMemoryBackend, SnapshotStore
+from repro.store.lazy import HierarchySource
+
+
+@pytest.fixture
+def snapshots(numeric_background):
+    """A snapshot store holding several distinct hierarchies."""
+    store = SnapshotStore(InMemoryBackend())
+    digests = []
+    for seed in range(5):
+        generator = PatientGenerator(seed=seed)
+        records = [r.as_dict() for r in generator.relation(4 + seed)]
+        hierarchy = SummaryHierarchy(
+            numeric_background, attributes=["age", "bmi"], owner=f"peer-{seed}"
+        )
+        hierarchy.add_records(records)
+        digests.append(store.put_hierarchy(hierarchy))
+    assert len(set(digests)) == len(digests), "fixtures must hash distinctly"
+    return store, digests
+
+
+def test_first_touch_fetches_then_hits(snapshots, numeric_background):
+    store, digests = snapshots
+    source = HierarchySource(store, numeric_background)
+    assert (source.fetches, source.hits, source.cached) == (0, 0, 0)
+
+    first = source.get(digests[0])
+    assert (source.fetches, source.hits, source.cached) == (1, 0, 1)
+
+    again = source.get(digests[0])
+    assert again is first, "cached digest must return the shared object"
+    assert (source.fetches, source.hits, source.cached) == (1, 1, 1)
+
+
+def test_loader_defers_until_called(snapshots, numeric_background):
+    store, digests = snapshots
+    source = HierarchySource(store, numeric_background)
+    loader = source.loader(digests[1])
+    assert source.fetches == 0, "building a loader must not fetch"
+    hierarchy = loader()
+    assert source.fetches == 1
+    assert loader() is hierarchy
+
+
+def test_lru_evicts_oldest(snapshots, numeric_background):
+    store, digests = snapshots
+    source = HierarchySource(store, numeric_background, cache_size=2)
+
+    source.get(digests[0])
+    source.get(digests[1])
+    source.get(digests[2])  # evicts digests[0]
+    assert source.cached == 2
+
+    source.get(digests[1])  # still cached: a hit
+    assert source.hits == 1
+    source.get(digests[0])  # evicted: fetched again
+    assert source.fetches == 4
+
+
+def test_lru_refreshes_on_hit(snapshots, numeric_background):
+    store, digests = snapshots
+    source = HierarchySource(store, numeric_background, cache_size=2)
+    source.get(digests[0])
+    source.get(digests[1])
+    source.get(digests[0])  # refresh 0: 1 is now the LRU victim
+    source.get(digests[2])  # evicts digests[1]
+    assert source.fetches == 3
+    source.get(digests[0])
+    assert source.fetches == 3, "refreshed entry must have survived"
+
+
+def test_cache_size_must_be_positive(snapshots, numeric_background):
+    store, _digests = snapshots
+    with pytest.raises(ValueError):
+        HierarchySource(store, numeric_background, cache_size=0)
+
+
+def test_stats_payload_shape(snapshots, numeric_background):
+    store, digests = snapshots
+    source = HierarchySource(store, numeric_background, cache_size=3)
+    source.get(digests[0])
+    source.get(digests[0])
+    assert source.stats_payload() == {
+        "fetches": 1,
+        "hits": 1,
+        "cached": 1,
+        "cache_size": 3,
+    }
