@@ -10,6 +10,10 @@ derivation), while producing byte-identical routing results.
 ``test_selection_cache_speedup`` tracks the real-content side: repeated
 selections against an unchanged hierarchy through the inverted index +
 selection memo vs the pure tree walk.
+
+``test_obs_overhead_guard`` is the observability CI guard: the same batched
+workload with metrics+tracing installed must stay within
+``MAX_OBS_OVERHEAD`` of the uninstrumented run, and produce equal answers.
 """
 
 import time
@@ -111,6 +115,76 @@ def test_repeated_query_throughput_speedup(benchmark):
             f"query engine speedup {speedup:.2f}x is below the 5x bar at "
             f"{session.overlay.size} peers"
         )
+
+
+#: Enabled-observability ceiling on the repeated-query workload: the
+#: instrumented run may cost at most 10% over the uninstrumented one (plus
+#: measurement slack absorbed by best-of-N minima on both legs).
+MAX_OBS_OVERHEAD = 1.10
+OVERHEAD_ROUNDS = 5
+
+
+@pytest.mark.benchmark(group="query-engine-obs")
+def test_obs_overhead_guard(benchmark):
+    """CI guard: metrics+tracing cost ≤10% on the batched query path."""
+    from repro.obs import Observability
+
+    session = _table3_session()
+    system = session.system
+    requests = _requests(session, THROUGHPUT_QUERIES)
+    content = session.content
+    for request in requests:
+        content.matching_peers(request.query_id)
+
+    def leg():
+        return system.pose_queries(requests)
+
+    # Warm every per-query cache once so both legs measure steady state.
+    plain_results = leg()
+
+    obs = Observability.with_ring()
+    session.install_observability(obs)
+    instrumented_results = leg()
+    session.install_observability(None)
+    assert instrumented_results == plain_results, (
+        "observability changed the answers"
+    )
+    assert obs.metrics.value("repro_queries_total") > 0, (
+        "instrumented leg recorded no query metrics"
+    )
+
+    # Interleave the legs so machine drift (thermal, cache, GC pressure)
+    # hits both equally; minima per leg, ratio of the minima.
+    plain_seconds = instrumented_seconds = float("inf")
+    for _round in range(OVERHEAD_ROUNDS):
+        t0 = time.perf_counter()
+        leg()
+        plain_seconds = min(plain_seconds, time.perf_counter() - t0)
+
+        session.install_observability(obs)
+        try:
+            t0 = time.perf_counter()
+            leg()
+            instrumented_seconds = min(
+                instrumented_seconds, time.perf_counter() - t0
+            )
+        finally:
+            session.install_observability(None)
+
+    benchmark.pedantic(leg, rounds=1, iterations=1)
+    overhead = instrumented_seconds / plain_seconds
+    benchmark.extra_info["plain_seconds"] = plain_seconds
+    benchmark.extra_info["instrumented_seconds"] = instrumented_seconds
+    benchmark.extra_info["obs_overhead"] = overhead
+    print(
+        f"\nobs overhead: plain {plain_seconds:.4f}s vs instrumented "
+        f"{instrumented_seconds:.4f}s — {overhead:.3f}x at "
+        f"{session.overlay.size} peers ({THROUGHPUT_QUERIES} queries/leg)"
+    )
+    assert overhead <= MAX_OBS_OVERHEAD, (
+        f"observability overhead {overhead:.3f}x exceeds the "
+        f"{MAX_OBS_OVERHEAD}x guard"
+    )
 
 
 @pytest.mark.benchmark(group="query-engine-selection")

@@ -10,6 +10,10 @@ concurrent clients must stay above ``MIN_GUARD_QPS``.
 Answers are verified against a local ``restore_session`` of the same
 checkpoint before any timing is trusted: a fast server that answers wrong is
 a failure, not a result.
+
+The latency profile also prints the daemon's session-lock wait-vs-hold
+histograms (from the server's default observability): hold time is the work
+per request, wait time is the queue in front of the shared session.
 """
 
 import time
@@ -97,6 +101,36 @@ def _run_level(url: str, clients: int, required: int) -> dict:
     }
 
 
+def _print_lock_profile(server) -> None:
+    """Print the session-lock wait-vs-hold histogram the daemon recorded.
+
+    Under concurrency the spread between the two distributions *is* the
+    queueing story: hold time is the work, wait time is the line in front
+    of it.  The histograms come from the server's default observability.
+    """
+    obs = server.observability
+    if obs is None:
+        return
+    wait = obs.metrics.histogram("repro_session_lock_wait_seconds")
+    hold = obs.metrics.histogram("repro_session_lock_hold_seconds")
+    if wait is None or hold is None:
+        return
+    print("\nsession lock wait vs hold (seconds):")
+    for name, histogram in (("wait", wait), ("hold", hold)):
+        mean = histogram.total_sum / histogram.total_count if histogram.total_count else 0.0
+        print(
+            f"  {name}: n={histogram.total_count} mean={mean * 1000:.2f}ms "
+            f"sum={histogram.total_sum:.3f}s"
+        )
+        cumulative = histogram.cumulative()
+        for bound, count in zip(histogram.buckets, cumulative):
+            if count:
+                share = count / histogram.total_count
+                print(f"    <= {bound:g}s: {count} ({share:.0%})")
+                if share >= 1.0:
+                    break
+
+
 @pytest.mark.benchmark(group="serve-load")
 def test_serve_load_latency_profile(served, benchmark):
     """Queries/sec and p50/p99 latency at 1/4/16/64 concurrent clients."""
@@ -110,6 +144,8 @@ def test_serve_load_latency_profile(served, benchmark):
         return rows
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    _print_lock_profile(server)
 
     table = ExperimentTable(
         name=f"Serve load at {LOAD_PEERS} peers",

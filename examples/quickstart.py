@@ -24,7 +24,11 @@ Walks the paper's running example end to end:
 8. fault injection: a seeded ``FaultPlan`` partitions the network mid-run;
    queries keep working and come back *marked* — every answer carries a
    ``DegradationReport`` naming the domains that could not be reached, and
-   after the scheduled heal answers are complete again.
+   after the scheduled heal answers are complete again,
+9. observing a run: an opt-in ``Observability`` (metrics registry +
+   structured tracing) is installed on the session; queries then record
+   counters and span trees without changing any answer — the same registry
+   the serve daemon exposes on ``/metrics`` and ``/trace``.
 
 ``SystemBuilder`` is the supported way to wire the system; constructing
 ``SummaryManagementSystem`` and calling ``attach_databases`` /
@@ -281,6 +285,36 @@ def main() -> None:
     stormy.run_until(700.0)
     healed = stormy.query()
     print(f"  after heal, answer complete   : {healed.degradation.complete}")
+    print()
+
+    # -- observing a run: metrics registry + structured tracing --------------------
+    # Observability is opt-in and read-only over the protocol: installing it
+    # changes no answer, no counter, no RNG draw (the identity suite pins this
+    # byte-for-byte).  detail=True additionally records per-domain routing and
+    # hierarchy-selection spans; metrics are always on once installed.
+    from repro import Observability, span_tree
+
+    obs = Observability.with_ring(detail=True)
+    stormy.install_observability(obs)
+    watched = stormy.query_batch(count=5)
+    stormy.system.counter.to_metrics(obs.metrics)  # bridge message totals
+    metrics = obs.metrics
+    per_domain = metrics.histogram("repro_routing_messages_per_domain")
+    roots = [s for s in obs.ring.spans() if s.name == "query"]
+    children = span_tree(obs.ring.spans())
+    print("observability: metrics + spans recorded, answers untouched")
+    print(f"  queries recorded        : {metrics.value('repro_queries_total'):.0f}"
+          f" (answered {sum(a.results for a in watched)} results)")
+    print(f"  msgs/domain histogram   : n={per_domain.total_count}, "
+          f"mean={per_domain.total_sum / per_domain.total_count:.1f}")
+    print(f"  bridged message series  : "
+          f"{len(metrics.counter_series('repro_messages_total'))} message types")
+    print(f"  span tree of query #1   : "
+          f"{len(children.get(roots[0].span_id, []))} routing spans under "
+          f"'{roots[0].name}'")
+    print(f"  /metrics exposition     : "
+          f"{len(metrics.render_prometheus().splitlines())} lines of "
+          f"Prometheus text format")
 
 
 if __name__ == "__main__":

@@ -112,6 +112,35 @@ True
 'shutting down'
 >>> server.join(timeout=10.0)
 
+Every layer is **observable** through ``repro.obs``: an opt-in, deterministic
+metrics registry plus structured tracing.  ``install_observability`` never
+changes what a session computes — with observability absent the code paths
+are byte-identical — it only records counters, histograms and spans
+(``detail=True`` adds per-domain routing spans on top of the always-on
+metrics):
+
+>>> from repro import Observability
+>>> obs = Observability.with_ring(detail=True)
+>>> watched = (
+...     SystemBuilder()
+...     .topology(peer_count=32, average_degree=4)
+...     .planned_content(hit_rate=0.25)
+...     .seed(7)
+...     .build()
+... )
+>>> watched.install_observability(obs)
+>>> _ = watched.query_batch(count=3)
+>>> obs.metrics.value("repro_queries_total") == 3
+True
+>>> "repro_queries_total 3" in obs.metrics.render_prometheus()
+True
+>>> sum(1 for s in obs.ring.spans() if s.name == "query") == 3
+True
+
+The same registry backs the serve daemon's ``/metrics`` (Prometheus text
+format) and ``/trace`` endpoints, and ``repro metrics`` / ``repro trace``
+scrape them from the command line.
+
 Real-content sessions can additionally ``attach_store(...)``: every
 reconciliation then archives the domain's merged state, and a restarted
 summary peer *cold-starts* — ``cold_start_domain(sp_id)`` installs its global
@@ -198,6 +227,19 @@ from repro.network.faults import (
     PartitionEvent,
 )
 from repro.network.overlay import Overlay
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    Observability,
+    RingBufferSink,
+    Span,
+    TraceSink,
+    Tracer,
+    connected_trace,
+    parse_prometheus,
+    span_tree,
+)
 from repro.network.simulator import Simulator
 from repro.network.topology import TopologyConfig, power_law_topology
 from repro.querying.aggregation import ApproximateAnswer, approximate_answer
@@ -340,6 +382,18 @@ __all__ = [
     "HierarchySource",
     "GcReport",
     "ColdStartRecord",
+    # observability (repro.obs)
+    "Observability",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "Tracer",
+    "Span",
+    "TraceSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "span_tree",
+    "connected_trace",
     # scenarios
     "SimulationScenario",
     "ScenarioRegistry",

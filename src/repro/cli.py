@@ -32,7 +32,17 @@ the terminal without going through pytest:
   content-addressed snapshots of a store; ``--compact`` folds delta
   checkpoint chains into fresh full checkpoints; ``--gc`` reclaims snapshots
   no checkpoint, delta chain or domain head references (``--gc-dry-run``
-  only reports them).
+  only reports them),
+* ``metrics``        — fetch a running daemon's ``/metrics`` page
+  (``python -m repro metrics --url http://127.0.0.1:8123``); Prometheus
+  text, or parsed series with ``--json``,
+* ``trace``          — tail a running daemon's trace ring
+  (``python -m repro trace --url http://127.0.0.1:8123 --limit 50``).
+
+Observability: ``serve`` is instrumented by default (disable with
+``--no-obs``); ``run-scenario`` and ``fault-sweep`` accept ``--metrics-out
+PATH`` (Prometheus text artifact) and ``--trace-out PATH`` (JSONL span
+artifact) to record what a run did.
 
 Query batches (``run-scenario``/``load-session`` ``--queries N``) run through
 ``NetworkSession.query_batch`` — the indexed, memoized, shared-work query
@@ -107,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
             "load-session",
             "inspect-store",
             "serve",
+            "metrics",
+            "trace",
         ],
         help="which table/figure to regenerate, or a scenario/store command",
     )
@@ -211,6 +223,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8123,
         help="bind port for serve (default: 8123; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="serve without metrics/tracing (/metrics and /trace return errors)",
+    )
+    parser.add_argument(
+        "--url",
+        help="base URL of a running daemon for the metrics/trace commands "
+        "(default: http://HOST:PORT from --host/--port)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        help="span count for trace: only the newest LIMIT spans are fetched",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write a Prometheus text-format metrics artifact after the run "
+        "(run-scenario / fault-sweep)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        help="record spans to a JSONL trace artifact during the run "
+        "(run-scenario / fault-sweep)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text tables"
@@ -335,10 +372,36 @@ def _session_report_table(
     return table
 
 
+def _observability_from_args(args: argparse.Namespace):
+    """Build the run's instrumentation, or None when no artifact was asked for."""
+    if not (args.metrics_out or args.trace_out):
+        return None
+    from repro.obs import Observability
+
+    if args.trace_out:
+        return Observability.with_jsonl(args.trace_out)
+    return Observability.with_ring()
+
+
+def _write_obs_artifacts(args: argparse.Namespace, obs) -> None:
+    if obs is None:
+        return
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.metrics.render_prometheus())
+        print(f"wrote metrics artifact to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        print(f"wrote trace artifact to {args.trace_out}", file=sys.stderr)
+    obs.close()
+
+
 def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
     scenario = _scenario_from_args(args)
     session = _build_scenario_session(args, scenario)
-    return _session_report_table(
+    obs = _observability_from_args(args)
+    if obs is not None:
+        session.install_observability(obs)
+    table = _session_report_table(
         session,
         name=f"Scenario {args.scenario!r}",
         query_count=args.queries,
@@ -349,6 +412,10 @@ def _run_scenario_table(args: argparse.Namespace) -> ExperimentTable:
             "seed": scenario.seed,
         },
     )
+    if obs is not None:
+        session.system.counter.to_metrics(obs.metrics)
+        _write_obs_artifacts(args, obs)
+    return table
 
 
 def _save_session_table(args: argparse.Namespace) -> ExperimentTable:
@@ -457,17 +524,22 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.store.checkpoint import open_readonly_session
 
     session = open_readonly_session(args.store, name=args.name)
+    kwargs = {}
+    if args.no_obs:
+        kwargs["observability"] = None
     server = SummaryQueryServer(
         (args.host, args.port),
         session,
         checkpoint_name=args.name,
         quiet=False,
         close_session_on_stop=True,
+        **kwargs,
     )
+    endpoints = "" if args.no_obs else "; metrics on /metrics, spans on /trace"
     print(
         f"serving checkpoint {args.name!r} from {args.store} on {server.url} "
         f"({session.overlay.size} peers, {len(session.domains)} domains; "
-        "Ctrl-C or POST /shutdown to stop)"
+        f"Ctrl-C or POST /shutdown to stop{endpoints})"
     )
     try:
         server.serve_forever()
@@ -476,6 +548,57 @@ def _serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         session.close()
+    return 0
+
+
+def _fault_sweep_table(args: argparse.Namespace) -> ExperimentTable:
+    obs = _observability_from_args(args)
+    table = run_fault_sweep(
+        intensities=_parse_alphas(args.intensities, [0.0, 0.05, 0.1, 0.2]),
+        seed=args.seed,
+        observability=obs,
+    )
+    _write_obs_artifacts(args, obs)
+    return table
+
+
+def _daemon_url(args: argparse.Namespace) -> str:
+    return args.url or f"http://{args.host}:{args.port}"
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.registry import parse_prometheus
+    from repro.serve.client import ServeClient
+
+    text = ServeClient(_daemon_url(args)).metrics()
+    if args.json:
+        print(json_module.dumps(parse_prometheus(text), indent=2, sort_keys=True))
+    else:
+        print(text, end="")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.serve.client import ServeClient
+
+    payload = ServeClient(_daemon_url(args)).trace(limit=args.limit)
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        spans = payload["spans"]
+        print(f"{len(spans)} span(s) in ring, {payload['emitted']} emitted total")
+        for span in spans:
+            parent = f" parent={span['parent_id']}" if span.get("parent_id") else ""
+            print(
+                f"  {span['trace_id']} {span['span_id']}{parent} "
+                f"{span['name']} sim={span['start_sim']:.3f}s "
+                f"wall={span['end_wall'] - span['start_wall']:.6f}s "
+                f"attrs={span['attrs']}"
+            )
     return 0
 
 
@@ -499,6 +622,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             return _serve(args)
         except (ConfigurationError, StoreError) as exc:
+            parser.error(str(exc))
+    if args.command in {"metrics", "trace"}:
+        from repro.exceptions import ServeError
+
+        try:
+            return {"metrics": _metrics, "trace": _trace}[args.command](args)
+        except ServeError as exc:
             parser.error(str(exc))
     if args.command == "list-scenarios":
         _emit([_list_scenarios_table()], args.json)
@@ -565,14 +695,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache=cache,
             )
         ],
-        "fault-sweep": lambda: [
-            run_fault_sweep(
-                intensities=_parse_alphas(
-                    args.intensities, [0.0, 0.05, 0.1, 0.2]
-                ),
-                seed=args.seed,
-            )
-        ],
+        "fault-sweep": lambda: [_fault_sweep_table(args)],
     }
 
     if args.command == "all":

@@ -18,7 +18,20 @@ from __future__ import annotations
 import random
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
 
 from repro.core.config import ProtocolConfig
 from repro.core.construction import ConstructionReport, DomainBuilder
@@ -159,6 +172,9 @@ class SummaryManagementSystem:
         # The fault layer is opt-in: None means every protocol path runs its
         # historical, infallible-network code byte for byte.
         self._faults: Optional[FaultInjector] = None
+        # Observability is equally opt-in: None keeps every hot path a single
+        # pointer test away from the uninstrumented build.
+        self._obs: Optional["Observability"] = None
 
     # -- accessors ---------------------------------------------------------------------------
 
@@ -265,6 +281,8 @@ class SummaryManagementSystem:
             service = LocalSummaryService(
                 peer_id, self._background, database=database
             )
+            if self._obs is not None:
+                service.observability = self._obs
             if rebuild_summaries:
                 service.rebuild_from_database()
             self._services[peer_id] = service
@@ -312,8 +330,10 @@ class SummaryManagementSystem:
         from repro.store.snapshots import DomainHeadArchive, SnapshotStore
 
         backend = open_store(target)
+        snapshots = SnapshotStore(backend)
+        snapshots.observability = self._obs
         self._maintenance.attach_store(
-            SnapshotStore(backend),
+            snapshots,
             DomainHeadArchive(backend),
             background=self._background,
         )
@@ -412,6 +432,30 @@ class SummaryManagementSystem:
         if self._faults is None:
             self._faults = FaultInjector(FaultPlan())
         return self._faults
+
+    # -- observability -------------------------------------------------------------------------
+
+    @property
+    def observability(self) -> Optional["Observability"]:
+        """The installed observability hook, or None (uninstrumented run)."""
+        return self._obs
+
+    def install_observability(self, obs: Optional["Observability"]) -> None:
+        """Install (or remove, with ``None``) the metrics+trace hook.
+
+        Recording is strictly read-only with respect to protocol state: it
+        draws no randomness, sends no messages, and its span ids come from
+        counters, so an instrumented run stays byte-identical in answers,
+        message counters and RNG state to an uninstrumented one.
+        """
+        self._obs = obs
+        self._router.observability = obs
+        for service in self._services.values():
+            service.observability = obs
+        if self._maintenance._snapshots is not None:  # noqa: SLF001
+            self._maintenance._snapshots.observability = obs  # noqa: SLF001
+        if obs is not None:
+            obs.bind_sim_clock(lambda: self._simulator.now)
 
     # -- construction --------------------------------------------------------------------------
 
@@ -795,7 +839,18 @@ class SummaryManagementSystem:
         sp_id = self._assignment.get(peer_id)
         if sp_id is None or sp_id not in self._domains:
             return
+        obs = self._obs
+        if obs is None:
+            self._push_modification(peer_id, sp_id, now)
+            return
+        obs.inc("repro_modifications_total")
+        with obs.span("modification", {"peer": peer_id, "summary_peer": sp_id}):
+            self._push_modification(peer_id, sp_id, now)
+
+    def _push_modification(self, peer_id: str, sp_id: str, now: float) -> None:
+        """Deliver one modification's delta push (possibly through faults)."""
         domain = self._domains[sp_id]
+        obs = self._obs
         faults = self._faults
         if faults is not None and faults.disrupts_link(peer_id, sp_id):
             # The push can fail: retry with exponential backoff, bounded by
@@ -813,16 +868,28 @@ class SummaryManagementSystem:
                     "link loss" if faults.reachable(peer_id, sp_id) else "partitioned"
                 )
                 self._counter.record_dropped(reason, lost)
+                if obs is not None:
+                    obs.inc("repro_fault_dropped_total", lost, reason=reason)
             if retries:
                 self._counter.record_retry(retries)
-                faults.stats.backoff_seconds += backoff_total(
+                backoff = backoff_total(
                     self._config.retry_backoff_seconds,
                     self._config.retry_backoff_factor,
                     retries,
                 )
+                faults.stats.backoff_seconds += backoff
+                if obs is not None:
+                    obs.inc("repro_push_retries_total", retries)
+                    obs.inc("repro_push_backoff_seconds_total", backoff)
+            if obs is not None:
+                obs.observe("repro_push_retries_per_delta", retries)
             if not delivered:
                 faults.stats.failed_pushes += 1
+                if obs is not None:
+                    obs.inc("repro_push_failed_total")
                 return
+        elif obs is not None:
+            obs.observe("repro_push_retries_per_delta", 0)
         due = self._maintenance.push_stale(domain, peer_id, now=now)
         if due:
             self._run_reconciliation(sp_id)
@@ -831,6 +898,19 @@ class SummaryManagementSystem:
         domain = self._domains.get(sp_id)
         if domain is None:
             return
+        obs = self._obs
+        if obs is None:
+            self._reconcile_domain(sp_id, domain)
+            return
+        obs.inc("repro_reconciliations_total")
+        with obs.span(
+            "reconciliation",
+            {"summary_peer": sp_id, "partners": len(domain.partner_ids)},
+        ):
+            self._reconcile_domain(sp_id, domain)
+
+    def _reconcile_domain(self, sp_id: str, domain: Domain) -> None:
+        obs = self._obs
         # A partner takes part in the reconciliation only if it is reachable
         # and still belongs to this domain (it may have re-joined elsewhere
         # since its departure; its stale entry is then dropped here).
@@ -849,6 +929,8 @@ class SummaryManagementSystem:
             if cut:
                 online -= cut
                 self._counter.record_dropped("partitioned", len(cut))
+                if obs is not None:
+                    obs.inc("repro_fault_dropped_total", len(cut), reason="partitioned")
         missed_ring: Dict[str, float] = {}
         if faults is not None and faults.lossy and online:
             # Each ring hop can be lost and is retried with backoff; a partner
@@ -871,6 +953,10 @@ class SummaryManagementSystem:
                     MessageType.RECONCILIATION, lost_hops
                 )
                 self._counter.record_dropped("link loss", lost_hops)
+                if obs is not None:
+                    obs.inc(
+                        "repro_fault_dropped_total", lost_hops, reason="link loss"
+                    )
             if retransmissions:
                 self._counter.record_retry(retransmissions)
                 faults.stats.backoff_seconds += backoff_total(
@@ -878,6 +964,8 @@ class SummaryManagementSystem:
                     self._config.retry_backoff_factor,
                     retransmissions,
                 )
+                if obs is not None:
+                    obs.inc("repro_reconciliation_retries_total", retransmissions)
             online = surviving
         local = self.local_summaries() if self._services else None
         now = self._simulator.now
@@ -972,6 +1060,49 @@ class SummaryManagementSystem:
         elif query_id is None:
             query_id = self.next_query_id()
 
+        obs = self._obs
+        if obs is None:
+            return self._route_query(
+                originator, query_id, proposition, policy, required_results, max_domains
+            )
+        obs.inc("repro_queries_total")
+        with obs.span("query", {"query_id": query_id, "originator": originator}) as span:
+            result = self._route_query(
+                originator, query_id, proposition, policy, required_results, max_domains
+            )
+            span.attrs.update(
+                domains_visited=result.domains_visited,
+                messages=result.total_messages,
+                results=result.results,
+            )
+        obs.observe("repro_query_domains_visited", result.domains_visited)
+        obs.inc("repro_query_messages_total", result.total_messages)
+        # Per-domain routing metrics come from the outcomes here, once per
+        # query and one registry round-trip per batch, so the router's inner
+        # loop stays free of registry traffic.
+        if result.domain_outcomes:
+            obs.inc("repro_routing_domains_total", len(result.domain_outcomes))
+            obs.metrics.observe_many(
+                "repro_routing_messages_per_domain",
+                [outcome.messages for outcome in result.domain_outcomes],
+            )
+        if result.flooding_messages:
+            obs.inc("repro_query_flooding_messages_total", result.flooding_messages)
+        if result.unreachable_domains:
+            obs.inc(
+                "repro_query_unreachable_probes_total", len(result.unreachable_domains)
+            )
+        return result
+
+    def _route_query(
+        self,
+        originator: str,
+        query_id: int,
+        proposition: Optional[Proposition],
+        policy: RoutingPolicy,
+        required_results: Optional[int],
+        max_domains: Optional[int],
+    ) -> QueryRoutingResult:
         result = QueryRoutingResult(
             query_id=query_id,
             originator=originator,
@@ -1015,6 +1146,10 @@ class SummaryManagementSystem:
                 )
                 result.unreachable_probe_messages += attempts
                 result.unreachable_domains.append(domain.summary_peer_id)
+                if self._obs is not None:
+                    self._obs.inc(
+                        "repro_fault_dropped_total", attempts, reason="partitioned"
+                    )
                 continue
             visited += 1
             if previous is not None and previous_outcome is not None:

@@ -170,6 +170,9 @@ class QueryRouter:
         #: version) so any overlay or partner-set mutation invalidates.
         self.flooding_cache_enabled = True
         self._flood_cache: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+        #: Metrics+trace hook (installed by the owning system); None keeps
+        #: routing on the uninstrumented path.
+        self.observability = None
 
     @property
     def counter(self) -> MessageCounter:
@@ -207,6 +210,55 @@ class QueryRouter:
         responds and becomes a false positive.  Partition-separated partners
         are cut deterministically without consuming randomness.
         """
+        obs = self.observability
+        # Per-domain metrics are recorded at the query level (from the domain
+        # outcomes) so this inner loop stays free of registry traffic; only
+        # detail-mode tracing pays a span here.
+        if obs is None or not obs.detail:
+            return self._route_in_domain(
+                query_id,
+                domain,
+                content,
+                proposition,
+                policy,
+                online_peers,
+                charge_summary_peer_hop,
+                described_partners,
+                faults,
+                max_retries,
+            )
+        with obs.span(
+            "route-domain", {"domain": domain.summary_peer_id, "query_id": query_id}
+        ) as span:
+            outcome = self._route_in_domain(
+                query_id,
+                domain,
+                content,
+                proposition,
+                policy,
+                online_peers,
+                charge_summary_peer_hop,
+                described_partners,
+                faults,
+                max_retries,
+            )
+            span.attrs.update(messages=outcome.messages, results=outcome.results)
+        return outcome
+
+    def _route_in_domain(
+        self,
+        query_id: int,
+        domain: Domain,
+        content: ContentModel,
+        proposition: Optional[Proposition],
+        policy: RoutingPolicy,
+        online_peers: Optional[Set[str]],
+        charge_summary_peer_hop: bool,
+        described_partners: Optional[Set[str]],
+        faults: Optional[object],
+        max_retries: int,
+    ) -> DomainQueryOutcome:
+        obs = self.observability
         outcome = DomainQueryOutcome(domain_id=domain.summary_peer_id)
 
         if charge_summary_peer_hop:
@@ -217,9 +269,19 @@ class QueryRouter:
 
         partners = set(domain.partner_ids)
         scope = partners if described_partners is None else (partners & described_partners)
-        relevant = content.relevant_partners(
-            query_id, scope, domain.global_summary, proposition
-        )
+        if obs is None or not obs.detail:
+            relevant = content.relevant_partners(
+                query_id, scope, domain.global_summary, proposition
+            )
+        else:
+            with obs.span(
+                "hierarchy-selection",
+                {"domain": domain.summary_peer_id, "scope": len(scope)},
+            ) as selection:
+                relevant = content.relevant_partners(
+                    query_id, scope, domain.global_summary, proposition
+                )
+                selection.attrs["relevant"] = len(relevant)
         outcome.relevant_peers = set(relevant)
 
         contacted = self._routing_set(domain, relevant, policy)
@@ -242,6 +304,10 @@ class QueryRouter:
                 if cut:
                     reachable -= cut
                     self._counter.record_dropped("partitioned", len(cut))
+                    if obs is not None:
+                        obs.inc(
+                            "repro_fault_dropped_total", len(cut), reason="partitioned"
+                        )
             if faults.lossy and reachable:
                 lost: Set[str] = set()
                 retransmissions = 0
@@ -259,8 +325,14 @@ class QueryRouter:
                     self._counter.record_type(MessageType.QUERY, retransmissions)
                     self._counter.record_retry(retransmissions)
                     outcome.messages += retransmissions
+                    if obs is not None:
+                        obs.inc("repro_query_retries_total", retransmissions)
                 if dropped:
                     self._counter.record_dropped("link loss", dropped)
+                    if obs is not None:
+                        obs.inc(
+                            "repro_fault_dropped_total", dropped, reason="link loss"
+                        )
                 reachable -= lost
 
         if self.use_set_matching:

@@ -46,6 +46,8 @@ class LocalSummaryService:
         #: merged into the domain's global summary).
         self._published_signature: FrozenSet[Descriptor] = frozenset()
         self._database_version_summarized = 0
+        #: Metrics+trace hook; None keeps the service uninstrumented.
+        self.observability = None
 
     # -- accessors ---------------------------------------------------------------------
 
@@ -60,6 +62,8 @@ class LocalSummaryService:
             summary = self._summary_loader()
             self._summary_loader = None
             self._summary = summary
+            if self.observability is not None:
+                self.observability.inc("repro_service_lazy_materializations_total")
             # A lazily restored service learns its clustering setup from the
             # rehydrated hierarchy instead of a payload peek at open time.
             if self._attributes is None:
@@ -123,6 +127,9 @@ class LocalSummaryService:
                 self._summary.add_record(record.as_dict())
                 processed += 1
         self._database_version_summarized = self._database.version()
+        if self.observability is not None:
+            self.observability.inc("repro_service_rebuilds_total")
+            self.observability.inc("repro_service_records_summarized_total", processed)
         return processed
 
     def add_record(self, record: Mapping[str, object]) -> int:

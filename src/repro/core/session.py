@@ -32,6 +32,7 @@ the CLI all construct networks through this module.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -50,6 +51,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
     from repro.store.backend import StoreBackend
     from repro.store.lazy import HierarchySource
 
@@ -266,6 +268,7 @@ class SystemBuilder:
         self._churn: Optional[_ChurnPlan] = None
         self._modifications: Optional[_ModificationPlan] = None
         self._fault_plan: Optional[FaultPlan] = None
+        self._observability: Optional["Observability"] = None
 
     # -- declarative configuration -----------------------------------------------------
 
@@ -413,6 +416,37 @@ class SystemBuilder:
         self._seed = seed
         return self
 
+    def observability(
+        self,
+        obs: Optional["Observability"] = None,
+        *,
+        trace_path: Optional[str] = None,
+        ring_capacity: int = 2048,
+    ) -> "SystemBuilder":
+        """Enable metrics + tracing on the built session.
+
+        Pass an :class:`~repro.obs.Observability` to share one hook across
+        sessions, or ``trace_path=...`` to stream spans to a JSONL file;
+        the default keeps spans in an in-memory ring of ``ring_capacity``.
+        Recording never draws randomness or sends messages, so an observed
+        session's answers, counters and RNG state match an unobserved one.
+        """
+        from repro.obs import Observability
+
+        if obs is not None and trace_path is not None:
+            raise ConfigurationError(
+                "observability takes either an Observability or trace_path, "
+                "not both"
+            )
+        if obs is None:
+            obs = (
+                Observability.with_jsonl(trace_path)
+                if trace_path is not None
+                else Observability.with_ring(ring_capacity)
+            )
+        self._observability = obs
+        return self
+
     # -- validation -------------------------------------------------------------------
 
     def _validate(self) -> None:
@@ -521,6 +555,10 @@ class SystemBuilder:
         system = SummaryManagementSystem(
             overlay, config=config, background=self._background, seed=self._seed
         )
+        if self._observability is not None:
+            # Installed before construction so domain building, churn and the
+            # whole maintenance lifecycle are traced from the first event.
+            system.install_observability(self._observability)
         if self._databases is not None:
             system.attach_databases(
                 self._databases, rebuild_summaries=self._rebuild_summaries
@@ -612,6 +650,20 @@ class NetworkSession:
     def horizon(self) -> Optional[float]:
         """End of the scheduled churn/modification window, if any."""
         return self._horizon
+
+    @property
+    def observability(self) -> Optional["Observability"]:
+        """The installed metrics+trace hook, or None (uninstrumented)."""
+        return self._system.observability
+
+    def install_observability(self, obs: Optional["Observability"]) -> None:
+        """Install (or remove, with ``None``) the metrics+trace hook.
+
+        Safe at any point of a session's life — recording reads protocol
+        state without mutating it, so installation never changes answers,
+        counters or RNG state.
+        """
+        self._system.install_observability(obs)
 
     @property
     def now(self) -> float:
@@ -1031,6 +1083,12 @@ class ReadOnlyNetworkSession(NetworkSession):
         """The lazy loader (fetch/hit counters), when opened lazily."""
         return self._hierarchy_source
 
+    def install_observability(self, obs: Optional["Observability"]) -> None:
+        """Install the hook on the system *and* the lazy hierarchy loader."""
+        super().install_observability(obs)
+        if self._hierarchy_source is not None:
+            self._hierarchy_source.install_observability(obs)
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -1055,13 +1113,29 @@ class ReadOnlyNetworkSession(NetworkSession):
 
     @contextmanager
     def _frozen(self) -> Iterator[None]:
-        """Serialize a request and roll back its protocol bookkeeping."""
+        """Serialize a request and roll back its protocol bookkeeping.
+
+        With observability installed, each *outermost* request records how
+        long it waited for the session lock and how long it held it — the
+        two histograms behind the serve-lock saturation diagnosis.  The
+        metrics registry deliberately lives outside the volatile-state
+        rollback: accounting survives the rollback of the request it
+        measured.
+        """
+        obs = self._system.observability
+        waited_from = time.perf_counter() if obs is not None else 0.0
         with self._lock:
+            acquired_at = time.perf_counter() if obs is not None else 0.0
             if self._closed:
                 raise ReadOnlySessionError("this read-only session is closed")
             self._frozen_depth += 1
-            if self._frozen_depth == 1:
+            outermost = self._frozen_depth == 1
+            if outermost:
                 self._volatile = self._capture_volatile()
+                if obs is not None:
+                    obs.observe(
+                        "repro_session_lock_wait_seconds", acquired_at - waited_from
+                    )
             try:
                 yield
             finally:
@@ -1070,6 +1144,11 @@ class ReadOnlyNetworkSession(NetworkSession):
                     assert self._volatile is not None
                     self._restore_volatile(self._volatile)
                     self._volatile = None
+                if outermost and obs is not None:
+                    obs.observe(
+                        "repro_session_lock_hold_seconds",
+                        time.perf_counter() - acquired_at,
+                    )
 
     def _capture_volatile(self) -> Dict[str, Any]:
         system = self._system

@@ -62,8 +62,16 @@ def run_fault_sweep(
     duration_seconds: float = 2 * 3600.0,
     query_count: int = 30,
     seed: int = 0,
+    observability=None,
 ) -> ExperimentTable:
-    """Run the sweep: one full adversity scenario per intensity."""
+    """Run the sweep: one full adversity scenario per intensity.
+
+    With ``observability`` the sweep is instrumented: every per-intensity
+    session routes its spans and metrics into the given
+    :class:`~repro.obs.Observability`, and each session's message counter is
+    bridged into the registry when its column completes, so the artifact
+    aggregates the whole sweep.
+    """
     intensities = list(intensities or DEFAULT_INTENSITIES)
     table = ExperimentTable(
         name="Fault sweep — answer quality and overhead vs. fault intensity",
@@ -94,6 +102,8 @@ def run_fault_sweep(
             fault_plan=_plan_for_intensity(intensity, duration_seconds, seed + 1),
         )
         session = scenario.apply_dynamics(scenario.builder()).build()
+        if observability is not None:
+            session.install_observability(observability)
         # Query mid-window so the partition (when there is one) is open.
         session.run_until(duration_seconds * 0.4)
         answers = session.query_batch(count=query_count)
@@ -123,6 +133,8 @@ def run_fault_sweep(
             dropped_messages=counter.dropped_total,
             retries=counter.retry_total,
         )
+        if observability is not None:
+            counter.to_metrics(observability.metrics)
     return table
 
 

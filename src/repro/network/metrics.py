@@ -96,6 +96,32 @@ class MessageCounter:
         self._duplicates = 0
         self._retries = 0
 
+    def to_metrics(self, registry, prefix: str = "repro_messages") -> None:
+        """Bridge the current totals into a :class:`repro.obs.MetricsRegistry`.
+
+        Adds this counter's totals to the registry's series — per-type counts
+        under ``<prefix>_total{type=...}``, then bytes, drops (by reason),
+        duplicates and retries.  Bridge once per counter lifetime (or after a
+        :meth:`reset`): the registry accumulates.  Reading the counter this
+        way mutates nothing here — :meth:`state_payload` is unchanged.
+        """
+        for message_type in sorted(self._by_type, key=lambda mt: mt.value):
+            registry.inc(
+                f"{prefix}_total",
+                self._by_type[message_type],
+                type=message_type.value,
+            )
+        if self._bytes:
+            registry.inc(f"{prefix}_bytes_total", self._bytes)
+        for reason in sorted(self._dropped):
+            registry.inc(
+                f"{prefix}_dropped_total", self._dropped[reason], reason=reason
+            )
+        if self._duplicates:
+            registry.inc(f"{prefix}_duplicates_total", self._duplicates)
+        if self._retries:
+            registry.inc(f"{prefix}_retries_total", self._retries)
+
     # -- checkpoint state ---------------------------------------------------------
 
     def state_payload(self) -> Dict[str, object]:

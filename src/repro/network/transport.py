@@ -61,6 +61,8 @@ class MessageBus:
         # consulted while faults are installed, so the zero-fault bus behaves
         # exactly as before.
         self._seen = ExpiringSet(ttl_seconds=duplicate_ttl_seconds)
+        #: Metrics+trace hook; None keeps every send on the uninstrumented path.
+        self.observability = None
 
     # -- accessors -----------------------------------------------------------------
 
@@ -122,6 +124,8 @@ class MessageBus:
         """
         sent_at = self._simulator.now
         self._counter.record(message)
+        if self.observability is not None:
+            self.observability.inc("repro_bus_sends_total", type=message.type.value)
         if latency_ms is None:
             latency_ms = self._latency(message.source, message.destination)
         record = DeliveryRecord(message=message, sent_at=sent_at, delivered_at=None)
@@ -184,6 +188,10 @@ class MessageBus:
             self._counter.record_retry()
             self._faults.stats.retries += 1
             self._faults.stats.backoff_seconds += delay
+            if self.observability is not None:
+                self.observability.inc(
+                    "repro_bus_retries_total", type=message.type.value
+                )
             latency = self._latency(message.source, message.destination) + delay * 1000.0
             record = self.send(message, latency_ms=latency)
             delay *= backoff_factor
@@ -264,6 +272,10 @@ class MessageBus:
         record.dropped = True
         record.reason = reason
         self._counter.record_dropped(reason)
+        if self.observability is not None:
+            self.observability.inc("repro_bus_dropped_total", reason=reason)
+            if fault:
+                self.observability.inc("repro_fault_dropped_total", reason=reason)
         if fault and self._faults is not None:
             self._faults.stats.messages_dropped += 1
 

@@ -1,0 +1,313 @@
+"""Structured, span-style tracing for protocol and serve hot paths.
+
+A :class:`Span` is one timed operation: it carries a ``trace_id`` shared by
+every span of one logical request, a ``span_id``, its ``parent_id`` (``None``
+for a root), a name, free-form attributes, and start/end times on *two*
+clocks — the deterministic simulator clock (``start_sim``/``end_sim``) and the
+wall clock (``start_wall``/``end_wall``).  Only the wall-clock fields vary
+between identically-seeded runs; :meth:`Span.deterministic_payload` strips
+them, which is what the trace-determinism property suite compares.
+
+Span and trace ids are **derived from counters, never from randomness or the
+clock**: a tracer mints ``<origin>-t<N>`` / ``<origin>-s<N>`` ids in arrival
+order, so a single-threaded scenario run produces the same span tree every
+time and tracing never perturbs the protocol's seeded RNG streams.
+
+Parenting is implicit per thread: :meth:`Tracer.span` pushes onto a
+thread-local stack, so a query span opened by the serve worker automatically
+becomes the parent of the routing spans the protocol opens underneath it.
+Cross-process traces (``ServeClient`` → daemon) link explicitly: the client
+sends its ``trace_id``/``span_id`` in HTTP headers and the server adopts them
+as the root's ``trace_id``/``parent_id``.
+
+Finished spans are emitted to a :class:`TraceSink`:
+
+* :class:`NullSink` — drop everything (tracing structurally on, output off),
+* :class:`RingBufferSink` — keep the last N spans in memory (the daemon's
+  ``/trace`` tail endpoint reads this),
+* :class:`JsonlSink` — append one JSON object per span to a file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+#: Attribute keys a span payload is ordered by; attrs stay a plain dict.
+_WALL_FIELDS = ("start_wall", "end_wall")
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start_sim: Optional[float] = None
+    end_sim: Optional[float] = None
+    start_wall: float = 0.0
+    end_wall: float = 0.0
+
+    @property
+    def duration_wall(self) -> float:
+        return self.end_wall - self.start_wall
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_sim": self.start_sim,
+            "end_sim": self.end_sim,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+        }
+
+    def deterministic_payload(self) -> Dict[str, Any]:
+        """The payload minus wall-clock fields — identical across same-seed runs."""
+        payload = self.to_payload()
+        for fieldname in _WALL_FIELDS:
+            payload.pop(fieldname)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            start_sim=payload.get("start_sim"),
+            end_sim=payload.get("end_sim"),
+            start_wall=payload.get("start_wall", 0.0),
+            end_wall=payload.get("end_wall", 0.0),
+        )
+
+
+class TraceSink:
+    """Destination for finished spans.  Subclasses override :meth:`emit`."""
+
+    def emit(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        pass
+
+
+class NullSink(TraceSink):
+    """Discard every span."""
+
+    def emit(self, span: Span) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keep the most recent ``capacity`` spans in memory (thread-safe)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._emitted = 0
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._emitted += 1
+
+    @property
+    def emitted(self) -> int:
+        """Total spans ever emitted (including ones the ring has dropped)."""
+        return self._emitted
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def tail(self, limit: Optional[int] = None) -> List[Span]:
+        spans = self.spans()
+        if limit is None or limit >= len(spans):
+            return spans
+        return spans[-limit:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class JsonlSink(TraceSink):
+    """Append one JSON object per finished span to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps(span.to_payload(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    @staticmethod
+    def read(path: str) -> List[Span]:
+        """Load spans back from a JSONL trace file."""
+        spans = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(Span.from_payload(json.loads(line)))
+        return spans
+
+
+class Tracer:
+    """Mints spans with deterministic ids and a per-thread parent stack."""
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        sim_clock: Optional[Callable[[], float]] = None,
+        origin: str = "main",
+    ) -> None:
+        self.sink = sink if sink is not None else RingBufferSink()
+        self.sim_clock = sim_clock
+        self.origin = origin
+        self._lock = threading.Lock()
+        self._next_trace = 0
+        self._next_span = 0
+        self._local = threading.local()
+
+    # -- id minting --------------------------------------------------------------------
+
+    def _mint_trace_id(self) -> str:
+        with self._lock:
+            self._next_trace += 1
+            return f"{self.origin}-t{self._next_trace:06d}"
+
+    def _mint_span_id(self) -> str:
+        with self._lock:
+            self._next_span += 1
+            return f"{self.origin}-s{self._next_span:06d}"
+
+    # -- stack -------------------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle ----------------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> Span:
+        """Open a span; it parents under the thread's current span by default.
+
+        Pass ``trace_id``/``parent_id`` to adopt remote context (a client's
+        ids arriving in HTTP headers) — they win over the implicit stack.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else self._mint_trace_id()
+        if parent_id is None and parent is not None:
+            parent_id = parent.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._mint_span_id(),
+            parent_id=parent_id,
+            name=name,
+            attrs=dict(attrs or {}),
+            start_sim=None if self.sim_clock is None else self.sim_clock(),
+            start_wall=time.time(),
+        )
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """Close ``span``, pop it off the stack, and emit it to the sink."""
+        if attrs:
+            span.attrs.update(attrs)
+        span.end_sim = None if self.sim_clock is None else self.sim_clock()
+        span.end_wall = time.time()
+        stack = self._stack()
+        # Identity, not equality: dataclass __eq__ would compare attr dicts,
+        # and a span must only ever pop itself (and anything left above it).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is span:
+                del stack[index:]
+                break
+        self.sink.emit(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> Iterator[Span]:
+        opened = self.start(name, attrs=attrs, trace_id=trace_id, parent_id=parent_id)
+        try:
+            yield opened
+        finally:
+            self.finish(opened)
+
+
+def span_tree(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
+    """Index spans by ``parent_id`` — a cheap adjacency map for assertions."""
+    tree: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        tree.setdefault(span.parent_id, []).append(span)
+    return tree
+
+
+def connected_trace(spans: List[Span], trace_id: str) -> bool:
+    """True when every span of ``trace_id`` reaches a root via parent links."""
+    members = [s for s in spans if s.trace_id == trace_id]
+    if not members:
+        return False
+    by_id = {s.span_id: s for s in members}
+    for span in members:
+        seen = set()
+        node: Optional[Span] = span
+        while node is not None and node.parent_id is not None:
+            if node.span_id in seen:
+                return False
+            seen.add(node.span_id)
+            node = by_id.get(node.parent_id)
+        # A dangling parent_id is allowed only for the adopted remote root:
+        # its parent lives in another process's sink.
+        if node is None:
+            continue
+    return True

@@ -9,6 +9,12 @@ code can compare a served answer with ``==`` against one computed locally.
 Server-side failures (bad payloads, library errors) surface as
 :class:`~repro.exceptions.ServeError` carrying the server's message and the
 original exception type name.
+
+A client built with a :class:`~repro.obs.trace.Tracer` opens a span around
+every request and ships its trace context in ``X-Repro-Trace-Id`` /
+``X-Repro-Parent-Id`` headers; the server adopts that context, so the
+client-side span and the server-side request span (and everything the
+session does underneath) form one connected trace.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.core.session import QueryAnswer
 from repro.core.protocol import StalenessSnapshot
 from repro.database.query import SelectionQuery
 from repro.exceptions import ServeError
+from repro.obs.trace import Tracer
 from repro.serve import wire
 
 DEFAULT_TIMEOUT = 30.0
@@ -31,18 +38,42 @@ DEFAULT_TIMEOUT = 30.0
 class ServeClient:
     """Talk to one :class:`~repro.serve.server.SummaryQueryServer`."""
 
-    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if tracer is not None and tracer.origin == "main":
+            tracer.origin = "client"
+        self.tracer = tracer
 
     # -- transport ---------------------------------------------------------------------
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        if self.tracer is None:
+            return self._request_inner(method, path, payload, {})
+        with self.tracer.span(f"client {path}", {"method": method}) as span:
+            headers = {
+                "X-Repro-Trace-Id": span.trace_id,
+                "X-Repro-Parent-Id": span.span_id,
+            }
+            return self._request_inner(method, path, payload, headers)
+
+    def _request_inner(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        extra_headers: Dict[str, str],
+    ) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **extra_headers}
         if method == "POST":
             data = json.dumps(payload or {}).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -104,7 +135,30 @@ class ServeClient:
         return self._request("GET", "/health")
 
     def stats(self) -> Dict[str, Any]:
-        return self._request("GET", "/stats")
+        """Server stats; ``lazy`` holds hierarchy-cache hit/fetch/evict counts."""
+        payload = self._request("GET", "/stats")
+        lazy = payload.get("lazy")
+        if isinstance(lazy, dict):
+            # Decode to ints defensively: the wire carries JSON numbers.
+            payload["lazy"] = {key: int(value) for key, value in lazy.items()}
+        return payload
+
+    def metrics(self) -> str:
+        """The server's ``/metrics`` page, raw Prometheus text exposition."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._server_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach query service at {url}: {exc.reason}") from exc
+
+    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Tail of the server's trace ring: ``{"spans": [...], "emitted": N}``."""
+        path = "/trace" if limit is None else f"/trace?limit={int(limit)}"
+        return self._request("GET", path)
 
     def query(
         self,

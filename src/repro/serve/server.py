@@ -9,19 +9,30 @@ to a fresh restore of the checkpoint no matter how many clients hammer it or
 in what order requests land.  Hierarchies are materialized lazily from the
 snapshot store on first touch; ``/stats`` exposes the fetch/hit counters.
 
-Endpoints (all JSON):
+Endpoints (all JSON unless noted):
 
 ========  =============== ====================================================
 method    path            body / answer
 ========  =============== ====================================================
 GET       ``/health``     ``{"status": "ok", "peers": ..., "domains": ...}``
-GET       ``/stats``      request counters + lazy-loading counters
+GET       ``/stats``      request counters + lazy-loading counters + uptime
+GET       ``/metrics``    Prometheus text exposition of the metrics registry
+GET       ``/trace``      tail of the in-memory span ring (``?limit=N``)
 POST      ``/query``      one query -> one encoded ``QueryAnswer``
 POST      ``/query_batch``  ``{"count": N}`` or ``{"queries": [...]}`` ->
                           ``{"answers": [...]}``
 POST      ``/staleness``  ``{"query_id": id}`` or ``{"count": N}``
 POST      ``/shutdown``   acknowledges, then stops the server cleanly
 ========  =============== ====================================================
+
+Observability is on by default (an in-memory span ring plus the metrics
+registry, installed on the shared session): every request runs under a span —
+adopting the client's ``X-Repro-Trace-Id``/``X-Repro-Parent-Id`` headers when
+present, so one trace follows a query from the client process through the
+session lock, per-domain routing and hierarchy selection — and the registry
+accumulates request latencies, lock wait/hold times and every protocol/store
+series.  Pass ``observability=None`` (or ``repro serve --no-obs``) to run the
+daemon uninstrumented.
 
 Library errors surface as ``400`` with ``{"error": ..., "type": ...}``;
 anything unexpected is a ``500``.  Use :func:`start_server` for an in-process
@@ -33,17 +44,23 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.routing import RoutingPolicy
 from repro.core.session import ReadOnlyNetworkSession
 from repro.exceptions import ReproError, ServeError
+from repro.obs import Observability
 from repro.serve import wire
 
 #: Largest request body the daemon accepts (a query batch of thousands of
 #: encoded queries fits comfortably; anything bigger is a client bug).
 MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+#: Sentinel: "no observability argument given" (the default builds a ring).
+_DEFAULT_OBS = object()
 
 
 class SummaryQueryServer(ThreadingHTTPServer):
@@ -59,12 +76,20 @@ class SummaryQueryServer(ThreadingHTTPServer):
         checkpoint_name: str = "session",
         quiet: bool = True,
         close_session_on_stop: bool = False,
+        observability: Any = _DEFAULT_OBS,
     ) -> None:
         super().__init__(address, _RequestHandler)
         self.session = session
         self.checkpoint_name = checkpoint_name
         self.quiet = quiet
         self.close_session_on_stop = close_session_on_stop
+        if observability is _DEFAULT_OBS:
+            observability = Observability.with_ring(detail=True)
+            observability.tracer.origin = "server"
+        self.observability: Optional[Observability] = observability
+        if observability is not None:
+            session.install_observability(observability)
+        self.started_at = time.time()
         self._stats_lock = threading.Lock()
         self._request_counts: Dict[str, int] = {}
         self._queries_answered = 0
@@ -77,6 +102,11 @@ class SummaryQueryServer(ThreadingHTTPServer):
         with self._stats_lock:
             self._request_counts[endpoint] = self._request_counts.get(endpoint, 0) + 1
             self._queries_answered += queries_answered
+        obs = self.observability
+        if obs is not None:
+            obs.inc("repro_serve_requests_total", endpoint=endpoint)
+            if queries_answered:
+                obs.inc("repro_serve_queries_answered_total", queries_answered)
 
     def stats_payload(self) -> Dict[str, Any]:
         session = self.session
@@ -91,6 +121,7 @@ class SummaryQueryServer(ThreadingHTTPServer):
             "domains": len(session.domains),
             "planned": session.planned,
             "lazy": None if source is None else source.stats_payload(),
+            "uptime_seconds": time.time() - self.started_at,
         }
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -171,28 +202,69 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def _dispatch(self, handler) -> None:
+        obs = self.server.observability
+        if obs is None:
+            self._write_outcome(self._execute(handler))
+            return
+        endpoint = urlsplit(self.path).path
+        started = time.perf_counter()
+        # Adopt the client's trace context when it sends one: the request
+        # span (and everything the session opens underneath it) then belongs
+        # to the client's trace, with the client span as its parent.
+        trace_id = self.headers.get("X-Repro-Trace-Id") or None
+        parent_id = self.headers.get("X-Repro-Parent-Id") or None
+        with obs.span(
+            f"serve {endpoint}",
+            {"endpoint": endpoint},
+            trace_id=trace_id,
+            parent_id=parent_id,
+        ):
+            outcome = self._execute(handler)
+        # Observe *before* writing the response: once the body is on the
+        # wire the client may immediately scrape /metrics from another
+        # thread, and this request's latency must already be recorded.
+        obs.observe(
+            "repro_serve_request_seconds",
+            time.perf_counter() - started,
+            endpoint=endpoint,
+        )
+        self._write_outcome(outcome)
+
+    def _execute(self, handler):
+        """Run a handler, mapping failures to error responses.
+
+        Returns the ``(status, payload)`` pair still to be written, or
+        ``None`` when the handler wrote its own response (shutdown must
+        flush the acknowledgement before stopping the server; /metrics
+        writes a non-JSON body).
+        """
         try:
-            result = handler()
+            return handler()
         except ReproError as exc:
-            self._respond(400, {"error": str(exc), "type": type(exc).__name__})
+            return 400, {"error": str(exc), "type": type(exc).__name__}
         except Exception as exc:  # noqa: BLE001 - the daemon must not die
-            self._respond(500, {"error": str(exc), "type": type(exc).__name__})
-        else:
-            # A handler that already wrote its response (shutdown must flush
-            # the acknowledgement before stopping the server) returns None.
-            if result is not None:
-                status, payload = result
-                self._respond(status, payload)
+            return 500, {"error": str(exc), "type": type(exc).__name__}
+
+    def _write_outcome(self, outcome) -> None:
+        if outcome is not None:
+            status, payload = outcome
+            self._respond(status, payload)
 
     # -- HTTP verbs --------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/health":
-            self._dispatch(self._handle_health)
-        elif self.path == "/stats":
-            self._dispatch(self._handle_stats)
-        else:
+        path = urlsplit(self.path).path
+        routes = {
+            "/health": self._handle_health,
+            "/stats": self._handle_stats,
+            "/metrics": self._handle_metrics,
+            "/trace": self._handle_trace,
+        }
+        handler = routes.get(path)
+        if handler is None:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._dispatch(handler)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         routes = {
@@ -224,6 +296,39 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _handle_stats(self) -> Tuple[int, Dict[str, Any]]:
         self.server.record_request("stats")
         return 200, self.server.stats_payload()
+
+    def _handle_metrics(self) -> None:
+        obs = self.server.observability
+        if obs is None:
+            self._respond(404, {"error": "observability is disabled on this server"})
+            return None
+        self.server.record_request("metrics")
+        obs.set_gauge(
+            "repro_serve_uptime_seconds", time.time() - self.server.started_at
+        )
+        body = obs.metrics.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return None
+
+    def _handle_trace(self) -> Tuple[int, Dict[str, Any]]:
+        obs = self.server.observability
+        ring = None if obs is None else obs.ring
+        if ring is None:
+            raise ServeError("this server has no in-memory trace ring")
+        self.server.record_request("trace")
+        query = parse_qs(urlsplit(self.path).query)
+        limit = None
+        if query.get("limit"):
+            limit = int(query["limit"][0])
+        spans = ring.tail(limit) if limit is not None else ring.spans()
+        return 200, {
+            "spans": [span.to_payload() for span in spans],
+            "emitted": ring.emitted,
+        }
 
     @staticmethod
     def _query_options(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -306,12 +411,15 @@ def start_server(
     checkpoint_name: str = "session",
     quiet: bool = True,
     close_session_on_stop: bool = False,
+    observability: Any = _DEFAULT_OBS,
 ) -> SummaryQueryServer:
     """Serve ``session`` on a background thread; returns the running server.
 
     ``port=0`` binds an ephemeral port — read the actual address off
     ``server.url``.  Stop with ``server.stop()`` (or a client-side
     ``/shutdown`` request, which triggers the same clean teardown).
+    ``observability`` defaults to a fresh ring-buffer instance; pass ``None``
+    to serve uninstrumented (``/metrics`` and ``/trace`` then return errors).
     """
     server = SummaryQueryServer(
         (host, port),
@@ -319,5 +427,6 @@ def start_server(
         checkpoint_name=checkpoint_name,
         quiet=quiet,
         close_session_on_stop=close_session_on_stop,
+        observability=observability,
     )
     return server.start_background()

@@ -104,14 +104,17 @@ def snapshot_refcounts(
 
 
 def collect_garbage(
-    target: Union[None, str, StoreBackend], dry_run: bool = False
+    target: Union[None, str, StoreBackend],
+    dry_run: bool = False,
+    observability: Any = None,
 ) -> GcReport:
     """Delete every snapshot unreachable from a checkpoint or domain head.
 
     Anything reachable from a retained checkpoint — including through a delta
     chain — or from a recorded domain head is never touched.  With
     ``dry_run=True`` the report lists what a collection would reclaim without
-    deleting anything.
+    deleting anything.  ``observability`` (a :class:`repro.obs.Observability`)
+    records the collection's counters without changing its outcome.
     """
     backend = open_store(target)
     close_after = owns_backend(target)
@@ -128,6 +131,14 @@ def collect_garbage(
             report.deleted.append(digest)
             if not dry_run:
                 backend.delete(SNAPSHOT_KIND, digest)
+        if observability is not None:
+            observability.inc("repro_store_gc_runs_total")
+            observability.inc("repro_store_gc_scanned_total", report.scanned)
+            if not dry_run and report.deleted:
+                observability.inc("repro_store_gc_removed_total", report.deleted_count)
+                observability.inc(
+                    "repro_store_gc_reclaimed_bytes_total", report.reclaimed_bytes
+                )
         return report
     finally:
         if close_after:

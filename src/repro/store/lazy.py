@@ -56,6 +56,9 @@ class HierarchySource:
         self._lock = threading.Lock()
         self._fetches = 0
         self._hits = 0
+        self._evictions = 0
+        #: Metrics+trace hook; None keeps ``get`` on the uninstrumented path.
+        self.observability = None
 
     # -- observability -----------------------------------------------------
 
@@ -70,6 +73,11 @@ class HierarchySource:
         return self._hits
 
     @property
+    def evictions(self) -> int:
+        """Number of hierarchies the LRU has pushed out to stay bounded."""
+        return self._evictions
+
+    @property
     def cached(self) -> int:
         """Number of hierarchies currently held in the LRU."""
         return len(self._cache)
@@ -82,6 +90,7 @@ class HierarchySource:
         return {
             "fetches": self.fetches,
             "hits": self.hits,
+            "evictions": self.evictions,
             "cached": self.cached,
             "cache_size": self.cache_size,
         }
@@ -90,6 +99,7 @@ class HierarchySource:
 
     def get(self, digest: str) -> "SummaryHierarchy":
         """Return the hierarchy for ``digest``, fetching it on first touch."""
+        obs = self.observability
         with self._lock:
             try:
                 hierarchy = self._cache[digest]
@@ -98,13 +108,25 @@ class HierarchySource:
             else:
                 self._cache.move_to_end(digest)
                 self._hits += 1
+                if obs is not None:
+                    obs.inc("repro_lazy_hits_total")
                 return hierarchy
             hierarchy = self._snapshots.get_hierarchy(digest, self._background)
             self._fetches += 1
+            if obs is not None:
+                obs.inc("repro_lazy_fetches_total")
             self._cache[digest] = hierarchy
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+                self._evictions += 1
+                if obs is not None:
+                    obs.inc("repro_lazy_evictions_total")
             return hierarchy
+
+    def install_observability(self, obs) -> None:
+        """Wire the hook through this source and its snapshot store."""
+        self.observability = obs
+        self._snapshots.observability = obs
 
     def loader(self, digest: str) -> Callable[[], "SummaryHierarchy"]:
         """A zero-argument callable materializing ``digest`` on invocation."""

@@ -35,6 +35,8 @@ class SnapshotStore:
 
     def __init__(self, backend: Union[None, str, StoreBackend] = None) -> None:
         self._backend = open_store(backend)
+        #: Metrics+trace hook; None keeps every operation uninstrumented.
+        self.observability = None
 
     @property
     def backend(self) -> StoreBackend:
@@ -53,6 +55,10 @@ class SnapshotStore:
         digest = content_hash(payload)
         if not self._backend.contains(SNAPSHOT_KIND, digest):
             self._backend.put(SNAPSHOT_KIND, digest, payload)
+            if self.observability is not None:
+                self.observability.inc("repro_store_puts_total", kind=SNAPSHOT_KIND)
+        elif self.observability is not None:
+            self.observability.inc("repro_store_dedup_hits_total", kind=SNAPSHOT_KIND)
         return digest
 
     def put_payload(self, payload: Dict[str, object]) -> str:
@@ -60,6 +66,10 @@ class SnapshotStore:
         digest = content_hash(payload)
         if not self._backend.contains(SNAPSHOT_KIND, digest):
             self._backend.put(SNAPSHOT_KIND, digest, payload)
+            if self.observability is not None:
+                self.observability.inc("repro_store_puts_total", kind=SNAPSHOT_KIND)
+        elif self.observability is not None:
+            self.observability.inc("repro_store_dedup_hits_total", kind=SNAPSHOT_KIND)
         return digest
 
     # -- reading ------------------------------------------------------------------
@@ -75,9 +85,13 @@ class SnapshotStore:
         """
         payload = self._backend.get(SNAPSHOT_KIND, digest)
         hierarchy = hierarchy_from_dict(payload, background)
+        if self.observability is not None:
+            self.observability.inc("repro_store_gets_total", kind=SNAPSHOT_KIND)
         return hierarchy
 
     def get_payload(self, digest: str) -> Dict[str, object]:
+        if self.observability is not None:
+            self.observability.inc("repro_store_gets_total", kind=SNAPSHOT_KIND)
         return self._backend.get(SNAPSHOT_KIND, digest)
 
     def contains(self, digest: str) -> bool:

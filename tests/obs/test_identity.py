@@ -1,0 +1,108 @@
+"""S4: observability must not perturb the simulation.
+
+Two invariants, pinned on a fig4-style benign scenario and the
+``lossy-network`` chaos scenario:
+
+* **Obs-enabled ≡ obs-absent** — a session with full-detail instrumentation
+  installed produces byte-identical answers, message-counter payloads and
+  RNG states to the same build without any observability.  Every
+  instrumentation site is a pointer test plus read-only recording, so this
+  holds exactly, not approximately.
+* **Trace determinism** — two identically-seeded instrumented runs emit
+  identical span trees once wall-clock fields are stripped
+  (``Span.deterministic_payload``).
+"""
+
+import pytest
+
+from repro.obs import Observability, RingBufferSink, Tracer
+from repro.workloads.registry import default_registry
+
+#: (scenario name, peers, horizon): a fig4-style benign run and the chaos run.
+SCENARIOS = [
+    ("table3-default", 48, 1800.0),
+    ("lossy-network", None, None),
+]
+
+
+def _build(name, peers, horizon, observability=None):
+    overrides = {}
+    if peers is not None:
+        overrides["peer_count"] = peers
+    if horizon is not None:
+        overrides["duration_seconds"] = horizon
+    scenario = default_registry().scenario(name, **overrides)
+    session = scenario.apply_dynamics(scenario.builder()).build()
+    if observability is not None:
+        session.install_observability(observability)
+    return session
+
+
+def _run_fingerprint(session, queries=6):
+    session.run_until()
+    answers = session.query_batch(count=queries, required_results=3)
+    fingerprint = {
+        "answers": answers,
+        "counter": session.system.counter.state_payload(),
+        "now": session.now,
+    }
+    content = session.content
+    if content is not None and hasattr(content, "_rng"):
+        fingerprint["content_rng"] = content._rng.getstate()  # noqa: SLF001
+    faults = session.system.faults
+    if faults is not None:
+        fingerprint["faults_rng"] = faults.rng.getstate()
+    return fingerprint
+
+
+@pytest.mark.parametrize("name,peers,horizon", SCENARIOS)
+def test_obs_enabled_run_is_byte_identical(name, peers, horizon):
+    plain = _run_fingerprint(_build(name, peers, horizon))
+
+    obs = Observability.with_ring(capacity=100_000, detail=True)
+    instrumented_session = _build(name, peers, horizon, observability=obs)
+    instrumented = _run_fingerprint(instrumented_session)
+
+    assert instrumented["answers"] == plain["answers"]
+    assert instrumented["counter"] == plain["counter"]
+    assert instrumented["now"] == plain["now"]
+    for key in ("content_rng", "faults_rng"):
+        assert instrumented.get(key) == plain.get(key), f"{key} diverged"
+
+    # The instrumented run must actually have recorded something, or the
+    # comparison above proves nothing.
+    assert obs.metrics.value("repro_queries_total") > 0
+    assert obs.ring.emitted > 0
+
+
+@pytest.mark.parametrize("name,peers,horizon", SCENARIOS)
+def test_trace_is_deterministic_across_same_seed_runs(name, peers, horizon):
+    trees = []
+    for _run in range(2):
+        sink = RingBufferSink(capacity=100_000)
+        obs = Observability(tracer=Tracer(sink=sink), detail=True)
+        session = _build(name, peers, horizon, observability=obs)
+        _run_fingerprint(session)
+        trees.append([span.deterministic_payload() for span in sink.spans()])
+    assert trees[0], "instrumented run emitted no spans"
+    assert trees[0] == trees[1]
+
+
+def test_metrics_are_deterministic_across_same_seed_runs():
+    snapshots = []
+    for _run in range(2):
+        obs = Observability.with_ring(detail=True)
+        session = _build("lossy-network", None, None, observability=obs)
+        _run_fingerprint(session)
+        snapshots.append(obs.metrics.snapshot())
+    assert snapshots[0] == snapshots[1]
+
+
+def test_lossy_network_records_fault_metrics():
+    obs = Observability.with_ring(detail=True)
+    session = _build("lossy-network", None, None, observability=obs)
+    _run_fingerprint(session)
+    dropped = sum(
+        obs.metrics.counter_series("repro_fault_dropped_total").values()
+    )
+    assert dropped > 0, "a 10% lossy network must record dropped messages"

@@ -1,0 +1,134 @@
+"""Serve-layer observability: /metrics, /trace, stats decode, span chain.
+
+Holds the tentpole acceptance assertions: a single served query produces one
+connected span tree from the client span through the server request span to
+the session's routing and hierarchy-selection spans, and ``/metrics`` exposes
+at least 12 distinct series spanning the protocol, store and serve layers.
+"""
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.obs import RingBufferSink, Span, Tracer, connected_trace, span_tree
+from repro.obs.registry import parse_prometheus
+from repro.serve import ServeClient, start_server
+from repro.store.checkpoint import open_readonly_session, save_session
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    scenario = default_registry().scenario(
+        "table3-default", peer_count=32, duration_seconds=300.0
+    )
+    session = scenario.builder().build()
+    path = tmp_path_factory.mktemp("obs-serve") / "obs.sqlite"
+    save_session(session, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def served(store_path):
+    session = open_readonly_session(store_path)
+    server = start_server(session, close_session_on_stop=True)
+    sink = RingBufferSink()
+    client = ServeClient(server.url, tracer=Tracer(sink=sink))
+    yield server, client, sink
+    if not session.closed:
+        server.stop()
+
+
+def test_single_query_produces_connected_span_tree(served):
+    server, client, sink = served
+    client.query(required_results=3)
+
+    client_spans = sink.spans()
+    assert [span.name for span in client_spans] == ["client /query"]
+    trace_id = client_spans[0].trace_id
+
+    server_spans = [
+        Span.from_payload(payload) for payload in client.trace()["spans"]
+    ]
+    spans = client_spans + [s for s in server_spans if s.trace_id == trace_id]
+    names = {span.name for span in spans}
+    # Client → HTTP worker → session query → per-domain routing → selection.
+    assert {"client /query", "serve /query", "query", "route-domain",
+            "hierarchy-selection"} <= names
+    assert connected_trace(spans, trace_id)
+
+    # And the parent chain is the advertised one, not merely connected.
+    by_name = {span.name: span for span in spans}
+    assert by_name["serve /query"].parent_id == by_name["client /query"].span_id
+    assert by_name["query"].parent_id == by_name["serve /query"].span_id
+    tree = span_tree(spans)
+    assert any(
+        s.name == "route-domain" for s in tree.get(by_name["query"].span_id, [])
+    )
+    assert all(
+        any(s.name == "hierarchy-selection" for s in tree.get(rd.span_id, []))
+        for rd in spans
+        if rd.name == "route-domain"
+    )
+
+
+def test_metrics_exposes_all_layers(served):
+    server, client, _sink = served
+    client.query(required_results=3)
+    client.stats()
+
+    parsed = parse_prometheus(client.metrics())
+    names = set(parsed)
+    assert len(names) >= 12, sorted(names)
+    protocol = {"repro_queries_total", "repro_query_messages_total",
+                "repro_routing_domains_total"}
+    store_layer = {"repro_session_lock_wait_seconds_count",
+                   "repro_session_lock_hold_seconds_count"}
+    serve_layer = {"repro_serve_requests_total", "repro_serve_uptime_seconds",
+                   "repro_serve_request_seconds_count"}
+    assert protocol <= names
+    assert store_layer <= names
+    assert serve_layer <= names
+
+
+def test_trace_endpoint_tails_and_limits(served):
+    server, client, _sink = served
+    client.query(required_results=3)
+    full = client.trace()
+    assert full["emitted"] >= len(full["spans"]) > 0
+    limited = client.trace(limit=2)
+    assert len(limited["spans"]) == 2
+    # Serving the first /trace call appended one more span to the ring, so
+    # the limited tail is the full tail shifted by that request's own span.
+    assert limited["spans"][0] == full["spans"][-1]
+    assert limited["spans"][1]["name"] == "serve /trace"
+
+
+def test_stats_decodes_lazy_and_uptime(served):
+    server, client, _sink = served
+    stats = client.stats()
+    assert stats["uptime_seconds"] > 0
+    lazy = stats["lazy"]
+    assert set(lazy) == {"fetches", "hits", "evictions", "cached", "cache_size"}
+    assert all(isinstance(value, int) for value in lazy.values())
+
+
+def test_served_answers_match_untraced_client(served):
+    """Header propagation must not change what the server computes."""
+    server, client, _sink = served
+    plain = ServeClient(server.url)
+    assert client.query(required_results=3) == plain.query(required_results=3)
+
+
+def test_no_obs_server_rejects_observability_endpoints(store_path):
+    session = open_readonly_session(store_path)
+    server = start_server(session, close_session_on_stop=True, observability=None)
+    try:
+        client = ServeClient(server.url)
+        client.query(required_results=3)  # still answers queries
+        with pytest.raises(ServeError, match="disabled"):
+            client.metrics()
+        with pytest.raises(ServeError, match="trace ring"):
+            client.trace()
+    finally:
+        if not session.closed:
+            server.stop()

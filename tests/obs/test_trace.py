@@ -1,0 +1,175 @@
+"""Tracer, sinks, span payloads, implicit parenting, connectivity checks."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    connected_trace,
+    span_tree,
+)
+
+
+def test_span_ids_are_counters_not_randomness():
+    tracer = Tracer(sink=NullSink(), origin="test")
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    sink = RingBufferSink()
+    tracer2 = Tracer(sink=sink, origin="test")
+    with tracer2.span("a"):
+        pass
+    with tracer2.span("b"):
+        pass
+    first, second = sink.spans()
+    assert first.trace_id == "test-t000001"
+    assert first.span_id == "test-s000001"
+    assert second.trace_id == "test-t000002"
+    assert second.span_id == "test-s000002"
+
+
+def test_nested_spans_parent_implicitly():
+    sink = RingBufferSink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert tracer.current_span() is None
+
+    emitted = {span.name: span for span in sink.spans()}
+    assert emitted["inner"].parent_id == emitted["outer"].span_id
+    assert emitted["inner"].trace_id == emitted["outer"].trace_id
+    assert emitted["outer"].parent_id is None
+
+
+def test_sibling_roots_get_distinct_traces():
+    sink = RingBufferSink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    first, second = sink.spans()
+    assert first.trace_id != second.trace_id
+
+
+def test_adopted_remote_context_wins_over_stack():
+    sink = RingBufferSink()
+    tracer = Tracer(sink=sink, origin="server")
+    with tracer.span(
+        "serve /query", trace_id="client-t000001", parent_id="client-s000001"
+    ):
+        with tracer.span("query"):
+            pass
+    query, request = {s.name: s for s in sink.spans()}["query"], None
+    spans = {s.name: s for s in sink.spans()}
+    request = spans["serve /query"]
+    assert request.trace_id == "client-t000001"
+    assert request.parent_id == "client-s000001"
+    assert spans["query"].trace_id == "client-t000001"
+    assert spans["query"].parent_id == request.span_id
+    assert query.span_id.startswith("server-")
+
+
+def test_sim_clock_is_recorded_when_bound():
+    sink = RingBufferSink()
+    tracer = Tracer(sink=sink, sim_clock=lambda: 42.5)
+    with tracer.span("op"):
+        pass
+    span = sink.spans()[0]
+    assert span.start_sim == 42.5 and span.end_sim == 42.5
+    assert span.end_wall >= span.start_wall > 0
+
+
+def test_deterministic_payload_strips_wall_clock():
+    tracer = Tracer(sink=NullSink(), sim_clock=lambda: 1.0)
+    with tracer.span("op", {"k": "v"}) as span:
+        pass
+    payload = span.deterministic_payload()
+    assert "start_wall" not in payload and "end_wall" not in payload
+    full = span.to_payload()
+    assert full["start_wall"] > 0
+    assert Span.from_payload(full) == span
+
+
+def test_ring_buffer_caps_and_counts():
+    sink = RingBufferSink(capacity=3)
+    tracer = Tracer(sink=sink)
+    for index in range(5):
+        with tracer.span(f"op{index}"):
+            pass
+    assert sink.emitted == 5
+    assert [s.name for s in sink.spans()] == ["op2", "op3", "op4"]
+    assert [s.name for s in sink.tail(2)] == ["op3", "op4"]
+    sink.clear()
+    assert sink.spans() == [] and sink.emitted == 5
+
+
+def test_jsonl_sink_roundtrips(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    tracer = Tracer(sink=sink, sim_clock=lambda: 7.0)
+    with tracer.span("outer"):
+        with tracer.span("inner", {"n": 3}):
+            pass
+    sink.close()
+
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    assert len(lines) == 2
+    spans = JsonlSink.read(path)
+    assert {s.name for s in spans} == {"outer", "inner"}
+    inner = next(s for s in spans if s.name == "inner")
+    assert inner.attrs == {"n": 3}
+    assert connected_trace(spans, spans[0].trace_id)
+
+
+def test_span_tree_and_connectivity():
+    sink = RingBufferSink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+        with tracer.span("sibling"):
+            pass
+    spans = sink.spans()
+    root = next(s for s in spans if s.name == "root")
+    tree = span_tree(spans)
+    assert {s.name for s in tree[root.span_id]} == {"child", "sibling"}
+    assert connected_trace(spans, root.trace_id)
+    assert not connected_trace(spans, "no-such-trace")
+
+
+def test_tracing_is_thread_safe_and_stacks_are_per_thread():
+    sink = RingBufferSink(capacity=10000)
+    tracer = Tracer(sink=sink)
+
+    def worker(tag):
+        for index in range(50):
+            with tracer.span(f"{tag}-outer{index}"):
+                with tracer.span(f"{tag}-inner{index}"):
+                    pass
+
+    threads = [
+        threading.Thread(target=worker, args=(f"w{n}",)) for n in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    spans = sink.spans()
+    assert len(spans) == 4 * 50 * 2
+    assert len({s.span_id for s in spans}) == len(spans), "span ids collided"
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            # A child must parent under its own thread's outer span.
+            assert parent.name.split("-")[0] == span.name.split("-")[0]

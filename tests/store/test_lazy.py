@@ -89,6 +89,7 @@ def test_stats_payload_shape(snapshots, numeric_background):
     assert source.stats_payload() == {
         "fetches": 1,
         "hits": 1,
+        "evictions": 0,
         "cached": 1,
         "cache_size": 3,
     }
