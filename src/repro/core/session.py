@@ -52,6 +52,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
+    from repro.runtime import ExecutionBackend, RuntimeSpec
     from repro.store.backend import StoreBackend
     from repro.store.lazy import HierarchySource
 
@@ -269,6 +270,7 @@ class SystemBuilder:
         self._modifications: Optional[_ModificationPlan] = None
         self._fault_plan: Optional[FaultPlan] = None
         self._observability: Optional["Observability"] = None
+        self._runtime: "RuntimeSpec" = None
 
     # -- declarative configuration -----------------------------------------------------
 
@@ -416,6 +418,23 @@ class SystemBuilder:
         self._seed = seed
         return self
 
+    def runtime(self, spec: "RuntimeSpec") -> "SystemBuilder":
+        """Pick the execution backend the built system schedules through.
+
+        ``"simulator"`` (the default) is the deterministic single-threaded
+        drain; ``"concurrent"`` the asyncio backend with per-actor mailboxes
+        and ordered-drain windows.  Pass an
+        :class:`~repro.runtime.ExecutionBackend` instance to tune backend
+        knobs (``io_model``, fan-out limits).  Both backends produce the
+        same answers, counters and RNG states for the same seed; see
+        :mod:`repro.runtime`.
+        """
+        from repro.runtime import create_backend
+
+        # Resolve eagerly so a bad name fails at declaration time, not build.
+        self._runtime = create_backend(spec) if isinstance(spec, str) else spec
+        return self
+
     def observability(
         self,
         obs: Optional["Observability"] = None,
@@ -533,6 +552,7 @@ class SystemBuilder:
         target: Union[None, str, "StoreBackend"],
         name: str = "session",
         background: Optional[BackgroundKnowledge] = None,
+        runtime: "RuntimeSpec" = None,
     ) -> "NetworkSession":
         """Resume a session checkpointed with :meth:`NetworkSession.checkpoint`.
 
@@ -541,11 +561,15 @@ class SystemBuilder:
         continues byte-identically: subsequent ``query()`` routing, staleness
         snapshots and traffic reports match the never-persisted session.
         Real-content checkpoints additionally need the common ``background``
-        knowledge, exactly like the summary wire format.
+        knowledge, exactly like the summary wire format.  ``runtime``
+        overrides the execution backend (default: the one recorded at
+        checkpoint time); both backends continue byte-identically.
         """
         from repro.store.checkpoint import restore_session
 
-        return restore_session(target, name=name, background=background)
+        return restore_session(
+            target, name=name, background=background, runtime=runtime
+        )
 
     def build(self) -> "NetworkSession":
         """Validate the declared configuration and assemble the session."""
@@ -553,7 +577,11 @@ class SystemBuilder:
         overlay = self._resolve_overlay()
         config = self._resolve_config()
         system = SummaryManagementSystem(
-            overlay, config=config, background=self._background, seed=self._seed
+            overlay,
+            config=config,
+            background=self._background,
+            seed=self._seed,
+            runtime=self._runtime,
         )
         if self._observability is not None:
             # Installed before construction so domain building, churn and the
@@ -629,6 +657,11 @@ class NetworkSession:
     @property
     def simulator(self) -> Simulator:
         return self._system.simulator
+
+    @property
+    def runtime(self) -> "ExecutionBackend":
+        """The execution backend driving the session's event schedule."""
+        return self._system.runtime
 
     @property
     def config(self) -> ProtocolConfig:

@@ -1,0 +1,56 @@
+"""The reference backend: the deterministic single-threaded drain, extracted.
+
+:class:`SimulatorBackend` is a behaviour-preserving extraction of the loop
+the protocol engine used to drive directly — :meth:`run` is exactly
+``Simulator.run`` (same event order, same clock advances, same processed
+counts), so a system built on this backend is byte-identical to the pre-
+runtime code: answers, ``MessageCounter`` payloads, simulator clock, content
+and fault RNG states.  The identity suite pins that.
+
+The one addition is the optional ``io_model``: when set, the backend charges
+each event's modelled I/O cost as a *blocking* ``time.sleep`` before
+executing it.  That changes wall-clock only — virtual results are untouched
+— and is what the concurrent backend's overlap is benchmarked against
+(``benchmarks/bench_runtime.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.runtime.base import ExecutionBackend
+
+
+class SimulatorBackend(ExecutionBackend):
+    """One thread, strict ``(time, sequence)`` order; the default runtime."""
+
+    name = "simulator"
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        if self._io_model is None:
+            return self._clock.run(until=until, max_events=max_events)
+        return self._run_with_io(until, max_events)
+
+    def _run_with_io(self, until: Optional[float], max_events: Optional[int]) -> int:
+        """The same drain loop, paying each event's I/O cost serially."""
+        clock = self._clock
+        io_model = self._io_model
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return processed
+            head = clock.peek()
+            if head is None:
+                break
+            if until is not None and head.time > until:
+                break
+            cost = io_model(head.label)
+            if cost and cost > 0.0:
+                time.sleep(cost)
+            if not clock.step():  # pragma: no cover - peek guaranteed a head
+                break
+            processed += 1
+        if until is not None and clock.now < until:
+            clock.advance_to(until)
+        return processed

@@ -105,6 +105,40 @@ class Cell:
         if peer is not None:
             self.peers.add(peer)
 
+    def absorb_batch(
+        self,
+        entries: Iterable[
+            Tuple[Mapping[str, object], float, Mapping[Descriptor, float]]
+        ],
+        peer: Optional[str] = None,
+    ) -> None:
+        """Fold many ``(record, weight, grades)`` occurrences into the cell.
+
+        Byte-identical to calling :meth:`absorb_record` for each entry in
+        order: tuple counts accumulate in the same sequence, grade maxima are
+        taken descriptor-by-descriptor in the same order, and the statistics
+        bundle folds the surviving pairs through
+        :meth:`~repro.saintetiq.stats.StatisticsBundle.add_records`, which
+        preserves the per-attribute accumulation order.  The batch form lets
+        the mapping service update each cell's statistics bookkeeping once per
+        relation instead of once per record.
+        """
+        pairs = []
+        for record, weight, grades in entries:
+            if weight <= 0.0:
+                continue
+            self.tuple_count += weight
+            for descriptor in self.key:
+                grade = grades.get(descriptor, 0.0)
+                previous = self.grades.get(descriptor, 0.0)
+                self.grades[descriptor] = max(previous, grade)
+            pairs.append((record, weight))
+        if not pairs:
+            return
+        self.statistics.add_records(pairs)
+        if peer is not None:
+            self.peers.add(peer)
+
     def merge(self, other: "Cell") -> None:
         """Fold another cell with the same key into this one (in place)."""
         if other.key != self.key:

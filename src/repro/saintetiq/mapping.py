@@ -30,6 +30,7 @@ class MappingService:
         background: BackgroundKnowledge,
         attributes: Optional[Iterable[str]] = None,
         threshold: float = 0.0,
+        batch_absorb: bool = True,
     ) -> None:
         """
         Parameters
@@ -43,6 +44,12 @@ class MappingService:
         threshold:
             Minimum membership grade for a descriptor to take part in the
             mapping (an alpha-cut); 0 keeps every positive grade.
+        batch_absorb:
+            When true (the default), :meth:`map_records` groups the weighted
+            occurrences per cell and folds each cell's statistics in one
+            :meth:`~repro.saintetiq.cell.Cell.absorb_batch` call.  ``False``
+            restores the per-record ``absorb_record`` path; both produce
+            byte-identical cells.
         """
         self._background = background
         selected = list(attributes) if attributes is not None else background.attributes
@@ -55,6 +62,7 @@ class MappingService:
             raise BackgroundKnowledgeError("mapping needs at least one attribute")
         self._attributes = selected
         self._threshold = threshold
+        self._batch_absorb = batch_absorb
 
     @property
     def background(self) -> BackgroundKnowledge:
@@ -130,8 +138,11 @@ class MappingService:
         The batch path hoists the per-attribute partition lookups out of the
         per-record loop and memoizes the fuzzification of repeated attribute
         values — real relations draw from small value domains (ages, BMI
-        classes...), so most fuzzifications are cache hits.  The produced
-        cells are identical to mapping each record individually.
+        classes...), so most fuzzifications are cache hits.  With
+        ``batch_absorb`` (the default) the weighted occurrences are also
+        grouped per cell and folded through :meth:`Cell.absorb_batch`, so each
+        cell's statistics bookkeeping is updated once per relation.  The
+        produced cells are byte-identical to mapping each record individually.
         """
         variables = [
             (attribute, self._background.variable(attribute))
@@ -147,6 +158,11 @@ class MappingService:
             Tuple[int, ...], List[Tuple[CellKey, float, Dict[Descriptor, float]]]
         ] = {}
         cells: Dict[CellKey, Cell] = {}
+        # Per-cell occurrence batches, folded once after the scan; ``None``
+        # selects the legacy per-record absorb path.
+        pending: Optional[
+            Dict[CellKey, List[Tuple[Mapping[str, object], float, Dict[Descriptor, float]]]]
+        ] = {} if self._batch_absorb else None
         for record in records:
             per_attribute: List[List[Tuple[Descriptor, float]]] = []
             all_memoized = True
@@ -187,7 +203,17 @@ class MappingService:
                 if cell is None:
                     cell = Cell(key=key)
                     cells[key] = cell
-                cell.absorb_record(record, weight, grades, peer=peer)
+                if pending is None:
+                    cell.absorb_record(record, weight, grades, peer=peer)
+                else:
+                    bucket = pending.get(key)
+                    if bucket is None:
+                        bucket = []
+                        pending[key] = bucket
+                    bucket.append((record, weight, grades))
+        if pending:
+            for key, entries in pending.items():
+                cells[key].absorb_batch(entries, peer=peer)
         return cells
 
     def grid_size(self) -> int:

@@ -46,7 +46,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.routing import RoutingPolicy
@@ -63,8 +63,77 @@ MAX_REQUEST_BYTES = 8 * 1024 * 1024
 _DEFAULT_OBS = object()
 
 
+class SessionPool:
+    """Round-robin pool of read-only sessions restored from one checkpoint.
+
+    A single :class:`~repro.core.session.ReadOnlyNetworkSession` serializes
+    every request on its internal lock, which caps a multi-client daemon's
+    throughput at one in-flight query.  A pool holds ``N`` independent
+    restores of the *same* checkpoint — all sharing one store backend and
+    one lazy :class:`~repro.store.lazy.HierarchySource` (see
+    :func:`repro.store.checkpoint.open_readonly_session_pool`) — and hands
+    requests out round-robin, so up to ``N`` requests execute their
+    protocol work concurrently.  Every member answers byte-identically (the
+    read-only rollback discipline guarantees it), so which member serves a
+    request is unobservable to clients.
+
+    The first member is the *primary*: it owns the shared backend when the
+    pool was opened from a path, so :meth:`close` releases the others first
+    and the primary last.
+    """
+
+    def __init__(self, sessions: Sequence[ReadOnlyNetworkSession]) -> None:
+        if not sessions:
+            raise ServeError("a session pool needs at least one session")
+        self._sessions = list(sessions)
+        self._lock = threading.Lock()
+        self._next = 0
+        self._dispatched = [0] * len(self._sessions)
+
+    @property
+    def size(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def primary(self) -> ReadOnlyNetworkSession:
+        """The member used for stats/health reads (all members are equal)."""
+        return self._sessions[0]
+
+    @property
+    def sessions(self) -> List[ReadOnlyNetworkSession]:
+        return list(self._sessions)
+
+    def acquire(self) -> Tuple[int, ReadOnlyNetworkSession]:
+        """The next member, round-robin; returns ``(index, session)``."""
+        with self._lock:
+            index = self._next
+            self._next = (index + 1) % len(self._sessions)
+            self._dispatched[index] += 1
+        return index, self._sessions[index]
+
+    def dispatch_counts(self) -> List[int]:
+        """Requests dispatched to each member so far, by pool index."""
+        with self._lock:
+            return list(self._dispatched)
+
+    def install_observability(self, obs: Optional[Observability]) -> None:
+        """Install one shared hook on every member.
+
+        All members feed the same registry, so the pooled daemon's
+        ``repro_session_lock_wait_seconds`` / ``_hold_seconds`` histograms
+        aggregate lock contention across the whole pool.
+        """
+        for session in self._sessions:
+            session.install_observability(obs)
+
+    def close(self) -> None:
+        """Close every member; the backend-owning primary goes last."""
+        for session in reversed(self._sessions):
+            session.close()
+
+
 class SummaryQueryServer(ThreadingHTTPServer):
-    """HTTP daemon over one shared read-only session."""
+    """HTTP daemon over a shared read-only session (or a pool of them)."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -72,14 +141,17 @@ class SummaryQueryServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: Tuple[str, int],
-        session: ReadOnlyNetworkSession,
+        session: Union[ReadOnlyNetworkSession, SessionPool],
         checkpoint_name: str = "session",
         quiet: bool = True,
         close_session_on_stop: bool = False,
         observability: Any = _DEFAULT_OBS,
     ) -> None:
         super().__init__(address, _RequestHandler)
-        self.session = session
+        self.pool = session if isinstance(session, SessionPool) else SessionPool([session])
+        #: The primary member — stats/health reads go here; query-shaped
+        #: requests acquire a member through :meth:`acquire_session` instead.
+        self.session = self.pool.primary
         self.checkpoint_name = checkpoint_name
         self.quiet = quiet
         self.close_session_on_stop = close_session_on_stop
@@ -88,13 +160,22 @@ class SummaryQueryServer(ThreadingHTTPServer):
             observability.tracer.origin = "server"
         self.observability: Optional[Observability] = observability
         if observability is not None:
-            session.install_observability(observability)
+            self.pool.install_observability(observability)
+            observability.set_gauge("repro_serve_pool_size", self.pool.size)
         self.started_at = time.time()
         self._stats_lock = threading.Lock()
         self._request_counts: Dict[str, int] = {}
         self._queries_answered = 0
         self._thread: Optional[threading.Thread] = None
         self._stop_thread: Optional[threading.Thread] = None
+
+    def acquire_session(self) -> ReadOnlyNetworkSession:
+        """The pool member the current request should answer from."""
+        index, session = self.pool.acquire()
+        obs = self.observability
+        if obs is not None and self.pool.size > 1:
+            obs.inc("repro_serve_pool_dispatch_total", member=str(index))
+        return session
 
     # -- bookkeeping -------------------------------------------------------------------
 
@@ -121,6 +202,10 @@ class SummaryQueryServer(ThreadingHTTPServer):
             "domains": len(session.domains),
             "planned": session.planned,
             "lazy": None if source is None else source.stats_payload(),
+            "pool": {
+                "size": self.pool.size,
+                "dispatched": self.pool.dispatch_counts(),
+            },
             "uptime_seconds": time.time() - self.started_at,
         }
 
@@ -156,7 +241,7 @@ class SummaryQueryServer(ThreadingHTTPServer):
             self._thread.join(timeout=10.0)
         self.server_close()
         if self.close_session_on_stop:
-            self.session.close()
+            self.pool.close()
 
     def request_shutdown(self) -> None:
         """Asynchronous shutdown (used by the ``/shutdown`` endpoint)."""
@@ -348,7 +433,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self) -> Tuple[int, Dict[str, Any]]:
         payload = self._read_body()
-        session = self.server.session
+        session = self.server.acquire_session()
         options = self._query_options(payload)
         query = (
             None if payload.get("query") is None else wire.decode_query(payload["query"])
@@ -364,7 +449,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _handle_query_batch(self) -> Tuple[int, Dict[str, Any]]:
         payload = self._read_body()
-        session = self.server.session
+        session = self.server.acquire_session()
         options = self._query_options(payload)
         count = payload.get("count")
         queries: Optional[List[Any]] = None
@@ -382,7 +467,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _handle_staleness(self) -> Tuple[int, Dict[str, Any]]:
         payload = self._read_body()
-        session = self.server.session
+        session = self.server.acquire_session()
         if payload.get("count") is not None:
             snapshots = session.staleness_batch(int(payload["count"]))
             self.server.record_request("staleness")
@@ -405,7 +490,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 
 def start_server(
-    session: ReadOnlyNetworkSession,
+    session: Union[ReadOnlyNetworkSession, SessionPool],
     host: str = "127.0.0.1",
     port: int = 0,
     checkpoint_name: str = "session",
@@ -415,11 +500,13 @@ def start_server(
 ) -> SummaryQueryServer:
     """Serve ``session`` on a background thread; returns the running server.
 
-    ``port=0`` binds an ephemeral port — read the actual address off
-    ``server.url``.  Stop with ``server.stop()`` (or a client-side
-    ``/shutdown`` request, which triggers the same clean teardown).
-    ``observability`` defaults to a fresh ring-buffer instance; pass ``None``
-    to serve uninstrumented (``/metrics`` and ``/trace`` then return errors).
+    ``session`` may be a single read-only session or a :class:`SessionPool`
+    (query-shaped requests then round-robin over the members).  ``port=0``
+    binds an ephemeral port — read the actual address off ``server.url``.
+    Stop with ``server.stop()`` (or a client-side ``/shutdown`` request,
+    which triggers the same clean teardown).  ``observability`` defaults to
+    a fresh ring-buffer instance; pass ``None`` to serve uninstrumented
+    (``/metrics`` and ``/trace`` then return errors).
     """
     server = SummaryQueryServer(
         (host, port),

@@ -53,6 +53,82 @@ def _check_names(kind: str, key: str) -> None:
             )
 
 
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - platform dependent
+        return True  # exists, owned by someone else
+    except OSError:  # pragma: no cover - platform dependent
+        return False
+    return True
+
+
+class _WriteLock:
+    """Sidecar lock file marking the one live writer of an on-disk store.
+
+    Two backends writing the same SQLite file corrupt each other silently
+    (last ``put`` wins, mid-transaction reads see torn state); two JSON
+    directory writers race their atomic renames.  The lock turns that data
+    race into one typed :class:`StoreError` at *open* time: the second
+    exclusive open of a path fails while the first backend is alive.
+
+    The lock records the holder's pid.  A lock whose recorded process no
+    longer exists (a writer that crashed without ``close()``) is considered
+    stale and stolen; an unreadable lock is treated as held, erring on the
+    safe side.
+    """
+
+    def __init__(self, path: Path, store: str) -> None:
+        self._path = path
+        self._store = store
+        self._acquired = False
+
+    def acquire(self) -> None:
+        for attempt in (1, 2):
+            try:
+                handle = os.open(
+                    self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                holder = self._holder_pid()
+                stale = holder is not None and not _pid_alive(holder)
+                if not stale or attempt == 2:
+                    raise StoreError(
+                        f"store {self._store} is already open for write "
+                        f"(lock {self._path} held by pid {holder}): close the "
+                        "other backend first, or open read-only with "
+                        "exclusive=False"
+                    ) from None
+                # The recorded writer is gone (crashed without close()):
+                # steal the stale lock and retry once.
+                try:
+                    os.unlink(self._path)
+                except OSError:  # pragma: no cover - filesystem dependent
+                    pass
+                continue
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(str(os.getpid()))
+            self._acquired = True
+            return
+
+    def _holder_pid(self) -> Optional[int]:
+        try:
+            return int(self._path.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        if not self._acquired:
+            return
+        self._acquired = False
+        try:
+            os.unlink(self._path)
+        except OSError:  # pragma: no cover - filesystem dependent
+            pass
+
+
 class StoreBackend(abc.ABC):
     """The persistence contract: a namespaced JSON document store."""
 
@@ -199,9 +275,16 @@ class InMemoryBackend(StoreBackend):
 
 
 class JsonDirectoryBackend(StoreBackend):
-    """One ``<root>/<kind>/<key>.json`` file per object."""
+    """One ``<root>/<kind>/<key>.json`` file per object.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``exclusive=True`` (the default) takes a ``.write.lock`` sidecar in the
+    root directory; a second exclusive open of the same root then raises
+    :class:`StoreError` while this backend is alive.  Read-only consumers
+    (``open_readonly_session``) open with ``exclusive=False`` and coexist
+    with one writer.
+    """
+
+    def __init__(self, root: Union[str, Path], exclusive: bool = True) -> None:
         super().__init__()
         self._root = Path(root)
         if self._root.exists() and not self._root.is_dir():
@@ -209,10 +292,25 @@ class JsonDirectoryBackend(StoreBackend):
                 f"JSON store root {self._root} exists and is not a directory"
             )
         self._root.mkdir(parents=True, exist_ok=True)
+        self._lock: Optional[_WriteLock] = None
+        if exclusive:
+            self._lock = _WriteLock(self._root / ".write.lock", str(self._root))
+            self._lock.acquire()
 
     @property
     def root(self) -> Path:
         return self._root
+
+    def close(self) -> None:
+        if not self._closed and self._lock is not None:
+            self._lock.release()
+        super().close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _path(self, kind: str, key: str) -> Path:
         _check_names(kind, key)
@@ -296,13 +394,30 @@ class JsonDirectoryBackend(StoreBackend):
 
 
 class SqliteBackend(StoreBackend):
-    """All objects in one SQLite file (table ``objects(kind, key, payload)``)."""
+    """All objects in one SQLite file (table ``objects(kind, key, payload)``).
 
-    def __init__(self, path: Union[str, Path], check_same_thread: bool = True) -> None:
+    ``exclusive=True`` (the default) takes a ``<path>.lock`` sidecar; a
+    second exclusive open of the same file raises :class:`StoreError` while
+    this backend is alive, instead of the two connections corrupting each
+    other's writes.  Read-only consumers open with ``exclusive=False``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        check_same_thread: bool = True,
+        exclusive: bool = True,
+    ) -> None:
         super().__init__()
         self._path = Path(path)
         if self._path.parent and not self._path.parent.exists():
             self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock: Optional[_WriteLock] = None
+        if exclusive:
+            self._lock = _WriteLock(
+                Path(str(self._path) + ".lock"), str(self._path)
+            )
+            self._lock.acquire()
         try:
             # check_same_thread=False lets the read-only serving path touch
             # the connection from worker threads; every such caller must
@@ -311,6 +426,8 @@ class SqliteBackend(StoreBackend):
                 str(self._path), check_same_thread=check_same_thread
             )
         except sqlite3.Error as exc:  # pragma: no cover - filesystem dependent
+            if self._lock is not None:
+                self._lock.release()
             raise StoreError(f"cannot open SQLite store {self._path}: {exc}") from exc
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS objects ("
@@ -394,7 +511,16 @@ class SqliteBackend(StoreBackend):
     def close(self) -> None:
         if not self._closed:
             self._connection.close()
+            if self._lock is not None:
+                self._lock.release()
         super().close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if hasattr(self, "_connection"):
+                self.close()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SqliteBackend({self._path})"
@@ -406,6 +532,7 @@ _SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
 def open_store(
     target: Union[None, str, Path, StoreBackend],
     check_same_thread: bool = True,
+    exclusive: bool = True,
 ) -> StoreBackend:
     """Open (or pass through) a store backend.
 
@@ -416,6 +543,11 @@ def open_store(
     ``check_same_thread=False`` opens a SQLite backend whose connection may be
     used from threads other than the opening one (the caller must serialize
     access); other backends are thread-agnostic and ignore the flag.
+
+    ``exclusive=True`` (the default) claims the path's write lock: a second
+    exclusive open of the same path raises :class:`StoreError` while the
+    first backend is alive.  Pass ``exclusive=False`` for read-only sharing
+    (the read-only serving path does).  In-memory backends ignore the flag.
     """
     if target is None:
         return InMemoryBackend()
@@ -423,8 +555,10 @@ def open_store(
         return target
     path = Path(target)
     if path.suffix.lower() in _SQLITE_SUFFIXES:
-        return SqliteBackend(path, check_same_thread=check_same_thread)
-    return JsonDirectoryBackend(path)
+        return SqliteBackend(
+            path, check_same_thread=check_same_thread, exclusive=exclusive
+        )
+    return JsonDirectoryBackend(path, exclusive=exclusive)
 
 
 def owns_backend(target: Union[None, str, Path, StoreBackend]) -> bool:

@@ -1,0 +1,163 @@
+"""Unit surface of the runtime package: resolution, delivery, knobs, windows."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import (
+    RUNTIME_ENV_VAR,
+    ConcurrentBackend,
+    ExecutionBackend,
+    SimulatorBackend,
+    create_backend,
+)
+
+
+class TestCreateBackend:
+    def test_default_is_simulator(self, monkeypatch):
+        monkeypatch.delenv(RUNTIME_ENV_VAR, raising=False)
+        assert isinstance(create_backend(), SimulatorBackend)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(RUNTIME_ENV_VAR, "concurrent")
+        assert isinstance(create_backend(), ConcurrentBackend)
+        # An explicit spec always wins over the environment.
+        assert isinstance(create_backend("simulator"), SimulatorBackend)
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("simulator", SimulatorBackend),
+            ("sim", SimulatorBackend),
+            ("concurrent", ConcurrentBackend),
+            ("async", ConcurrentBackend),
+            ("ASYNCIO", ConcurrentBackend),
+        ],
+    )
+    def test_names_resolve(self, name, cls):
+        assert isinstance(create_backend(name), cls)
+
+    def test_instance_passes_through(self):
+        backend = ConcurrentBackend(max_concurrency=2)
+        assert create_backend(backend) is backend
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(ConfigurationError, match="unknown runtime"):
+            create_backend("threads")
+
+    def test_bad_env_value_raises_typed_error(self, monkeypatch):
+        monkeypatch.setenv(RUNTIME_ENV_VAR, "warp-drive")
+        with pytest.raises(ConfigurationError, match="unknown runtime"):
+            create_backend()
+
+
+class TestKnobValidation:
+    def test_bad_drain_mode(self):
+        with pytest.raises(ConfigurationError, match="drain"):
+            ConcurrentBackend(drain="racy")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrency": 0},
+            {"mailbox_capacity": 0},
+            {"quantum_seconds": 0.0},
+            {"quantum_seconds": -5.0},
+        ],
+    )
+    def test_bad_numeric_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ConcurrentBackend(**kwargs)
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("cls", [SimulatorBackend, ConcurrentBackend])
+    def test_dedup_key_suppresses_within_ttl(self, cls):
+        backend = cls(duplicate_ttl_seconds=10.0)
+        hits = []
+        first = backend.deliver(1.0, lambda: hits.append("a"), dedup_key="m1")
+        duplicate = backend.deliver(2.0, lambda: hits.append("b"), dedup_key="m1")
+        assert first is not None
+        assert duplicate is None
+        assert backend.suppressed_deliveries == 1
+        backend.run(until=5.0)
+        assert hits == ["a"]
+
+    @pytest.mark.parametrize("cls", [SimulatorBackend, ConcurrentBackend])
+    def test_dedup_expires_on_virtual_time(self, cls):
+        backend = cls(duplicate_ttl_seconds=10.0)
+        backend.deliver(0.5, lambda: None, dedup_key="m1")
+        backend.run(until=30.0)  # the suppression window lapses virtually
+        assert backend.deliver(0.5, lambda: None, dedup_key="m1") is not None
+        assert backend.suppressed_deliveries == 0
+
+    def test_deliveries_without_dedup_key_are_never_suppressed(self):
+        backend = SimulatorBackend()
+        assert backend.deliver(1.0, lambda: None) is not None
+        assert backend.deliver(1.0, lambda: None) is not None
+        assert backend.suppressed_deliveries == 0
+
+
+class TestExecution:
+    def test_simulator_io_model_preserves_virtual_clock(self):
+        ticks = []
+        backend = SimulatorBackend(io_model=lambda label: 0.0001)
+        backend.schedule(1.0, lambda: ticks.append(backend.now), label="t")
+        backend.schedule(2.0, lambda: ticks.append(backend.now), label="t")
+        assert backend.run(until=10.0) == 2
+        assert ticks == [1.0, 2.0]
+        assert backend.now == 10.0
+
+    def test_concurrent_ordered_drain_respects_sequence_order(self):
+        backend = ConcurrentBackend(io_model=lambda label: 0.0001, quantum_seconds=5.0)
+        order = []
+        for index in range(6):
+            backend.deliver(
+                1.0, lambda i=index: order.append(i), label="m", actor=f"p{index % 2}"
+            )
+        backend.run(until=10.0)
+        assert order == list(range(6))
+        assert backend.overlapped_events == 6
+        assert backend.fanout_rounds >= 1
+
+    def test_concurrent_without_io_model_never_spins_a_loop(self):
+        backend = ConcurrentBackend()
+        backend.schedule(1.0, lambda: None)
+        assert backend.run(until=2.0) == 1
+        assert backend.fanout_rounds == 0
+
+    def test_concurrent_max_events_budget_drains_serially(self):
+        backend = ConcurrentBackend(io_model=lambda label: 0.5)
+        for _ in range(3):
+            backend.schedule(1.0, lambda: None)
+        assert backend.run(max_events=2) == 2
+        assert backend.pending_events == 1
+        assert backend.fanout_rounds == 0  # the budgeted path skips fan-out
+
+    def test_concurrent_inside_running_loop_falls_back_inline(self):
+        backend = ConcurrentBackend(io_model=lambda label: 0.5)
+        backend.schedule(1.0, lambda: None)
+
+        async def drive():
+            return backend.run(until=2.0)
+
+        assert asyncio.run(drive()) == 1
+        assert backend.fanout_rounds == 0
+
+    def test_actor_tags_are_pruned_and_cleared(self):
+        backend = ConcurrentBackend(io_model=lambda label: 0.0)
+        for index in range(10):
+            backend.schedule(1.0, lambda: None, actor=f"p{index}")
+        assert len(backend._actors) == 10  # noqa: SLF001
+        backend.reset()
+        assert backend._actors == {}  # noqa: SLF001
+
+    def test_create_rng_streams_are_seed_equal_across_backends(self):
+        sim = SimulatorBackend().create_rng(42)
+        conc = ConcurrentBackend().create_rng(42)
+        assert [sim.random() for _ in range(5)] == [conc.random() for _ in range(5)]
+
+    def test_base_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ExecutionBackend().run()

@@ -1,0 +1,94 @@
+"""Checkpoints travel across runtimes: capture mid-run, resume on either.
+
+A checkpoint taken under one backend must restore and continue byte-identically
+under the other — the runtime is recorded in the payload only when it differs
+from the default, so pre-runtime checkpoints (and all simulator checkpoints)
+keep their exact historical bytes.
+"""
+
+import pytest
+
+from repro.core.session import SystemBuilder
+from repro.runtime import ConcurrentBackend
+from repro.store import InMemoryBackend
+from repro.store.checkpoint import capture_session, restore_session
+from repro.workloads.registry import default_registry
+
+HORIZON = 1800.0
+MIDPOINT = 900.0
+
+
+def _build(runtime="simulator"):
+    # The runtime is always pinned explicitly so these tests mean the same
+    # thing under CI's REPRO_RUNTIME matrix (which flips the *default*).
+    scenario = default_registry().scenario(
+        "table3-default", peer_count=32, duration_seconds=HORIZON
+    )
+    builder = scenario.builder().runtime(runtime)
+    return scenario.apply_dynamics(builder).build()
+
+
+def _finish(session, queries=4):
+    session.run_until(HORIZON)
+    return {
+        "answers": session.query_batch(count=queries, required_results=3),
+        "counter": session.system.counter.state_payload(),
+        "now": session.now,
+    }
+
+
+def _checkpoint_midrun(runtime="simulator"):
+    session = _build(runtime=runtime)
+    session.run_until(MIDPOINT)
+    backend = InMemoryBackend()
+    session.checkpoint(backend, name="mid")
+    return session, backend
+
+
+def test_simulator_checkpoint_resumes_on_both_backends():
+    live, backend = _checkpoint_midrun()
+    reference = _finish(live)
+
+    on_simulator = _finish(restore_session(backend, name="mid"))
+    on_concurrent = _finish(
+        restore_session(
+            backend,
+            name="mid",
+            runtime=ConcurrentBackend(
+                io_model=lambda label: 0.0001 if label == "modification" else 0.0
+            ),
+        )
+    )
+    assert on_simulator == reference
+    assert on_concurrent == reference
+
+
+def test_concurrent_checkpoint_records_and_restores_its_runtime():
+    live, backend = _checkpoint_midrun(runtime="concurrent")
+    assert live.runtime.name == "concurrent"
+    reference = _finish(live)
+
+    resumed = restore_session(backend, name="mid")
+    assert resumed.runtime.name == "concurrent"
+    back_on_simulator = restore_session(backend, name="mid", runtime="simulator")
+    assert back_on_simulator.runtime.name == "simulator"
+
+    assert _finish(resumed) == reference
+    assert _finish(back_on_simulator) == reference
+
+
+def test_simulator_checkpoint_payload_has_no_runtime_key():
+    """Default-backend payloads keep their pre-runtime-layer bytes."""
+    live, _backend = _checkpoint_midrun()
+    payload, _store = capture_session(live)
+    assert "runtime" not in payload
+
+    concurrent_live, _ = _checkpoint_midrun(runtime="concurrent")
+    payload, _store = capture_session(concurrent_live)
+    assert payload["runtime"] == "concurrent"
+
+
+def test_from_checkpoint_accepts_runtime_override():
+    _live, backend = _checkpoint_midrun()
+    restored = SystemBuilder.from_checkpoint(backend, name="mid", runtime="concurrent")
+    assert restored.runtime.name == "concurrent"

@@ -130,6 +130,54 @@ class TestEdgeCaseParity:
                 reopened.get("checkpoint", "k")
         assert not reopened.closed
 
+    def test_second_exclusive_open_raises_typed_error(self, harness, tmp_path):
+        """A concurrent write open fails with StoreError, not sqlite3/OSError."""
+        if not harness.durable:
+            pytest.skip("memory backends have no shared path to contend on")
+        with pytest.raises(StoreError, match="already open for write"):
+            harness._open()
+        # The losing open must not have broken the holder.
+        harness.backend.put("checkpoint", "k", {"v": 1})
+        assert harness.backend.get("checkpoint", "k") == {"v": 1}
+
+    def test_exclusive_reopen_after_close_succeeds(self, harness):
+        if not harness.durable:
+            pytest.skip("memory backends have no shared path to contend on")
+        harness.backend.put("checkpoint", "k", {"v": 1})
+        reopened = harness.reopen()  # closing released the write lock
+        assert reopened.get("checkpoint", "k") == {"v": 1}
+
+    def test_non_exclusive_open_coexists_with_writer(self, harness):
+        if not harness.durable:
+            pytest.skip("memory backends have no shared path to contend on")
+        harness.backend.put("checkpoint", "k", {"v": 1})
+        if harness._param == "json":
+            reader = JsonDirectoryBackend(harness._tmp_path / "store", exclusive=False)
+        else:
+            reader = SqliteBackend(harness._tmp_path / "store.sqlite", exclusive=False)
+        try:
+            assert reader.get("checkpoint", "k") == {"v": 1}
+        finally:
+            reader.close()
+        # Closing the non-exclusive reader must not release the writer's lock.
+        with pytest.raises(StoreError, match="already open for write"):
+            harness._open()
+
+    def test_stale_lock_of_dead_process_is_stolen(self, harness):
+        if not harness.durable:
+            pytest.skip("memory backends have no shared path to contend on")
+        harness.backend.close()
+        if harness._param == "json":
+            lock = harness._tmp_path / "store" / ".write.lock"
+        else:
+            lock = harness._tmp_path / "store.sqlite.lock"
+        # A writer that crashed without close() leaves its lock behind; a pid
+        # that cannot exist marks it dead, so the next open steals it.
+        lock.write_text("999999999")
+        harness.backend = harness._open()
+        harness.backend.put("checkpoint", "k", {"v": 1})
+        assert harness.backend.get("checkpoint", "k") == {"v": 1}
+
     def test_gc_refcount_accounting(self, harness):
         """Identical refcounts and GC outcome on every backend."""
         backend = harness.backend

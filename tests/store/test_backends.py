@@ -153,8 +153,10 @@ class TestAtomicJsonWrites:
 
 class TestDurability:
     def test_json_store_survives_reopen(self, tmp_path):
-        JsonDirectoryBackend(tmp_path / "s").put("checkpoint", "k", {"v": 7})
-        assert JsonDirectoryBackend(tmp_path / "s").get("checkpoint", "k") == {"v": 7}
+        with JsonDirectoryBackend(tmp_path / "s") as store:
+            store.put("checkpoint", "k", {"v": 7})
+        with JsonDirectoryBackend(tmp_path / "s") as store:
+            assert store.get("checkpoint", "k") == {"v": 7}
 
     def test_sqlite_store_survives_reopen(self, tmp_path):
         first = SqliteBackend(tmp_path / "s.sqlite")
