@@ -351,6 +351,51 @@ def main() -> None:
     print(f"  answers identical            : {serial_answers == overlap_answers}")
     print(f"  simulator (serial) wall      : {serial_wall:.3f}s")
     print(f"  concurrent (overlapped) wall : {overlap_wall:.3f}s")
+    print()
+
+    # -- supervised serving: a crash-safe multi-process fleet -----------------------
+    # `repro serve --workers N` forks N worker *processes* (each its own
+    # read-only restore of the checkpoint) behind one front port: the GIL no
+    # longer caps throughput, and a worker crash costs nothing — the
+    # supervisor retries the interrupted request on a live worker (safe:
+    # answers are deterministic), restarts the dead one with capped backoff,
+    # sheds load beyond --max-inflight with 503 + Retry-After, and fails
+    # over-deadline requests typed instead of hanging.  An exact response
+    # cache keyed by (canonical request, checkpoint digest) answers repeats
+    # without touching a worker at all.
+    from repro.serve import ChaosMonkey, Supervisor
+
+    supervisor = Supervisor(
+        str(store_path), name="quickstart", workers=2, background="medical"
+    ).start()
+    fleet = ServeClient(supervisor.url)
+    fleet_answer = fleet.query(query=crisp)
+    again = fleet.query(query=crisp)  # identical request: served from cache
+    health = fleet.health()
+    print(f"supervised serving: {health['workers_live']} worker processes "
+          f"on {supervisor.url}")
+    # `served` came from the single daemon and equalled a fresh local
+    # restore; the fleet must answer identically again.
+    print(f"  fleet answer == local restore : {fleet_answer == served}")
+    print(f"  repeat hit the response cache : {health['cache']['hits'] >= 1} "
+          f"(answers equal: {again == fleet_answer})")
+
+    # Crash-safety, demonstrated: SIGKILL a worker mid-flight.  Completed
+    # answers never change — the supervisor recovers the fleet underneath.
+    killed = ChaosMonkey(supervisor, seed=1).kill_once()
+    survived = fleet.query_batch(count=3)
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        health = fleet.health()
+        if health["workers_live"] == 2 and health["restarts_total"] >= 1:
+            break
+        time.sleep(0.2)
+    print(f"  SIGKILLed worker {killed} mid-run: answers kept flowing "
+          f"({len(survived)} served), fleet back to "
+          f"{health['workers_live']}/2 live after "
+          f"{health['restarts_total']} restart(s)")
+    fleet.shutdown()  # graceful drain: finish in-flight, then stop workers
+    supervisor.join(timeout=30.0)
 
 
 if __name__ == "__main__":

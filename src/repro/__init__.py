@@ -112,6 +112,25 @@ True
 'shutting down'
 >>> server.join(timeout=10.0)
 
+One process is GIL-bound; serving scales past it with a **supervised
+worker fleet**: ``repro serve --store run.sqlite --workers 4`` forks four
+worker processes (each its own read-only restore) behind one front port,
+health-checks them, restarts crashes with capped exponential backoff,
+sheds load beyond ``--max-inflight`` (HTTP 503 + ``Retry-After``),
+fails over-deadline requests typed (HTTP 504), and answers repeated
+requests from an exact response cache keyed by (canonical request,
+checkpoint digest) — provably safe because answers are deterministic.
+A request interrupted by a worker crash is retried on a live worker or
+fails typed; it never returns a wrong or truncated answer:
+
+>>> from repro.serve import ResponseCache, Supervisor
+>>> Supervisor("run.sqlite", workers=4).backoff_delay(3)  # capped 2**n
+0.8
+>>> cache = ResponseCache(capacity=64, checkpoint="digest")
+>>> cache.store("POST", "/query", b'{"count": 1}', 200, "application/json", b"...")
+>>> cache.lookup("POST", "/query", b'{"count":1}')  # canonical: same entry
+(200, 'application/json', b'...')
+
 Every layer is **observable** through ``repro.obs``: an opt-in, deterministic
 metrics registry plus structured tracing.  ``install_observability`` never
 changes what a session computes — with observability absent the code paths

@@ -196,6 +196,38 @@ def build_parser() -> argparse.ArgumentParser:
         "sharing one store and hierarchy cache (default: 1)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serve: supervise WORKERS worker processes behind one front "
+        "port, each with its own read-only restore (default: 1 = serve "
+        "in-process; >1 enables crash-safe multi-process serving with "
+        "deadlines, load shedding and restart-on-crash)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=10_000.0,
+        help="serve --workers: per-request deadline in milliseconds; a "
+        "request over budget fails typed with HTTP 504 (default: 10000)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="serve --workers: bound on concurrently executing requests; "
+        "beyond it requests are shed with HTTP 503 + Retry-After "
+        "(default: 32)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="serve --workers: capacity of the exact response cache keyed "
+        "by (canonical request, checkpoint digest); 0 disables "
+        "(default: 256)",
+    )
+    parser.add_argument(
         "--intensities",
         help="comma-separated fault intensities for fault-sweep "
         "(default: 0,0.05,0.1,0.2)",
@@ -545,6 +577,12 @@ def _serve(args: argparse.Namespace) -> int:
 
     if args.pool < 1:
         raise ConfigurationError(f"--pool needs at least 1 session, got {args.pool}")
+    if args.workers < 1:
+        raise ConfigurationError(
+            f"--workers needs at least 1 process, got {args.workers}"
+        )
+    if args.workers > 1:
+        return _serve_supervised(args)
     if args.pool > 1:
         pool = SessionPool(
             open_readonly_session_pool(args.store, args.pool, name=args.name)
@@ -577,6 +615,37 @@ def _serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         pool.close()
+    return 0
+
+
+def _serve_supervised(args: argparse.Namespace) -> int:
+    from repro.serve.supervisor import Supervisor
+
+    supervisor = Supervisor(
+        args.store,
+        name=args.name,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        cache_size=args.cache_size,
+        quiet=False,
+    )
+    supervisor.start()
+    print(
+        f"supervising {args.workers} workers over checkpoint {args.name!r} "
+        f"from {args.store} on {supervisor.url} "
+        f"(deadline {args.deadline_ms:g}ms, max {args.max_inflight} in flight, "
+        f"cache {args.cache_size}; Ctrl-C or POST /shutdown to stop; "
+        f"fleet metrics on /metrics, liveness on /health)"
+    )
+    try:
+        supervisor.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
     return 0
 
 

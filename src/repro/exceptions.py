@@ -51,3 +51,31 @@ class ReadOnlySessionError(ReproError):
 
 class ServeError(ReproError):
     """A query-service request failed (bad wire payload, server-side error)."""
+
+
+class ServeOverloadError(ServeError):
+    """The service shed the request instead of queueing it unboundedly.
+
+    Raised client-side for an HTTP 503 carrying a ``Retry-After`` header;
+    ``retry_after`` is the server's suggested wait in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServeDeadlineError(ServeError):
+    """The request exceeded its deadline and was abandoned (HTTP 504).
+
+    The answer was never completed, so nothing wrong or truncated was
+    returned — the request simply failed typed.
+    """
+
+
+class WorkerCrashError(ServeError):
+    """The worker answering the request died mid-flight (HTTP 502).
+
+    Answers are deterministic, so the request can safely be retried — this
+    error guarantees no partial or wrong answer was delivered.
+    """

@@ -16,11 +16,19 @@ process.  Three layers:
   ``/query_batch``, ``/staleness``, ``/health``, ``/stats`` and
   ``/shutdown``.
 * :mod:`repro.serve.client` — a small urllib-based client reused by the CLI,
-  the tests and the load benchmark.
+  the tests and the load benchmark, with bounded jittered retry on
+  connection loss and typed overload/deadline/crash errors.
+* :mod:`repro.serve.supervisor` / :mod:`repro.serve.worker` — crash-safe
+  multi-process serving: a supervisor forks N worker processes (each its own
+  read-only restore), fronts them on one port with deadlines, load shedding
+  and an exact response cache, health-checks them and restarts crashes with
+  capped exponential backoff.
+* :mod:`repro.serve.chaos` — a seeded crash-fault harness that SIGKILLs
+  workers mid-request so tests can prove the zero-wrong-answer contract.
 
 Start one from the command line::
 
-    repro serve --store run.sqlite --name session --port 8123
+    repro serve --store run.sqlite --name session --port 8123 --workers 4
 
 or in-process (tests, benchmarks)::
 
@@ -31,8 +39,11 @@ or in-process (tests, benchmarks)::
     client.shutdown(); server.join()
 """
 
+from repro.serve.cache import ResponseCache, checkpoint_digest
+from repro.serve.chaos import ChaosMonkey
 from repro.serve.client import ServeClient
 from repro.serve.server import SummaryQueryServer, start_server
+from repro.serve.supervisor import Supervisor, start_supervisor
 from repro.serve.wire import (
     decode_answer,
     decode_staleness,
@@ -44,6 +55,11 @@ __all__ = [
     "ServeClient",
     "SummaryQueryServer",
     "start_server",
+    "Supervisor",
+    "start_supervisor",
+    "ChaosMonkey",
+    "ResponseCache",
+    "checkpoint_digest",
     "encode_answer",
     "decode_answer",
     "encode_staleness",

@@ -1,0 +1,109 @@
+"""Crash-fault injection for supervised serving.
+
+The protocol-level fault layer (:mod:`repro.protocol.faults`) drops and
+delays *messages*; this module kills *processes*.  :class:`ChaosMonkey`
+SIGKILLs live workers of a :class:`~repro.serve.supervisor.Supervisor` on a
+seeded schedule — mid-request, with no warning, exactly like an OOM kill or
+a hardware fault — so tests can assert the supervised fleet's contract under
+the worst crash mode the operating system offers:
+
+* every request that *completes* returns bytes identical to a fresh local
+  restore of the same checkpoint (zero wrong answers);
+* a request interrupted beyond recovery fails **typed**
+  (:class:`~repro.exceptions.WorkerCrashError` /
+  :class:`~repro.exceptions.ServeOverloadError`), never with a truncated or
+  corrupt body;
+* availability returns within the restart-backoff budget — the supervisor
+  respawns what the monkey kills.
+
+Everything is driven by ``random.Random(seed)``, so a failing schedule
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.serve.supervisor import LIVE, Supervisor
+
+
+class ChaosMonkey:
+    """SIGKILL live workers of a supervisor on a seeded random schedule."""
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        seed: int = 0,
+        min_interval: float = 0.2,
+        max_interval: float = 0.8,
+        max_kills: Optional[int] = None,
+    ) -> None:
+        if min_interval <= 0 or max_interval < min_interval:
+            raise ValueError(
+                f"need 0 < min_interval <= max_interval, got "
+                f"{min_interval!r}..{max_interval!r}"
+            )
+        self.supervisor = supervisor
+        self.rng = random.Random(seed)
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.max_kills = max_kills
+        #: Every kill that happened: {"at": wall-clock, "index": ..., "pid": ...}.
+        self.kills: List[Dict[str, Any]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def kill_once(self) -> Optional[int]:
+        """SIGKILL one randomly chosen live worker *now*.
+
+        Returns the worker's index, or ``None`` when no worker is live (the
+        whole fleet may be mid-restart — the monkey waits its next turn).
+        """
+        live = [h for h in self.supervisor.workers if h.state == LIVE]
+        if not live:
+            return None
+        handle = self.rng.choice(live)
+        process = handle.process
+        if process is None or process.poll() is not None:
+            return None
+        pid = process.pid
+        process.kill()  # SIGKILL on POSIX: no handler runs, no goodbye
+        self.kills.append({"at": time.time(), "index": handle.index, "pid": pid})
+        return handle.index
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            delay = self.rng.uniform(self.min_interval, self.max_interval)
+            if self._stop.wait(delay):
+                return
+            self.kill_once()
+            if self.max_kills is not None and len(self.kills) >= self.max_kills:
+                return
+
+    def start(self) -> "ChaosMonkey":
+        """Run the kill schedule on a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("chaos monkey already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-chaos-monkey", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.max_interval + 5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ChaosMonkey":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = ["ChaosMonkey"]

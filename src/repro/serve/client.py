@@ -8,7 +8,21 @@ code can compare a served answer with ``==`` against one computed locally.
 
 Server-side failures (bad payloads, library errors) surface as
 :class:`~repro.exceptions.ServeError` carrying the server's message and the
-original exception type name.
+original exception type name.  Supervisor responses map to the typed
+subclasses: HTTP 503 raises :class:`~repro.exceptions.ServeOverloadError`
+(with the server's ``Retry-After``), 504 raises
+:class:`~repro.exceptions.ServeDeadlineError`, 502 raises
+:class:`~repro.exceptions.WorkerCrashError`.
+
+Transport-level failures — connection refused while a server restarts,
+connection reset when a worker dies under the request — are retried with
+capped, jittered exponential backoff (``max_retries`` attempts, seeded for
+reproducibility).  Retries are safe because served answers are
+deterministic: the retried request returns the identical bytes or fails
+typed.  ``/shutdown`` is never retried (a reset there usually means the
+shutdown *worked*).  Retries performed are counted on
+``client.retries_total`` and, when a registry is attached, as
+``repro_client_retries_total``.
 
 A client built with a :class:`~repro.obs.trace.Tracer` opens a span around
 every request and ships its trace context in ``X-Repro-Trace-Id`` /
@@ -20,6 +34,8 @@ session does underneath) form one connected trace.
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
@@ -28,11 +44,21 @@ from repro.core.routing import RoutingPolicy
 from repro.core.session import QueryAnswer
 from repro.core.protocol import StalenessSnapshot
 from repro.database.query import SelectionQuery
-from repro.exceptions import ServeError
+from repro.exceptions import (
+    ServeDeadlineError,
+    ServeError,
+    ServeOverloadError,
+    WorkerCrashError,
+)
+from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.serve import wire
 
 DEFAULT_TIMEOUT = 30.0
+
+#: Paths whose requests must never be re-sent: a connection reset during
+#: ``/shutdown`` usually means the shutdown *succeeded*.
+NO_RETRY_PATHS = frozenset({"/shutdown"})
 
 
 class ServeClient:
@@ -43,12 +69,23 @@ class ServeClient:
         base_url: str,
         timeout: float = DEFAULT_TIMEOUT,
         tracer: Optional[Tracer] = None,
+        max_retries: int = 2,
+        retry_backoff_base: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        retry_seed: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         if tracer is not None and tracer.origin == "main":
             tracer.origin = "client"
         self.tracer = tracer
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        self.registry = registry
+        self.retries_total = 0
+        self._rng = random.Random(retry_seed)
 
     # -- transport ---------------------------------------------------------------------
 
@@ -71,20 +108,12 @@ class ServeClient:
         payload: Optional[Dict[str, Any]],
         extra_headers: Dict[str, str],
     ) -> Dict[str, Any]:
-        url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json", **extra_headers}
         if method == "POST":
             data = json.dumps(payload or {}).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as exc:
-            raise self._server_error(exc) from exc
-        except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach query service at {url}: {exc.reason}") from exc
+        body = self._transport(method, path, data, headers)
         try:
             decoded = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -93,17 +122,69 @@ class ServeClient:
             raise ServeError("query service returned a non-object JSON body")
         return decoded
 
+    def _transport(
+        self, method: str, path: str, data: Optional[bytes], headers: Dict[str, str]
+    ) -> bytes:
+        """One HTTP exchange with bounded, jittered retry on connection loss."""
+        url = f"{self.base_url}{path}"
+        retriable = path not in NO_RETRY_PATHS
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                raise self._server_error(exc) from exc
+            except (urllib.error.URLError, ConnectionError) as exc:
+                reason = exc.reason if isinstance(exc, urllib.error.URLError) else exc
+                lost = isinstance(reason, ConnectionError)
+                if not (retriable and lost) or attempt >= self.max_retries:
+                    raise ServeError(
+                        f"cannot reach query service at {url}: {reason}"
+                    ) from exc
+                delay = min(
+                    self.retry_backoff_cap,
+                    self.retry_backoff_base * (2.0 ** attempt),
+                )
+                # Full jitter: uniform in (0, delay] keeps synchronized
+                # clients from re-stampeding a restarting server in lockstep.
+                time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+                attempt += 1
+                self.retries_total += 1
+                if self.registry is not None:
+                    self.registry.inc("repro_client_retries_total", path=path)
+
     @staticmethod
     def _server_error(exc: urllib.error.HTTPError) -> ServeError:
         message = f"query service returned HTTP {exc.code}"
+        detail: Optional[Dict[str, Any]] = None
         try:
-            detail = json.loads(exc.read().decode("utf-8"))
+            parsed = json.loads(exc.read().decode("utf-8"))
+            if isinstance(parsed, dict):
+                detail = parsed
         except Exception:  # noqa: BLE001 - error bodies are best-effort
             detail = None
-        if isinstance(detail, dict) and "error" in detail:
-            kind = detail.get("type")
+        kind = detail.get("type") if detail else None
+        if detail and "error" in detail:
             suffix = f" [{kind}]" if kind else ""
             message = f"{message}: {detail['error']}{suffix}"
+        if exc.code == 503 or kind == "ServeOverloadError":
+            retry_after = 1.0
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            for candidate in ((detail or {}).get("retry_after"), header):
+                try:
+                    retry_after = float(candidate)  # type: ignore[arg-type]
+                    break
+                except (TypeError, ValueError):
+                    continue
+            return ServeOverloadError(message, retry_after=retry_after)
+        if exc.code == 504 or kind == "ServeDeadlineError":
+            return ServeDeadlineError(message)
+        if exc.code == 502 or kind == "WorkerCrashError":
+            return WorkerCrashError(message)
         return ServeError(message)
 
     # -- request helpers ---------------------------------------------------------------
@@ -145,15 +226,7 @@ class ServeClient:
 
     def metrics(self) -> str:
         """The server's ``/metrics`` page, raw Prometheus text exposition."""
-        url = f"{self.base_url}/metrics"
-        request = urllib.request.Request(url, method="GET")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            raise self._server_error(exc) from exc
-        except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach query service at {url}: {exc.reason}") from exc
+        return self._transport("GET", "/metrics", None, {}).decode("utf-8")
 
     def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
         """Tail of the server's trace ring: ``{"spans": [...], "emitted": N}``."""

@@ -43,6 +43,7 @@ command for a long-running one.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -343,6 +344,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             "/health": self._handle_health,
             "/stats": self._handle_stats,
             "/metrics": self._handle_metrics,
+            "/metrics_snapshot": self._handle_metrics_snapshot,
             "/trace": self._handle_trace,
         }
         handler = routes.get(path)
@@ -398,6 +400,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
         return None
+
+    def _handle_metrics_snapshot(self) -> Tuple[int, Dict[str, Any]]:
+        """The registry as a mergeable JSON snapshot.
+
+        This is the multi-process half of the metrics story: a supervisor
+        polls every worker's snapshot and folds them into one registry via
+        :meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`, so the
+        fleet's ``/metrics`` aggregates per-worker counters exactly.
+        """
+        obs = self.server.observability
+        if obs is None:
+            raise ServeError("observability is disabled on this server")
+        self.server.record_request("metrics_snapshot")
+        return 200, {"snapshot": obs.metrics.snapshot(), "pid": os.getpid()}
 
     def _handle_trace(self) -> Tuple[int, Dict[str, Any]]:
         obs = self.server.observability

@@ -1,0 +1,787 @@
+"""Crash-safe serving: a supervised fleet of worker processes, one front port.
+
+The single-process daemon (:mod:`repro.serve.server`) is GIL-bound: pooling
+sessions inside one CPython process measures ~1.0x q/s because protocol work
+is pure Python.  The :class:`Supervisor` takes the step the benchmarks have
+been pointing at: it forks ``N`` **worker processes** (each one
+``python -m repro.serve.worker`` over its own read-only restore of the same
+checkpoint; the store is opened with ``exclusive=False`` throughout, so the
+fleet coexists with at most one writer), and fronts them with a proxy on a
+single port.  Because answers are deterministic by construction — every
+worker rolls its volatile state back after each request — which process
+answers a request is unobservable, and process-level recovery can be
+verified *byte for byte*.
+
+What the front process adds on top of raw forwarding:
+
+* **Supervision** — a health loop polls every worker; a crashed worker
+  (nonzero exit, SIGKILL) or a hung one (missed heartbeats) is restarted
+  with capped exponential backoff.  Restart counts and per-worker liveness
+  are reported on ``/health``.
+* **Deadlines** — every query-shaped request carries a budget
+  (``deadline_ms``, overridable per request via the ``X-Repro-Deadline-Ms``
+  header).  A request that exceeds it fails typed (HTTP 504,
+  :class:`~repro.exceptions.ServeDeadlineError`) instead of hanging.
+* **Load shedding** — at most ``max_inflight`` requests execute at once;
+  beyond that the supervisor answers HTTP 503 with a ``Retry-After`` header
+  (:class:`~repro.exceptions.ServeOverloadError` client-side) instead of
+  queueing unboundedly.
+* **Zero-wrong-answer recovery** — a forward interrupted by a worker crash
+  is transparently retried on another live worker (safe: answers are
+  deterministic); if none is available within the deadline the request fails
+  typed (HTTP 502, :class:`~repro.exceptions.WorkerCrashError`).  A client
+  never sees a wrong or truncated answer, only a success or a typed failure.
+* **Exact response caching** — a :class:`~repro.serve.cache.ResponseCache`
+  keyed by (canonical request, checkpoint digest) sits in front of worker
+  dispatch; hits are provably correct because identical requests against the
+  same checkpoint bytes answer identically.
+* **Merged metrics** — each worker's
+  :class:`~repro.obs.registry.MetricsRegistry` snapshot is polled over
+  ``/metrics_snapshot`` and folded into the supervisor's ``/metrics`` via
+  ``merge_snapshot``, so one Prometheus page aggregates the whole fleet
+  (crashed workers keep their last-polled counters through a retired
+  registry).
+* **Graceful drain** — ``/shutdown`` (or :meth:`Supervisor.stop`) stops
+  admitting new work, lets in-flight requests finish, then shuts workers
+  down cleanly (HTTP shutdown, then SIGTERM, then SIGKILL).
+
+Start one from the command line with ``repro serve --store S --workers 4``
+or in-process for tests::
+
+    sup = Supervisor(store, name="session", workers=2).start()
+    client = ServeClient(sup.url)
+    ...
+    sup.stop()
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.exceptions import ServeError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import ResponseCache, checkpoint_digest
+from repro.serve.server import MAX_REQUEST_BYTES
+from repro.serve.worker import READY_PREFIX
+
+#: Query-shaped endpoints the supervisor proxies to workers (everything else
+#: is answered by the supervisor itself).
+PROXIED_PATHS = frozenset({"/query", "/query_batch", "/staleness"})
+
+#: Worker states as reported on ``/health``.
+STARTING, LIVE, BACKOFF, STOPPED = "starting", "live", "backoff", "stopped"
+
+
+class WorkerHandle:
+    """One supervised worker process and its bookkeeping."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.state = STARTING
+        self.restarts = 0
+        self.heartbeat_misses = 0
+        self.next_restart_at = 0.0
+        self.last_snapshot: Optional[Dict[str, Any]] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.process is None else self.process.pid
+
+    @property
+    def url(self) -> Optional[str]:
+        return None if self.port is None else f"http://127.0.0.1:{self.port}"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "port": self.port,
+            "state": self.state,
+            "restarts": self.restarts,
+            "heartbeat_misses": self.heartbeat_misses,
+        }
+
+
+class Supervisor:
+    """Fork, front, health-check and restart a fleet of serve workers."""
+
+    def __init__(
+        self,
+        store: str,
+        name: str = "session",
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        deadline_ms: float = 10_000.0,
+        max_inflight: int = 32,
+        cache_size: int = 256,
+        background: Optional[str] = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_misses: int = 4,
+        restart_backoff_base: float = 0.1,
+        restart_backoff_cap: float = 5.0,
+        startup_timeout: float = 120.0,
+        drain_timeout: float = 10.0,
+        quiet: bool = True,
+        python: str = sys.executable,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"a supervisor needs at least 1 worker, got {workers}")
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        if deadline_ms <= 0:
+            raise ServeError(f"deadline_ms must be > 0, got {deadline_ms}")
+        self.store = str(store)
+        self.name = name
+        self.host = host
+        self.requested_port = port
+        self.deadline_ms = float(deadline_ms)
+        self.max_inflight = int(max_inflight)
+        self.background = background
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_miss_budget = heartbeat_misses
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_cap = restart_backoff_cap
+        self.startup_timeout = startup_timeout
+        self.drain_timeout = drain_timeout
+        self.quiet = quiet
+        self.python = python
+
+        self.workers: List[WorkerHandle] = [WorkerHandle(i) for i in range(workers)]
+        self.registry = MetricsRegistry()
+        self._retired = MetricsRegistry()  # final counters of dead incarnations
+        self.checkpoint_digest = ""
+        self.cache = ResponseCache(cache_size)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._rr = 0
+        self._shed_total = 0
+        self._retries_total = 0
+        self._restarts_total = 0
+        self._draining = False
+        self._stopped = False
+        self.started_at = 0.0
+        self._front: Optional[ThreadingHTTPServer] = None
+        self._front_thread: Optional[threading.Thread] = None
+        self._health_thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._stop_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        if self._front is None:
+            raise ServeError("supervisor is not started")
+        host, port = self._front.server_address[0], self._front.server_address[1]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "Supervisor":
+        """Digest the checkpoint, spawn the fleet, open the front port."""
+        if self._front is not None:
+            raise ServeError("supervisor already started")
+        from repro.store.backend import open_store
+
+        with open_store(self.store, check_same_thread=False, exclusive=False) as backend:
+            digest = checkpoint_digest(backend, self.name)
+        self.checkpoint_digest = digest
+        self.cache.checkpoint = digest
+
+        # Launch every worker before waiting on any handshake: the expensive
+        # part of a worker's startup (restoring the checkpoint) then runs in
+        # parallel across the fleet.
+        for handle in self.workers:
+            self._launch(handle)
+        deadline = time.monotonic() + self.startup_timeout
+        for handle in self.workers:
+            self._await_ready(handle, deadline)
+
+        self.started_at = time.time()
+        self._front = _FrontServer((self.host, self.requested_port), self)
+        self._front_thread = threading.Thread(
+            target=self._front.serve_forever, name="repro-supervisor", daemon=True
+        )
+        self._front_thread.start()
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="repro-supervisor-health", daemon=True
+        )
+        self._health_thread.start()
+        return self
+
+    def _worker_command(self) -> List[str]:
+        command = [
+            self.python,
+            "-m",
+            "repro.serve.worker",
+            "--store",
+            self.store,
+            "--name",
+            self.name,
+            "--port",
+            "0",
+        ]
+        if self.background is not None:
+            command += ["--background", self.background]
+        return command
+
+    def _launch(self, handle: WorkerHandle) -> None:
+        """Start the worker process (non-blocking; handshake comes later)."""
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        handle.process = subprocess.Popen(
+            self._worker_command(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL if self.quiet else None,
+            env=env,
+            text=True,
+        )
+        handle.state = STARTING
+        handle.port = None
+        handle.heartbeat_misses = 0
+
+    def _await_ready(self, handle: WorkerHandle, deadline: float) -> None:
+        """Parse the worker's ``READY port=... pid=...`` handshake line."""
+        process = handle.process
+        assert process is not None and process.stdout is not None
+        line_box: List[str] = []
+
+        def read_line() -> None:
+            line_box.append(process.stdout.readline())
+
+        reader = threading.Thread(target=read_line, daemon=True)
+        reader.start()
+        reader.join(max(0.0, deadline - time.monotonic()))
+        line = line_box[0] if line_box else ""
+        if not line.startswith(READY_PREFIX):
+            process.kill()
+            raise ServeError(
+                f"worker {handle.index} failed to start "
+                f"(expected {READY_PREFIX!r} handshake, got {line!r}; "
+                f"exit code {process.poll()})"
+            )
+        fields = dict(
+            part.split("=", 1) for part in line.strip().split()[1:] if "=" in part
+        )
+        handle.port = int(fields["port"])
+        handle.state = LIVE
+
+    def stop(self) -> None:
+        """Graceful drain: stop admitting, finish in-flight, stop the fleet."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._draining = True
+        self._stop_event.set()
+
+        # Let in-flight requests finish before tearing anything down.
+        drain_deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < drain_deadline:
+            with self._lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+
+        if self._front is not None:
+            self._front.shutdown()
+            if self._front_thread is not None:
+                self._front_thread.join(timeout=5.0)
+            self._front.server_close()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=2 * self.heartbeat_interval + 5.0)
+
+        for handle in self.workers:
+            self._stop_worker(handle)
+
+    def request_shutdown(self) -> None:
+        """Asynchronous :meth:`stop` (used by the ``/shutdown`` endpoint)."""
+        self._stop_thread = threading.Thread(target=self.stop, daemon=True)
+        self._stop_thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for serving — and any in-flight teardown — to finish."""
+        if self._front_thread is not None:
+            self._front_thread.join(timeout)
+        stopper = self._stop_thread
+        if stopper is not None and stopper is not threading.current_thread():
+            stopper.join(timeout)
+
+    def _stop_worker(self, handle: WorkerHandle) -> None:
+        process = handle.process
+        if process is None:
+            handle.state = STOPPED
+            return
+        if process.poll() is None and handle.url is not None:
+            try:  # polite first: the worker drains its own in-flight writes
+                request = urllib.request.Request(
+                    handle.url + "/shutdown", data=b"{}", method="POST"
+                )
+                urllib.request.urlopen(request, timeout=2.0).read()
+            except Exception:  # noqa: BLE001 - any failure falls through to signals
+                pass
+        try:
+            process.wait(timeout=3.0)
+        except subprocess.TimeoutExpired:
+            process.terminate()
+            try:
+                process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                process.kill()
+                process.wait(timeout=2.0)
+        if process.stdout is not None:
+            process.stdout.close()
+        handle.state = STOPPED
+
+    # -- supervision -------------------------------------------------------------------
+
+    def backoff_delay(self, restarts: int) -> float:
+        """Capped exponential restart delay: ``base * 2**n``, at most ``cap``."""
+        return min(
+            self.restart_backoff_cap, self.restart_backoff_base * (2.0 ** restarts)
+        )
+
+    def _health_loop(self) -> None:
+        while not self._stop_event.wait(self.heartbeat_interval):
+            for handle in self.workers:
+                if self._stop_event.is_set():
+                    return
+                self._check_worker(handle)
+            with self._lock:
+                live = sum(1 for h in self.workers if h.state == LIVE)
+            self.registry.set_gauge("repro_supervisor_workers_live", live)
+
+    def _check_worker(self, handle: WorkerHandle) -> None:
+        with self._lock:
+            state = handle.state
+        if state == STOPPED:
+            return
+        process = handle.process
+        if state == BACKOFF:
+            if time.monotonic() >= handle.next_restart_at:
+                self._restart(handle)
+            return
+        if process is None or process.poll() is not None:
+            self._note_failure(handle, reason="exit")
+            return
+        # Heartbeat: poll the worker's snapshot endpoint (or /health when it
+        # serves uninstrumented) — one round-trip doubles as liveness probe
+        # and metrics collection.
+        url = handle.url
+        if url is None:
+            return
+        try:
+            with urllib.request.urlopen(
+                url + "/metrics_snapshot", timeout=max(1.0, 4 * self.heartbeat_interval)
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            snapshot = payload.get("snapshot")
+            with self._lock:
+                handle.heartbeat_misses = 0
+                if isinstance(snapshot, dict):
+                    handle.last_snapshot = snapshot
+        except urllib.error.HTTPError as exc:
+            # An HTTP *error response* still proves the worker is alive and
+            # serving (e.g. /metrics_snapshot 400s when obs is disabled).
+            exc.close()
+            with self._lock:
+                handle.heartbeat_misses = 0
+        except Exception:  # noqa: BLE001 - any probe failure is a miss
+            with self._lock:
+                handle.heartbeat_misses += 1
+                missed = handle.heartbeat_misses >= self.heartbeat_miss_budget
+            if missed:
+                # Hung (or unreachable) worker: treat like a crash.  SIGKILL
+                # is safe — the read-only discipline means no state is lost.
+                if process.poll() is None:
+                    process.kill()
+                self._note_failure(handle, reason="heartbeat")
+
+    def _note_failure(self, handle: WorkerHandle, reason: str) -> None:
+        """Mark a worker dead and schedule its restart with backoff."""
+        with self._lock:
+            if handle.state in (BACKOFF, STOPPED):
+                return
+            handle.state = BACKOFF
+            handle.next_restart_at = time.monotonic() + self.backoff_delay(
+                handle.restarts
+            )
+            handle.restarts += 1
+            self._restarts_total += 1
+            if handle.last_snapshot is not None:
+                self._retired.merge_snapshot(handle.last_snapshot)
+                handle.last_snapshot = None
+        self.registry.inc("repro_supervisor_worker_failures_total", reason=reason)
+        process = handle.process
+        if process is not None and process.stdout is not None:
+            process.stdout.close()
+
+    def _restart(self, handle: WorkerHandle) -> None:
+        try:
+            self._launch(handle)
+            self._await_ready(
+                handle, time.monotonic() + self.startup_timeout
+            )
+        except Exception:  # noqa: BLE001 - respawn failures reschedule
+            with self._lock:
+                handle.state = BACKOFF
+                handle.next_restart_at = time.monotonic() + self.backoff_delay(
+                    handle.restarts
+                )
+                handle.restarts += 1
+            return
+        self.registry.inc("repro_supervisor_restarts_total")
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _pick_worker(self) -> Optional[WorkerHandle]:
+        with self._lock:
+            live = [h for h in self.workers if h.state == LIVE]
+            if not live:
+                return None
+            handle = live[self._rr % len(live)]
+            self._rr += 1
+            return handle
+
+    def _shed(self, reason: str, retry_after: float = 1.0) -> Tuple[int, str, bytes, Dict[str, str]]:
+        with self._lock:
+            self._shed_total += 1
+        self.registry.inc("repro_supervisor_shed_total", reason=reason)
+        body = json.dumps(
+            {
+                "error": f"supervisor shed the request ({reason}); retry after "
+                f"{retry_after:g}s",
+                "type": "ServeOverloadError",
+                "retry_after": retry_after,
+            }
+        ).encode("utf-8")
+        return 503, "application/json", body, {"Retry-After": f"{retry_after:g}"}
+
+    def dispatch(
+        self, method: str, path: str, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, str, bytes, Dict[str, str]]:
+        """Admission control + cache + forward; returns a full response.
+
+        The returned tuple is ``(status, content_type, body, extra_headers)``.
+        Every failure mode maps to a *typed* JSON error body: deadline → 504
+        ``ServeDeadlineError``, overload → 503 ``ServeOverloadError`` (with
+        ``Retry-After``), worker crash with no recovery path → 502
+        ``WorkerCrashError``.  A response is either the worker's bytes,
+        verbatim, or one of those typed failures — never a truncated answer.
+        """
+        self.registry.inc("repro_supervisor_requests_total", endpoint=path)
+        with self._lock:
+            if self._draining:
+                shed_reason: Optional[str] = "draining"
+            elif self._inflight >= self.max_inflight:
+                shed_reason = "max_inflight"
+            else:
+                shed_reason = None
+                self._inflight += 1
+        if shed_reason is not None:
+            return self._shed(shed_reason)
+        try:
+            return self._dispatch_admitted(method, path, body, headers)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _dispatch_admitted(
+        self, method: str, path: str, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, str, bytes, Dict[str, str]]:
+        cached = self.cache.lookup(method, path, body)
+        if cached is not None:
+            self.registry.inc("repro_serve_cache_hits_total")
+            status, content_type, payload = cached
+            return status, content_type, payload, {"X-Repro-Cache": "hit"}
+        self.registry.inc("repro_serve_cache_misses_total")
+
+        budget_ms = self.deadline_ms
+        override = headers.get("X-Repro-Deadline-Ms")
+        if override:
+            try:
+                budget_ms = min(budget_ms, float(override))
+            except ValueError:
+                pass
+        started = time.monotonic()
+        deadline = started + budget_ms / 1000.0
+
+        forward_headers = {"Content-Type": "application/json"}
+        for name in ("X-Repro-Trace-Id", "X-Repro-Parent-Id"):
+            if headers.get(name):
+                forward_headers[name] = headers[name]
+
+        attempts = 0
+        max_attempts = max(2, len(self.workers) + 1)
+        while attempts < max_attempts:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self._deadline_response(budget_ms)
+            handle = self._pick_worker()
+            if handle is None:
+                return self._shed("no_live_worker", retry_after=self.backoff_delay(0) + 0.5)
+            attempts += 1
+            try:
+                status, content_type, payload = self._forward(
+                    handle, method, path, body, forward_headers, remaining
+                )
+            except _WorkerGone:
+                # The worker died under the request (or was unreachable).
+                # Answers are deterministic, so re-asking another worker is
+                # *provably* safe — the retry either returns the identical
+                # bytes or fails typed.
+                self._note_failure(handle, reason="request")
+                with self._lock:
+                    self._retries_total += 1
+                self.registry.inc("repro_supervisor_retries_total")
+                continue
+            except _DeadlineHit:
+                return self._deadline_response(budget_ms)
+            if status == 200:
+                self.cache.store(method, path, body, status, content_type, payload)
+            return status, content_type, payload, {}
+        body_bytes = json.dumps(
+            {
+                "error": "request interrupted by worker crashes and not "
+                f"recoverable within its deadline ({attempts} attempts)",
+                "type": "WorkerCrashError",
+            }
+        ).encode("utf-8")
+        return 502, "application/json", body_bytes, {}
+
+    def _deadline_response(self, budget_ms: float) -> Tuple[int, str, bytes, Dict[str, str]]:
+        self.registry.inc("repro_supervisor_deadline_total")
+        body = json.dumps(
+            {
+                "error": f"request exceeded its {budget_ms:g}ms deadline and "
+                "was abandoned (no partial answer was produced)",
+                "type": "ServeDeadlineError",
+            }
+        ).encode("utf-8")
+        return 504, "application/json", body, {}
+
+    def _forward(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Dict[str, str],
+        timeout: float,
+    ) -> Tuple[int, str, bytes]:
+        url = handle.url
+        if url is None:
+            raise _WorkerGone()
+        request = urllib.request.Request(
+            url + path,
+            data=body if method == "POST" else None,
+            headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                payload = response.read()
+                content_type = response.headers.get("Content-Type", "application/json")
+                return response.status, content_type, payload
+        except urllib.error.HTTPError as exc:
+            # Typed worker-side errors (400s...) relay verbatim to the client.
+            payload = exc.read()
+            content_type = exc.headers.get("Content-Type", "application/json")
+            return exc.code, content_type, payload
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                raise _DeadlineHit() from exc
+            raise _WorkerGone() from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise _DeadlineHit() from exc
+        except (ConnectionError, http.client.HTTPException) as exc:
+            raise _WorkerGone() from exc
+
+    # -- introspection -----------------------------------------------------------------
+
+    def health_payload(self) -> Dict[str, Any]:
+        with self._lock:
+            workers = [handle.payload() for handle in self.workers]
+            live = sum(1 for w in workers if w["state"] == LIVE)
+            payload = {
+                "status": "ok" if live == len(workers) else "degraded",
+                "role": "supervisor",
+                "checkpoint": self.name,
+                "checkpoint_digest": self.checkpoint_digest,
+                "workers": workers,
+                "workers_live": live,
+                "restarts_total": self._restarts_total,
+                "shed_total": self._shed_total,
+                "retries_total": self._retries_total,
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "deadline_ms": self.deadline_ms,
+                "draining": self._draining,
+                "cache": self.cache.stats_payload(),
+            }
+        payload["uptime_seconds"] = time.time() - self.started_at
+        return payload
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry for the whole fleet: supervisor + every worker.
+
+        Live workers contribute their latest polled snapshot (re-polled here
+        for freshness when reachable); dead incarnations contribute the final
+        snapshot captured before their crash, folded into the retired
+        registry — counters never go backwards just because a worker died.
+        """
+        merged = MetricsRegistry()
+        cache_stats = self.cache.stats_payload()
+        self.registry.set_gauge("repro_serve_cache_size", cache_stats["size"])
+        self.registry.set_gauge("repro_supervisor_inflight", self._inflight)
+        with self._lock:
+            live = sum(1 for h in self.workers if h.state == LIVE)
+        self.registry.set_gauge("repro_supervisor_workers_live", live)
+        merged.merge_snapshot(self.registry.snapshot())
+        merged.merge_snapshot(self._retired.snapshot())
+        for handle in self.workers:
+            snapshot = None
+            url = handle.url
+            if handle.state == LIVE and url is not None:
+                try:
+                    with urllib.request.urlopen(
+                        url + "/metrics_snapshot", timeout=2.0
+                    ) as response:
+                        payload = json.loads(response.read().decode("utf-8"))
+                    snapshot = payload.get("snapshot")
+                    with self._lock:
+                        if isinstance(snapshot, dict):
+                            handle.last_snapshot = snapshot
+                except Exception:  # noqa: BLE001 - fall back to the last poll
+                    snapshot = None
+            if snapshot is None:
+                with self._lock:
+                    snapshot = handle.last_snapshot
+            if isinstance(snapshot, dict):
+                merged.merge_snapshot(snapshot)
+        return merged
+
+
+class _WorkerGone(Exception):
+    """Internal: the forwarded request died with its worker."""
+
+
+class _DeadlineHit(Exception):
+    """Internal: the forwarded request ran out of deadline budget."""
+
+
+class _FrontServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], supervisor: Supervisor) -> None:
+        super().__init__(address, _FrontHandler)
+        self.supervisor = supervisor
+
+
+class _FrontHandler(BaseHTTPRequestHandler):
+    server: _FrontServer
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.supervisor.quiet:
+            super().log_message(format, *args)
+
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._respond(status, json.dumps(payload).encode("utf-8"))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        supervisor = self.server.supervisor
+        path = urlsplit(self.path).path
+        if path == "/health":
+            self._respond_json(200, supervisor.health_payload())
+        elif path == "/stats":
+            self._respond_json(200, supervisor.health_payload())
+        elif path == "/metrics":
+            text = supervisor.merged_metrics().render_prometheus()
+            self._respond(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._respond_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        supervisor = self.server.supervisor
+        path = urlsplit(self.path).path
+        if path == "/shutdown":
+            self._respond_json(200, {"status": "shutting down"})
+            self.wfile.flush()
+            supervisor.request_shutdown()
+            return
+        if path not in PROXIED_PATHS:
+            self._respond_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_REQUEST_BYTES:
+            self._respond_json(
+                400,
+                {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{MAX_REQUEST_BYTES}-byte limit",
+                    "type": "ServeError",
+                },
+            )
+            return
+        body = self.rfile.read(length) if length else b""
+        headers = {name: value for name, value in self.headers.items()}
+        try:
+            status, content_type, payload, extra = supervisor.dispatch(
+                "POST", path, body, headers
+            )
+        except Exception as exc:  # noqa: BLE001 - the front must not die
+            self._respond_json(
+                500, {"error": str(exc), "type": type(exc).__name__}
+            )
+            return
+        self._respond(status, payload, content_type=content_type, extra_headers=extra)
+
+
+def start_supervisor(store: str, **kwargs: Any) -> Supervisor:
+    """Build and start a :class:`Supervisor`; returns it once serving."""
+    return Supervisor(store, **kwargs).start()
+
+
+__all__ = [
+    "Supervisor",
+    "WorkerHandle",
+    "start_supervisor",
+    "PROXIED_PATHS",
+]

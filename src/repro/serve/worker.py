@@ -1,0 +1,117 @@
+"""The worker half of supervised serving: one process, one read-only restore.
+
+``python -m repro.serve.worker --store S --name N`` restores the checkpoint
+read-only (store opened with ``exclusive=False``, so any number of workers
+coexist with at most one writer), starts a :class:`SummaryQueryServer` on an
+ephemeral port, and prints exactly one handshake line on stdout::
+
+    READY port=<port> pid=<pid>
+
+The supervisor parses that line to learn where the worker listens; everything
+after it goes through HTTP.  The worker then serves until one of:
+
+* a ``POST /shutdown`` request (the supervisor's graceful path),
+* ``SIGTERM`` (the supervisor's firm path — finishes the in-flight requests
+  the daemon threads are writing, then exits cleanly), or
+* ``SIGKILL`` (a crash, the chaos harness's weapon of choice — the supervisor
+  notices the exit and restarts a fresh worker; the read-only discipline
+  guarantees the replacement answers byte-identically).
+
+Because every worker is a *process*, a fleet of them executes protocol work
+truly in parallel — this is what finally breaks the single-process GIL
+ceiling the serve benchmarks documented.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+
+#: The stdout handshake prefix the supervisor greps for.
+READY_PREFIX = "READY"
+
+
+def _background_from_name(name: Optional[str]):
+    """Resolve a named background knowledge (real-content checkpoints)."""
+    if name is None:
+        return None
+    if name == "medical":
+        from repro.fuzzy.vocabularies import medical_background_knowledge
+
+        return medical_background_knowledge()
+    raise ReproError(f"unknown background knowledge {name!r} (try: medical)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="One supervised serve worker: restore a checkpoint "
+        "read-only and answer queries until stopped.",
+    )
+    parser.add_argument("--store", required=True, help="store path (dir or .sqlite)")
+    parser.add_argument("--name", default="session", help="checkpoint name")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default 0: ephemeral)"
+    )
+    parser.add_argument(
+        "--background",
+        default=None,
+        help="named background knowledge for real-content checkpoints "
+        "(e.g. 'medical'); planned checkpoints need none",
+    )
+    parser.add_argument(
+        "--no-obs", action="store_true", help="serve uninstrumented"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.serve.server import SummaryQueryServer
+    from repro.store.checkpoint import open_readonly_session
+
+    args = build_parser().parse_args(argv)
+    session = open_readonly_session(
+        args.store, name=args.name, background=_background_from_name(args.background)
+    )
+    kwargs = {}
+    if args.no_obs:
+        kwargs["observability"] = None
+    server = SummaryQueryServer(
+        (args.host, args.port),
+        session,
+        checkpoint_name=args.name,
+        quiet=True,
+        close_session_on_stop=True,
+        **kwargs,
+    )
+
+    # SIGTERM = the supervisor asking firmly.  shutdown() must not run on the
+    # serve_forever thread (it would deadlock waiting for itself), so hand it
+    # to a helper thread and let serve_forever return.
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal API
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    port = server.server_address[1]
+    print(f"{READY_PREFIX} port={port} pid={os.getpid()}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.server_close()
+        if not session.closed:
+            session.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

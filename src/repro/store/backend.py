@@ -65,6 +65,27 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _pid_start_token(pid: int) -> Optional[str]:
+    """A token identifying this *incarnation* of ``pid``.
+
+    On Linux this is the kernel's process start time (field 22 of
+    ``/proc/<pid>/stat``, in clock ticks since boot) — two processes that
+    recycle the same pid get different tokens.  Where ``/proc`` is not
+    available the token is unknown (``None``) and pid-recycling cannot be
+    detected; callers must then fall back to the plain liveness check.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            data = handle.read()
+        # The comm field (2) may itself contain spaces and parentheses, so
+        # split on the *last* ')': what follows are fields 3, 4, ... and the
+        # start time is overall field 22 (index 19 after the state field).
+        fields = data.rsplit(b")", 1)[1].split()
+        return fields[19].decode("ascii")
+    except (OSError, IndexError, UnicodeDecodeError):
+        return None
+
+
 class _WriteLock:
     """Sidecar lock file marking the one live writer of an on-disk store.
 
@@ -74,10 +95,19 @@ class _WriteLock:
     race into one typed :class:`StoreError` at *open* time: the second
     exclusive open of a path fails while the first backend is alive.
 
-    The lock records the holder's pid.  A lock whose recorded process no
-    longer exists (a writer that crashed without ``close()``) is considered
-    stale and stolen; an unreadable lock is treated as held, erring on the
-    safe side.
+    The lock records the holder's ``(pid, start-time token)`` as JSON.  It is
+    considered **stale** — and stolen — when the recorded process no longer
+    exists, or when a process with that pid exists but its start-time token
+    differs from the recorded one (the pid was recycled by an unrelated
+    process after the writer crashed).  A torn or empty sidecar (the writer
+    crashed between creating and stamping the file) is likewise stale, not an
+    error.  Only an *unreadable* file (permissions, I/O) is treated as held,
+    erring on the safe side.
+
+    Stealing is race-safe: a contender first claims the stale file with an
+    atomic :func:`os.rename` — exactly one concurrent contender wins that
+    rename — and only the winner retries the exclusive create.  Losers see a
+    fresh, live lock and fail with the usual typed :class:`StoreError`.
     """
 
     def __init__(self, path: Path, store: str) -> None:
@@ -86,38 +116,82 @@ class _WriteLock:
         self._acquired = False
 
     def acquire(self) -> None:
-        for attempt in (1, 2):
+        for attempt in (1, 2, 3):
             try:
                 handle = os.open(
                     self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
                 )
             except FileExistsError:
-                holder = self._holder_pid()
-                stale = holder is not None and not _pid_alive(holder)
-                if not stale or attempt == 2:
+                holder_pid, stale = self._holder_state()
+                if not stale or attempt == 3:
                     raise StoreError(
                         f"store {self._store} is already open for write "
-                        f"(lock {self._path} held by pid {holder}): close the "
-                        "other backend first, or open read-only with "
+                        f"(lock {self._path} held by pid {holder_pid}): close "
+                        "the other backend first, or open read-only with "
                         "exclusive=False"
                     ) from None
-                # The recorded writer is gone (crashed without close()):
-                # steal the stale lock and retry once.
+                # The recorded writer is gone (crashed without close()) or
+                # its pid was recycled: claim the stale file atomically —
+                # rename succeeds for exactly one concurrent contender — and
+                # retry the exclusive create.  A loser's rename fails, and
+                # its next create attempt finds the winner's live lock.
+                claim = self._path.with_name(
+                    f"{self._path.name}.steal.{os.getpid()}"
+                )
                 try:
-                    os.unlink(self._path)
+                    os.rename(self._path, claim)
+                except OSError:
+                    continue
+                try:
+                    os.unlink(claim)
                 except OSError:  # pragma: no cover - filesystem dependent
                     pass
                 continue
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(str(os.getpid()))
+                pid = os.getpid()
+                stream.write(
+                    json.dumps({"pid": pid, "token": _pid_start_token(pid)})
+                )
             self._acquired = True
             return
 
-    def _holder_pid(self) -> Optional[int]:
+    def _holder_state(self) -> "tuple[Optional[int], bool]":
+        """The recorded holder pid and whether the lock is stale."""
         try:
-            return int(self._path.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
-            return None
+            raw = self._path.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            # Another contender already stole and released (or is mid-steal):
+            # treat as stale so the create is simply retried.
+            return None, True
+        except OSError:
+            return None, False  # unreadable: assume held, err on the safe side
+        if not raw:
+            return None, True  # torn write: crashed before stamping
+        token: Optional[str] = None
+        try:
+            document = json.loads(raw)
+        except ValueError:
+            document = None
+        if isinstance(document, dict):
+            try:
+                pid = int(document["pid"])
+            except (KeyError, TypeError, ValueError):
+                return None, True  # malformed stamp: stale
+            token = document.get("token") or None
+        elif isinstance(document, int):
+            pid = document  # legacy bare-pid stamp (pre-token lockers)
+        else:
+            return None, True  # torn/garbage JSON: stale
+        if not _pid_alive(pid):
+            return pid, True
+        # A live process holds that pid — but is it the same incarnation?
+        # Steal only when both recorded and current tokens are known and
+        # disagree; an unknown token on either side means "cannot tell",
+        # which must read as held.
+        current = _pid_start_token(pid)
+        if token is not None and current is not None and token != current:
+            return pid, True
+        return pid, False
 
     def release(self) -> None:
         if not self._acquired:

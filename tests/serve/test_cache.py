@@ -1,0 +1,151 @@
+"""The exact response cache: canonical keys, checkpoint digests, LRU bounds.
+
+Caching served responses is only sound because answers are deterministic;
+these tests pin the machinery that keeps it sound — request canonicalization
+(one entry per *logical* request), the checkpoint digest (one namespace per
+*checkpoint bytes*, delta chain included), and the admission/eviction rules.
+"""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.serve.cache import (
+    CACHEABLE_PATHS,
+    ResponseCache,
+    canonical_request_key,
+    checkpoint_digest,
+)
+from repro.store import InMemoryBackend
+from repro.store.checkpoint import CHECKPOINT_KIND
+
+
+class TestCanonicalRequestKey:
+    def test_json_spelling_does_not_split_entries(self):
+        a = canonical_request_key("POST", "/query", b'{"count": 3, "policy": "flood"}')
+        b = canonical_request_key(
+            "POST", "/query", b'{ "policy":"flood",\n  "count":3 }'
+        )
+        assert a == b
+
+    def test_different_payloads_differ(self):
+        a = canonical_request_key("POST", "/query", b'{"count": 3}')
+        b = canonical_request_key("POST", "/query", b'{"count": 4}')
+        assert a != b
+
+    def test_path_and_method_are_part_of_the_key(self):
+        body = b'{"count": 3}'
+        assert canonical_request_key("POST", "/query", body) != canonical_request_key(
+            "POST", "/query_batch", body
+        )
+
+    def test_empty_body_equals_empty_object(self):
+        assert canonical_request_key("POST", "/staleness", b"") == canonical_request_key(
+            "POST", "/staleness", b"{}"
+        )
+
+    def test_non_json_body_still_keys(self):
+        # The worker will 400 it (never cached), but the key must not crash.
+        assert canonical_request_key("POST", "/query", b"\xff\xfe") != (
+            canonical_request_key("POST", "/query", b"{}")
+        )
+
+
+class TestCheckpointDigest:
+    def _backend_with(self, documents):
+        backend = InMemoryBackend()
+        for name, document in documents.items():
+            backend.put(CHECKPOINT_KIND, name, document)
+        return backend
+
+    def test_identical_documents_digest_identically(self):
+        doc = {"peers": 4, "seed": 0}
+        a = self._backend_with({"session": dict(doc)})
+        b = self._backend_with({"session": dict(doc)})
+        assert checkpoint_digest(a, "session") == checkpoint_digest(b, "session")
+
+    def test_any_document_change_changes_the_digest(self):
+        a = self._backend_with({"session": {"peers": 4}})
+        b = self._backend_with({"session": {"peers": 5}})
+        assert checkpoint_digest(a, "session") != checkpoint_digest(b, "session")
+
+    def test_delta_chain_bases_are_chained_in(self):
+        base = {"peers": 4}
+        shared = {"base": "older", "delta": True}
+        a = self._backend_with({"older": dict(base), "session": dict(shared)})
+        b = self._backend_with(
+            {"older": {"peers": 4, "drift": 1}, "session": dict(shared)}
+        )
+        # The session documents are identical; only the *base* differs —
+        # the digest must still differ, or stale answers would cache-hit.
+        assert checkpoint_digest(a, "session") != checkpoint_digest(b, "session")
+
+    def test_cyclic_chain_is_a_typed_error(self):
+        backend = self._backend_with(
+            {"a": {"base": "b"}, "b": {"base": "a"}}
+        )
+        with pytest.raises(StoreError, match="cyclic"):
+            checkpoint_digest(backend, "a")
+
+
+class TestResponseCache:
+    def test_roundtrip_and_counters(self):
+        cache = ResponseCache(4, checkpoint="d1")
+        body = b'{"count": 1}'
+        assert cache.lookup("POST", "/query", body) is None
+        cache.store("POST", "/query", body, 200, "application/json", b'{"answer": 1}')
+        assert cache.lookup("POST", "/query", body) == (
+            200,
+            "application/json",
+            b'{"answer": 1}',
+        )
+        assert cache.stats_payload() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "capacity": 4,
+        }
+
+    def test_only_success_on_cacheable_paths_is_admitted(self):
+        cache = ResponseCache(4)
+        cache.store("POST", "/query", b"{}", 400, "application/json", b'{"error": "x"}')
+        cache.store("GET", "/health", b"", 200, "application/json", b"{}")
+        assert len(cache) == 0
+        assert cache.lookup("GET", "/health", b"") is None  # not even counted
+        assert cache.stats_payload()["misses"] == 0
+
+    def test_lru_eviction_is_bounded_and_recency_aware(self):
+        cache = ResponseCache(2)
+        for index in range(3):
+            body = b'{"count": %d}' % index
+            cache.store("POST", "/query", body, 200, "t", b"r%d" % index)
+            if index == 1:
+                # Touch entry 0 so entry 1 is the least recently used.
+                assert cache.lookup("POST", "/query", b'{"count": 0}') is not None
+        assert len(cache) == 2
+        assert cache.lookup("POST", "/query", b'{"count": 0}') is not None
+        assert cache.lookup("POST", "/query", b'{"count": 1}') is None  # evicted
+        assert cache.lookup("POST", "/query", b'{"count": 2}') is not None
+
+    def test_checkpoint_digest_namespaces_entries(self):
+        cache = ResponseCache(4, checkpoint="d1")
+        cache.store("POST", "/query", b"{}", 200, "t", b"old-answer")
+        cache.checkpoint = "d2"  # the store now holds different bytes
+        assert cache.lookup("POST", "/query", b"{}") is None
+
+    def test_zero_capacity_disables(self):
+        cache = ResponseCache(0)
+        cache.store("POST", "/query", b"{}", 200, "t", b"r")
+        assert cache.lookup("POST", "/query", b"{}") is None
+        assert cache.stats_payload() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": 0,
+        }
+
+    def test_negative_capacity_is_typed(self):
+        with pytest.raises(StoreError, match="capacity"):
+            ResponseCache(-1)
+
+    def test_cacheable_paths_cover_the_query_surface(self):
+        assert CACHEABLE_PATHS == {"/query", "/query_batch", "/staleness"}
